@@ -1,0 +1,54 @@
+// Extension bench — 2.5D matrix multiplication communication model
+// (Solomonik & Demmel, the paper's ref [42] and the "notable exception"
+// of Section 4.2).
+//
+// Shows, for N = 8192: per-processor words moved vs replication factor c,
+// against the Irony–Toledo–Tiskin bandwidth lower bound, and the memory
+// price paid — contextualizing the paper's 2-D (c = 1) numbers.
+#include <cstdio>
+#include <iostream>
+
+#include "linalg/matmul_25d.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace nldl;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const double n = args.get_double("n", 8192.0);
+
+  std::printf("=== Extension: 2.5D matmul communication model (ref [42]) "
+              "===\n");
+  std::printf("N = %.0f; grid sqrt(p/c) x sqrt(p/c) x c\n\n", n);
+
+  util::Table table({"p", "c", "words/proc", "vs c=1", "ITT lower bound",
+                     "words/bound", "memory/proc (xN^2/p)"});
+  for (const std::size_t base : {16UL, 64UL}) {
+    double c1_words = 0.0;
+    for (const std::size_t c : {1UL, 2UL, 4UL}) {
+      const std::size_t p = base * c;
+      if (!linalg::valid_25d_grid(p, c)) continue;
+      const linalg::Matmul25DParams params{p, c};
+      const double words = linalg::matmul_25d_words_per_proc(n, params);
+      if (c == 1) c1_words = words;
+      const double memory = linalg::matmul_25d_memory_per_proc(n, params);
+      const double bound =
+          linalg::matmul_bandwidth_lower_bound(n, p, memory);
+      table.row()
+          .cell(p)
+          .cell(c)
+          .cell(words, 0)
+          .cell(c == 1 ? 1.0 : words / c1_words, 3)
+          .cell(bound, 0)
+          .cell(words / bound, 2)
+          .cell(memory / (n * n / double(p)), 1)
+          .done();
+    }
+  }
+  table.print(std::cout);
+  std::printf("\n(c replicas cut the broadcast volume ~1/sqrt(c) at c x "
+              "the memory — why the paper calls\n 2.5D the notable "
+              "exception to outer-product-based implementations)\n");
+  return 0;
+}

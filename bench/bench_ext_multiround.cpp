@@ -1,0 +1,64 @@
+// Extension bench — multi-installment distribution (paper Section 1.2's
+// "multiple rounds: the communications will be shorter and pipelined").
+//
+// Sweeps the round count on one-port stars with varying communication/
+// computation ratios and shows the pipelining gain plus the best
+// (rounds, growth-ratio) combination found by the auto-tuner.
+#include <cstdio>
+#include <iostream>
+
+#include "dlt/multi_round.hpp"
+#include "platform/speed_distributions.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace nldl;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const double load = args.get_double("load", 100.0);
+  const auto seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<long long>(util::Rng::kDefaultSeed)));
+
+  std::printf("=== Extension: multi-round (multi-installment) one-port "
+              "DLT ===\n");
+  std::printf("load = %.0f units; makespans simulated with pipelined "
+              "receive/compute\n\n", load);
+
+  util::Table table({"platform", "c/w ratio", "R=1", "R=2", "R=4", "R=8",
+                     "R=16", "best (R, makespan)"});
+  util::Rng rng(seed);
+  struct Case {
+    std::string name;
+    platform::Platform plat;
+  };
+  const std::vector<Case> cases{
+      {"4 equal, comm-light", platform::Platform::homogeneous(4, 0.1, 1.0)},
+      {"4 equal, balanced", platform::Platform::homogeneous(4, 1.0, 1.0)},
+      {"4 equal, comm-heavy", platform::Platform::homogeneous(4, 3.0, 1.0)},
+      {"uniform p=8",
+       platform::make_platform(platform::SpeedModel::kUniform, 8, rng)},
+  };
+  for (const auto& c : cases) {
+    auto row = table.row();
+    row.cell(c.name);
+    row.cell(c.plat.c(0) / c.plat.w(0), 2);
+    for (const std::size_t rounds : {1UL, 2UL, 4UL, 8UL, 16UL}) {
+      row.cell(dlt::uniform_multi_round(c.plat, load, rounds)
+                   .simulated_makespan,
+               2);
+    }
+    const auto best = dlt::best_multi_round(c.plat, load, 16);
+    row.cell("R=" + std::to_string(best.rounds) + ", " +
+             util::format_double(best.simulated_makespan, 2));
+    row.done();
+  }
+  table.print(std::cout);
+  std::printf("\n(pipelining hides the serialized send ramp-up behind "
+              "computation, so the gain shows\n where computation "
+              "dominates; a bus-bound platform (c >= w) stays pinned at "
+              "~c*N no matter\n how many rounds. best_multi_round scans "
+              "uniform and geometric installment shapes.)\n");
+  return 0;
+}

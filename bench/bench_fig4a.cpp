@@ -1,0 +1,12 @@
+// Figure 4(a): homogeneous computation speeds.
+//
+// Expected shape (paper): all three strategies sit within ~1 % of the
+// communication lower bound; Comm_hom/k coincides with Comm_hom because no
+// refinement is needed (k = 1 everywhere).
+#include "fig4_common.hpp"
+
+int main(int argc, char** argv) {
+  return nldl::bench::run_fig4_panel(
+      "4(a)", nldl::platform::SpeedModel::kHomogeneous,
+      "all strategies within ~1% of the bound; k stays 1", argc, argv);
+}

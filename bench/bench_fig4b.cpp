@@ -1,0 +1,12 @@
+// Figure 4(b): computation speeds uniform on [1, 100].
+//
+// Expected shape (paper): Comm_het stays within ~2 % of the lower bound at
+// every p; Comm_hom and especially Comm_hom/k blow up with p, reaching
+// ~15–20× the bound at p = 100.
+#include "fig4_common.hpp"
+
+int main(int argc, char** argv) {
+  return nldl::bench::run_fig4_panel(
+      "4(b)", nldl::platform::SpeedModel::kUniform,
+      "Comm_het <= 1.02; Comm_hom/k grows to ~15-20x at p=100", argc, argv);
+}

@@ -1,0 +1,108 @@
+// google-benchmark microbenchmarks for the core kernels.
+#include <benchmark/benchmark.h>
+
+#include "linalg/matmul.hpp"
+#include "partition/block_homogeneous.hpp"
+#include "partition/layout.hpp"
+#include "partition/peri_sum.hpp"
+#include "platform/speed_distributions.hpp"
+#include "sort/sample_sort.hpp"
+#include "util/rng.hpp"
+
+using namespace nldl;
+
+namespace {
+
+std::vector<double> random_speeds(std::size_t p, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto plat =
+      platform::make_platform(platform::SpeedModel::kLogNormal, p, rng);
+  return plat.speeds();
+}
+
+void BM_PeriSumPartition(benchmark::State& state) {
+  const auto speeds =
+      random_speeds(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::peri_sum_partition(speeds));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PeriSumPartition)->Arg(10)->Arg(100)->Arg(1000)->Complexity();
+
+void BM_DemandDrivenCounts(benchmark::State& state) {
+  const auto speeds =
+      random_speeds(static_cast<std::size_t>(state.range(0)), 2);
+  std::vector<double> tau(speeds.size());
+  for (std::size_t i = 0; i < tau.size(); ++i) tau[i] = 1.0 / speeds[i];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partition::demand_driven_counts(tau, 100000));
+  }
+}
+BENCHMARK(BM_DemandDrivenCounts)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_RefineUntilBalanced(benchmark::State& state) {
+  const auto speeds =
+      random_speeds(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partition::refine_until_balanced(speeds, 1.0, 0.01));
+  }
+}
+BENCHMARK(BM_RefineUntilBalanced)->Arg(10)->Arg(100);
+
+void BM_SampleSort(benchmark::State& state) {
+  util::Rng rng(4);
+  std::vector<double> data(static_cast<std::size_t>(state.range(0)));
+  for (double& v : data) v = rng.uniform();
+  sort::SampleSortConfig config;
+  config.num_buckets = 8;
+  for (auto _ : state) {
+    auto copy = data;
+    benchmark::DoNotOptimize(sort::sample_sort(std::move(copy), config));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SampleSort)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_StdSortBaseline(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<double> data(static_cast<std::size_t>(state.range(0)));
+  for (double& v : data) v = rng.uniform();
+  for (auto _ : state) {
+    auto copy = data;
+    std::sort(copy.begin(), copy.end());
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StdSortBaseline)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_MatmulOuterProduct(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  const auto a = linalg::Matrix::random(n, n, rng);
+  const auto b = linalg::Matrix::random(n, n, rng);
+  const std::vector<double> speeds{1.0, 2.0, 3.0, 4.0};
+  const auto layout = partition::discretize(
+      partition::peri_sum_partition(speeds), static_cast<long long>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        linalg::matmul_outer_product(a, b, layout, speeds, 32));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<std::int64_t>(n) * n * n);
+}
+BENCHMARK(BM_MatmulOuterProduct)->Arg(64)->Arg(128);
+
+void BM_Discretize(benchmark::State& state) {
+  const auto part = partition::peri_sum_partition(
+      random_speeds(static_cast<std::size_t>(state.range(0)), 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::discretize(part, 1 << 20));
+  }
+}
+BENCHMARK(BM_Discretize)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace

@@ -1,0 +1,218 @@
+// Section 3 — "DLT for almost linear workloads": sorting via sample sort.
+//
+// Regenerates:
+//   (1) the log p / log N remaining-work fraction and the per-phase costs
+//       of the sample-sort preprocessing (Section 3.1 analysis);
+//   (2) a Monte-Carlo check of the Theorem B.4 bucket-size bound with the
+//       paper's oversampling s = log²N (homogeneous and heterogeneous);
+//   (3) an actual parallel sample sort execution with phase timings,
+//       showing the preprocessing share of wall-clock shrink with N.
+#include <cstdio>
+#include <iostream>
+
+#include <chrono>
+
+#include "core/no_free_lunch.hpp"
+#include "platform/speed_distributions.hpp"
+#include "sort/distributed.hpp"
+#include "sort/merge_sort.hpp"
+#include "sort/sample_sort.hpp"
+#include "sort/theory.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/threadpool.hpp"
+
+using namespace nldl;
+
+namespace {
+
+void fraction_tables() {
+  std::printf("=== Sorting: remaining fraction log p / log N and phase "
+              "costs (Section 3.1) ===\n");
+  std::printf("paper: fraction -> 0 for large N, so sorting is 'almost "
+              "divisible'\n\n");
+  const auto points = core::sorting_fraction_sweep(
+      {1 << 16, 1 << 20, 1 << 24, 1e9, 1e12}, {2, 8, 32, 128});
+  core::sorting_table(points).print(std::cout);
+}
+
+void bound_check(std::uint64_t seed) {
+  std::printf("\n=== Theorem B.4 bucket bound, Monte-Carlo with "
+              "s = log^2 N (Section 3.1) ===\n");
+  std::printf("paper: Pr[MaxSize >= (N/p)(1+(1/ln N)^(1/3))] <= N^(-1/3)\n\n");
+  util::Table table({"N", "p", "s", "threshold/(N/p)", "violation rate",
+                     "bound N^(-1/3)", "mean Max/(N/p)"});
+  for (const std::size_t n : {100000UL, 1000000UL, 10000000UL}) {
+    for (const std::size_t p : {8UL, 32UL}) {
+      const auto check = sort::validate_max_bucket_bound(n, p, 300, seed);
+      table.row()
+          .cell(n)
+          .cell(p)
+          .cell(check.oversampling)
+          .cell(check.threshold / (double(n) / double(p)), 4)
+          .cell(check.violation_rate, 4)
+          .cell(check.probability_bound, 4)
+          .cell(check.mean_max_over_expected, 4)
+          .done();
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\nheterogeneous splitters (Section 3.2): worst bucket "
+              "relative to its own share x_i*N\n\n");
+  util::Table het({"N", "speeds", "violation rate", "bound",
+                   "mean worst rel. size"});
+  util::Rng rng(seed);
+  const auto plat =
+      platform::make_platform(platform::SpeedModel::kUniform, 16, rng);
+  for (const std::size_t n : {1000000UL, 10000000UL}) {
+    const auto check = sort::validate_max_bucket_bound_heterogeneous(
+        n, plat.speeds(), 300, seed + 1);
+    het.row()
+        .cell(n)
+        .cell(std::string("uniform[1,100], p=16"))
+        .cell(check.violation_rate, 4)
+        .cell(check.probability_bound, 4)
+        .cell(check.mean_max_over_expected, 4)
+        .done();
+  }
+  het.print(std::cout);
+}
+
+void executed_sort(std::uint64_t seed) {
+  std::printf("\n=== Executed parallel sample sort: phase wall-clock "
+              "breakdown ===\n");
+  std::printf("paper: Steps 1+2 (preprocessing) are dominated by Step 3 "
+              "(the divisible phase)\n\n");
+  util::ThreadPool pool(2);
+  util::Table table({"N", "p", "step1 (s)", "step2 (s)", "step3 (s)",
+                     "preproc share", "Max/(N/p)"});
+  util::Rng rng(seed);
+  for (const std::size_t n : {1UL << 18, 1UL << 20, 1UL << 22}) {
+    std::vector<double> data(n);
+    for (double& v : data) v = rng.uniform();
+    for (const std::size_t p : {4UL, 16UL}) {
+      sort::SampleSortConfig config;
+      config.num_buckets = p;
+      config.pool = &pool;
+      config.seed = seed;
+      sort::SampleSortStats stats;
+      auto sorted = sort::sample_sort(data, config, &stats);
+      const double pre = stats.step1_seconds + stats.step2_seconds;
+      const double share =
+          pre / (pre + stats.step3_seconds + 1e-12);
+      table.row()
+          .cell(n)
+          .cell(p)
+          .cell(stats.step1_seconds, 4)
+          .cell(stats.step2_seconds, 4)
+          .cell(stats.step3_seconds, 4)
+          .cell(share, 3)
+          .cell(stats.max_over_expected, 3)
+          .done();
+    }
+  }
+  table.print(std::cout);
+  std::printf("\n(step2 is the N*log p bucketing on the master; step3 the "
+              "parallel local sorts)\n");
+}
+
+void sample_vs_merge(std::uint64_t seed) {
+  // Baseline contrast: parallel merge sort's final k-way merge is residual
+  // *non-divisible* work; sample sort's buckets are independent. Both are
+  // executed here (2 threads) for wall-clock comparison.
+  std::printf("\n=== Sample sort vs parallel merge sort (executed, 2 "
+              "threads) ===\n\n");
+  util::ThreadPool pool(2);
+  util::Rng rng(seed);
+  util::Table table({"N", "std::sort (s)", "merge sort (s)",
+                     "sample sort (s)"});
+  for (const std::size_t n : {1UL << 20, 1UL << 22}) {
+    std::vector<double> data(n);
+    for (double& v : data) v = rng.uniform();
+    using Clock = std::chrono::steady_clock;
+
+    auto copy = data;
+    const auto t0 = Clock::now();
+    std::sort(copy.begin(), copy.end());
+    const auto t1 = Clock::now();
+
+    auto merge_in = data;
+    const auto t2 = Clock::now();
+    const auto merged =
+        sort::parallel_merge_sort(std::move(merge_in), 4, &pool);
+    const auto t3 = Clock::now();
+
+    sort::SampleSortConfig config;
+    config.num_buckets = 4;
+    config.pool = &pool;
+    auto sample_in = data;
+    const auto t4 = Clock::now();
+    const auto sampled = sort::sample_sort(std::move(sample_in), config);
+    const auto t5 = Clock::now();
+
+    NLDL_ASSERT(merged == copy && sampled == copy,
+                "parallel sorts disagree with std::sort");
+    auto seconds = [](Clock::time_point a, Clock::time_point b) {
+      return std::chrono::duration<double>(b - a).count();
+    };
+    table.row()
+        .cell(n)
+        .cell(seconds(t0, t1), 3)
+        .cell(seconds(t2, t3), 3)
+        .cell(seconds(t4, t5), 3)
+        .done();
+  }
+  table.print(std::cout);
+}
+
+void scheduled_pipeline(std::uint64_t seed) {
+  std::printf("\n=== The whole pipeline on the star platform (model "
+              "schedule): makespan vs the ideal divisible time ===\n");
+  std::printf("overhead ratio -> 1 as N grows: sorting becomes a true "
+              "divisible load\n\n");
+  util::Table table({"platform", "N", "buckets", "makespan", "ideal",
+                     "overhead ratio"});
+  util::Rng rng(seed);
+  const std::vector<std::pair<std::string, platform::Platform>> platforms{
+      {"16 equal", platform::Platform::homogeneous(16, 0.01, 1.0)},
+      {"uniform p=16",
+       platform::make_platform(platform::SpeedModel::kUniform, 16, rng)},
+  };
+  for (const auto& [name, plat] : platforms) {
+    for (const double n : {1e6, 1e8, 1e10}) {
+      for (const bool het : {false, true}) {
+        sort::DistributedSortConfig config;
+        config.heterogeneous_buckets = het;
+        // The master is an average machine of the platform.
+        config.master_w =
+            double(plat.size()) / plat.total_speed();
+        const auto plan = sort::plan_distributed_sort(plat, n, config);
+        table.row()
+            .cell(name)
+            .cell(n, 0)
+            .cell(std::string(het ? "speed-prop." : "equal"))
+            .cell(plan.makespan, 0)
+            .cell(plan.ideal_time, 0)
+            .cell(plan.overhead_ratio, 4)
+            .done();
+      }
+    }
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<long long>(util::Rng::kDefaultSeed)));
+  fraction_tables();
+  bound_check(seed);
+  executed_sort(seed);
+  sample_vs_merge(seed);
+  scheduled_pipeline(seed);
+  return 0;
+}

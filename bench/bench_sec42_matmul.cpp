@@ -1,0 +1,179 @@
+// Section 4.2 — matrix multiplication (3-D data distribution).
+//
+// Regenerates:
+//   (1) the claim that the outer-product-based MM algorithm's comm volume
+//       equals N × Σ(half-perimeters) — so the Section 4.1 strategy ratio
+//       carries over verbatim to matmul (executed + analytic);
+//   (2) the MapReduce replication overhead of the introduction: the
+//       blocked job ships 2N³/b input elements (replication factor N/b),
+//       measured through the engine counters on a small instance and via
+//       the formula at scale;
+//   (3) strategy comparison at scale N = 4096 (analytic volumes).
+#include <cstdio>
+#include <iostream>
+
+#include "core/strategies.hpp"
+#include "linalg/block_cyclic.hpp"
+#include "linalg/matmul.hpp"
+#include "mapreduce/matmul_job.hpp"
+#include "partition/layout.hpp"
+#include "partition/lower_bound.hpp"
+#include "platform/platform.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace nldl;
+
+namespace {
+
+void executed_matmul(std::uint64_t seed) {
+  std::printf("=== Executed outer-product matmul (SUMMA) on a PERI-SUM "
+              "layout, N = 96 ===\n\n");
+  util::Rng rng(seed);
+  const std::size_t n = 96;
+  const auto a = linalg::Matrix::random(n, n, rng);
+  const auto b = linalg::Matrix::random(n, n, rng);
+  const auto reference = linalg::multiply_naive(a, b);
+
+  util::Table table({"speeds", "elements shipped", "N*sum(h+w)",
+                     "imbalance e", "max |err|"});
+  const std::vector<std::pair<std::string, std::vector<double>>> cases{
+      {"4 equal", {1.0, 1.0, 1.0, 1.0}},
+      {"1,2,3,4", {1.0, 2.0, 3.0, 4.0}},
+      {"2-class k=9", {1.0, 1.0, 9.0, 9.0}},
+  };
+  for (const auto& [name, speeds] : cases) {
+    const auto layout = partition::discretize(
+        partition::peri_sum_partition(speeds), static_cast<long long>(n));
+    const auto dist =
+        linalg::matmul_outer_product(a, b, layout, speeds, 8);
+    table.row()
+        .cell(name)
+        .cell(dist.total_elements)
+        .cell(linalg::matmul_comm_volume(layout))
+        .cell(dist.imbalance, 4)
+        .cell(dist.result.max_abs_diff(reference), 2)
+        .done();
+  }
+  table.print(std::cout);
+  std::printf("\n(elements shipped == N x sum of half-perimeters: the "
+              "Section 4.1 ratio carries over)\n");
+}
+
+void strategy_comparison_at_scale() {
+  std::printf("\n=== Strategy comparison for N = 4096 matmul (analytic "
+              "volumes, in elements of A+B) ===\n\n");
+  const double n = 4096.0;
+  util::Table table({"platform", "Comm_hom", "Comm_hom/k", "Comm_het",
+                     "lower bound", "het/LB", "hom_k/LB"});
+  const std::vector<std::pair<std::string, std::vector<double>>> cases{
+      {"16 equal", std::vector<double>(16, 1.0)},
+      {"2-class k=16 (p=16)",
+       platform::Platform::two_class(16, 1.0, 16.0).speeds()},
+  };
+  for (const auto& [name, speeds] : cases) {
+    const auto evals = core::evaluate_all_strategies(speeds, n);
+    const double lb = partition::comm_lower_bound(speeds, n) * n;
+    // Outer-product volumes × N steps = matmul volumes.
+    table.row()
+        .cell(name)
+        .cell(evals[0].comm_volume * n, 0)
+        .cell(evals[1].comm_volume * n, 0)
+        .cell(evals[2].comm_volume * n, 0)
+        .cell(lb, 0)
+        .cell(evals[2].ratio_to_lower_bound, 4)
+        .cell(evals[1].ratio_to_lower_bound, 3)
+        .done();
+  }
+  table.print(std::cout);
+}
+
+void virtualization_invariance() {
+  // Section 4.2: "a level of virtualization is added ... blocks are
+  // scattered in a cyclic fashion" — and the communication volume is
+  // unchanged by the block size, depending only on the grid shape.
+  std::printf("\n=== Block-cyclic virtualization: volume depends on the "
+              "grid, not the block size ===\n\n");
+  util::Table table({"N", "grid", "b=1", "b=8", "b=64", "closed form "
+                     "N^2(pr+pc)"});
+  for (const std::size_t n : {256UL, 1024UL}) {
+    for (const auto& [pr, pc] : {std::pair<std::size_t, std::size_t>{4, 4},
+                                 {2, 8}}) {
+      auto row = table.row();
+      row.cell(n);
+      row.cell(std::to_string(pr) + "x" + std::to_string(pc));
+      for (const std::size_t block : {1UL, 8UL, 64UL}) {
+        row.cell(linalg::block_cyclic_matmul_comm(
+            linalg::make_block_cyclic(n, block, pr, pc)));
+      }
+      row.cell(linalg::block_cyclic_matmul_comm_closed_form(
+          linalg::make_block_cyclic(n, 1, pr, pc)));
+      row.done();
+    }
+  }
+  table.print(std::cout);
+}
+
+void mapreduce_replication(std::uint64_t seed) {
+  std::printf("\n=== MapReduce matmul: input replication overhead "
+              "(introduction / Section 1.1) ===\n");
+  std::printf("paper: the N^2 input is expanded ~N/b-fold; blocked map "
+              "tasks ship 2N^3/b elements\n\n");
+
+  // Engine-measured small instance.
+  util::Rng rng(seed);
+  const std::size_t n = 32;
+  const auto a = linalg::Matrix::random(n, n, rng);
+  const auto b = linalg::Matrix::random(n, n, rng);
+  util::Table table({"N", "b", "map tasks", "input elems (2N^3/b)",
+                     "replication xN^2", "shuffle records", "max |err|"});
+  const auto reference = linalg::multiply_naive(a, b);
+  for (const std::size_t block : {4UL, 8UL, 16UL}) {
+    mapreduce::JobConfig config;
+    mapreduce::Counters counters;
+    const auto result =
+        mapreduce::matmul_mapreduce(a, b, block, config, &counters);
+    const double volume =
+        mapreduce::matmul_replication_volume(double(n), double(block));
+    table.row()
+        .cell(n)
+        .cell(block)
+        .cell(counters.map_tasks)
+        .cell(volume, 0)
+        .cell(volume / (2.0 * double(n) * double(n)), 1)
+        .cell(counters.combine_output_records)
+        .cell(result.max_abs_diff(reference), 2)
+        .done();
+  }
+  table.print(std::cout);
+
+  std::printf("\nformula at scale:\n\n");
+  util::Table scale({"N", "b", "input elems shipped", "replication xN^2"});
+  for (const double big_n : {1024.0, 4096.0, 16384.0}) {
+    for (const double block : {32.0, 256.0}) {
+      const double volume =
+          mapreduce::matmul_replication_volume(big_n, block);
+      scale.row()
+          .cell(big_n, 0)
+          .cell(block, 0)
+          .cell(volume, 0)
+          .cell(volume / (2.0 * big_n * big_n), 1)
+          .done();
+    }
+  }
+  scale.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<long long>(util::Rng::kDefaultSeed)));
+  executed_matmul(seed);
+  strategy_comparison_at_scale();
+  virtualization_invariance();
+  mapreduce_replication(seed);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared driver for the Figure 4 reproductions (bench_fig4{a,b,c}).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "util/chart.hpp"
+#include "util/cli.hpp"
+
+namespace nldl::bench {
+
+/// Run one Figure 4 panel and print the paper-style table.
+///
+/// Flags: --trials=N (default 100), --seed=S, --csv=path, --target=e
+/// (imbalance target for Comm_hom/k, default 0.01 = the paper's 1 %).
+inline int run_fig4_panel(const char* figure, platform::SpeedModel model,
+                          const char* expectation, int argc, char** argv) {
+  const util::Args args(argc, argv);
+  core::Fig4Config config;
+  config.model = model;
+  config.trials = static_cast<std::size_t>(args.get_int("trials", 100));
+  config.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<long long>(util::Rng::kDefaultSeed)));
+  config.strategy_options.imbalance_target = args.get_double("target", 0.01);
+
+  std::printf("=== Figure %s: ratio of communication volume to the lower "
+              "bound ===\n",
+              figure);
+  std::printf("speed model: %s | p in {10,20,40,60,80,100} | %zu trials "
+              "per point | imbalance target %.2f%%\n",
+              platform::to_string(model).c_str(), config.trials,
+              100.0 * config.strategy_options.imbalance_target);
+  std::printf("paper expectation: %s\n\n", expectation);
+
+  const auto rows = core::run_fig4(config);
+  const auto table = core::fig4_table(rows);
+  table.print(std::cout);
+
+  // The figure itself, as in the paper: ratio-to-LB vs p.
+  std::vector<double> ps;
+  std::vector<double> het;
+  std::vector<double> hom;
+  std::vector<double> hom_k;
+  for (const auto& row : rows) {
+    ps.push_back(static_cast<double>(row.p));
+    het.push_back(row.het.mean());
+    hom.push_back(row.hom.mean());
+    hom_k.push_back(row.hom_k.mean());
+  }
+  util::AsciiChart chart(60, 16);
+  chart.set_y_label("ratio of communication amount to the lower bound");
+  chart.set_x_label("number of processors");
+  chart.add_series("Comm_het", 'o', ps, het);
+  chart.add_series("Comm_hom", '+', ps, hom);
+  chart.add_series("Comm_hom/k", '*', ps, hom_k);
+  std::printf("\n%s", chart.render().c_str());
+
+  if (args.has("csv")) {
+    const std::string path = args.get_string("csv", "");
+    table.save_csv(path);
+    std::printf("\nCSV written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace nldl::bench

@@ -1,0 +1,139 @@
+// Figure 2, rendered from real layouts: the data footprint on vectors a
+// and b for a chosen processor under both distributions.
+//
+//   ./footprint_viz [--p=8] [--k=12] [--worker=7] [--grid=48]
+//
+// Red squares in the paper = blocks pulled by the worker under the
+// Homogeneous Blocks demand-driven scheme; the Heterogeneous Blocks scheme
+// gives the same worker one compact rectangle, touching far fewer entries
+// of a and b.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "core/nldl.hpp"
+#include "util/cli.hpp"
+
+using namespace nldl;
+
+namespace {
+
+/// Render an occupancy grid: '#' cells computed by the worker, '.' others,
+/// plus which entries of a (rows) and b (columns) it must receive.
+void render(const std::vector<std::vector<bool>>& owned, std::size_t grid) {
+  std::vector<bool> row_needed(grid, false);
+  std::vector<bool> col_needed(grid, false);
+  for (std::size_t i = 0; i < grid; ++i) {
+    for (std::size_t j = 0; j < grid; ++j) {
+      if (owned[i][j]) {
+        row_needed[i] = true;
+        col_needed[j] = true;
+      }
+    }
+  }
+  std::printf("      b: ");
+  for (std::size_t j = 0; j < grid; ++j) {
+    std::putchar(col_needed[j] ? 'v' : ' ');
+  }
+  std::printf("\n");
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  for (std::size_t i = 0; i < grid; ++i) rows += row_needed[i] ? 1 : 0;
+  for (std::size_t j = 0; j < grid; ++j) cols += col_needed[j] ? 1 : 0;
+  for (std::size_t i = 0; i < grid; ++i) {
+    std::printf("  a: %c | ", row_needed[i] ? '>' : ' ');
+    for (std::size_t j = 0; j < grid; ++j) {
+      std::putchar(owned[i][j] ? '#' : '.');
+    }
+    std::printf("\n");
+  }
+  std::printf("  footprint: %zu rows of a + %zu cols of b = %zu elements\n",
+              rows, cols, rows + cols);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto p = static_cast<std::size_t>(args.get_int("p", 8));
+  const double k = args.get_double("k", 12.0);
+  const auto grid = static_cast<std::size_t>(args.get_int("grid", 48));
+  auto worker = static_cast<std::size_t>(
+      args.get_int("worker", static_cast<long long>(p) - 1));
+  if (worker >= p) worker = p - 1;
+
+  const auto plat = platform::Platform::two_class(p, 1.0, k);
+  const auto speeds = plat.speeds();
+  std::printf("=== Figure 2: data footprint of worker %zu (speed %.0f) on "
+              "a %zux%zu domain ===\n\n",
+              worker + 1, speeds[worker], grid, grid);
+
+  // --- Homogeneous Blocks: demand-driven squares.
+  const auto formula =
+      partition::homogeneous_blocks_formula(speeds, double(grid));
+  auto block = std::max(1LL, static_cast<long long>(formula.block_dim));
+  while (static_cast<long long>(grid) % block != 0) --block;
+  const long long per_side = static_cast<long long>(grid) / block;
+  std::vector<double> tau(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    tau[i] = double(block) * double(block) / speeds[i];
+  }
+  const auto counts =
+      partition::demand_driven_counts(tau, per_side * per_side);
+  // Blocks are dealt round-robin-by-completion; reconstruct one plausible
+  // demand-driven interleaving: worker w's blocks are those it pulled, in
+  // global completion order.
+  std::vector<std::size_t> owner;
+  {
+    std::vector<long long> remaining = counts;
+    std::vector<double> next(p);
+    for (std::size_t i = 0; i < p; ++i) next[i] = tau[i];
+    for (long long t = 0; t < per_side * per_side; ++t) {
+      std::size_t best = 0;
+      double best_time = 1e300;
+      for (std::size_t i = 0; i < p; ++i) {
+        if (remaining[i] > 0 && next[i] < best_time) {
+          best_time = next[i];
+          best = i;
+        }
+      }
+      owner.push_back(best);
+      --remaining[best];
+      next[best] += tau[best];
+    }
+  }
+  std::vector<std::vector<bool>> owned(grid,
+                                       std::vector<bool>(grid, false));
+  for (std::size_t t = 0; t < owner.size(); ++t) {
+    if (owner[t] != worker) continue;
+    const long long bi = static_cast<long long>(t) / per_side;
+    const long long bj = static_cast<long long>(t) % per_side;
+    for (long long i = bi * block; i < (bi + 1) * block; ++i) {
+      for (long long j = bj * block; j < (bj + 1) * block; ++j) {
+        owned[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+            true;
+      }
+    }
+  }
+  std::printf("Homogeneous Blocks (D = %lld, demand-driven — Figure "
+              "2(b)):\n", block);
+  render(owned, grid);
+
+  // --- Heterogeneous Blocks: one PERI-SUM rectangle.
+  const auto layout = partition::discretize(
+      partition::peri_sum_partition(speeds), static_cast<long long>(grid));
+  for (auto& row : owned) row.assign(grid, false);
+  const auto& rect = layout.rects[worker];
+  for (long long i = rect.y; i < rect.y + rect.height; ++i) {
+    for (long long j = rect.x; j < rect.x + rect.width; ++j) {
+      owned[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] = true;
+    }
+  }
+  std::printf("\nHeterogeneous Blocks (PERI-SUM rectangle — Figure "
+              "2(c)):\n");
+  render(owned, grid);
+
+  std::printf("\nSame computational share, far smaller footprint: that is "
+              "the Comm_het saving.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Matrix multiplication through the mini MapReduce engine vs the
+// heterogeneity-aware SUMMA — the Figure 3 algorithm, executed.
+//
+//   ./matmul_mapreduce [--n=96] [--block=8] [--seed=S]
+//
+// Shows three ways to run C = A·B and what each one ships:
+//   1. MapReduce blocked job (engine): data replicated N/b-fold;
+//   2. demand-driven cluster simulation of those tasks (with caches);
+//   3. outer-product SUMMA on a PERI-SUM layout (Section 4.2).
+#include <cstdio>
+#include <iostream>
+
+#include "core/nldl.hpp"
+#include "util/cli.hpp"
+
+using namespace nldl;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto n = static_cast<std::size_t>(args.get_int("n", 96));
+  const auto block = static_cast<std::size_t>(args.get_int("block", 8));
+  const auto seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<long long>(util::Rng::kDefaultSeed)));
+  if (n % block != 0) {
+    std::fprintf(stderr, "n (%zu) must be divisible by block (%zu)\n", n,
+                 block);
+    return 1;
+  }
+
+  util::Rng rng(seed);
+  const auto a = linalg::Matrix::random(n, n, rng);
+  const auto b = linalg::Matrix::random(n, n, rng);
+  const auto reference = linalg::multiply_naive(a, b);
+  const std::vector<double> speeds{1.0, 2.0, 3.0, 10.0};
+  std::printf("C = A*B with N = %zu, block = %zu, speeds {1,2,3,10}\n\n", n,
+              block);
+
+  util::ThreadPool pool(2);
+
+  // 1. The MapReduce job (Figure 3's computation as map/shuffle/reduce).
+  mapreduce::JobConfig config;
+  config.pool = &pool;
+  config.num_reducers = 4;
+  config.use_combiner = true;
+  mapreduce::Counters counters;
+  const auto mr = mapreduce::matmul_mapreduce(a, b, block, config, &counters);
+  std::printf("[MapReduce engine]   map tasks %zu, shuffled records %zu, "
+              "max|err| %.2e\n",
+              counters.map_tasks, counters.combine_output_records,
+              mr.max_abs_diff(reference));
+  const double replicated = mapreduce::matmul_replication_volume(
+      double(n), double(block));
+  std::printf("                     input elements shipped (no reuse): "
+              "%.0f  (replication %.1fx the 2N^2 input)\n",
+              replicated, replicated / (2.0 * double(n) * double(n)));
+
+  // 2. The same tasks on the simulated heterogeneous cluster.
+  const auto tasks = mapreduce::matmul_tasks(
+      static_cast<long long>(n), static_cast<long long>(block));
+  mapreduce::ClusterConfig cluster;
+  cluster.speeds = speeds;
+  cluster.bytes_per_block = double(block) * double(block);
+  const auto blind = mapreduce::run_cluster(tasks, cluster);
+  auto aware_cfg = cluster;
+  aware_cfg.affinity_aware = true;
+  const auto aware = mapreduce::run_cluster(tasks, aware_cfg);
+  std::printf("[cluster simulation] demand-driven: %.0f elements, e = "
+              "%.3f | affinity-aware: %.0f elements, e = %.3f\n",
+              blind.total_bytes, blind.imbalance, aware.total_bytes,
+              aware.imbalance);
+
+  // 3. Heterogeneity-aware SUMMA (Section 4.2).
+  const auto layout = partition::discretize(
+      partition::peri_sum_partition(speeds), static_cast<long long>(n));
+  const auto summa =
+      linalg::matmul_outer_product(a, b, layout, speeds, block, &pool);
+  std::printf("[PERI-SUM SUMMA]     %lld elements shipped, e = %.3f, "
+              "max|err| %.2e\n",
+              summa.total_elements, summa.imbalance,
+              summa.result.max_abs_diff(reference));
+
+  std::printf("\nSummary (elements of A/B moved):\n");
+  util::Table table({"method", "elements", "note"});
+  table.row()
+      .cell(std::string("MapReduce, no reuse"))
+      .cell(replicated, 0)
+      .cell(std::string("2N^3/b — the paper's replication cost"))
+      .done();
+  table.row()
+      .cell(std::string("MapReduce + worker caches"))
+      .cell(blind.total_bytes, 0)
+      .cell(std::string("demand-driven pulls"))
+      .done();
+  table.row()
+      .cell(std::string("MapReduce + affinity"))
+      .cell(aware.total_bytes, 0)
+      .cell(std::string("the Conclusion's proposal"))
+      .done();
+  table.row()
+      .cell(std::string("PERI-SUM SUMMA"))
+      .cell(double(summa.total_elements), 0)
+      .cell(std::string("N x sum of half-perimeters"))
+      .done();
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "core/experiments.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nldl::core {
+
+std::vector<Fig4Row> run_fig4(const Fig4Config& config) {
+  NLDL_REQUIRE(config.trials >= 1, "at least one trial required");
+  NLDL_REQUIRE(!config.processor_counts.empty(),
+               "at least one processor count required");
+
+  std::vector<Fig4Row> rows;
+  rows.reserve(config.processor_counts.size());
+  util::Rng master(config.seed);
+
+  for (const std::size_t p : config.processor_counts) {
+    Fig4Row row;
+    row.p = p;
+    for (std::size_t trial = 0; trial < config.trials; ++trial) {
+      util::Rng rng = master.split();
+      const platform::Platform plat = platform::make_platform(
+          config.model, p, rng, config.model_params);
+      const std::vector<double> speeds = plat.speeds();
+
+      const auto het = evaluate_strategy(Strategy::kHeterogeneousBlocks,
+                                         speeds, config.domain_n,
+                                         config.strategy_options);
+      const auto hom = evaluate_strategy(Strategy::kHomogeneousBlocks,
+                                         speeds, config.domain_n,
+                                         config.strategy_options);
+      const auto hom_k = evaluate_strategy(
+          Strategy::kHomogeneousBlocksRefined, speeds, config.domain_n,
+          config.strategy_options);
+
+      row.het.push(het.ratio_to_lower_bound);
+      row.hom.push(hom.ratio_to_lower_bound);
+      row.hom_k.push(hom_k.ratio_to_lower_bound);
+      row.k_used.push(static_cast<double>(hom_k.refinement_k));
+      if (std::isfinite(hom.load_imbalance)) {
+        row.hom_imbalance.push(hom.load_imbalance);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+util::Table fig4_table(const std::vector<Fig4Row>& rows) {
+  util::Table table({"p", "Comm_het/LB (mean)", "Comm_het/LB (sd)",
+                     "Comm_hom/LB (mean)", "Comm_hom/LB (sd)",
+                     "Comm_hom/k/LB (mean)", "Comm_hom/k/LB (sd)",
+                     "k (mean)"});
+  for (const Fig4Row& row : rows) {
+    table.row()
+        .cell(row.p)
+        .cell(row.het.mean(), 4)
+        .cell(row.het.stddev(), 4)
+        .cell(row.hom.mean(), 3)
+        .cell(row.hom.stddev(), 3)
+        .cell(row.hom_k.mean(), 3)
+        .cell(row.hom_k.stddev(), 3)
+        .cell(row.k_used.mean(), 2)
+        .done();
+  }
+  return table;
+}
+
+}  // namespace nldl::core

@@ -1,0 +1,47 @@
+// The Section 4.3 simulation study (Figures 4a, 4b, 4c): sweep the number
+// of processors, draw random platforms, evaluate all three strategies, and
+// report mean ± stddev of each strategy's communication ratio to the lower
+// bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/strategies.hpp"
+#include "platform/speed_distributions.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace nldl::core {
+
+struct Fig4Config {
+  platform::SpeedModel model = platform::SpeedModel::kHomogeneous;
+  /// The paper sweeps p = 10, 20, 40, 60, 80, 100.
+  std::vector<std::size_t> processor_counts = {10, 20, 40, 60, 80, 100};
+  /// The paper averages 100 random trials per point.
+  std::size_t trials = 100;
+  std::uint64_t seed = util::Rng::kDefaultSeed;
+  /// Ratios are N-invariant; N only matters for absolute volumes.
+  double domain_n = 1.0;
+  StrategyOptions strategy_options{};
+  platform::SpeedModelParams model_params{};
+};
+
+struct Fig4Row {
+  std::size_t p = 0;
+  util::RunningStats het;    ///< Comm_het / LB
+  util::RunningStats hom;    ///< Comm_hom / LB
+  util::RunningStats hom_k;  ///< Comm_hom/k / LB
+  util::RunningStats k_used; ///< refinement k chosen by Comm_hom/k
+  util::RunningStats hom_imbalance;  ///< e of plain Comm_hom (can be +inf-free: finite trials only)
+};
+
+/// Run the sweep. Deterministic given the seed (each trial draws its own
+/// sub-stream, so rows are independent of sweep order).
+[[nodiscard]] std::vector<Fig4Row> run_fig4(const Fig4Config& config);
+
+/// Paper-style table: one row per p, mean and stddev per strategy.
+[[nodiscard]] util::Table fig4_table(const std::vector<Fig4Row>& rows);
+
+}  // namespace nldl::core

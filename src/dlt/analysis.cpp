@@ -1,0 +1,57 @@
+#include "dlt/analysis.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nldl::dlt {
+
+double remaining_fraction_homogeneous(std::size_t p, double alpha) {
+  NLDL_REQUIRE(p >= 1, "p must be >= 1");
+  NLDL_REQUIRE(alpha >= 1.0, "alpha must be >= 1");
+  return 1.0 - std::pow(static_cast<double>(p), 1.0 - alpha);
+}
+
+double sorting_remaining_fraction(double n, std::size_t p) {
+  NLDL_REQUIRE(n > 1.0, "n must exceed 1");
+  NLDL_REQUIRE(p >= 1, "p must be >= 1");
+  return std::log(static_cast<double>(p)) / std::log(n);
+}
+
+double sample_sort_oversampling(double n) {
+  NLDL_REQUIRE(n > 1.0, "n must exceed 1");
+  const double log_n = std::log2(n);
+  return log_n * log_n;
+}
+
+double sample_sort_step1_cost(double n, std::size_t p) {
+  NLDL_REQUIRE(p >= 1, "p must be >= 1");
+  const double sample = sample_sort_oversampling(n) * static_cast<double>(p);
+  return sample * std::log2(sample);
+}
+
+double sample_sort_step2_cost(double n, std::size_t p) {
+  NLDL_REQUIRE(n > 1.0, "n must exceed 1");
+  NLDL_REQUIRE(p >= 1, "p must be >= 1");
+  return n * std::log2(static_cast<double>(p < 2 ? 2 : p));
+}
+
+double sample_sort_step3_cost(double n, std::size_t p) {
+  NLDL_REQUIRE(n > 1.0, "n must exceed 1");
+  NLDL_REQUIRE(p >= 1, "p must be >= 1");
+  return n / static_cast<double>(p) * std::log2(n);
+}
+
+double max_bucket_bound(double n, std::size_t p) {
+  NLDL_REQUIRE(n > 1.0, "n must exceed 1");
+  NLDL_REQUIRE(p >= 1, "p must be >= 1");
+  const double slack = std::pow(1.0 / std::log(n), 1.0 / 3.0);
+  return n / static_cast<double>(p) * (1.0 + slack);
+}
+
+double max_bucket_bound_probability(double n) {
+  NLDL_REQUIRE(n > 1.0, "n must exceed 1");
+  return std::pow(n, -1.0 / 3.0);
+}
+
+}  // namespace nldl::dlt

@@ -1,0 +1,42 @@
+// Closed-form analysis formulas from the paper (Sections 2 and 3).
+//
+// These are the exact expressions the benchmarks validate the simulators
+// against. Logarithms for sorting costs are base 2 (comparison sorting);
+// ratios of logarithms are base-invariant.
+#pragma once
+
+#include <cstddef>
+
+namespace nldl::dlt {
+
+/// Section 2: fraction of the total work left undone by one DLT round on a
+/// homogeneous platform, (W − W_partial)/W = 1 − 1/p^(alpha−1).
+/// Tends to 1 as p → ∞ for alpha > 1; identically 0 for alpha = 1.
+[[nodiscard]] double remaining_fraction_homogeneous(std::size_t p,
+                                                    double alpha);
+
+/// Section 3.1: fraction of the N·log N sorting work *not* covered by the
+/// parallel DLT phase, log p / log N. Tends to 0 as N → ∞.
+[[nodiscard]] double sorting_remaining_fraction(double n, std::size_t p);
+
+/// Section 3.1: the paper's oversampling ratio s = log² N.
+[[nodiscard]] double sample_sort_oversampling(double n);
+
+/// Step 1 cost: sorting the sample of s·p keys on the master, s·p·log(s·p).
+[[nodiscard]] double sample_sort_step1_cost(double n, std::size_t p);
+
+/// Step 2 cost: bucketizing N keys via binary search, N·log p.
+[[nodiscard]] double sample_sort_step2_cost(double n, std::size_t p);
+
+/// Step 3 cost: sorting the largest bucket, ~ (N/p)·log N.
+[[nodiscard]] double sample_sort_step3_cost(double n, std::size_t p);
+
+/// Theorem B.4 bound (Blelloch et al.): with oversampling s = log² N,
+/// Pr[MaxSize >= (N/p)·(1 + (1/log N)^(1/3))] <= N^(−1/3).
+/// Returns the bucket-size threshold (N/p)·(1 + (1/log N)^(1/3)).
+[[nodiscard]] double max_bucket_bound(double n, std::size_t p);
+
+/// The failure-probability side of the same bound: N^(−1/3).
+[[nodiscard]] double max_bucket_bound_probability(double n);
+
+}  // namespace nldl::dlt

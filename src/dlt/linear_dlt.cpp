@@ -1,0 +1,132 @@
+#include "dlt/linear_dlt.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace nldl::dlt {
+
+double Allocation::total() const noexcept {
+  double sum = 0.0;
+  for (const double amount : amounts) sum += amount;
+  return sum;
+}
+
+std::vector<sim::ChunkAssignment> Allocation::to_schedule() const {
+  std::vector<std::size_t> order(amounts.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return to_schedule(order);
+}
+
+std::vector<sim::ChunkAssignment> Allocation::to_schedule(
+    const std::vector<std::size_t>& send_order) const {
+  NLDL_REQUIRE(send_order.size() == amounts.size(),
+               "send order must cover every worker exactly once");
+  std::vector<sim::ChunkAssignment> schedule;
+  schedule.reserve(amounts.size());
+  for (const std::size_t worker : send_order) {
+    NLDL_REQUIRE(worker < amounts.size(), "send order index out of range");
+    schedule.push_back({worker, amounts[worker]});
+  }
+  return schedule;
+}
+
+Allocation linear_parallel_single_round(const platform::Platform& platform,
+                                        double total_load) {
+  NLDL_REQUIRE(total_load >= 0.0, "total_load must be >= 0");
+  const std::size_t p = platform.size();
+  double inv_sum = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    inv_sum += 1.0 / (platform.c(i) + platform.w(i));
+  }
+  const double makespan = total_load / inv_sum;
+  Allocation alloc;
+  alloc.makespan = makespan;
+  alloc.amounts.resize(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    alloc.amounts[i] = makespan / (platform.c(i) + platform.w(i));
+  }
+  return alloc;
+}
+
+Allocation linear_one_port_single_round(
+    const platform::Platform& platform, double total_load,
+    const std::vector<std::size_t>& send_order) {
+  NLDL_REQUIRE(total_load >= 0.0, "total_load must be >= 0");
+  const std::size_t p = platform.size();
+  NLDL_REQUIRE(send_order.size() == p,
+               "send order must cover every worker exactly once");
+  std::vector<bool> seen(p, false);
+  for (const std::size_t worker : send_order) {
+    NLDL_REQUIRE(worker < p, "send order index out of range");
+    NLDL_REQUIRE(!seen[worker], "send order repeats a worker");
+    seen[worker] = true;
+  }
+
+  // Unnormalized amounts along the order: m_0 = 1,
+  // m_{j} = m_{j-1} * w_{prev} / (c_j + w_j).
+  std::vector<double> unnormalized(p, 0.0);
+  double prev = 1.0;
+  unnormalized[send_order[0]] = prev;
+  for (std::size_t idx = 1; idx < p; ++idx) {
+    const std::size_t prev_worker = send_order[idx - 1];
+    const std::size_t worker = send_order[idx];
+    prev = prev * platform.w(prev_worker) /
+           (platform.c(worker) + platform.w(worker));
+    unnormalized[worker] = prev;
+  }
+  double sum = 0.0;
+  for (const double m : unnormalized) sum += m;
+  const double scale = total_load / sum;
+
+  Allocation alloc;
+  alloc.amounts.resize(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    alloc.amounts[i] = unnormalized[i] * scale;
+  }
+  // Finish time of the first-fed worker = (c+w)·n for that worker.
+  const std::size_t first = send_order[0];
+  alloc.makespan =
+      (platform.c(first) + platform.w(first)) * alloc.amounts[first];
+  return alloc;
+}
+
+Allocation linear_one_port_single_round(const platform::Platform& platform,
+                                        double total_load) {
+  std::vector<std::size_t> order(platform.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return linear_one_port_single_round(platform, total_load, order);
+}
+
+std::vector<std::size_t> one_port_optimal_order(
+    const platform::Platform& platform) {
+  std::vector<std::size_t> order(platform.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (platform.c(a) != platform.c(b)) {
+                return platform.c(a) < platform.c(b);
+              }
+              return platform.w(a) < platform.w(b);
+            });
+  return order;
+}
+
+std::vector<sim::ChunkAssignment> multi_round_schedule(
+    const Allocation& allocation, std::size_t rounds) {
+  NLDL_REQUIRE(rounds >= 1, "multi_round_schedule requires rounds >= 1");
+  std::vector<sim::ChunkAssignment> schedule;
+  schedule.reserve(allocation.amounts.size() * rounds);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (std::size_t worker = 0; worker < allocation.amounts.size();
+         ++worker) {
+      const double piece =
+          allocation.amounts[worker] / static_cast<double>(rounds);
+      if (piece > 0.0) schedule.push_back({worker, piece});
+    }
+  }
+  return schedule;
+}
+
+}  // namespace nldl::dlt

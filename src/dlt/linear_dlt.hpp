@@ -1,0 +1,65 @@
+// Classical (linear-cost) Divisible Load Theory allocators.
+//
+// These are the "success stories" the paper's introduction recalls: for
+// linear workloads, optimal allocations have closed forms. Both the
+// parallel-links model (the paper's Section 1.2 model) and the classical
+// one-port star model (Bharadwaj–Ghose–Mani–Robertazzi) are provided, plus
+// a multi-round schedule builder.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sim/simulator.hpp"
+
+namespace nldl::dlt {
+
+/// A single-round load allocation: amounts[i] load units to worker i.
+struct Allocation {
+  std::vector<double> amounts;
+  /// Predicted optimal makespan (all workers finish simultaneously).
+  double makespan = 0.0;
+
+  [[nodiscard]] double total() const noexcept;
+
+  /// Convert to a simulator schedule (one chunk per worker, in the given
+  /// send order; defaults to worker order).
+  [[nodiscard]] std::vector<sim::ChunkAssignment> to_schedule() const;
+  [[nodiscard]] std::vector<sim::ChunkAssignment> to_schedule(
+      const std::vector<std::size_t>& send_order) const;
+};
+
+/// Optimal single-round allocation under the parallel-links model with
+/// linear compute cost: worker i receives n_i with
+///   c_i·n_i + w_i·n_i = T  for all i,   Σ n_i = total_load.
+/// Closed form: n_i = T / (c_i + w_i), T = total_load / Σ 1/(c_k + w_k).
+[[nodiscard]] Allocation linear_parallel_single_round(
+    const platform::Platform& platform, double total_load);
+
+/// Optimal single-round allocation under the one-port model with linear
+/// compute cost, for a *given* send order (workers are fed sequentially,
+/// all finish simultaneously):
+///   w_i·n_i = (c_j + w_j)·n_j  for j immediately after i in the order.
+[[nodiscard]] Allocation linear_one_port_single_round(
+    const platform::Platform& platform, double total_load,
+    const std::vector<std::size_t>& send_order);
+
+/// Same, feeding workers in platform order 0..p-1.
+[[nodiscard]] Allocation linear_one_port_single_round(
+    const platform::Platform& platform, double total_load);
+
+/// The classical optimal one-port send order: by non-decreasing
+/// communication cost c_i (fastest links first); ties broken by faster
+/// compute first. (See Bharadwaj et al., "Scheduling Divisible Loads in
+/// Parallel and Distributed Systems".)
+[[nodiscard]] std::vector<std::size_t> one_port_optimal_order(
+    const platform::Platform& platform);
+
+/// Split a single-round allocation into `rounds` equal installments per
+/// worker, interleaved round-robin (round 0 for all workers, then round 1,
+/// ...). With pipelining this shortens the communication ramp-up.
+[[nodiscard]] std::vector<sim::ChunkAssignment> multi_round_schedule(
+    const Allocation& allocation, std::size_t rounds);
+
+}  // namespace nldl::dlt

@@ -1,0 +1,78 @@
+#include "dlt/multi_round.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nldl::dlt {
+
+namespace {
+
+MultiRoundPlan simulate_plan(const platform::Platform& platform,
+                             std::vector<sim::ChunkAssignment> schedule,
+                             std::size_t rounds) {
+  MultiRoundPlan plan;
+  plan.schedule = std::move(schedule);
+  plan.rounds = rounds;
+  sim::SimOptions options;
+  options.comm_model = sim::CommModel::kOnePort;
+  plan.simulated_makespan =
+      sim::simulate(platform, plan.schedule, options).makespan;
+  return plan;
+}
+
+}  // namespace
+
+MultiRoundPlan uniform_multi_round(const platform::Platform& platform,
+                                   double total_load, std::size_t rounds) {
+  NLDL_REQUIRE(rounds >= 1, "at least one round required");
+  const Allocation base = linear_one_port_single_round(platform, total_load);
+  return simulate_plan(platform, multi_round_schedule(base, rounds), rounds);
+}
+
+MultiRoundPlan geometric_multi_round(const platform::Platform& platform,
+                                     double total_load, std::size_t rounds,
+                                     double ratio) {
+  NLDL_REQUIRE(rounds >= 1, "at least one round required");
+  NLDL_REQUIRE(ratio > 0.0, "round growth ratio must be positive");
+  const Allocation base = linear_one_port_single_round(platform, total_load);
+  const std::size_t p = platform.size();
+
+  // Normalizing constant for the geometric weights r^0..r^(R-1).
+  double weight_sum = 0.0;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    weight_sum += std::pow(ratio, static_cast<double>(round));
+  }
+
+  std::vector<sim::ChunkAssignment> schedule;
+  schedule.reserve(p * rounds);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const double weight =
+        std::pow(ratio, static_cast<double>(round)) / weight_sum;
+    for (std::size_t worker = 0; worker < p; ++worker) {
+      const double piece = base.amounts[worker] * weight;
+      if (piece > 0.0) schedule.push_back({worker, piece});
+    }
+  }
+  return simulate_plan(platform, std::move(schedule), rounds);
+}
+
+MultiRoundPlan best_multi_round(const platform::Platform& platform,
+                                double total_load, std::size_t max_rounds) {
+  NLDL_REQUIRE(max_rounds >= 1, "at least one round required");
+  MultiRoundPlan best = uniform_multi_round(platform, total_load, 1);
+  for (std::size_t rounds = 2; rounds <= max_rounds; ++rounds) {
+    for (const double ratio : {1.0, 1.5, 2.0, 3.0}) {
+      MultiRoundPlan candidate =
+          ratio == 1.0
+              ? uniform_multi_round(platform, total_load, rounds)
+              : geometric_multi_round(platform, total_load, rounds, ratio);
+      if (candidate.simulated_makespan < best.simulated_makespan) {
+        best = std::move(candidate);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace nldl::dlt

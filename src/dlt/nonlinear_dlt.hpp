@@ -1,0 +1,73 @@
+// Nonlinear divisible load allocation (paper Section 2).
+//
+// Compute cost on worker i for a chunk of X load units is w_i · X^alpha with
+// alpha > 1 (e.g. alpha = 2 for the "quadratic loads" of Hung & Robertazzi,
+// Suresh et al. — refs [31–35] of the paper). Optimal single-round
+// allocations equalize finish times; they have no closed form on
+// heterogeneous platforms, so nldl solves the optimality conditions with its
+// own bracketed root-finders (util/roots.hpp).
+//
+// The headline quantity is `remaining_fraction`: the share of the total
+// work W = N^alpha that is *not* performed by the single DLT round,
+//   1 − Σ n_i^alpha / N^alpha,
+// which the paper proves tends to 1 as p grows (homogeneous closed form:
+// 1 − 1/p^(alpha−1)) — the "no free lunch" theorem.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace nldl::dlt {
+
+struct NonlinearAllocation {
+  std::vector<double> amounts;  ///< n_i load units to worker i
+  double makespan = 0.0;        ///< common finish time T
+  double alpha = 1.0;
+
+  /// Work performed by the round, in unit-speed time: Σ n_i^alpha.
+  double work_done = 0.0;
+  /// Total work of the monolithic job: N^alpha.
+  double total_work = 0.0;
+  /// 1 − work_done / total_work (the paper's (W − W_partial)/W).
+  double remaining_fraction = 0.0;
+
+  int solver_iterations = 0;  ///< outer bisection iterations
+};
+
+struct NonlinearOptions {
+  double tolerance = 1e-10;   ///< relative tolerance on the load balance
+  int max_iterations = 200;
+};
+
+/// Optimal single-round allocation under the parallel-links model:
+///   c_i·n_i + w_i·n_i^alpha = T for all i,  Σ n_i = total_load.
+/// Solved by nested bisection (outer on T, inner on each n_i(T)).
+/// Requires alpha >= 1; with alpha == 1 this matches the linear closed form.
+[[nodiscard]] NonlinearAllocation nonlinear_parallel_single_round(
+    const platform::Platform& platform, double total_load, double alpha,
+    const NonlinearOptions& options = {});
+
+/// Optimal single-round allocation under the one-port model for a given
+/// send order: worker fed at time τ_i = Σ_{j before i} c_j·n_j satisfies
+///   τ_i + c_i·n_i + w_i·n_i^alpha = T.
+/// This is the setting of the nonlinear-DLT literature ([31–35]); workers
+/// that cannot receive anything before T contribute n_i = 0.
+[[nodiscard]] NonlinearAllocation nonlinear_one_port_single_round(
+    const platform::Platform& platform, double total_load, double alpha,
+    const std::vector<std::size_t>& send_order,
+    const NonlinearOptions& options = {});
+
+/// Same, feeding workers in platform order 0..p-1.
+[[nodiscard]] NonlinearAllocation nonlinear_one_port_single_round(
+    const platform::Platform& platform, double total_load, double alpha,
+    const NonlinearOptions& options = {});
+
+/// Closed-form makespan of the homogeneous optimum (paper Section 2):
+/// every worker gets N/p, finishing at (N/p)·c + w·(N/p)^alpha.
+[[nodiscard]] double homogeneous_nonlinear_makespan(std::size_t p, double c,
+                                                    double w, double total_load,
+                                                    double alpha);
+
+}  // namespace nldl::dlt

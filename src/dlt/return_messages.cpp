@@ -1,0 +1,200 @@
+#include "dlt/return_messages.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/roots.hpp"
+
+namespace nldl::dlt {
+
+namespace {
+
+void validate_order(const std::vector<std::size_t>& order, std::size_t p) {
+  NLDL_REQUIRE(order.size() == p,
+               "order must cover every worker exactly once");
+  std::vector<bool> seen(p, false);
+  for (const std::size_t worker : order) {
+    NLDL_REQUIRE(worker < p, "order index out of range");
+    NLDL_REQUIRE(!seen[worker], "order repeats a worker");
+    seen[worker] = true;
+  }
+}
+
+/// Fill `amounts` with the largest per-worker chunks finishing (including
+/// their return) by time T under the one-port model with the given orders;
+/// returns Σ amounts. Monotone non-decreasing in T, enabling bisection.
+///
+/// Greedy feasibility: walk the send order, giving worker i the largest
+/// n_i such that the *whole schedule so far* remains feasible for
+/// deadline T. Because sends serialize in order and returns serialize in
+/// `return_order`, feasibility of a candidate n_i is checked by simulating
+/// the partial schedule. A scalar bisection per worker keeps this robust
+/// for both FIFO and LIFO (exact chain formulas exist for special cases,
+/// but the greedy-simulate approach covers arbitrary permutations and
+/// degenerate idle-gap cases uniformly).
+double fill_one_port_with_return(const platform::Platform& platform,
+                                 double T, double delta,
+                                 const std::vector<std::size_t>& send_order,
+                                 const std::vector<std::size_t>& return_order,
+                                 std::vector<double>& amounts) {
+  const std::size_t p = platform.size();
+  amounts.assign(p, 0.0);
+  double total = 0.0;
+  for (std::size_t idx = 0; idx < p; ++idx) {
+    const std::size_t worker = send_order[idx];
+    // Upper bracket: even with a free bus and no contention, worker
+    // cannot process more than (c(1+δ) + w) n = T.
+    const double solo_cap =
+        T / (platform.c(worker) * (1.0 + delta) + platform.w(worker));
+    if (solo_cap <= 0.0) continue;
+    double lo = 0.0;
+    double hi = solo_cap;
+    auto feasible = [&](double candidate) {
+      amounts[worker] = candidate;
+      const double makespan = simulate_one_port_with_return(
+          platform, amounts, delta, send_order, return_order);
+      return makespan <= T * (1.0 + 1e-12);
+    };
+    if (feasible(hi)) {
+      amounts[worker] = hi;
+    } else {
+      for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (feasible(mid)) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      amounts[worker] = lo;
+    }
+    total += amounts[worker];
+  }
+  return total;
+}
+
+ReturnAllocation solve_one_port(const platform::Platform& platform,
+                                double total_load, double delta,
+                                const std::vector<std::size_t>& send_order,
+                                const std::vector<std::size_t>& return_order) {
+  NLDL_REQUIRE(total_load >= 0.0, "total_load must be >= 0");
+  NLDL_REQUIRE(delta >= 0.0, "delta must be >= 0");
+  const std::size_t p = platform.size();
+  validate_order(send_order, p);
+  validate_order(return_order, p);
+
+  ReturnAllocation alloc;
+  alloc.delta = delta;
+  alloc.amounts.assign(p, 0.0);
+  if (total_load == 0.0) return alloc;
+
+  const std::size_t first = send_order[0];
+  double t_hi = (platform.c(first) * (1.0 + delta) + platform.w(first)) *
+                total_load;
+  std::vector<double> scratch(p, 0.0);
+  auto assigned = [&](double T) {
+    return fill_one_port_with_return(platform, T, delta, send_order,
+                                     return_order, scratch);
+  };
+  while (assigned(t_hi) < total_load) t_hi *= 2.0;
+
+  double lo = 0.0;
+  double hi = t_hi;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (assigned(mid) >= total_load) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  fill_one_port_with_return(platform, hi, delta, send_order, return_order,
+                            scratch);
+  // Scale the residual rounding error onto the allocation.
+  double sum = 0.0;
+  for (const double n : scratch) sum += n;
+  NLDL_ASSERT(sum > 0.0, "one-port with-return fill produced nothing");
+  const double scale = total_load / sum;
+  for (double& n : scratch) n *= scale;
+  alloc.amounts = scratch;
+  alloc.makespan = simulate_one_port_with_return(
+      platform, alloc.amounts, delta, send_order, return_order);
+  return alloc;
+}
+
+}  // namespace
+
+ReturnAllocation linear_parallel_with_return(
+    const platform::Platform& platform, double total_load, double delta) {
+  NLDL_REQUIRE(total_load >= 0.0, "total_load must be >= 0");
+  NLDL_REQUIRE(delta >= 0.0, "delta must be >= 0");
+  const std::size_t p = platform.size();
+  double inv_sum = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    inv_sum += 1.0 / (platform.c(i) * (1.0 + delta) + platform.w(i));
+  }
+  ReturnAllocation alloc;
+  alloc.delta = delta;
+  alloc.makespan = total_load / inv_sum;
+  alloc.amounts.resize(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    alloc.amounts[i] = alloc.makespan /
+                       (platform.c(i) * (1.0 + delta) + platform.w(i));
+  }
+  return alloc;
+}
+
+ReturnAllocation one_port_lifo_with_return(
+    const platform::Platform& platform, double total_load, double delta,
+    const std::vector<std::size_t>& send_order) {
+  std::vector<std::size_t> return_order(send_order.rbegin(),
+                                        send_order.rend());
+  return solve_one_port(platform, total_load, delta, send_order,
+                        return_order);
+}
+
+ReturnAllocation one_port_fifo_with_return(
+    const platform::Platform& platform, double total_load, double delta,
+    const std::vector<std::size_t>& send_order) {
+  return solve_one_port(platform, total_load, delta, send_order,
+                        send_order);
+}
+
+double simulate_one_port_with_return(
+    const platform::Platform& platform, const std::vector<double>& amounts,
+    double delta, const std::vector<std::size_t>& send_order,
+    const std::vector<std::size_t>& return_order) {
+  const std::size_t p = platform.size();
+  NLDL_REQUIRE(amounts.size() == p, "one amount per worker required");
+  NLDL_REQUIRE(delta >= 0.0, "delta must be >= 0");
+  validate_order(send_order, p);
+  validate_order(return_order, p);
+  for (const double n : amounts) {
+    NLDL_REQUIRE(n >= 0.0, "amounts must be >= 0");
+  }
+
+  // Phase 1: serialized sends; compute starts on full receipt.
+  std::vector<double> compute_done(p, 0.0);
+  double port = 0.0;
+  for (const std::size_t worker : send_order) {
+    const double send = platform.c(worker) * amounts[worker];
+    port += send;
+    compute_done[worker] = port + platform.w(worker) * amounts[worker];
+  }
+  // Phase 2: returns honor return_order on the same port.
+  double makespan = 0.0;
+  double return_port = port;  // returns cannot start before sends end on
+                              // a single half-duplex port
+  for (const std::size_t worker : return_order) {
+    const double ready = compute_done[worker];
+    const double start = std::max(return_port, ready);
+    const double duration = platform.c(worker) * delta * amounts[worker];
+    return_port = start + duration;
+    makespan = std::max(makespan, return_port);
+  }
+  return makespan;
+}
+
+}  // namespace nldl::dlt

@@ -1,0 +1,72 @@
+// Extension: divisible loads *with return messages* (refs [28], [29], [30]
+// of the paper — Beaumont, Marchal, Rehn, Robert). The paper's Section 1.2
+// deliberately sets results return aside "in order to concentrate on the
+// influence of non-linearity"; this module supplies it so users can lift
+// that restriction.
+//
+// Model: processing X load units on worker i produces δ·X units of output
+// that must travel back to the master over the same link (time c_i·δ·X).
+//   - Parallel links: the return simply extends each worker's private
+//     timeline; the equal-finish closed form gains a +c_i·δ term.
+//   - One-port: send order and *return order* both matter. The classical
+//     results study FIFO (first fed, first returning) and LIFO (last fed,
+//     first returning) permutations; nldl provides allocators for both and
+//     a simulator-backed evaluator for arbitrary permutations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dlt/linear_dlt.hpp"
+#include "platform/platform.hpp"
+#include "sim/simulator.hpp"
+
+namespace nldl::dlt {
+
+/// Allocation plus predicted makespan for a with-return schedule.
+struct ReturnAllocation {
+  std::vector<double> amounts;
+  double makespan = 0.0;
+  /// Output-to-input size ratio δ used to build the allocation.
+  double delta = 0.0;
+};
+
+/// Parallel-links, linear cost, with return messages:
+///   c_i·n_i + w_i·n_i + δ·c_i·n_i = T  for all i,  Σ n_i = total_load.
+/// (Each worker's link is private, so its send, compute and return
+/// serialize on its own timeline; all workers finish returning at T.)
+[[nodiscard]] ReturnAllocation linear_parallel_with_return(
+    const platform::Platform& platform, double total_load, double delta);
+
+/// One-port with return messages, LIFO order: workers are fed in
+/// `send_order` and return results in the *reverse* order.
+///
+/// Solved numerically: bisection on the deadline T around a greedy
+/// maximal-fill (each worker, in send order, takes the largest chunk that
+/// keeps the whole schedule feasible for T, checked by simulation). This
+/// is the natural "maximal stream" heuristic, not a proof-grade optimum:
+/// as ref [29] shows, optimal with-return schedules may leave processors
+/// idle, and a fixed all-workers order can even lose to a single fast
+/// worker — a behaviour the tests document deliberately.
+[[nodiscard]] ReturnAllocation one_port_lifo_with_return(
+    const platform::Platform& platform, double total_load, double delta,
+    const std::vector<std::size_t>& send_order);
+
+/// One-port with return messages, FIFO order (returns in the same order
+/// as sends). Solved numerically like LIFO.
+[[nodiscard]] ReturnAllocation one_port_fifo_with_return(
+    const platform::Platform& platform, double total_load, double delta,
+    const std::vector<std::size_t>& send_order);
+
+/// Simulate a one-port with-return schedule for a *given* allocation:
+/// sends happen in `send_order` (master port serializes), each worker
+/// computes after full receipt, and returns are granted on the port in
+/// `return_order` — a return can only start once the worker finished
+/// computing and the port is free, and returns must respect the order.
+/// Returns the makespan (time the last return completes).
+[[nodiscard]] double simulate_one_port_with_return(
+    const platform::Platform& platform, const std::vector<double>& amounts,
+    double delta, const std::vector<std::size_t>& send_order,
+    const std::vector<std::size_t>& return_order);
+
+}  // namespace nldl::dlt

@@ -1,0 +1,68 @@
+#include "linalg/block_cyclic.hpp"
+
+#include "util/assert.hpp"
+
+namespace nldl::linalg {
+
+std::pair<std::size_t, std::size_t> BlockCyclicLayout::owner(
+    std::size_t i, std::size_t j) const {
+  NLDL_REQUIRE(i < n && j < n, "element index out of range");
+  return {(i / block) % grid_rows, (j / block) % grid_cols};
+}
+
+std::size_t BlockCyclicLayout::rows_of(std::size_t grid_row) const {
+  NLDL_REQUIRE(grid_row < grid_rows, "grid row out of range");
+  // Count matrix rows whose block-row index ≡ grid_row (mod grid_rows).
+  std::size_t count = 0;
+  const std::size_t num_block_rows = (n + block - 1) / block;
+  for (std::size_t br = grid_row; br < num_block_rows; br += grid_rows) {
+    const std::size_t begin = br * block;
+    const std::size_t end = std::min(begin + block, n);
+    count += end - begin;
+  }
+  return count;
+}
+
+std::size_t BlockCyclicLayout::cols_of(std::size_t grid_col) const {
+  NLDL_REQUIRE(grid_col < grid_cols, "grid column out of range");
+  std::size_t count = 0;
+  const std::size_t num_block_cols = (n + block - 1) / block;
+  for (std::size_t bc = grid_col; bc < num_block_cols; bc += grid_cols) {
+    const std::size_t begin = bc * block;
+    const std::size_t end = std::min(begin + block, n);
+    count += end - begin;
+  }
+  return count;
+}
+
+BlockCyclicLayout make_block_cyclic(std::size_t n, std::size_t block,
+                                    std::size_t grid_rows,
+                                    std::size_t grid_cols) {
+  NLDL_REQUIRE(n >= 1, "matrix dimension must be >= 1");
+  NLDL_REQUIRE(block >= 1, "block size must be >= 1");
+  NLDL_REQUIRE(grid_rows >= 1 && grid_cols >= 1,
+               "grid dimensions must be >= 1");
+  return BlockCyclicLayout{n, block, grid_rows, grid_cols};
+}
+
+long long block_cyclic_matmul_comm(const BlockCyclicLayout& layout) {
+  long long per_step = 0;
+  for (std::size_t r = 0; r < layout.grid_rows; ++r) {
+    for (std::size_t c = 0; c < layout.grid_cols; ++c) {
+      per_step += static_cast<long long>(layout.rows_of(r)) +
+                  static_cast<long long>(layout.cols_of(c));
+    }
+  }
+  return static_cast<long long>(layout.n) * per_step;
+}
+
+long long block_cyclic_matmul_comm_closed_form(
+    const BlockCyclicLayout& layout) {
+  // Σ_{r,c} rows_of(r) = pc·n and Σ_{r,c} cols_of(c) = pr·n.
+  const auto n = static_cast<long long>(layout.n);
+  return n * n *
+         (static_cast<long long>(layout.grid_rows) +
+          static_cast<long long>(layout.grid_cols));
+}
+
+}  // namespace nldl::linalg

@@ -1,0 +1,49 @@
+// Outer-product-based parallel matrix multiplication (paper Section 4.2,
+// Figure 3) — the ScaLAPACK/SUMMA building block.
+//
+// The N×N×N computation cube is owned in 2-D: each worker owns a rectangle
+// of C and, at each step k, receives the fragment of A's column k matching
+// its rows and the fragment of B's row k matching its columns. Total
+// communication volume is therefore N · Σ (height_i + width_i) — exactly N
+// times the outer-product half-perimeter sum, which is why the Section 4.1
+// ratio between Homogeneous and Heterogeneous Blocks carries over verbatim.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "partition/layout.hpp"
+#include "util/threadpool.hpp"
+
+namespace nldl::linalg {
+
+/// Cache-blocked serial product (reference for larger sizes).
+[[nodiscard]] Matrix multiply_blocked(const Matrix& a, const Matrix& b,
+                                      std::size_t block = 64);
+
+struct DistributedMatmul {
+  Matrix result;
+  /// Elements of A and B shipped to each worker over all steps.
+  std::vector<long long> elements_per_worker;
+  long long total_elements = 0;
+  /// Model compute time per worker: flops (2·area·N) / speed.
+  std::vector<double> compute_time;
+  double imbalance = 0.0;
+  std::size_t steps = 0;  ///< number of outer-product panels executed
+};
+
+/// Execute C = A·B with the given 2-D ownership layout of C. `panel` is the
+/// outer-product panel width (communication volume is panel-invariant; the
+/// panel only trades latency for bandwidth). Layout must tile N×N where
+/// N = A.rows() = A.cols() = B.rows() = B.cols().
+[[nodiscard]] DistributedMatmul matmul_outer_product(
+    const Matrix& a, const Matrix& b, const partition::GridLayout& layout,
+    const std::vector<double>& speeds, std::size_t panel = 1,
+    util::ThreadPool* pool = nullptr);
+
+/// Communication volume (elements of A+B shipped) of the outer-product
+/// algorithm for a layout, *without* executing it: N · Σ half-perimeters of
+/// non-empty rectangles. Useful for large-N accounting.
+[[nodiscard]] long long matmul_comm_volume(const partition::GridLayout& layout);
+
+}  // namespace nldl::linalg

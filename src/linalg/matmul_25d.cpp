@@ -1,0 +1,62 @@
+#include "linalg/matmul_25d.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nldl::linalg {
+
+namespace {
+
+bool is_perfect_square(std::size_t v) {
+  const auto root = static_cast<std::size_t>(std::llround(std::sqrt(
+      static_cast<double>(v))));
+  return root * root == v;
+}
+
+}  // namespace
+
+bool valid_25d_grid(std::size_t p, std::size_t c) {
+  if (p == 0 || c == 0) return false;
+  if (p % c != 0) return false;
+  return is_perfect_square(p / c);
+}
+
+double matmul_25d_words_per_proc(double n, const Matmul25DParams& params) {
+  NLDL_REQUIRE(n >= 1.0, "n must be >= 1");
+  NLDL_REQUIRE(valid_25d_grid(params.p, params.c),
+               "p/c must be a perfect square (2.5D grid shape)");
+  const double p = static_cast<double>(params.p);
+  const double c = static_cast<double>(params.c);
+  // Broadcast volume of the shifted A and B panels across the layer:
+  // 2N²/√(cp); plus the inter-layer reduction of C when c > 1.
+  double words = 2.0 * n * n / std::sqrt(c * p);
+  if (params.c > 1) {
+    words += n * n * c / p;  // allreduce of the c partial C layers
+  }
+  return words;
+}
+
+double matmul_25d_total_words(double n, const Matmul25DParams& params) {
+  return matmul_25d_words_per_proc(n, params) *
+         static_cast<double>(params.p);
+}
+
+double matmul_25d_memory_per_proc(double n, const Matmul25DParams& params) {
+  NLDL_REQUIRE(valid_25d_grid(params.p, params.c),
+               "p/c must be a perfect square (2.5D grid shape)");
+  const double p = static_cast<double>(params.p);
+  const double c = static_cast<double>(params.c);
+  // c replicated shares of A and B plus the owned share of C.
+  return (2.0 * c + 1.0) * n * n / p;
+}
+
+double matmul_bandwidth_lower_bound(double n, std::size_t p,
+                                    double memory_per_proc) {
+  NLDL_REQUIRE(n >= 1.0 && p >= 1, "n and p must be >= 1");
+  NLDL_REQUIRE(memory_per_proc > 0.0, "memory must be positive");
+  return n * n * n /
+         (static_cast<double>(p) * std::sqrt(memory_per_proc));
+}
+
+}  // namespace nldl::linalg

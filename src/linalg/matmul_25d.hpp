@@ -1,0 +1,51 @@
+// Extension: 2.5D matrix-multiplication communication model.
+//
+// The paper's Section 4.2 notes that all practical MM implementations are
+// outer-product (2-D) based "at the notable exception of recently
+// introduced 2.5D schemes [42]" (Solomonik & Demmel, Euro-Par 2011). This
+// module supplies the 2.5D *communication-volume* model so the paper's 2-D
+// numbers can be put in context: with c replicas of the input on a
+// √(p/c) × √(p/c) × c grid, per-processor bandwidth cost drops from
+// Θ(N²/√p) to Θ(N²/√(c·p)) at the price of c× the memory.
+//
+// These are analytic accounting functions (the 2.5D algorithm needs a
+// torus, not a star platform, so it is out of the paper's execution
+// model); they are exercised by bench_sec42_matmul and unit tests.
+#pragma once
+
+#include <cstddef>
+
+namespace nldl::linalg {
+
+struct Matmul25DParams {
+  std::size_t p = 1;  ///< total processors; must satisfy the grid shape
+  std::size_t c = 1;  ///< replication factor (c = 1 gives the 2-D SUMMA)
+};
+
+/// True if (p, c) forms a valid 2.5D grid: c divides p, p/c is a perfect
+/// square, and c <= (p/c)^(1/2)·... (classical requirement c <= p^(1/3)
+/// is advisory; we only enforce the grid shape).
+[[nodiscard]] bool valid_25d_grid(std::size_t p, std::size_t c);
+
+/// Words moved per processor for C = A·B with N×N matrices:
+///   2·N² / √(c·p)  +  lower-order reduction terms (N²·c/p for the final
+/// reduction over the c layers when c > 1).
+[[nodiscard]] double matmul_25d_words_per_proc(double n,
+                                               const Matmul25DParams& params);
+
+/// Total words moved across all processors.
+[[nodiscard]] double matmul_25d_total_words(double n,
+                                            const Matmul25DParams& params);
+
+/// Memory words needed per processor: c replicas of the N²/p shares of A
+/// and B plus the C share.
+[[nodiscard]] double matmul_25d_memory_per_proc(double n,
+                                                const Matmul25DParams& params);
+
+/// The classical bandwidth lower bound per processor (Irony–Toledo–
+/// Tiskin): Ω(N³ / (p·√M)) with M = memory per processor. Exposed so the
+/// bench can show 2.5D tracking it.
+[[nodiscard]] double matmul_bandwidth_lower_bound(double n, std::size_t p,
+                                                  double memory_per_proc);
+
+}  // namespace nldl::linalg

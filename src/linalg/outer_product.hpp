@@ -1,0 +1,55 @@
+// The outer product a·bᵀ (paper Section 4.1): N² computation over N-sized
+// inputs — the canonical non-linear (α = 2) workload.
+//
+// Two executable distributions mirror the paper's two strategies:
+//   - outer_product_partitioned: one rectangle per worker (Heterogeneous
+//     Blocks / PERI-SUM layout); worker data = its half-perimeter.
+//   - outer_product_blocked: square blocks pulled demand-driven
+//     (Homogeneous Blocks / MapReduce); every block ships its own 2D
+//     inputs, with no reuse across blocks of the same worker.
+// Both actually compute the product (verifiable against the serial
+// reference) and account the exact number of elements shipped.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "partition/layout.hpp"
+#include "util/threadpool.hpp"
+
+namespace nldl::linalg {
+
+/// Serial reference: C(i,j) = a[i]·b[j].
+[[nodiscard]] Matrix outer_product_serial(const std::vector<double>& a,
+                                          const std::vector<double>& b);
+
+struct DistributedOuterProduct {
+  Matrix result;
+  /// Elements of a/b shipped to each worker.
+  std::vector<long long> elements_per_worker;
+  long long total_elements = 0;
+  /// Model compute time per worker: area / speed.
+  std::vector<double> compute_time;
+  /// e = (t_max − t_min)/t_min over busy workers; +inf if a worker is idle.
+  double imbalance = 0.0;
+};
+
+/// Execute under a rectangle-per-worker layout. Rectangle i covers rows
+/// [y, y+height) of `a` and columns [x, x+width) of `b`; the worker
+/// receives height + width elements. Layout must tile a.size()×b.size();
+/// speeds must match the layout's processor count.
+[[nodiscard]] DistributedOuterProduct outer_product_partitioned(
+    const std::vector<double>& a, const std::vector<double>& b,
+    const partition::GridLayout& layout, const std::vector<double>& speeds,
+    util::ThreadPool* pool = nullptr);
+
+/// Execute under square blocks of dimension `block_dim` handed out
+/// demand-driven to workers with the given speeds. Each block ships its
+/// own 2·block_dim inputs (MapReduce accounting, no reuse). a and b must
+/// have equal sizes divisible by block_dim.
+[[nodiscard]] DistributedOuterProduct outer_product_blocked(
+    const std::vector<double>& a, const std::vector<double>& b,
+    long long block_dim, const std::vector<double>& speeds,
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace nldl::linalg

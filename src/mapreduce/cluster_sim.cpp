@@ -1,0 +1,98 @@
+#include "mapreduce/cluster_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace nldl::mapreduce {
+
+ClusterOutcome run_cluster(const std::vector<SimTask>& tasks,
+                           const ClusterConfig& config) {
+  NLDL_REQUIRE(!config.speeds.empty(), "cluster requires at least one worker");
+  for (const double s : config.speeds) {
+    NLDL_REQUIRE(s > 0.0, "worker speeds must be positive");
+  }
+  const std::size_t p = config.speeds.size();
+
+  ClusterOutcome out;
+  out.owner.assign(tasks.size(), 0);
+  out.worker_time.assign(p, 0.0);
+  out.bytes_per_worker.assign(p, 0.0);
+
+  // Per-worker block cache.
+  std::vector<std::unordered_set<BlockId>> cache(p);
+
+  // Event queue of (time worker becomes idle, worker).
+  using Event = std::pair<double, std::size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> idle;
+  for (std::size_t w = 0; w < p; ++w) idle.push({0.0, w});
+
+  std::vector<bool> done(tasks.size(), false);
+  std::size_t next_undone = 0;  // plain-mode cursor
+  std::size_t remaining = tasks.size();
+
+  auto missing_blocks = [&](std::size_t task, std::size_t worker) {
+    std::size_t missing = 0;
+    for (const BlockId block : tasks[task].inputs) {
+      if (cache[worker].count(block) == 0) ++missing;
+    }
+    return missing;
+  };
+
+  while (remaining > 0) {
+    const auto [now, worker] = idle.top();
+    idle.pop();
+
+    // Pick a task for this worker.
+    std::size_t chosen = tasks.size();
+    if (!config.affinity_aware) {
+      while (next_undone < tasks.size() && done[next_undone]) ++next_undone;
+      chosen = next_undone;
+    } else {
+      std::size_t best_missing = std::numeric_limits<std::size_t>::max();
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        if (done[t]) continue;
+        const std::size_t missing = missing_blocks(t, worker);
+        if (missing < best_missing) {
+          best_missing = missing;
+          chosen = t;
+          if (missing == 0) break;  // cannot do better
+        }
+      }
+    }
+    NLDL_ASSERT(chosen < tasks.size(), "scheduler found no task");
+
+    done[chosen] = true;
+    --remaining;
+    out.owner[chosen] = worker;
+
+    // Fetch missing inputs (volume accounting only).
+    for (const BlockId block : tasks[chosen].inputs) {
+      if (cache[worker].insert(block).second) {
+        out.bytes_per_worker[worker] += config.bytes_per_block;
+      }
+    }
+    const double duration = tasks[chosen].compute_cost / config.speeds[worker];
+    out.worker_time[worker] += duration;
+    idle.push({now + duration, worker});
+  }
+
+  double t_min = std::numeric_limits<double>::infinity();
+  double t_max = 0.0;
+  for (std::size_t w = 0; w < p; ++w) {
+    out.total_bytes += out.bytes_per_worker[w];
+    t_min = std::min(t_min, out.worker_time[w]);
+    t_max = std::max(t_max, out.worker_time[w]);
+  }
+  out.makespan = t_max;
+  out.imbalance = (p < 2) ? 0.0
+                  : (t_min <= 0.0)
+                      ? std::numeric_limits<double>::infinity()
+                      : (t_max - t_min) / t_min;
+  return out;
+}
+
+}  // namespace nldl::mapreduce

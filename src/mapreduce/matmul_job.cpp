@@ -1,0 +1,88 @@
+#include "mapreduce/matmul_job.hpp"
+
+#include "util/assert.hpp"
+
+namespace nldl::mapreduce {
+
+linalg::Matrix matmul_mapreduce(const linalg::Matrix& a,
+                                const linalg::Matrix& b,
+                                std::size_t block_dim,
+                                const JobConfig& engine_config,
+                                Counters* counters) {
+  const std::size_t n = a.rows();
+  NLDL_REQUIRE(a.cols() == n && b.rows() == n && b.cols() == n,
+               "matmul_mapreduce requires square N×N inputs");
+  NLDL_REQUIRE(block_dim >= 1 && n % block_dim == 0,
+               "N must be divisible by the block dimension");
+  const std::size_t g = n / block_dim;  // blocks per side
+
+  JobConfig config = engine_config;
+  config.num_splits = g * g * g;
+
+  MapFn map_fn = [&](std::size_t split, std::vector<KV>& out) {
+    const std::size_t bi = split / (g * g);
+    const std::size_t bk = (split / g) % g;
+    const std::size_t bj = split % g;
+    out.reserve(block_dim * block_dim);
+    // Partial product of A(bi, bk) × B(bk, bj), emitted per C cell. This
+    // in-task accumulation is the map-side combining every practical
+    // implementation performs.
+    for (std::size_t i = bi * block_dim; i < (bi + 1) * block_dim; ++i) {
+      for (std::size_t j = bj * block_dim; j < (bj + 1) * block_dim; ++j) {
+        double sum = 0.0;
+        for (std::size_t k = bk * block_dim; k < (bk + 1) * block_dim; ++k) {
+          sum += a(i, k) * b(k, j);
+        }
+        out.push_back(KV{static_cast<std::uint64_t>(i) * n + j, sum});
+      }
+    }
+  };
+  ReduceFn reduce_fn = [](std::uint64_t, std::span<const double> values) {
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    return sum;
+  };
+
+  const JobResult job = run_job(config, map_fn, reduce_fn);
+  if (counters != nullptr) *counters = job.counters;
+
+  linalg::Matrix result(n, n);
+  for (const KV& record : job.output) {
+    const std::size_t i = static_cast<std::size_t>(record.key / n);
+    const std::size_t j = static_cast<std::size_t>(record.key % n);
+    result(i, j) = record.value;
+  }
+  return result;
+}
+
+double matmul_replication_volume(double n, double block_dim) {
+  NLDL_REQUIRE(n >= 1.0 && block_dim >= 1.0, "n and block_dim must be >= 1");
+  NLDL_REQUIRE(block_dim <= n, "block dimension cannot exceed n");
+  return 2.0 * n * n * n / block_dim;
+}
+
+std::vector<SimTask> matmul_tasks(long long n, long long block_dim) {
+  NLDL_REQUIRE(n >= 1 && block_dim >= 1, "n and block_dim must be >= 1");
+  NLDL_REQUIRE(n % block_dim == 0,
+               "n must be divisible by the block dimension");
+  const long long g = n / block_dim;
+  std::vector<SimTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(g * g * g));
+  const double cost = static_cast<double>(block_dim) *
+                      static_cast<double>(block_dim) *
+                      static_cast<double>(block_dim);
+  for (long long bi = 0; bi < g; ++bi) {
+    for (long long bk = 0; bk < g; ++bk) {
+      for (long long bj = 0; bj < g; ++bj) {
+        SimTask task;
+        task.compute_cost = cost;
+        task.inputs = {static_cast<BlockId>(bi * g + bk),
+                       kBMatrixBase + static_cast<BlockId>(bk * g + bj)};
+        tasks.push_back(std::move(task));
+      }
+    }
+  }
+  return tasks;
+}
+
+}  // namespace nldl::mapreduce

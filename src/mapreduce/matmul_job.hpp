@@ -1,0 +1,41 @@
+// Matrix multiplication as a MapReduce job (paper Sections 1.1 and 4.2).
+//
+// The introduction's motivating example: to run C = A·B over MapReduce, the
+// N²-sized inputs are *replicated* into an N³-sized intermediate dataset —
+// conceptually all compatible pairs (a_ik, b_kj). The practical blocked
+// version maps over (bi, bk, bj) block triples: each task reads an A block
+// and a B block (2·b² elements), computes a partial b×b product, and the
+// reducer sums the N/b partials per C block. The replication factor on the
+// inputs is therefore N/b — the "large redundancy in data communication"
+// the paper describes.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "mapreduce/cluster_sim.hpp"
+#include "mapreduce/engine.hpp"
+
+namespace nldl::mapreduce {
+
+/// Execute C = A·B through the MapReduce engine with b×b blocks.
+/// Keys encode C cells as i·N + j. Intended for small N.
+[[nodiscard]] linalg::Matrix matmul_mapreduce(const linalg::Matrix& a,
+                                              const linalg::Matrix& b,
+                                              std::size_t block_dim,
+                                              const JobConfig& engine_config,
+                                              Counters* counters = nullptr);
+
+/// Elements of A and B shipped to map tasks for the blocked job, assuming
+/// no reuse (plain MapReduce accounting): (N/b)³ tasks × 2b² = 2N³/b.
+[[nodiscard]] double matmul_replication_volume(double n, double block_dim);
+
+/// Build cluster-simulator tasks for the blocked matmul: task (bi, bk, bj)
+/// reads A block (bi, bk) and B block (bk, bj) and costs b³ work units.
+/// Block ids: A blocks are bi·(n/b) + bk, B blocks offset by kBMatrixBase.
+[[nodiscard]] std::vector<SimTask> matmul_tasks(long long n,
+                                                long long block_dim);
+
+inline constexpr BlockId kBMatrixBase = BlockId{1} << 32;
+
+}  // namespace nldl::mapreduce

@@ -1,0 +1,72 @@
+#include "mapreduce/outer_product_job.hpp"
+
+#include "util/assert.hpp"
+
+namespace nldl::mapreduce {
+
+linalg::Matrix outer_product_mapreduce(const std::vector<double>& a,
+                                       const std::vector<double>& b,
+                                       std::size_t block_dim,
+                                       const JobConfig& engine_config,
+                                       Counters* counters) {
+  NLDL_REQUIRE(a.size() == b.size(), "outer product inputs must match");
+  NLDL_REQUIRE(block_dim >= 1, "block dimension must be >= 1");
+  const std::size_t n = a.size();
+  NLDL_REQUIRE(n % block_dim == 0,
+               "vector length must be divisible by the block dimension");
+  const std::size_t blocks_per_side = n / block_dim;
+
+  JobConfig config = engine_config;
+  config.num_splits = blocks_per_side * blocks_per_side;
+
+  MapFn map_fn = [&](std::size_t split, std::vector<KV>& out) {
+    const std::size_t bi = split / blocks_per_side;
+    const std::size_t bj = split % blocks_per_side;
+    out.reserve(block_dim * block_dim);
+    for (std::size_t i = bi * block_dim; i < (bi + 1) * block_dim; ++i) {
+      for (std::size_t j = bj * block_dim; j < (bj + 1) * block_dim; ++j) {
+        out.push_back(KV{static_cast<std::uint64_t>(i) * n + j, a[i] * b[j]});
+      }
+    }
+  };
+  ReduceFn reduce_fn = [](std::uint64_t, std::span<const double> values) {
+    double sum = 0.0;
+    for (const double v : values) sum += v;
+    return sum;
+  };
+
+  const JobResult job = run_job(config, map_fn, reduce_fn);
+  if (counters != nullptr) *counters = job.counters;
+
+  linalg::Matrix result(n, n);
+  for (const KV& record : job.output) {
+    const std::size_t i = static_cast<std::size_t>(record.key / n);
+    const std::size_t j = static_cast<std::size_t>(record.key % n);
+    result(i, j) = record.value;
+  }
+  return result;
+}
+
+std::vector<SimTask> outer_product_tasks(long long n, long long block_dim) {
+  NLDL_REQUIRE(n >= 1 && block_dim >= 1, "n and block_dim must be >= 1");
+  NLDL_REQUIRE(n % block_dim == 0,
+               "n must be divisible by the block dimension");
+  const long long blocks_per_side = n / block_dim;
+  std::vector<SimTask> tasks;
+  tasks.reserve(
+      static_cast<std::size_t>(blocks_per_side * blocks_per_side));
+  const double cost =
+      static_cast<double>(block_dim) * static_cast<double>(block_dim);
+  for (long long bi = 0; bi < blocks_per_side; ++bi) {
+    for (long long bj = 0; bj < blocks_per_side; ++bj) {
+      SimTask task;
+      task.compute_cost = cost;
+      task.inputs = {static_cast<BlockId>(bi),
+                     kBSegmentBase + static_cast<BlockId>(bj)};
+      tasks.push_back(std::move(task));
+    }
+  }
+  return tasks;
+}
+
+}  // namespace nldl::mapreduce

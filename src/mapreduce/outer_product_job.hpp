@@ -1,0 +1,38 @@
+// Outer product as a MapReduce job (paper Sections 1.1 and 4.1).
+//
+// Two artifacts:
+//   1. An engine-executable job (map over square blocks, reduce = sum) used
+//      to verify numerics end-to-end on small N.
+//   2. A SimTask builder for the cluster simulator: one task per D×D block,
+//      whose inputs are the a-segment and b-segment blocks it touches —
+//      this is what the demand-driven and affinity-aware schedulers consume.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "mapreduce/cluster_sim.hpp"
+#include "mapreduce/engine.hpp"
+
+namespace nldl::mapreduce {
+
+/// Compute a·bᵀ through the MapReduce engine. One map task per block of the
+/// N×N domain; keys encode (i, j) as i·N + j. Intended for small N
+/// (the output materializes all N² keys).
+[[nodiscard]] linalg::Matrix outer_product_mapreduce(
+    const std::vector<double>& a, const std::vector<double>& b,
+    std::size_t block_dim, const JobConfig& engine_config,
+    Counters* counters = nullptr);
+
+/// Build cluster-simulator tasks for the blocked outer product: the domain
+/// is split into (n/block_dim)² blocks; task (bi, bj) reads a-segment block
+/// bi and b-segment block bj and costs block_dim² work units. Each block of
+/// a/b is `block_dim` elements, i.e. block_dim·bytes_per_element bytes.
+[[nodiscard]] std::vector<SimTask> outer_product_tasks(long long n,
+                                                       long long block_dim);
+
+/// Block ids used by outer_product_tasks: a-segments are [0, n/d),
+/// b-segments are offset by kBSegmentBase.
+inline constexpr BlockId kBSegmentBase = BlockId{1} << 32;
+
+}  // namespace nldl::mapreduce

@@ -1,0 +1,158 @@
+#include "mapreduce/speculation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace nldl::mapreduce {
+
+namespace {
+
+struct Running {
+  std::size_t task = 0;
+  std::size_t worker = 0;
+  double finish = 0.0;
+  bool is_backup = false;
+};
+
+}  // namespace
+
+SpeculationOutcome run_with_stragglers(const std::vector<SimTask>& tasks,
+                                       const StragglerConfig& config) {
+  const std::size_t p = config.speeds.size();
+  NLDL_REQUIRE(p >= 1, "at least one worker required");
+  for (const double s : config.speeds) {
+    NLDL_REQUIRE(s > 0.0, "speeds must be positive");
+  }
+  std::vector<double> slowdown = config.slowdown;
+  if (slowdown.empty()) slowdown.assign(p, 1.0);
+  NLDL_REQUIRE(slowdown.size() == p,
+               "slowdown must match the worker count");
+  for (const double f : slowdown) {
+    NLDL_REQUIRE(f >= 1.0, "slowdown factors must be >= 1");
+  }
+
+  std::vector<double> effective(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    effective[i] = config.speeds[i] / slowdown[i];
+  }
+
+  SpeculationOutcome out;
+  out.worker_busy.assign(p, 0.0);
+  if (tasks.empty()) return out;
+
+  std::vector<std::unordered_set<BlockId>> cache(p);
+  auto fetch_inputs = [&](std::size_t task, std::size_t worker) {
+    for (const BlockId block : tasks[task].inputs) {
+      if (cache[worker].insert(block).second) {
+        out.total_bytes += config.bytes_per_block;
+      }
+    }
+  };
+
+  // Event-driven: (time, worker) idle events; running copies tracked to
+  // support backups. A task completes when its earliest copy finishes.
+  using Event = std::pair<double, std::size_t>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> idle;
+  for (std::size_t w = 0; w < p; ++w) idle.push({0.0, w});
+
+  std::vector<bool> done(tasks.size(), false);
+  std::vector<Running> in_flight;
+  std::size_t next_task = 0;
+  std::size_t remaining = tasks.size();
+
+  // Each idle event either takes a fresh task, a backup, or parks the
+  // worker (parked workers are re-woken by completions — modeled simply by
+  // processing completions in time order through the in_flight list).
+  //
+  // Simulation loop: always advance the earliest of (idle event, earliest
+  // in-flight completion). For simplicity and determinism we process idle
+  // events; completions are realized lazily when scanning in_flight.
+  // A task completes when its *earliest* copy finishes; losing copies run
+  // to completion (their worker stays busy) but do not extend the job —
+  // the job is done once every task has one finished copy.
+  auto realize_completions = [&](double now) {
+    std::vector<Running> ready;
+    for (auto it = in_flight.begin(); it != in_flight.end();) {
+      if (it->finish <= now + 1e-15) {
+        ready.push_back(*it);
+        it = in_flight.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    std::sort(ready.begin(), ready.end(),
+              [](const Running& a, const Running& b) {
+                return a.finish < b.finish;
+              });
+    for (const Running& run : ready) {
+      if (done[run.task]) continue;  // a faster copy already won
+      done[run.task] = true;
+      --remaining;
+      if (run.is_backup) ++out.backups_won;
+      out.makespan = std::max(out.makespan, run.finish);
+    }
+  };
+
+  while (remaining > 0) {
+    NLDL_ASSERT(!idle.empty(), "deadlock: no idle events while work remains");
+    const auto [now, worker] = idle.top();
+    idle.pop();
+    realize_completions(now);
+    if (remaining == 0) break;
+
+    // Choose work for this worker.
+    while (next_task < tasks.size() && done[next_task]) ++next_task;
+    std::size_t chosen = tasks.size();
+    bool is_backup = false;
+    if (next_task < tasks.size()) {
+      chosen = next_task++;
+    } else if (config.speculative_execution) {
+      // Back up the unfinished task with the latest expected finish,
+      // unless this worker already runs a copy of it.
+      double worst = -1.0;
+      for (const Running& run : in_flight) {
+        if (done[run.task] || run.worker == worker) continue;
+        if (run.finish > worst) {
+          // Only back up if we could plausibly beat the running copy.
+          const double eta =
+              now + tasks[run.task].compute_cost / effective[worker];
+          if (eta < run.finish) {
+            worst = run.finish;
+            chosen = run.task;
+          }
+        }
+      }
+      if (chosen != tasks.size()) {
+        is_backup = true;
+        ++out.backup_launches;
+      }
+    }
+    if (chosen == tasks.size()) {
+      // Nothing to do: park until the next in-flight completion.
+      double next_completion = std::numeric_limits<double>::infinity();
+      for (const Running& run : in_flight) {
+        next_completion = std::min(next_completion, run.finish);
+      }
+      if (std::isfinite(next_completion)) {
+        idle.push({next_completion, worker});
+      }
+      // else: queue drained and nothing in flight — remaining must be 0.
+      continue;
+    }
+
+    fetch_inputs(chosen, worker);
+    const double duration =
+        tasks[chosen].compute_cost / effective[worker];
+    out.worker_busy[worker] += duration;
+    in_flight.push_back({chosen, worker, now + duration, is_backup});
+    idle.push({now + duration, worker});
+  }
+  return out;
+}
+
+}  // namespace nldl::mapreduce

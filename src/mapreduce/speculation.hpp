@@ -1,0 +1,44 @@
+// Extension: straggler injection and speculative re-execution.
+//
+// The paper's Section 1.1 credits MapReduce's success partly to "a
+// detection of nodes that perform poorly (in order to re-assign tasks that
+// slow down the process)". This module reproduces that mechanism on the
+// simulated cluster: some workers are degraded by a slowdown factor, and
+// an optional speculation policy re-launches the slowest in-flight tasks
+// on idle workers (Hadoop-style backup tasks), taking whichever copy
+// finishes first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/cluster_sim.hpp"
+
+namespace nldl::mapreduce {
+
+struct StragglerConfig {
+  std::vector<double> speeds;  ///< nominal worker speeds
+  /// Per-worker slowdown factor (>= 1; 1 = healthy). Effective speed is
+  /// speeds[i] / slowdown[i]. Must match speeds in size (or be empty for
+  /// all-healthy).
+  std::vector<double> slowdown;
+  /// Enable backup tasks: when the task queue drains and a worker idles,
+  /// it re-executes the unfinished task with the latest expected finish.
+  bool speculative_execution = false;
+  double bytes_per_block = 1.0;
+};
+
+struct SpeculationOutcome {
+  double makespan = 0.0;
+  double total_bytes = 0.0;       ///< incl. duplicate fetches for backups
+  std::size_t backup_launches = 0;
+  std::size_t backups_won = 0;    ///< backups that beat the original
+  std::vector<double> worker_busy;
+};
+
+/// Run the demand-driven schedule with stragglers, optionally launching
+/// speculative backups once the queue is empty. Deterministic.
+[[nodiscard]] SpeculationOutcome run_with_stragglers(
+    const std::vector<SimTask>& tasks, const StragglerConfig& config);
+
+}  // namespace nldl::mapreduce

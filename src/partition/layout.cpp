@@ -1,0 +1,122 @@
+#include "partition/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace nldl::partition {
+
+std::vector<long long> apportion(const std::vector<double>& weights,
+                                 long long total) {
+  NLDL_REQUIRE(!weights.empty(), "apportion requires at least one weight");
+  NLDL_REQUIRE(total >= 0, "apportion requires total >= 0");
+  double weight_sum = 0.0;
+  for (const double w : weights) {
+    NLDL_REQUIRE(w >= 0.0, "weights must be >= 0");
+    weight_sum += w;
+  }
+  NLDL_REQUIRE(weight_sum > 0.0, "weights must not all be zero");
+
+  const std::size_t count = weights.size();
+  std::vector<long long> out(count, 0);
+  std::vector<double> remainders(count, 0.0);
+  long long assigned = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double exact =
+        static_cast<double>(total) * weights[i] / weight_sum;
+    out[i] = static_cast<long long>(std::floor(exact));
+    remainders[i] = exact - static_cast<double>(out[i]);
+    assigned += out[i];
+  }
+  // Distribute the residue to the largest remainders (ties: lower index).
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (remainders[a] != remainders[b]) return remainders[a] > remainders[b];
+    return a < b;
+  });
+  long long residue = total - assigned;
+  NLDL_ASSERT(residue >= 0 && residue <= static_cast<long long>(count),
+              "apportion residue out of range");
+  for (long long r = 0; r < residue; ++r) {
+    ++out[order[static_cast<std::size_t>(r)]];
+  }
+  return out;
+}
+
+GridLayout discretize(const ColumnPartition& partition, long long n) {
+  NLDL_REQUIRE(n >= 1, "grid dimension must be >= 1");
+  GridLayout layout;
+  layout.n = n;
+  layout.rects.assign(partition.rects.size(), IRect{});
+
+  // Integer column widths proportional to the continuous widths.
+  const std::vector<long long> widths = apportion(partition.column_widths, n);
+
+  long long x = 0;
+  for (std::size_t col = 0; col < partition.columns.size(); ++col) {
+    const auto& members = partition.columns[col];
+    const long long width = widths[col];
+    // Integer heights proportional to member areas within the column.
+    std::vector<double> member_areas;
+    member_areas.reserve(members.size());
+    for (const std::size_t index : members) {
+      member_areas.push_back(partition.rects[index].area());
+    }
+    const std::vector<long long> heights = apportion(member_areas, n);
+    long long y = 0;
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      layout.rects[members[j]] = IRect{x, y, width, heights[j]};
+      y += heights[j];
+    }
+    NLDL_ASSERT(y == n, "column heights must sum to n");
+    x += width;
+  }
+  NLDL_ASSERT(x == n, "column widths must sum to n");
+
+  layout.total_half_perimeter = 0;
+  layout.max_share_error = 0.0;
+  const double n_sq = static_cast<double>(n) * static_cast<double>(n);
+  for (std::size_t i = 0; i < layout.rects.size(); ++i) {
+    const IRect& rect = layout.rects[i];
+    if (rect.area() > 0) {
+      layout.total_half_perimeter += rect.half_perimeter();
+    }
+    const double share = static_cast<double>(rect.area()) / n_sq;
+    layout.max_share_error = std::max(
+        layout.max_share_error, std::abs(share - partition.rects[i].area()));
+  }
+  return layout;
+}
+
+bool verify_exact_cover(const GridLayout& layout) {
+  const long long n = layout.n;
+  long long area = 0;
+  for (const IRect& rect : layout.rects) {
+    if (rect.width < 0 || rect.height < 0) return false;
+    if (rect.area() == 0) continue;
+    if (rect.x < 0 || rect.y < 0 || rect.x + rect.width > n ||
+        rect.y + rect.height > n) {
+      return false;
+    }
+    area += rect.area();
+  }
+  if (area != n * n) return false;
+  // Pairwise disjointness of non-empty rectangles.
+  for (std::size_t i = 0; i < layout.rects.size(); ++i) {
+    const IRect& a = layout.rects[i];
+    if (a.area() == 0) continue;
+    for (std::size_t j = i + 1; j < layout.rects.size(); ++j) {
+      const IRect& b = layout.rects[j];
+      if (b.area() == 0) continue;
+      const bool overlap = a.x < b.x + b.width && b.x < a.x + a.width &&
+                           a.y < b.y + b.height && b.y < a.y + a.height;
+      if (overlap) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nldl::partition

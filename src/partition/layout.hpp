@@ -1,0 +1,41 @@
+// Discretization of continuous partitions onto an integer N×N element grid.
+//
+// The continuous PERI-SUM geometry is exact for communication-volume
+// accounting, but the example applications compute *real* outer products
+// and matrix products, which need integer index ranges. This module rounds
+// a ColumnPartition to integer rectangles that exactly tile {0..N-1}², via
+// largest-remainder apportionment per column and per rectangle.
+#pragma once
+
+#include <vector>
+
+#include "partition/peri_sum.hpp"
+#include "partition/rect.hpp"
+
+namespace nldl::partition {
+
+struct GridLayout {
+  long long n = 0;           ///< grid dimension (N)
+  std::vector<IRect> rects;  ///< one per input area, input order
+  long long total_half_perimeter = 0;  ///< Σ (w+h) over non-empty rects
+  /// Largest |area_i/N² − x_i| over processors (apportionment error).
+  double max_share_error = 0.0;
+};
+
+/// Round the continuous partition to the N×N grid. Requires n >= 1.
+/// Rectangles may come out empty (width or height 0) when n is tiny
+/// relative to p; callers that need every worker busy should use n >> p.
+[[nodiscard]] GridLayout discretize(const ColumnPartition& partition,
+                                    long long n);
+
+/// Exhaustively verify that the non-empty rectangles tile the N×N grid
+/// exactly: pairwise disjoint, in bounds, areas summing to N². O(p²).
+/// Returns true on success; false (never throws) otherwise.
+[[nodiscard]] bool verify_exact_cover(const GridLayout& layout);
+
+/// Apportion `total` integer units to parts proportional to `weights`
+/// (largest remainder / Hamilton method). Exposed for reuse and testing.
+[[nodiscard]] std::vector<long long> apportion(
+    const std::vector<double>& weights, long long total);
+
+}  // namespace nldl::partition

@@ -1,0 +1,26 @@
+#include "partition/lower_bound.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nldl::partition {
+
+double comm_lower_bound_unit(const std::vector<double>& shares) {
+  NLDL_REQUIRE(!shares.empty(), "lower bound requires at least one share");
+  double total = 0.0;
+  for (const double share : shares) {
+    NLDL_REQUIRE(share > 0.0, "shares must be positive");
+    total += share;
+  }
+  double bound = 0.0;
+  for (const double share : shares) bound += std::sqrt(share / total);
+  return 2.0 * bound;
+}
+
+double comm_lower_bound(const std::vector<double>& speeds, double n) {
+  NLDL_REQUIRE(n > 0.0, "domain size must be positive");
+  return n * comm_lower_bound_unit(speeds);
+}
+
+}  // namespace nldl::partition

@@ -1,0 +1,22 @@
+// The communication lower bound of Section 4.3.
+//
+// Give every processor a square of area equal to its prescribed share x_i:
+// the data it needs is then 2·√x_i (per unit), which no partition can beat.
+// Scaled to the N×N computational domain:
+//   LB_comm = 2·N·Σ √x_i = 2·N·Σ √s_i / √(Σ s_i).
+#pragma once
+
+#include <vector>
+
+namespace nldl::partition {
+
+/// Lower bound in the unit square for prescribed (positive) shares; the
+/// shares are normalized internally: 2·Σ √(a_i / Σ a_k).
+[[nodiscard]] double comm_lower_bound_unit(const std::vector<double>& shares);
+
+/// Lower bound on the total communication volume for an N×N domain split
+/// proportionally to the given speeds: 2·N·Σ √x_i.
+[[nodiscard]] double comm_lower_bound(const std::vector<double>& speeds,
+                                      double n);
+
+}  // namespace nldl::partition

@@ -1,0 +1,80 @@
+#include "partition/peri_max.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace nldl::partition {
+
+double peri_max_lower_bound(const std::vector<double>& areas) {
+  NLDL_REQUIRE(!areas.empty(), "lower bound requires at least one area");
+  double total = 0.0;
+  double largest = 0.0;
+  for (const double a : areas) {
+    NLDL_REQUIRE(a > 0.0, "areas must be positive");
+    total += a;
+    largest = std::max(largest, a);
+  }
+  return 2.0 * std::sqrt(largest / total);
+}
+
+ColumnPartition peri_max_partition(std::vector<double> areas) {
+  NLDL_REQUIRE(!areas.empty(), "partition requires at least one area");
+  double total = 0.0;
+  for (const double a : areas) {
+    NLDL_REQUIRE(a > 0.0, "areas must be positive");
+    total += a;
+  }
+  std::vector<double> normalized = areas;
+  for (double& a : normalized) a /= total;
+
+  const std::size_t p = normalized.size();
+  std::vector<std::size_t> order(p);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return normalized[a] < normalized[b];
+  });
+
+  std::vector<double> prefix(p + 1, 0.0);
+  for (std::size_t i = 0; i < p; ++i) {
+    prefix[i + 1] = prefix[i] + normalized[order[i]];
+  }
+
+  // DP: best[i] = minimal achievable max half-perimeter packing the first i
+  // sorted areas into columns. A column over sorted (j..i-1] has width
+  // c = prefix[i]-prefix[j]; its worst rectangle is the largest one (the
+  // last, since sorted): half-perimeter c + a_max/c.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(p + 1, kInf);
+  std::vector<std::size_t> split(p + 1, 0);
+  best[0] = 0.0;
+  for (std::size_t i = 1; i <= p; ++i) {
+    const double a_max = normalized[order[i - 1]];
+    for (std::size_t j = 0; j < i; ++j) {
+      const double width = prefix[i] - prefix[j];
+      const double column_worst = width + a_max / width;
+      const double cost = std::max(best[j], column_worst);
+      if (cost < best[i]) {
+        best[i] = cost;
+        split[i] = j;
+      }
+    }
+  }
+
+  std::vector<std::size_t> column_sizes;
+  for (std::size_t i = p; i > 0; i = split[i]) {
+    column_sizes.push_back(i - split[i]);
+  }
+  std::reverse(column_sizes.begin(), column_sizes.end());
+
+  ColumnPartition result = column_partition_with_sizes(areas, column_sizes);
+  NLDL_ASSERT(result.max_half_perimeter <=
+                  best[p] + 1e-9 * std::max(1.0, best[p]),
+              "PERI-MAX DP cost disagrees with realized geometry");
+  return result;
+}
+
+}  // namespace nldl::partition

@@ -1,0 +1,28 @@
+// PERI-MAX: partition the unit square into p rectangles of prescribed areas
+// minimizing the *maximum* half-perimeter.
+//
+// This is the second objective considered by reference [41] (Beaumont,
+// Boudet, Rastello, Robert, Algorithmica 2002). The paper's experiments use
+// PERI-SUM (total communication volume); PERI-MAX is provided for
+// completeness — it models the per-processor communication bottleneck
+// instead of the total volume. nldl implements the same column-based
+// approach with a min-max dynamic program over sorted contiguous groups.
+#pragma once
+
+#include <vector>
+
+#include "partition/peri_sum.hpp"
+
+namespace nldl::partition {
+
+/// Lower bound on the *maximum* half-perimeter: every rectangle is at best
+/// a square, so max_i 2·√a_i; furthermore some rectangle must span the
+/// square's full width or more generally ... we use the simple bound
+/// max(2·√a_max, 2·√(1/p) scaled) = 2·√(max a_i) after normalization.
+[[nodiscard]] double peri_max_lower_bound(const std::vector<double>& areas);
+
+/// Column-based PERI-MAX heuristic: minimize over column structures (DP on
+/// sorted contiguous groups) the maximum rectangle half-perimeter.
+[[nodiscard]] ColumnPartition peri_max_partition(std::vector<double> areas);
+
+}  // namespace nldl::partition

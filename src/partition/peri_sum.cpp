@@ -1,0 +1,161 @@
+#include "partition/peri_sum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace nldl::partition {
+
+namespace {
+
+void validate_and_normalize(std::vector<double>& areas) {
+  NLDL_REQUIRE(!areas.empty(), "partition requires at least one area");
+  double total = 0.0;
+  for (const double a : areas) {
+    NLDL_REQUIRE(a > 0.0, "areas must be positive");
+    total += a;
+  }
+  for (double& a : areas) a /= total;
+}
+
+/// Sorted order of indices by non-decreasing area.
+std::vector<std::size_t> sorted_order(const std::vector<double>& areas) {
+  std::vector<std::size_t> order(areas.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return areas[a] < areas[b];
+  });
+  return order;
+}
+
+/// Lay out columns (given as contiguous groups of the sorted order) in the
+/// unit square and build the result structure.
+ColumnPartition realize(const std::vector<double>& areas,
+                        const std::vector<std::size_t>& order,
+                        const std::vector<std::size_t>& column_sizes) {
+  ColumnPartition out;
+  out.rects.assign(areas.size(), Rect{});
+  double x = 0.0;
+  std::size_t cursor = 0;
+  for (const std::size_t count : column_sizes) {
+    NLDL_ASSERT(count >= 1, "empty column in realize()");
+    double width = 0.0;
+    for (std::size_t j = 0; j < count; ++j) {
+      width += areas[order[cursor + j]];
+    }
+    std::vector<std::size_t> members;
+    members.reserve(count);
+    double y = 0.0;
+    for (std::size_t j = 0; j < count; ++j) {
+      const std::size_t index = order[cursor + j];
+      const double height = areas[index] / width;
+      out.rects[index] = Rect{x, y, width, height};
+      members.push_back(index);
+      y += height;
+    }
+    // Snap the top of the column to exactly 1 (fold rounding residue into
+    // the last rectangle).
+    if (!members.empty()) {
+      Rect& top = out.rects[members.back()];
+      top.height += 1.0 - y;
+    }
+    out.columns.push_back(std::move(members));
+    out.column_widths.push_back(width);
+    cursor += count;
+    x += width;
+  }
+  // Snap the right edge of the last column to exactly 1, keeping its left
+  // edge fixed (so the snap can never overlap the previous column).
+  if (!out.columns.empty()) {
+    const double left = x - out.column_widths.back();
+    for (const std::size_t index : out.columns.back()) {
+      out.rects[index].width = 1.0 - left;
+    }
+    out.column_widths.back() = 1.0 - left;
+  }
+  out.total_half_perimeter = 0.0;
+  out.max_half_perimeter = 0.0;
+  for (const Rect& rect : out.rects) {
+    out.total_half_perimeter += rect.half_perimeter();
+    out.max_half_perimeter =
+        std::max(out.max_half_perimeter, rect.half_perimeter());
+  }
+  return out;
+}
+
+}  // namespace
+
+double peri_sum_lower_bound(const std::vector<double>& areas) {
+  NLDL_REQUIRE(!areas.empty(), "lower bound requires at least one area");
+  double bound = 0.0;
+  for (const double a : areas) {
+    NLDL_REQUIRE(a > 0.0, "areas must be positive");
+    bound += std::sqrt(a);
+  }
+  return 2.0 * bound;
+}
+
+ColumnPartition peri_sum_partition(std::vector<double> areas) {
+  validate_and_normalize(areas);
+  const std::size_t p = areas.size();
+  const std::vector<std::size_t> order = sorted_order(areas);
+
+  // Prefix sums of the sorted areas.
+  std::vector<double> prefix(p + 1, 0.0);
+  for (std::size_t i = 0; i < p; ++i) {
+    prefix[i + 1] = prefix[i] + areas[order[i]];
+  }
+
+  // DP over contiguous groups of the sorted areas:
+  //   best[i] = min cost of packing the first i sorted areas into columns,
+  //   cost of a column holding sorted areas (j..i-1] = 1 + (i-j)·(width),
+  //   width = prefix[i] - prefix[j].
+  // (Column cost = k·c + 1; see the header comment.)
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(p + 1, kInf);
+  std::vector<std::size_t> split(p + 1, 0);
+  best[0] = 0.0;
+  for (std::size_t i = 1; i <= p; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double width = prefix[i] - prefix[j];
+      const double cost =
+          best[j] + 1.0 + static_cast<double>(i - j) * width;
+      if (cost < best[i]) {
+        best[i] = cost;
+        split[i] = j;
+      }
+    }
+  }
+
+  // Recover column sizes (from the last column backwards).
+  std::vector<std::size_t> column_sizes;
+  for (std::size_t i = p; i > 0; i = split[i]) {
+    column_sizes.push_back(i - split[i]);
+  }
+  std::reverse(column_sizes.begin(), column_sizes.end());
+
+  ColumnPartition result = realize(areas, order, column_sizes);
+  // Cross-check the DP objective against the realized geometry.
+  NLDL_ASSERT(std::abs(result.total_half_perimeter - best[p]) <=
+                  1e-9 * std::max(1.0, best[p]),
+              "PERI-SUM DP cost disagrees with realized geometry");
+  return result;
+}
+
+ColumnPartition column_partition_with_sizes(
+    std::vector<double> areas, const std::vector<std::size_t>& column_sizes) {
+  validate_and_normalize(areas);
+  std::size_t total = 0;
+  for (const std::size_t count : column_sizes) {
+    NLDL_REQUIRE(count >= 1, "column sizes must be >= 1");
+    total += count;
+  }
+  NLDL_REQUIRE(total == areas.size(),
+               "column sizes must cover every area exactly once");
+  return realize(areas, sorted_order(areas), column_sizes);
+}
+
+}  // namespace nldl::partition

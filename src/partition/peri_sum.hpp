@@ -1,0 +1,59 @@
+// PERI-SUM: partition the unit square into p rectangles of prescribed areas
+// minimizing the total half-perimeter (total communication volume).
+//
+// This is the column-based approximation algorithm of Beaumont, Boudet,
+// Rastello, Robert — "Partitioning a square into rectangles:
+// NP-completeness and approximation algorithms", Algorithmica 34(3), 2002 —
+// reference [41] of the paper, used by the Heterogeneous Blocks strategy
+// (Comm_het).
+//
+// Shape of a column-based partition: the square is cut into C vertical
+// columns of widths c_1..c_C; column j is cut into k_j full-width
+// rectangles. A rectangle of area a in column j has dimensions c_j × a/c_j,
+// so its half-perimeter is c_j + a/c_j and the column contributes
+// k_j·c_j + 1 (heights in a column sum to 1). The total is
+//   Ĉ = C + Σ_j k_j · c_j .
+// With areas sorted in non-decreasing order, an O(p²) dynamic program over
+// contiguous groups finds the optimal column-based partition. The guarantee
+// proved in [41] (as cited by the paper):
+//   Ĉ ≤ 1 + (5/4)·LB ≤ (7/4)·LB,   LB = 2·Σ √a_i .
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "partition/rect.hpp"
+
+namespace nldl::partition {
+
+struct ColumnPartition {
+  /// One rectangle per input area, in the *input* order.
+  std::vector<Rect> rects;
+  /// For each column, the input indices of its rectangles (bottom to top).
+  std::vector<std::vector<std::size_t>> columns;
+  /// Widths of the columns (sum to 1).
+  std::vector<double> column_widths;
+  /// Σ (width_i + height_i) over all rectangles.
+  double total_half_perimeter = 0.0;
+  /// max (width_i + height_i) over all rectangles.
+  double max_half_perimeter = 0.0;
+};
+
+/// Lower bound on the total half-perimeter for prescribed areas:
+/// LB = 2·Σ √a_i (each rectangle is at best a square). Requires the areas
+/// to be positive; they need not be normalized (the bound scales).
+[[nodiscard]] double peri_sum_lower_bound(const std::vector<double>& areas);
+
+/// Run the PERI-SUM column-based algorithm. `areas` must be positive; they
+/// are normalized to sum to 1 internally (the returned geometry lives in
+/// the unit square). The i-th returned rectangle has area proportional to
+/// areas[i].
+[[nodiscard]] ColumnPartition peri_sum_partition(std::vector<double> areas);
+
+/// Evaluate a fixed column structure: partition the *sorted* areas into
+/// contiguous groups of the given sizes and lay the columns out. Exposed
+/// for the ablation benchmark (fixed √p columns vs DP-optimal).
+[[nodiscard]] ColumnPartition column_partition_with_sizes(
+    std::vector<double> areas, const std::vector<std::size_t>& column_sizes);
+
+}  // namespace nldl::partition

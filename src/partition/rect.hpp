@@ -1,0 +1,51 @@
+// Rectangle geometry for the square-partitioning algorithms (Section 4).
+#pragma once
+
+#include <cstddef>
+
+namespace nldl::partition {
+
+/// Axis-aligned rectangle in the continuous unit square (or any scaled
+/// domain). `x`/`y` is the lower-left corner.
+struct Rect {
+  double x = 0.0;
+  double y = 0.0;
+  double width = 0.0;
+  double height = 0.0;
+
+  [[nodiscard]] double area() const noexcept { return width * height; }
+
+  /// The paper's communication cost for a processor owning this rectangle
+  /// of the computational domain: it needs `width` elements of one input
+  /// vector and `height` of the other, i.e. the half-perimeter.
+  [[nodiscard]] double half_perimeter() const noexcept {
+    return width + height;
+  }
+
+  [[nodiscard]] bool contains(double px, double py) const noexcept {
+    return px >= x && px < x + width && py >= y && py < y + height;
+  }
+
+  /// True if the interiors of the two rectangles intersect. Zero-area
+  /// rectangles have empty interiors and never overlap anything.
+  [[nodiscard]] bool overlaps(const Rect& other) const noexcept {
+    if (area() <= 0.0 || other.area() <= 0.0) return false;
+    return x < other.x + other.width && other.x < x + width &&
+           y < other.y + other.height && other.y < y + height;
+  }
+};
+
+/// Integer rectangle on an N×N element grid (discretized layouts).
+struct IRect {
+  long long x = 0;
+  long long y = 0;
+  long long width = 0;
+  long long height = 0;
+
+  [[nodiscard]] long long area() const noexcept { return width * height; }
+  [[nodiscard]] long long half_perimeter() const noexcept {
+    return width + height;
+  }
+};
+
+}  // namespace nldl::partition

@@ -1,0 +1,95 @@
+#include "partition/recursive_bisection.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace nldl::partition {
+
+namespace {
+
+/// Axis-aligned frame kept as *edges* so siblings share cut coordinates
+/// exactly (widths derived only at the leaves — avoids ulp-level overlap
+/// between cousins after deep recursion).
+struct Frame {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 1.0;
+  double y1 = 1.0;
+  [[nodiscard]] double width() const noexcept { return x1 - x0; }
+  [[nodiscard]] double height() const noexcept { return y1 - y0; }
+};
+
+/// Recursively assign `indices` (into areas) to `frame`.
+void bisect(const std::vector<double>& areas,
+            std::vector<std::size_t> indices, const Frame& frame,
+            std::vector<Rect>& out) {
+  if (indices.size() == 1) {
+    out[indices[0]] =
+        Rect{frame.x0, frame.y0, frame.width(), frame.height()};
+    return;
+  }
+  // Greedy two-way balance of the shares (largest-first).
+  std::sort(indices.begin(), indices.end(),
+            [&](std::size_t a, std::size_t b) {
+              return areas[a] > areas[b];
+            });
+  std::vector<std::size_t> left;
+  std::vector<std::size_t> right;
+  double left_sum = 0.0;
+  double right_sum = 0.0;
+  for (const std::size_t index : indices) {
+    if (left_sum <= right_sum) {
+      left.push_back(index);
+      left_sum += areas[index];
+    } else {
+      right.push_back(index);
+      right_sum += areas[index];
+    }
+  }
+  NLDL_ASSERT(!left.empty() && !right.empty(),
+              "bisection produced an empty side");
+  const double fraction = left_sum / (left_sum + right_sum);
+  // Cut perpendicular to the longer side to keep pieces square-ish.
+  Frame first = frame;
+  Frame second = frame;
+  if (frame.width() >= frame.height()) {
+    const double cut = frame.x0 + frame.width() * fraction;
+    first.x1 = cut;
+    second.x0 = cut;
+  } else {
+    const double cut = frame.y0 + frame.height() * fraction;
+    first.y1 = cut;
+    second.y0 = cut;
+  }
+  bisect(areas, std::move(left), first, out);
+  bisect(areas, std::move(right), second, out);
+}
+
+}  // namespace
+
+BisectionPartition recursive_bisection_partition(std::vector<double> areas) {
+  NLDL_REQUIRE(!areas.empty(), "partition requires at least one area");
+  double total = 0.0;
+  for (const double a : areas) {
+    NLDL_REQUIRE(a > 0.0, "areas must be positive");
+    total += a;
+  }
+  for (double& a : areas) a /= total;
+
+  BisectionPartition result;
+  result.rects.assign(areas.size(), Rect{});
+  std::vector<std::size_t> indices(areas.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  bisect(areas, std::move(indices), Frame{}, result.rects);
+
+  for (const Rect& rect : result.rects) {
+    result.total_half_perimeter += rect.half_perimeter();
+    result.max_half_perimeter =
+        std::max(result.max_half_perimeter, rect.half_perimeter());
+  }
+  return result;
+}
+
+}  // namespace nldl::partition

@@ -1,0 +1,33 @@
+// Recursive bisection: a second heterogeneity-aware partitioner, used as a
+// baseline against PERI-SUM in the ablation benches.
+//
+// The classical alternative to column-based partitioning (e.g. Berger &
+// Bokhari's recursive coordinate bisection, and the rectangle partitions
+// surveyed alongside ref [41]): split the processor set into two groups of
+// roughly equal total share, cut the rectangle along its longer side
+// proportionally to the group shares, and recurse. Produces one rectangle
+// per processor with exactly proportional areas, like PERI-SUM, but with a
+// different (generally slightly worse in sum, often better in max) shape
+// profile.
+#pragma once
+
+#include <vector>
+
+#include "partition/rect.hpp"
+
+namespace nldl::partition {
+
+struct BisectionPartition {
+  std::vector<Rect> rects;  ///< one per input area, input order
+  double total_half_perimeter = 0.0;
+  double max_half_perimeter = 0.0;
+};
+
+/// Partition the unit square into rectangles of areas proportional to
+/// `areas` (positive; normalized internally) by recursive bisection.
+/// Split heuristic: sort areas descending; greedily pack into two groups
+/// balancing the sums; cut perpendicular to the longer side.
+[[nodiscard]] BisectionPartition recursive_bisection_partition(
+    std::vector<double> areas);
+
+}  // namespace nldl::partition

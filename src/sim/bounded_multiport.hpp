@@ -1,0 +1,36 @@
+// Bounded-multiport communication model (Hong & Prasanna style): the
+// master can feed any number of workers concurrently, but its aggregate
+// outgoing bandwidth is capped. This sits between the paper's two
+// extremes — fully parallel links (infinite master capacity) and the
+// one-port model (capacity = one transfer at a time) — and lets the
+// experiments quantify how much of the Section 2 conclusion depends on
+// the communication model.
+//
+// Semantics: a single round (one chunk per worker, all transfers start at
+// t = 0). Transfer i's instantaneous rate is at most 1/c_i (its private
+// link) and the sum of all active rates is at most `master_capacity`.
+// Rates follow max-min fairness (water-filling), recomputed whenever a
+// transfer completes. A worker starts computing (cost w_i·X^alpha) when
+// its transfer finishes.
+#pragma once
+
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace nldl::sim {
+
+struct BoundedMultiportResult {
+  std::vector<double> comm_finish;     ///< per worker
+  std::vector<double> compute_finish;  ///< per worker (comm + compute)
+  double makespan = 0.0;
+};
+
+/// Simulate the single round. `amounts[i]` load units go to worker i
+/// (0 allowed); alpha is the computation-cost exponent. master_capacity
+/// must be positive (use +infinity for the paper's parallel-links model).
+[[nodiscard]] BoundedMultiportResult simulate_bounded_multiport(
+    const platform::Platform& platform, const std::vector<double>& amounts,
+    double master_capacity, double alpha = 1.0);
+
+}  // namespace nldl::sim

@@ -1,0 +1,52 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace nldl::sim {
+
+std::string ascii_gantt(const platform::Platform& platform,
+                        const SimResult& result, std::size_t width) {
+  NLDL_REQUIRE(width >= 8, "gantt width too small");
+  const std::size_t p = platform.size();
+  const double horizon = std::max(result.makespan, 1e-300);
+
+  // cell state bits: 1 = receiving, 2 = computing
+  std::vector<std::vector<unsigned>> cells(p,
+                                           std::vector<unsigned>(width, 0));
+  auto paint = [&](std::size_t worker, double t0, double t1, unsigned bit) {
+    if (t1 <= t0) return;
+    auto lo = static_cast<std::size_t>(t0 / horizon * double(width));
+    auto hi = static_cast<std::size_t>(t1 / horizon * double(width));
+    lo = std::min(lo, width - 1);
+    hi = std::min(std::max(hi, lo + 1), width);
+    for (std::size_t cell = lo; cell < hi; ++cell) {
+      cells[worker][cell] |= bit;
+    }
+  };
+  for (const ChunkSpan& span : result.spans) {
+    paint(span.worker, span.comm_start, span.comm_end, 1U);
+    paint(span.worker, span.compute_start, span.compute_end, 2U);
+  }
+
+  static constexpr char kGlyph[4] = {'.', '-', '#', '='};
+  std::string out;
+  for (std::size_t i = 0; i < p; ++i) {
+    char label[48];
+    std::snprintf(label, sizeof(label), "P%-3zu (s=%7.3f) |", i + 1,
+                  platform.speed(i));
+    out += label;
+    for (const unsigned cell : cells[i]) out += kGlyph[cell & 3U];
+    out += "|\n";
+  }
+  char footer[64];
+  std::snprintf(footer, sizeof(footer), "%*s t = [0, %.4g]\n",
+                 18, "", result.makespan);
+  out += footer;
+  return out;
+}
+
+}  // namespace nldl::sim

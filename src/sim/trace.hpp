@@ -1,0 +1,17 @@
+// ASCII Gantt rendering of simulation results, for the example programs.
+#pragma once
+
+#include <string>
+
+#include "sim/simulator.hpp"
+
+namespace nldl::sim {
+
+/// Render a per-worker timeline: '-' while receiving, '#' while computing,
+/// '=' while doing both (pipelined multi-round), '.' idle. One row per
+/// worker, `width` character columns spanning [0, makespan].
+[[nodiscard]] std::string ascii_gantt(const platform::Platform& platform,
+                                      const SimResult& result,
+                                      std::size_t width = 72);
+
+}  // namespace nldl::sim

@@ -1,0 +1,62 @@
+#include "sort/sample_sort.hpp"
+
+#include <cmath>
+
+namespace nldl::sort {
+
+std::size_t default_oversampling(std::size_t n) {
+  if (n < 2) return 1;
+  const double log_n = std::log2(static_cast<double>(n));
+  return static_cast<std::size_t>(std::max(1.0, std::ceil(log_n * log_n)));
+}
+
+std::vector<std::size_t> homogeneous_splitter_ranks(std::size_t p,
+                                                    std::size_t s) {
+  NLDL_REQUIRE(p >= 1, "p must be >= 1");
+  NLDL_REQUIRE(s >= 1, "oversampling must be >= 1");
+  std::vector<std::size_t> ranks;
+  ranks.reserve(p - 1);
+  for (std::size_t i = 1; i < p; ++i) ranks.push_back(i * s);
+  return ranks;
+}
+
+std::vector<std::size_t> heterogeneous_splitter_ranks(
+    const std::vector<double>& speeds, std::size_t sample_size) {
+  NLDL_REQUIRE(!speeds.empty(), "speeds must not be empty");
+  NLDL_REQUIRE(sample_size >= speeds.size(),
+               "sample must contain at least one key per bucket");
+  double total = 0.0;
+  for (const double s : speeds) {
+    NLDL_REQUIRE(s > 0.0, "speeds must be positive");
+    total += s;
+  }
+  std::vector<std::size_t> ranks;
+  ranks.reserve(speeds.size() - 1);
+  double cumulative = 0.0;
+  std::size_t previous = 0;
+  for (std::size_t i = 0; i + 1 < speeds.size(); ++i) {
+    cumulative += speeds[i];
+    auto rank = static_cast<std::size_t>(
+        cumulative / total * static_cast<double>(sample_size - 1));
+    // Ranks must be strictly increasing so buckets stay well-formed even
+    // when some share rounds to zero sample keys.
+    rank = std::max(rank, previous + (i > 0 ? 1 : 0));
+    rank = std::min(rank, sample_size - 1);
+    ranks.push_back(rank);
+    previous = rank;
+  }
+  // Backward pass: the forward forcing can push trailing ranks past the
+  // sample when a huge share sits first (e.g. speeds {1e9, ε, ε}); pull
+  // them back while keeping strict monotonicity. Feasible because
+  // sample_size >= p.
+  for (std::size_t i = ranks.size(); i-- > 0;) {
+    const std::size_t cap = sample_size - (ranks.size() - i);
+    ranks[i] = std::min(ranks[i], cap);
+    if (i + 1 < ranks.size() && ranks[i] >= ranks[i + 1]) {
+      ranks[i] = ranks[i + 1] - 1;
+    }
+  }
+  return ranks;
+}
+
+}  // namespace nldl::sort

@@ -1,0 +1,146 @@
+#include "sort/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dlt/analysis.hpp"
+#include "sort/sample_sort.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nldl::sort {
+
+namespace {
+
+/// Draw a sample of `sample_size` uniform keys, pick splitters at `ranks`,
+/// and return the bucket counts of `n` uniform keys — computed analytically
+/// from the splitter values: a uniform key lands below splitter value v
+/// with probability v, so counts follow a multinomial we sample directly.
+std::vector<std::size_t> bucket_counts_one_trial(
+    std::size_t n, std::size_t sample_size,
+    const std::vector<std::size_t>& ranks, util::Rng& rng) {
+  std::vector<double> sample(sample_size);
+  for (double& key : sample) key = rng.uniform();
+  std::sort(sample.begin(), sample.end());
+
+  std::vector<double> splitters;
+  splitters.reserve(ranks.size());
+  for (const std::size_t rank : ranks) splitters.push_back(sample[rank]);
+
+  // Multinomial draw via sequential binomials. Binomial sampled by
+  // normal approximation for large counts, exact Bernoulli sum otherwise.
+  const std::size_t buckets = ranks.size() + 1;
+  std::vector<std::size_t> counts(buckets, 0);
+  std::size_t remaining = n;
+  double mass_left = 1.0;
+  double previous = 0.0;
+  for (std::size_t b = 0; b + 1 < buckets; ++b) {
+    const double width = splitters[b] - previous;
+    previous = splitters[b];
+    if (remaining == 0 || mass_left <= 0.0) break;
+    const double prob = std::clamp(width / mass_left, 0.0, 1.0);
+    std::size_t draw;
+    const double mean = static_cast<double>(remaining) * prob;
+    const double var = mean * (1.0 - prob);
+    if (remaining > 1000 && var > 25.0) {
+      const double g = rng.normal(mean, std::sqrt(var));
+      draw = static_cast<std::size_t>(std::clamp(
+          std::llround(g), 0LL, static_cast<long long>(remaining)));
+    } else {
+      draw = 0;
+      for (std::size_t t = 0; t < remaining; ++t) {
+        if (rng.uniform() < prob) ++draw;
+      }
+    }
+    counts[b] = draw;
+    remaining -= draw;
+    mass_left -= width;
+  }
+  counts[buckets - 1] = remaining;
+  return counts;
+}
+
+}  // namespace
+
+BucketBoundCheck validate_max_bucket_bound(std::size_t n, std::size_t p,
+                                           std::size_t trials,
+                                           std::uint64_t seed) {
+  NLDL_REQUIRE(n > 1 && p >= 2, "need n > 1 and p >= 2");
+  NLDL_REQUIRE(trials >= 1, "need at least one trial");
+  BucketBoundCheck check;
+  check.n = n;
+  check.p = p;
+  check.trials = trials;
+  check.threshold = dlt::max_bucket_bound(static_cast<double>(n), p);
+  check.probability_bound =
+      dlt::max_bucket_bound_probability(static_cast<double>(n));
+
+  const std::size_t s = default_oversampling(n);
+  check.oversampling = s;
+  const std::size_t sample_size = s * p;
+  const std::vector<std::size_t> ranks = homogeneous_splitter_ranks(p, s);
+
+  util::Rng rng(seed);
+  double sum_ratio = 0.0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const auto counts = bucket_counts_one_trial(n, sample_size, ranks, rng);
+    const std::size_t max_bucket =
+        *std::max_element(counts.begin(), counts.end());
+    if (static_cast<double>(max_bucket) >= check.threshold) {
+      ++check.violations;
+    }
+    sum_ratio += static_cast<double>(max_bucket) /
+                 (static_cast<double>(n) / static_cast<double>(p));
+  }
+  check.violation_rate =
+      static_cast<double>(check.violations) / static_cast<double>(trials);
+  check.mean_max_over_expected = sum_ratio / static_cast<double>(trials);
+  return check;
+}
+
+BucketBoundCheck validate_max_bucket_bound_heterogeneous(
+    std::size_t n, const std::vector<double>& speeds, std::size_t trials,
+    std::uint64_t seed) {
+  NLDL_REQUIRE(n > 1 && speeds.size() >= 2, "need n > 1 and p >= 2");
+  NLDL_REQUIRE(trials >= 1, "need at least one trial");
+  const std::size_t p = speeds.size();
+  BucketBoundCheck check;
+  check.n = n;
+  check.p = p;
+  check.trials = trials;
+  // Same slack factor, applied to each bucket's own expected share x_i·N.
+  const double slack =
+      1.0 + std::pow(1.0 / std::log(static_cast<double>(n)), 1.0 / 3.0);
+  check.threshold = slack;  // interpreted as a per-bucket relative threshold
+  check.probability_bound =
+      dlt::max_bucket_bound_probability(static_cast<double>(n));
+
+  const std::size_t s = default_oversampling(n);
+  check.oversampling = s;
+  const std::size_t sample_size = s * p;
+  const std::vector<std::size_t> ranks =
+      heterogeneous_splitter_ranks(speeds, sample_size);
+
+  double total_speed = 0.0;
+  for (const double v : speeds) total_speed += v;
+
+  util::Rng rng(seed);
+  double sum_ratio = 0.0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const auto counts = bucket_counts_one_trial(n, sample_size, ranks, rng);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < p; ++i) {
+      const double expected =
+          static_cast<double>(n) * speeds[i] / total_speed;
+      worst = std::max(worst, static_cast<double>(counts[i]) / expected);
+    }
+    if (worst >= slack) ++check.violations;
+    sum_ratio += worst;
+  }
+  check.violation_rate =
+      static_cast<double>(check.violations) / static_cast<double>(trials);
+  check.mean_max_over_expected = sum_ratio / static_cast<double>(trials);
+  return check;
+}
+
+}  // namespace nldl::sort

@@ -1,0 +1,36 @@
+// Monte-Carlo validation of the sample-sort bucket-size bound
+// (Theorem B.4 of Blelloch et al., as used in paper Section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nldl::sort {
+
+struct BucketBoundCheck {
+  std::size_t n = 0;
+  std::size_t p = 0;
+  std::size_t oversampling = 0;   ///< s = log²N used for the trials
+  double threshold = 0.0;         ///< (N/p)·(1 + (1/ln N)^(1/3))
+  double probability_bound = 0.0; ///< N^(−1/3)
+  std::size_t trials = 0;
+  std::size_t violations = 0;     ///< trials with MaxSize >= threshold
+  double violation_rate = 0.0;
+  double mean_max_over_expected = 0.0;  ///< E[MaxSize/(N/p)]
+};
+
+/// Run `trials` independent splitter draws over uniformly random keys and
+/// count how often the largest bucket exceeds the theorem's threshold.
+/// Only bucket *counts* are computed (no sorting), so large N is cheap.
+[[nodiscard]] BucketBoundCheck validate_max_bucket_bound(std::size_t n,
+                                                         std::size_t p,
+                                                         std::size_t trials,
+                                                         std::uint64_t seed);
+
+/// Same Monte-Carlo check for the heterogeneous splitters of Section 3.2:
+/// verifies that max_i bucket_i/(x_i·N) stays within the same slack factor.
+[[nodiscard]] BucketBoundCheck validate_max_bucket_bound_heterogeneous(
+    std::size_t n, const std::vector<double>& speeds, std::size_t trials,
+    std::uint64_t seed);
+
+}  // namespace nldl::sort

@@ -1,0 +1,99 @@
+#include "util/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace nldl::util {
+
+AsciiChart::AsciiChart(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  NLDL_REQUIRE(width >= 16 && height >= 4, "chart area too small");
+}
+
+void AsciiChart::add_series(std::string name, char glyph,
+                            std::vector<double> xs, std::vector<double> ys) {
+  NLDL_REQUIRE(xs.size() == ys.size(), "series x/y lengths differ");
+  NLDL_REQUIRE(!xs.empty(), "series must not be empty");
+  series_.push_back(
+      Series{std::move(name), glyph, std::move(xs), std::move(ys)});
+}
+
+std::string AsciiChart::render() const {
+  NLDL_REQUIRE(!series_.empty(), "no series to render");
+  double x_min = series_[0].xs[0];
+  double x_max = x_min;
+  double y_min = series_[0].ys[0];
+  double y_max = y_min;
+  for (const Series& s : series_) {
+    for (const double x : s.xs) {
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+    }
+    for (const double y : s.ys) {
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+  // A little headroom above so the top points are visible; the bottom
+  // stays at the data minimum (ratio plots should not show fake
+  // negatives).
+  y_max += 0.05 * (y_max - y_min);
+
+  std::vector<std::string> canvas(height_, std::string(width_, ' '));
+  auto plot = [&](double x, double y, char glyph) {
+    const auto col = static_cast<std::size_t>(std::llround(
+        (x - x_min) / (x_max - x_min) * static_cast<double>(width_ - 1)));
+    const auto row_from_bottom = static_cast<std::size_t>(std::llround(
+        (y - y_min) / (y_max - y_min) * static_cast<double>(height_ - 1)));
+    canvas[height_ - 1 - row_from_bottom][col] = glyph;
+  };
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      plot(s.xs[i], s.ys[i], s.glyph);
+    }
+  }
+
+  std::string out;
+  if (!y_label_.empty()) out += y_label_ + "\n";
+  char tick[32];
+  for (std::size_t row = 0; row < height_; ++row) {
+    if (row == 0) {
+      std::snprintf(tick, sizeof(tick), "%9.3g |", y_max);
+    } else if (row + 1 == height_) {
+      std::snprintf(tick, sizeof(tick), "%9.3g |", y_min);
+    } else {
+      std::snprintf(tick, sizeof(tick), "%9s |", "");
+    }
+    out += tick;
+    out += canvas[row];
+    out += "\n";
+  }
+  out += std::string(10, ' ') + '+' + std::string(width_, '-') + "\n";
+  std::snprintf(tick, sizeof(tick), "%9.3g", x_min);
+  out += std::string(10, ' ') + tick;
+  std::snprintf(tick, sizeof(tick), "%.3g", x_max);
+  const std::string right = tick;
+  const std::size_t used = 10 + 9;
+  if (width_ > right.size() + 9) {
+    out += std::string(width_ - right.size() - 9 + (10 - used + 9), ' ');
+    out += right;
+  }
+  out += "\n";
+  if (!x_label_.empty()) {
+    out += std::string(10 + width_ / 2 - x_label_.size() / 2, ' ') +
+           x_label_ + "\n";
+  }
+  for (const Series& s : series_) {
+    out += "  ";
+    out += s.glyph;
+    out += " = " + s.name + "\n";
+  }
+  return out;
+}
+
+}  // namespace nldl::util

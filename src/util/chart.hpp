@@ -1,0 +1,43 @@
+// Minimal ASCII line chart, used by the figure benches to render the
+// paper's plots directly in the terminal (one glyph per series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nldl::util {
+
+class AsciiChart {
+ public:
+  /// Plot area of `width` × `height` character cells (excluding axes).
+  AsciiChart(std::size_t width, std::size_t height);
+
+  /// Add a named series; `glyph` marks its points. X values should be
+  /// shared across series for a meaningful x-axis, but any positive
+  /// monotone x works.
+  void add_series(std::string name, char glyph, std::vector<double> xs,
+                  std::vector<double> ys);
+
+  /// Optional y-axis label.
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+  void set_x_label(std::string label) { x_label_ = std::move(label); }
+
+  /// Render: axes with min/max ticks, series points, legend.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Series {
+    std::string name;
+    char glyph;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+
+  std::size_t width_;
+  std::size_t height_;
+  std::string y_label_;
+  std::string x_label_;
+  std::vector<Series> series_;
+};
+
+}  // namespace nldl::util

@@ -1,0 +1,64 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace nldl::util {
+
+Args::Args(int argc, const char* const* argv) {
+  NLDL_REQUIRE(argc >= 1, "argc must include the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "";  // bare flag
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Args::get_string(const std::string& key,
+                             const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long long Args::get_int(const std::string& key, long long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Args::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string value = it->second;
+  std::transform(value.begin(), value.end(), value.begin(),
+                 [](unsigned char ch) { return std::tolower(ch); });
+  if (value.empty() || value == "1" || value == "true" || value == "yes") {
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "no") return false;
+  NLDL_REQUIRE(false, "unparseable boolean for --" + key + ": " + value);
+  return fallback;  // unreachable
+}
+
+}  // namespace nldl::util

@@ -1,0 +1,43 @@
+// Tiny command-line argument parser for examples and benches.
+//
+// Supports --key=value and --flag forms; anything else is a positional
+// argument. Unknown keys are tolerated (reported via unknown()) so wrappers
+// can pass through google-benchmark flags.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nldl::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  /// --flag or --flag=true/1/yes => true; --flag=false/0/no => false.
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const noexcept {
+    return program_;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace nldl::util

@@ -1,0 +1,123 @@
+// Scalar root-finding for the nonlinear DLT allocators.
+//
+// The paper's nonlinear allocation equations (w·X^α terms) have no closed
+// form on heterogeneous platforms, and the reproduction guidance notes that
+// external solver libraries are inconvenient here — so nldl ships its own
+// robust scalar solvers: plain bisection and a bisection-safeguarded Newton
+// iteration. Both assume a bracketing interval.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace nldl::util {
+
+/// Result of a root search.
+struct RootResult {
+  double x = 0.0;        ///< approximate root
+  int iterations = 0;    ///< iterations consumed
+  bool converged = false;
+};
+
+struct RootOptions {
+  double x_tol = 1e-12;   ///< absolute tolerance on the bracket width
+  double f_tol = 1e-13;   ///< absolute tolerance on |f(x)|
+  int max_iterations = 200;
+};
+
+/// Find x in [lo, hi] with f(x) = 0 by bisection.
+///
+/// Requires f(lo) and f(hi) to have opposite signs (or one of them to be an
+/// exact root). Converges unconditionally for continuous f.
+template <typename F>
+RootResult bisect(F&& f, double lo, double hi, RootOptions opts = {}) {
+  NLDL_REQUIRE(lo <= hi, "bisect requires lo <= hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {lo, 0, true};
+  if (fhi == 0.0) return {hi, 0, true};
+  NLDL_REQUIRE(std::signbit(flo) != std::signbit(fhi),
+               "bisect requires a sign change over [lo, hi]");
+  RootResult result;
+  for (result.iterations = 0; result.iterations < opts.max_iterations;
+       ++result.iterations) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (std::abs(fmid) <= opts.f_tol || (hi - lo) <= opts.x_tol) {
+      result.x = mid;
+      result.converged = true;
+      return result;
+    }
+    if (std::signbit(fmid) == std::signbit(flo)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  result.x = 0.5 * (lo + hi);
+  result.converged = (hi - lo) <= opts.x_tol * 16;
+  return result;
+}
+
+/// Newton's method safeguarded by a bisection bracket: whenever the Newton
+/// step leaves [lo, hi] (or the derivative vanishes), fall back to bisection.
+/// Keeps Newton's quadratic convergence near the root with bisection's
+/// global robustness.
+template <typename F, typename DF>
+RootResult newton_safeguarded(F&& f, DF&& df, double lo, double hi,
+                              RootOptions opts = {}) {
+  NLDL_REQUIRE(lo <= hi, "newton_safeguarded requires lo <= hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {lo, 0, true};
+  if (fhi == 0.0) return {hi, 0, true};
+  NLDL_REQUIRE(std::signbit(flo) != std::signbit(fhi),
+               "newton_safeguarded requires a sign change over [lo, hi]");
+  double x = 0.5 * (lo + hi);
+  RootResult result;
+  for (result.iterations = 0; result.iterations < opts.max_iterations;
+       ++result.iterations) {
+    const double fx = f(x);
+    if (std::abs(fx) <= opts.f_tol || (hi - lo) <= opts.x_tol) {
+      result.x = x;
+      result.converged = true;
+      return result;
+    }
+    // Shrink the bracket around the root.
+    if (std::signbit(fx) == std::signbit(flo)) {
+      lo = x;
+      flo = fx;
+    } else {
+      hi = x;
+    }
+    const double dfx = df(x);
+    double next = (dfx != 0.0) ? x - fx / dfx : lo - 1.0;  // force fallback
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    x = next;
+  }
+  result.x = x;
+  result.converged = false;
+  return result;
+}
+
+/// Convenience wrapper: root of a strictly increasing function, expanding
+/// the upper bracket geometrically from `hi_guess` until f turns positive.
+template <typename F>
+RootResult solve_increasing(F&& f, double lo, double hi_guess,
+                            RootOptions opts = {}) {
+  NLDL_REQUIRE(hi_guess > lo, "solve_increasing requires hi_guess > lo");
+  double hi = hi_guess;
+  int expansions = 0;
+  while (f(hi) < 0.0) {
+    hi = lo + (hi - lo) * 2.0;
+    NLDL_REQUIRE(++expansions < 200,
+                 "solve_increasing: no sign change found (f not increasing "
+                 "to a root?)");
+  }
+  return bisect(f, lo, hi, opts);
+}
+
+}  // namespace nldl::util

@@ -1,0 +1,106 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace nldl::util {
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  NLDL_REQUIRE(!sorted.empty(), "quantile of empty sample");
+  NLDL_REQUIRE(q >= 0.0 && q <= 1.0, "quantile order must be in [0,1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::vector<double> sample, double q) {
+  std::sort(sample.begin(), sample.end());
+  return quantile_sorted(sample, q);
+}
+
+double mean_of(const std::vector<double>& sample) {
+  NLDL_REQUIRE(!sample.empty(), "mean of empty sample");
+  double acc = 0.0;
+  for (const double x : sample) acc += x;
+  return acc / static_cast<double>(sample.size());
+}
+
+double stddev_of(const std::vector<double>& sample) {
+  RunningStats stats;
+  for (const double x : sample) stats.push(x);
+  return stats.stddev();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  NLDL_REQUIRE(lo < hi, "Histogram requires lo < hi");
+  NLDL_REQUIRE(bins > 0, "Histogram requires at least one bin");
+}
+
+void Histogram::push(double x) noexcept {
+  const double span = hi_ - lo_;
+  auto bin = static_cast<long long>((x - lo_) / span *
+                                    static_cast<double>(counts_.size()));
+  bin = std::clamp(bin, 0LL, static_cast<long long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  NLDL_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  NLDL_REQUIRE(bin < counts_.size(), "histogram bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t mode = 0;
+  for (const std::size_t c : counts_) mode = std::max(mode, c);
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%9.3f, %9.3f) %8zu |", bin_lo(b),
+                  bin_hi(b), counts_[b]);
+    out += label;
+    const std::size_t bar =
+        mode == 0 ? 0 : counts_[b] * width / std::max<std::size_t>(mode, 1);
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nldl::util

@@ -1,0 +1,94 @@
+// Streaming and batch statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace nldl::util {
+
+/// Numerically stable streaming statistics (Welford's algorithm).
+///
+/// Used to aggregate the 100-trial sweeps of the paper's Figure 4 without
+/// storing every sample.
+class RunningStats {
+ public:
+  void push(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Population variance (n denominator); 0 when empty.
+  [[nodiscard]] double population_variance() const noexcept {
+    return count_ < 1 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Linear-interpolation quantile of an *unsorted* sample (the input is
+/// copied and sorted). q must lie in [0, 1]; the sample must be non-empty.
+[[nodiscard]] double quantile(std::vector<double> sample, double q);
+
+/// Quantile of an already-sorted sample (no copy).
+[[nodiscard]] double quantile_sorted(const std::vector<double>& sorted,
+                                     double q);
+
+/// Mean of a non-empty sample.
+[[nodiscard]] double mean_of(const std::vector<double>& sample);
+
+/// Sample standard deviation of a sample (0 for fewer than two values).
+[[nodiscard]] double stddev_of(const std::vector<double>& sample);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped to the
+/// boundary bins. Used by the examples' ASCII visualizations.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void push(double x) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Render as rows of "[lo, hi) ####" bars, `width` chars at the mode.
+  [[nodiscard]] std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace nldl::util

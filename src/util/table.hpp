@@ -1,0 +1,68 @@
+// Lightweight tabular output for the benchmark harness.
+//
+// Every figure/table reproduction prints both a human-readable ASCII table
+// (the "paper view") and machine-readable CSV, so results can be diffed or
+// re-plotted.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nldl::util {
+
+/// Format a double with `precision` significant decimal digits after the
+/// point, trimming to a compact fixed representation.
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+/// A rectangular table with a header row. Cells are stored as strings;
+/// numeric helpers format on insertion.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a fully formed row. Must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Row builder that accepts strings and arithmetic values.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    RowBuilder& cell(std::string value);
+    RowBuilder& cell(double value, int precision = 4);
+    RowBuilder& cell(std::size_t value);
+    RowBuilder& cell(long long value);
+    RowBuilder& cell(int value) { return cell(static_cast<long long>(value)); }
+    /// Commit the row to the table (validates the width).
+    void done();
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  [[nodiscard]] RowBuilder row() { return RowBuilder(*this); }
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const noexcept {
+    return headers_.size();
+  }
+  [[nodiscard]] const std::string& cell(std::size_t row,
+                                        std::size_t column) const;
+
+  /// Pretty-print with aligned columns and a separator under the header.
+  void print(std::ostream& out) const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  void write_csv(std::ostream& out) const;
+
+  /// Convenience: CSV into a file, creating/truncating it.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nldl::util

@@ -1,0 +1,70 @@
+// Minimal fixed-size thread pool.
+//
+// Used where the paper's algorithms are actually *executed* on one node
+// (sample sort local sorts, matmul kernels, the MapReduce engine) as opposed
+// to where platform time is *simulated* (src/sim). Follows the C++ Core
+// Guidelines concurrency rules: no detached threads, joins in the
+// destructor, futures for results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace nldl::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future yields its result (or exception).
+  template <typename F>
+  [[nodiscard]] auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using Result = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(
+        std::forward<F>(fn));
+    std::future<Result> future = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      NLDL_REQUIRE(!stopping_, "submit() on a stopping ThreadPool");
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Run fn(i) for i in [begin, end) across the pool, blocking until all
+/// indices complete. Work is split into contiguous chunks of at least
+/// `grain` indices. Exceptions from any chunk propagate to the caller.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace nldl::util

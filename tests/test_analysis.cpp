@@ -1,0 +1,110 @@
+// Unit tests for the closed-form analysis formulas (paper Sections 2–3).
+#include "dlt/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nldl::dlt {
+namespace {
+
+TEST(RemainingFraction, LinearLoadsLoseNothing) {
+  for (const std::size_t p : {1UL, 2UL, 100UL}) {
+    EXPECT_DOUBLE_EQ(remaining_fraction_homogeneous(p, 1.0), 0.0);
+  }
+}
+
+TEST(RemainingFraction, QuadraticKnownValues) {
+  EXPECT_DOUBLE_EQ(remaining_fraction_homogeneous(2, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(remaining_fraction_homogeneous(4, 2.0), 0.75);
+  EXPECT_DOUBLE_EQ(remaining_fraction_homogeneous(100, 2.0), 0.99);
+}
+
+TEST(RemainingFraction, CubicGrowsFaster) {
+  EXPECT_DOUBLE_EQ(remaining_fraction_homogeneous(4, 3.0), 1.0 - 1.0 / 16.0);
+  // For fixed p, higher alpha leaves more work undone.
+  EXPECT_GT(remaining_fraction_homogeneous(8, 3.0),
+            remaining_fraction_homogeneous(8, 2.0));
+}
+
+TEST(RemainingFraction, MonotoneInP) {
+  double previous = -1.0;
+  for (std::size_t p = 1; p <= 256; p *= 2) {
+    const double fraction = remaining_fraction_homogeneous(p, 2.0);
+    EXPECT_GT(fraction, previous);
+    previous = fraction;
+  }
+  EXPECT_LT(previous, 1.0);
+}
+
+TEST(RemainingFraction, SinglgetProcessorDoesAllWork) {
+  EXPECT_DOUBLE_EQ(remaining_fraction_homogeneous(1, 3.0), 0.0);
+}
+
+TEST(SortingFraction, KnownValues) {
+  // log p / log N is base-invariant.
+  EXPECT_NEAR(sorting_remaining_fraction(1024.0, 2), 0.1, 1e-12);
+  EXPECT_NEAR(sorting_remaining_fraction(1 << 20, 32), 0.25, 1e-12);
+}
+
+TEST(SortingFraction, VanishesForLargeN) {
+  EXPECT_LT(sorting_remaining_fraction(1e18, 64), 0.11);
+  EXPECT_GT(sorting_remaining_fraction(100.0, 64), 0.8);
+}
+
+TEST(SortingFraction, SingleProcessorIsZero) {
+  EXPECT_DOUBLE_EQ(sorting_remaining_fraction(1e6, 1), 0.0);
+}
+
+TEST(Oversampling, IsLogSquared) {
+  EXPECT_NEAR(sample_sort_oversampling(1024.0), 100.0, 1e-9);  // log2 = 10
+  EXPECT_NEAR(sample_sort_oversampling(1 << 16), 256.0, 1e-9);
+}
+
+TEST(StepCosts, Step2DominatesStep1ForLargeN) {
+  // s·p·log(s·p) = o(N·log p): preprocessing is master-side cheap.
+  const double n = 1e8;
+  for (const std::size_t p : {4UL, 64UL, 256UL}) {
+    EXPECT_LT(sample_sort_step1_cost(n, p), sample_sort_step2_cost(n, p));
+  }
+}
+
+TEST(StepCosts, Step3IsTheParallelShare) {
+  const double n = 1 << 20;
+  const std::size_t p = 16;
+  EXPECT_NEAR(sample_sort_step3_cost(n, p),
+              n / 16.0 * 20.0, 1e-6);
+}
+
+TEST(MaxBucketBound, ShrinksTowardPerfectShare) {
+  const std::size_t p = 10;
+  // Slack (1/ln N)^(1/3) decreases with N.
+  const double loose = max_bucket_bound(1e3, p) / (1e3 / 10.0);
+  const double tight = max_bucket_bound(1e12, p) / (1e12 / 10.0);
+  EXPECT_GT(loose, tight);
+  EXPECT_GT(tight, 1.0);
+  EXPECT_LT(tight, 1.5);
+}
+
+TEST(MaxBucketBound, ProbabilityDecays) {
+  EXPECT_NEAR(max_bucket_bound_probability(1e6), 1e-2, 1e-9);
+  EXPECT_GT(max_bucket_bound_probability(1e3),
+            max_bucket_bound_probability(1e9));
+}
+
+TEST(Analysis, PreconditionsEnforced) {
+  EXPECT_THROW((void)remaining_fraction_homogeneous(0, 2.0),
+               util::PreconditionError);
+  EXPECT_THROW((void)remaining_fraction_homogeneous(2, 0.5),
+               util::PreconditionError);
+  EXPECT_THROW((void)sorting_remaining_fraction(1.0, 2),
+               util::PreconditionError);
+  EXPECT_THROW((void)sample_sort_oversampling(0.5),
+               util::PreconditionError);
+  EXPECT_THROW((void)max_bucket_bound(0.5, 2), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace nldl::dlt

@@ -1,0 +1,55 @@
+// Tests for the contract-checking macros themselves.
+#include "util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nldl::util {
+namespace {
+
+TEST(Contracts, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(NLDL_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Contracts, RequireThrowsPreconditionError) {
+  EXPECT_THROW(NLDL_REQUIRE(false, "nope"), PreconditionError);
+}
+
+TEST(Contracts, RequireMessageCarriesContext) {
+  try {
+    NLDL_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+    EXPECT_NE(what.find("test_assert_contracts.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, AssertThrowsInvariantError) {
+  EXPECT_THROW(NLDL_ASSERT(false, "bug"), InvariantError);
+}
+
+TEST(Contracts, InvariantIsLogicError) {
+  // Catchable as std::logic_error — callers can distinguish user errors
+  // (invalid_argument) from library bugs (logic_error).
+  EXPECT_THROW(NLDL_ASSERT(false, "bug"), std::logic_error);
+  EXPECT_THROW(NLDL_REQUIRE(false, "user"), std::invalid_argument);
+}
+
+TEST(Contracts, SideEffectsEvaluateOnce) {
+  int calls = 0;
+  auto count = [&] {
+    ++calls;
+    return true;
+  };
+  NLDL_REQUIRE(count(), "");
+  EXPECT_EQ(calls, 1);
+  NLDL_ASSERT(count(), "");
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace nldl::util

@@ -1,0 +1,86 @@
+// Tests for the block-cyclic layout model (Section 4.2 virtualization).
+#include "linalg/block_cyclic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace nldl::linalg {
+namespace {
+
+TEST(BlockCyclic, OwnerCyclesOverGrid) {
+  const auto layout = make_block_cyclic(8, 2, 2, 2);
+  // Block-rows: [0,1]→0, [2,3]→1, [4,5]→0, [6,7]→1 (mod 2).
+  EXPECT_EQ(layout.owner(0, 0), (std::pair<std::size_t, std::size_t>{0, 0}));
+  EXPECT_EQ(layout.owner(2, 0), (std::pair<std::size_t, std::size_t>{1, 0}));
+  EXPECT_EQ(layout.owner(4, 6), (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(layout.owner(7, 7), (std::pair<std::size_t, std::size_t>{1, 1}));
+}
+
+TEST(BlockCyclic, RowColCountsPartitionN) {
+  const auto layout = make_block_cyclic(10, 3, 2, 3);
+  std::size_t rows = 0;
+  for (std::size_t r = 0; r < 2; ++r) rows += layout.rows_of(r);
+  EXPECT_EQ(rows, 10U);
+  std::size_t cols = 0;
+  for (std::size_t c = 0; c < 3; ++c) cols += layout.cols_of(c);
+  EXPECT_EQ(cols, 10U);
+}
+
+TEST(BlockCyclic, UnevenTailBlocks) {
+  // n = 7, block = 3: block-rows of sizes 3, 3, 1 cycle over 2 grid rows:
+  // row 0 gets blocks 0 and 2 (3 + 1), row 1 gets block 1 (3).
+  const auto layout = make_block_cyclic(7, 3, 2, 2);
+  EXPECT_EQ(layout.rows_of(0), 4U);
+  EXPECT_EQ(layout.rows_of(1), 3U);
+}
+
+TEST(BlockCyclic, CommMatchesClosedForm) {
+  for (const std::size_t n : {8UL, 10UL, 64UL, 65UL}) {
+    for (const std::size_t block : {1UL, 2UL, 7UL}) {
+      for (const std::size_t pr : {1UL, 2UL, 3UL}) {
+        for (const std::size_t pc : {1UL, 2UL, 4UL}) {
+          const auto layout = make_block_cyclic(n, block, pr, pc);
+          EXPECT_EQ(block_cyclic_matmul_comm(layout),
+                    block_cyclic_matmul_comm_closed_form(layout))
+              << "n=" << n << " b=" << block << " grid " << pr << "x" << pc;
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockCyclic, VolumeIndependentOfBlockSize) {
+  // The paper's virtualization claim: scattering blocks cyclically does
+  // not change the aggregate communication volume.
+  const auto coarse = make_block_cyclic(64, 32, 2, 2);
+  const auto fine = make_block_cyclic(64, 1, 2, 2);
+  EXPECT_EQ(block_cyclic_matmul_comm(coarse),
+            block_cyclic_matmul_comm(fine));
+}
+
+TEST(BlockCyclic, SquareGridMinimizesVolume) {
+  // n²(pr+pc) is minimized at pr = pc = √p for fixed p = pr·pc.
+  const auto square = make_block_cyclic(64, 4, 4, 4);
+  const auto skinny = make_block_cyclic(64, 4, 2, 8);
+  const auto row = make_block_cyclic(64, 4, 1, 16);
+  EXPECT_LT(block_cyclic_matmul_comm(square),
+            block_cyclic_matmul_comm(skinny));
+  EXPECT_LT(block_cyclic_matmul_comm(skinny),
+            block_cyclic_matmul_comm(row));
+}
+
+TEST(BlockCyclic, RejectsBadShapes) {
+  EXPECT_THROW((void)make_block_cyclic(0, 1, 1, 1),
+               util::PreconditionError);
+  EXPECT_THROW((void)make_block_cyclic(4, 0, 1, 1),
+               util::PreconditionError);
+  EXPECT_THROW((void)make_block_cyclic(4, 1, 0, 1),
+               util::PreconditionError);
+  const auto layout = make_block_cyclic(4, 1, 2, 2);
+  EXPECT_THROW((void)layout.owner(4, 0), util::PreconditionError);
+  EXPECT_THROW((void)layout.rows_of(2), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace nldl::linalg

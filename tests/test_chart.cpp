@@ -1,0 +1,84 @@
+// Tests for the ASCII chart renderer.
+#include "util/chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace nldl::util {
+namespace {
+
+TEST(AsciiChart, RendersSeriesGlyphs) {
+  AsciiChart chart(30, 8);
+  chart.add_series("up", '*', {0.0, 1.0, 2.0}, {0.0, 1.0, 2.0});
+  chart.add_series("down", 'o', {0.0, 1.0, 2.0}, {2.0, 1.0, 0.0});
+  const std::string art = chart.render();
+  EXPECT_NE(art.find('*'), std::string::npos);
+  EXPECT_NE(art.find('o'), std::string::npos);
+  EXPECT_NE(art.find("up"), std::string::npos);
+  EXPECT_NE(art.find("down"), std::string::npos);
+}
+
+TEST(AsciiChart, LabelsAppear) {
+  AsciiChart chart(30, 8);
+  chart.set_y_label("ratio");
+  chart.set_x_label("processors");
+  chart.add_series("s", '#', {1.0, 2.0}, {3.0, 4.0});
+  const std::string art = chart.render();
+  EXPECT_NE(art.find("ratio"), std::string::npos);
+  EXPECT_NE(art.find("processors"), std::string::npos);
+}
+
+TEST(AsciiChart, MonotoneSeriesMonotoneRows) {
+  // An increasing series must render later points on earlier (higher)
+  // rows of the canvas.
+  AsciiChart chart(40, 10);
+  chart.add_series("inc", '#', {0.0, 1.0, 2.0, 3.0},
+                   {0.0, 10.0, 20.0, 30.0});
+  const std::string art = chart.render();
+  // Find row index of first and last '#'.
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < art.size()) {
+    const auto end = art.find('\n', pos);
+    lines.push_back(art.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  int first_row = -1;
+  int last_row = -1;
+  for (int row = 0; row < static_cast<int>(lines.size()); ++row) {
+    const auto col = lines[static_cast<std::size_t>(row)].find('#');
+    if (col == std::string::npos) continue;
+    if (first_row < 0) first_row = row;
+    last_row = row;
+  }
+  ASSERT_GE(first_row, 0);
+  // Highest y (last point) appears on an earlier line than lowest y.
+  EXPECT_LT(first_row, last_row);
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart chart(20, 5);
+  chart.add_series("flat", '-', {1.0, 2.0}, {5.0, 5.0});
+  EXPECT_NO_THROW((void)chart.render());
+}
+
+TEST(AsciiChart, SinglePoint) {
+  AsciiChart chart(20, 5);
+  chart.add_series("dot", '@', {1.0}, {1.0});
+  EXPECT_NE(chart.render().find('@'), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsBadInput) {
+  EXPECT_THROW(AsciiChart(4, 2), PreconditionError);
+  AsciiChart chart(20, 5);
+  EXPECT_THROW(chart.add_series("bad", 'x', {1.0}, {1.0, 2.0}),
+               PreconditionError);
+  EXPECT_THROW(chart.add_series("empty", 'x', {}, {}),
+               PreconditionError);
+  AsciiChart no_series(20, 5);
+  EXPECT_THROW((void)no_series.render(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nldl::util

@@ -1,0 +1,129 @@
+// Unit tests for the simulated heterogeneous cluster scheduler.
+#include "mapreduce/cluster_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nldl::mapreduce {
+namespace {
+
+std::vector<SimTask> identical_tasks(std::size_t count, double cost,
+                                     std::vector<BlockId> inputs = {}) {
+  std::vector<SimTask> tasks(count);
+  for (auto& task : tasks) {
+    task.compute_cost = cost;
+    task.inputs = inputs;
+  }
+  return tasks;
+}
+
+TEST(Cluster, FasterWorkerTakesMoreTasks) {
+  ClusterConfig config;
+  config.speeds = {1.0, 3.0};
+  const auto outcome = run_cluster(identical_tasks(40, 1.0), config);
+  std::size_t fast = 0;
+  for (const std::size_t owner : outcome.owner) {
+    if (owner == 1) ++fast;
+  }
+  EXPECT_NEAR(static_cast<double>(fast), 30.0, 2.0);
+}
+
+TEST(Cluster, MakespanIsMaxWorkerTime) {
+  ClusterConfig config;
+  config.speeds = {1.0, 2.0};
+  const auto outcome = run_cluster(identical_tasks(9, 2.0), config);
+  EXPECT_DOUBLE_EQ(
+      outcome.makespan,
+      std::max(outcome.worker_time[0], outcome.worker_time[1]));
+}
+
+TEST(Cluster, BytesCountedOncePerWorkerBlock) {
+  // Two tasks sharing one input block, single worker: the block ships once.
+  ClusterConfig config;
+  config.speeds = {1.0};
+  config.bytes_per_block = 8.0;
+  const auto outcome =
+      run_cluster(identical_tasks(2, 1.0, {42}), config);
+  EXPECT_DOUBLE_EQ(outcome.total_bytes, 8.0);
+}
+
+TEST(Cluster, DistinctBlocksAllShip) {
+  ClusterConfig config;
+  config.speeds = {1.0};
+  std::vector<SimTask> tasks(3);
+  for (std::size_t t = 0; t < 3; ++t) {
+    tasks[t].compute_cost = 1.0;
+    tasks[t].inputs = {static_cast<BlockId>(t)};
+  }
+  const auto outcome = run_cluster(tasks, config);
+  EXPECT_DOUBLE_EQ(outcome.total_bytes, 3.0);
+}
+
+TEST(Cluster, AffinityReducesBytes) {
+  // Three task families on two workers: the affinity-blind scheduler's
+  // alternation smears every family over both workers (3 + 3 fetches);
+  // the affinity-aware one keeps families together and only shares the
+  // leftover third family (at most 4 fetches).
+  std::vector<SimTask> tasks;
+  for (int i = 0; i < 21; ++i) {
+    SimTask task;
+    task.compute_cost = 1.0;
+    task.inputs = {static_cast<BlockId>(i % 3)};
+    tasks.push_back(task);
+  }
+  ClusterConfig plain;
+  plain.speeds = {1.0, 1.0};
+  const auto blind = run_cluster(tasks, plain);
+
+  ClusterConfig aware = plain;
+  aware.affinity_aware = true;
+  const auto smart = run_cluster(tasks, aware);
+
+  EXPECT_DOUBLE_EQ(blind.total_bytes, 6.0);
+  EXPECT_LE(smart.total_bytes, 4.0);
+  EXPECT_LT(smart.total_bytes, blind.total_bytes);
+}
+
+TEST(Cluster, AffinityPreservesLoadBalance) {
+  std::vector<SimTask> tasks;
+  for (int i = 0; i < 100; ++i) {
+    SimTask task;
+    task.compute_cost = 1.0;
+    task.inputs = {static_cast<BlockId>(i % 4)};
+    tasks.push_back(task);
+  }
+  ClusterConfig aware;
+  aware.speeds = {1.0, 1.0, 2.0};
+  aware.affinity_aware = true;
+  const auto outcome = run_cluster(tasks, aware);
+  EXPECT_LT(outcome.imbalance, 0.15);
+}
+
+TEST(Cluster, ImbalanceInfiniteWhenWorkerIdle) {
+  ClusterConfig config;
+  config.speeds = {1.0, 1.0, 1.0};
+  const auto outcome = run_cluster(identical_tasks(1, 1.0), config);
+  EXPECT_TRUE(std::isinf(outcome.imbalance));
+}
+
+TEST(Cluster, EmptyTaskListIsFine) {
+  ClusterConfig config;
+  config.speeds = {1.0};
+  const auto outcome = run_cluster({}, config);
+  EXPECT_DOUBLE_EQ(outcome.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(outcome.total_bytes, 0.0);
+}
+
+TEST(Cluster, RejectsBadConfig) {
+  ClusterConfig empty;
+  EXPECT_THROW((void)run_cluster({}, empty), util::PreconditionError);
+  ClusterConfig negative;
+  negative.speeds = {1.0, -1.0};
+  EXPECT_THROW((void)run_cluster({}, negative), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace nldl::mapreduce

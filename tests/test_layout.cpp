@@ -1,0 +1,127 @@
+// Unit + property tests for integer grid layouts (exact-cover discretization).
+#include "partition/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "partition/lower_bound.hpp"
+#include "platform/speed_distributions.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nldl::partition {
+namespace {
+
+TEST(Apportion, ExactDivision) {
+  EXPECT_EQ(apportion({1.0, 1.0, 2.0}, 8),
+            (std::vector<long long>{2, 2, 4}));
+}
+
+TEST(Apportion, LargestRemainderWins) {
+  // Shares 3.6 / 2.4: remainders 0.6 vs 0.4 → 4 / 2.
+  EXPECT_EQ(apportion({0.6, 0.4}, 6), (std::vector<long long>{4, 2}));
+}
+
+TEST(Apportion, SumIsExact) {
+  util::Rng rng(8);
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto parts = static_cast<std::size_t>(rng.uniform_int(1, 20));
+    std::vector<double> weights;
+    for (std::size_t i = 0; i < parts; ++i) {
+      weights.push_back(rng.uniform(0.0, 1.0) + 1e-9);
+    }
+    const long long total = rng.uniform_int(0, 1000);
+    const auto out = apportion(weights, total);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0LL), total);
+  }
+}
+
+TEST(Apportion, RejectsBadInput) {
+  EXPECT_THROW((void)apportion({}, 5), util::PreconditionError);
+  EXPECT_THROW((void)apportion({1.0}, -1), util::PreconditionError);
+  EXPECT_THROW((void)apportion({-1.0, 2.0}, 5), util::PreconditionError);
+  EXPECT_THROW((void)apportion({0.0, 0.0}, 5), util::PreconditionError);
+}
+
+TEST(Discretize, EqualQuadrants) {
+  const auto part = peri_sum_partition(std::vector<double>(4, 1.0));
+  const auto layout = discretize(part, 100);
+  EXPECT_TRUE(verify_exact_cover(layout));
+  for (const IRect& rect : layout.rects) {
+    EXPECT_EQ(rect.area(), 2500);
+  }
+  EXPECT_EQ(layout.total_half_perimeter, 4 * 100);
+  EXPECT_NEAR(layout.max_share_error, 0.0, 1e-12);
+}
+
+TEST(Discretize, CoverSurvivesAwkwardN) {
+  const auto part = peri_sum_partition({0.37, 0.21, 0.42});
+  for (const long long n : {7LL, 13LL, 100LL, 101LL}) {
+    const auto layout = discretize(part, n);
+    EXPECT_TRUE(verify_exact_cover(layout)) << "n = " << n;
+  }
+}
+
+TEST(Discretize, ShareErrorShrinksWithN) {
+  const auto part = peri_sum_partition({0.123, 0.456, 0.421});
+  const auto coarse = discretize(part, 10);
+  const auto fine = discretize(part, 1000);
+  EXPECT_LT(fine.max_share_error, coarse.max_share_error + 1e-12);
+  EXPECT_LT(fine.max_share_error, 0.01);
+}
+
+TEST(Discretize, RejectsBadGrid) {
+  const auto part = peri_sum_partition({1.0});
+  EXPECT_THROW((void)discretize(part, 0), util::PreconditionError);
+}
+
+TEST(VerifyExactCover, DetectsOverlap) {
+  GridLayout layout;
+  layout.n = 10;
+  layout.rects = {{0, 0, 6, 10}, {5, 0, 5, 10}};  // overlap in column 5
+  EXPECT_FALSE(verify_exact_cover(layout));
+}
+
+TEST(VerifyExactCover, DetectsGap) {
+  GridLayout layout;
+  layout.n = 10;
+  layout.rects = {{0, 0, 4, 10}, {5, 0, 5, 10}};  // column 4 uncovered
+  EXPECT_FALSE(verify_exact_cover(layout));
+}
+
+TEST(VerifyExactCover, DetectsOutOfBounds) {
+  GridLayout layout;
+  layout.n = 10;
+  layout.rects = {{0, 0, 11, 10}};
+  EXPECT_FALSE(verify_exact_cover(layout));
+}
+
+// Property: discretized PERI-SUM layouts exactly cover the grid and their
+// integer half-perimeter stays close to the continuous cost × N.
+class LayoutProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LayoutProperty, CoverAndCost) {
+  const auto [p, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(p) * 1000 +
+                static_cast<std::uint64_t>(n));
+  const auto plat = platform::make_platform(
+      platform::SpeedModel::kLogNormal, static_cast<std::size_t>(p), rng);
+  const auto part = peri_sum_partition(plat.speeds());
+  const auto layout = discretize(part, n);
+  ASSERT_TRUE(verify_exact_cover(layout));
+  const double continuous_cost =
+      part.total_half_perimeter * static_cast<double>(n);
+  // Discretization adds at most ~2 units per rectangle.
+  EXPECT_NEAR(static_cast<double>(layout.total_half_perimeter),
+              continuous_cost, 2.0 * static_cast<double>(p) + 4.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LayoutProperty,
+    ::testing::Combine(::testing::Values(2, 5, 12, 40),
+                       ::testing::Values(64, 100, 257, 1024)));
+
+}  // namespace
+}  // namespace nldl::partition

@@ -1,0 +1,144 @@
+// Unit tests for the mini MapReduce engine.
+#include "mapreduce/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace nldl::mapreduce {
+namespace {
+
+double sum_reducer(std::uint64_t, std::span<const double> values) {
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum;
+}
+
+TEST(Engine, WordCountStyleJob) {
+  // Splits emit (key = value mod 3, 1.0); reduce counts occurrences.
+  JobConfig config;
+  config.num_splits = 9;
+  config.num_reducers = 2;
+  const auto result = run_job(
+      config,
+      [](std::size_t split, std::vector<KV>& out) {
+        out.push_back(KV{split % 3, 1.0});
+      },
+      sum_reducer);
+  ASSERT_EQ(result.output.size(), 3U);
+  for (const KV& kv : result.output) {
+    EXPECT_DOUBLE_EQ(kv.value, 3.0);
+  }
+  EXPECT_EQ(result.counters.map_tasks, 9U);
+  EXPECT_EQ(result.counters.map_output_records, 9U);
+  EXPECT_EQ(result.counters.reduce_groups, 3U);
+}
+
+TEST(Engine, OutputSortedByKey) {
+  JobConfig config;
+  config.num_splits = 10;
+  config.num_reducers = 4;
+  const auto result = run_job(
+      config,
+      [](std::size_t split, std::vector<KV>& out) {
+        out.push_back(KV{9 - split, static_cast<double>(split)});
+      },
+      sum_reducer);
+  for (std::size_t i = 1; i < result.output.size(); ++i) {
+    EXPECT_LT(result.output[i - 1].key, result.output[i].key);
+  }
+}
+
+TEST(Engine, CombinerShrinksShuffle) {
+  JobConfig plain;
+  plain.num_splits = 8;
+  plain.num_reducers = 2;
+  auto map_fn = [](std::size_t, std::vector<KV>& out) {
+    for (int i = 0; i < 100; ++i) out.push_back(KV{7, 1.0});
+  };
+  const auto without = run_job(plain, map_fn, sum_reducer);
+
+  JobConfig combined = plain;
+  combined.use_combiner = true;
+  const auto with = run_job(combined, map_fn, sum_reducer);
+
+  EXPECT_EQ(without.counters.shuffle_bytes, 800U * sizeof(KV));
+  EXPECT_EQ(with.counters.shuffle_bytes, 8U * sizeof(KV));
+  // Same final answer.
+  ASSERT_EQ(with.output.size(), 1U);
+  EXPECT_DOUBLE_EQ(with.output[0].value, 800.0);
+  EXPECT_DOUBLE_EQ(without.output[0].value, 800.0);
+}
+
+TEST(Engine, ParallelMatchesSerial) {
+  auto map_fn = [](std::size_t split, std::vector<KV>& out) {
+    for (std::size_t i = 0; i < 50; ++i) {
+      out.push_back(KV{(split * 31 + i) % 17,
+                       static_cast<double>(split) + 0.5});
+    }
+  };
+  JobConfig serial;
+  serial.num_splits = 40;
+  serial.num_reducers = 5;
+  const auto expected = run_job(serial, map_fn, sum_reducer);
+
+  util::ThreadPool pool(2);
+  JobConfig parallel = serial;
+  parallel.pool = &pool;
+  const auto actual = run_job(parallel, map_fn, sum_reducer);
+
+  ASSERT_EQ(actual.output.size(), expected.output.size());
+  for (std::size_t i = 0; i < actual.output.size(); ++i) {
+    EXPECT_EQ(actual.output[i].key, expected.output[i].key);
+    EXPECT_NEAR(actual.output[i].value, expected.output[i].value, 1e-9);
+  }
+}
+
+TEST(Engine, EmptyJob) {
+  JobConfig config;
+  config.num_splits = 0;
+  const auto result = run_job(
+      config, [](std::size_t, std::vector<KV>&) {}, sum_reducer);
+  EXPECT_TRUE(result.output.empty());
+  EXPECT_EQ(result.counters.map_output_records, 0U);
+}
+
+TEST(Engine, RejectsBadConfig) {
+  JobConfig config;
+  config.num_reducers = 0;
+  EXPECT_THROW((void)run_job(config,
+                             [](std::size_t, std::vector<KV>&) {},
+                             sum_reducer),
+               util::PreconditionError);
+  JobConfig ok;
+  EXPECT_THROW((void)run_job(ok, MapFn{}, sum_reducer),
+               util::PreconditionError);
+  EXPECT_THROW((void)run_job(ok,
+                             [](std::size_t, std::vector<KV>&) {},
+                             ReduceFn{}),
+               util::PreconditionError);
+}
+
+TEST(Engine, ReducerSeesAllValuesOfItsKey) {
+  JobConfig config;
+  config.num_splits = 6;
+  config.num_reducers = 3;
+  std::size_t max_group = 0;
+  const auto result = run_job(
+      config,
+      [](std::size_t split, std::vector<KV>& out) {
+        out.push_back(KV{0, static_cast<double>(split)});
+      },
+      [&](std::uint64_t, std::span<const double> values) {
+        max_group = std::max(max_group, values.size());
+        double sum = 0.0;
+        for (const double v : values) sum += v;
+        return sum;
+      });
+  EXPECT_EQ(max_group, 6U);
+  ASSERT_EQ(result.output.size(), 1U);
+  EXPECT_DOUBLE_EQ(result.output[0].value, 15.0);
+}
+
+}  // namespace
+}  // namespace nldl::mapreduce

@@ -1,0 +1,112 @@
+// Unit + integration tests for the outer-product-based matmul (Section 4.2).
+#include "linalg/matmul.hpp"
+
+#include <gtest/gtest.h>
+
+#include "partition/peri_sum.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nldl::linalg {
+namespace {
+
+TEST(MultiplyBlocked, MatchesNaive) {
+  util::Rng rng(1);
+  const Matrix a = Matrix::random(37, 37, rng);
+  const Matrix b = Matrix::random(37, 37, rng);
+  EXPECT_TRUE(multiply_blocked(a, b, 8).approx_equal(
+      multiply_naive(a, b), 1e-10));
+}
+
+TEST(MultiplyBlocked, BlockLargerThanMatrix) {
+  util::Rng rng(2);
+  const Matrix a = Matrix::random(5, 5, rng);
+  const Matrix b = Matrix::random(5, 5, rng);
+  EXPECT_TRUE(multiply_blocked(a, b, 64).approx_equal(
+      multiply_naive(a, b), 1e-12));
+}
+
+TEST(MatmulOuterProduct, MatchesNaiveOnHeterogeneousLayout) {
+  util::Rng rng(3);
+  const std::size_t n = 48;
+  const Matrix a = Matrix::random(n, n, rng);
+  const Matrix b = Matrix::random(n, n, rng);
+  const std::vector<double> speeds{1.0, 2.0, 5.0};
+  const auto layout = partition::discretize(
+      partition::peri_sum_partition(speeds), static_cast<long long>(n));
+  const auto dist = matmul_outer_product(a, b, layout, speeds);
+  EXPECT_TRUE(dist.result.approx_equal(multiply_naive(a, b), 1e-10));
+}
+
+TEST(MatmulOuterProduct, PanelWidthDoesNotChangeResultOrVolume) {
+  util::Rng rng(4);
+  const std::size_t n = 32;
+  const Matrix a = Matrix::random(n, n, rng);
+  const Matrix b = Matrix::random(n, n, rng);
+  const std::vector<double> speeds{1.0, 3.0};
+  const auto layout = partition::discretize(
+      partition::peri_sum_partition(speeds), static_cast<long long>(n));
+  const auto fine = matmul_outer_product(a, b, layout, speeds, 1);
+  const auto coarse = matmul_outer_product(a, b, layout, speeds, 8);
+  EXPECT_TRUE(fine.result.approx_equal(coarse.result, 1e-10));
+  EXPECT_EQ(fine.total_elements, coarse.total_elements);
+  EXPECT_EQ(coarse.steps, 4U);
+}
+
+TEST(MatmulOuterProduct, CommVolumeIsNTimesPerimeterSum) {
+  const std::size_t n = 64;
+  const Matrix a = Matrix::identity(n);
+  const Matrix b = Matrix::identity(n);
+  const std::vector<double> speeds{1.0, 1.0, 2.0, 4.0};
+  const auto layout = partition::discretize(
+      partition::peri_sum_partition(speeds), static_cast<long long>(n));
+  const auto dist = matmul_outer_product(a, b, layout, speeds);
+  EXPECT_EQ(dist.total_elements,
+            static_cast<long long>(n) * layout.total_half_perimeter);
+  EXPECT_EQ(dist.total_elements, matmul_comm_volume(layout));
+}
+
+TEST(MatmulOuterProduct, ParallelMatchesSerial) {
+  util::Rng rng(5);
+  const std::size_t n = 40;
+  const Matrix a = Matrix::random(n, n, rng);
+  const Matrix b = Matrix::random(n, n, rng);
+  const std::vector<double> speeds{2.0, 3.0};
+  const auto layout = partition::discretize(
+      partition::peri_sum_partition(speeds), static_cast<long long>(n));
+  util::ThreadPool pool(2);
+  const auto parallel = matmul_outer_product(a, b, layout, speeds, 4, &pool);
+  const auto serial = matmul_outer_product(a, b, layout, speeds, 4);
+  EXPECT_TRUE(parallel.result.approx_equal(serial.result, 0.0));
+}
+
+TEST(MatmulOuterProduct, BalancedForProportionalAreas) {
+  util::Rng rng(6);
+  const std::size_t n = 512;
+  const Matrix a = Matrix::identity(n);
+  const Matrix b = Matrix::identity(n);
+  const std::vector<double> speeds{1.0, 2.0, 3.0, 4.0};
+  const auto layout = partition::discretize(
+      partition::peri_sum_partition(speeds), static_cast<long long>(n));
+  const auto dist = matmul_outer_product(a, b, layout, speeds, 64);
+  EXPECT_LT(dist.imbalance, 0.05);
+}
+
+TEST(MatmulOuterProduct, RejectsNonSquare) {
+  const Matrix a(4, 5);
+  const Matrix b(5, 5);
+  const auto layout =
+      partition::discretize(partition::peri_sum_partition({1.0}), 4);
+  EXPECT_THROW((void)matmul_outer_product(a, b, layout, {1.0}),
+               util::PreconditionError);
+}
+
+TEST(MatmulCommVolume, SkipsEmptyRects) {
+  partition::GridLayout layout;
+  layout.n = 10;
+  layout.rects = {{0, 0, 10, 10}, {0, 0, 0, 0}};
+  EXPECT_EQ(matmul_comm_volume(layout), 10 * 20);
+}
+
+}  // namespace
+}  // namespace nldl::linalg

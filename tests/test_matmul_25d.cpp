@@ -1,0 +1,77 @@
+// Tests for the 2.5D matmul communication model (ref [42] context).
+#include "linalg/matmul_25d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace nldl::linalg {
+namespace {
+
+TEST(Grid25D, Validity) {
+  EXPECT_TRUE(valid_25d_grid(16, 1));   // 4x4x1
+  EXPECT_TRUE(valid_25d_grid(32, 2));   // 4x4x2
+  EXPECT_TRUE(valid_25d_grid(64, 4));   // 4x4x4
+  EXPECT_FALSE(valid_25d_grid(20, 2));  // 10 not a square
+  EXPECT_FALSE(valid_25d_grid(16, 3));  // 3 does not divide 16
+  EXPECT_FALSE(valid_25d_grid(0, 1));
+  EXPECT_FALSE(valid_25d_grid(16, 0));
+}
+
+TEST(Comm25D, CEqualsOneIsClassical2D) {
+  // 2N²/√p per processor — the SUMMA broadcast volume.
+  const double words =
+      matmul_25d_words_per_proc(1024.0, {16, 1});
+  EXPECT_NEAR(words, 2.0 * 1024.0 * 1024.0 / 4.0, 1e-6);
+}
+
+TEST(Comm25D, ReplicationCutsBandwidth) {
+  const double n = 4096.0;
+  const double c1 = matmul_25d_words_per_proc(n, {64, 1});
+  const double c4 = matmul_25d_words_per_proc(n, {64, 4});
+  // Ideal factor √c = 2 on the broadcast term; reduction adds back a bit.
+  EXPECT_LT(c4, c1);
+  EXPECT_GT(c4, c1 / 2.5);
+}
+
+TEST(Comm25D, MemoryGrowsLinearlyInC) {
+  const double n = 1024.0;
+  const double m1 = matmul_25d_memory_per_proc(n, {64, 1});
+  const double m4 = matmul_25d_memory_per_proc(n, {64, 4});
+  EXPECT_NEAR(m4 / m1, 9.0 / 3.0, 1e-9);  // (2c+1)/3
+}
+
+TEST(Comm25D, TotalIsPerProcTimesP) {
+  const Matmul25DParams params{36, 4};
+  EXPECT_NEAR(matmul_25d_total_words(512.0, params),
+              36.0 * matmul_25d_words_per_proc(512.0, params), 1e-9);
+}
+
+TEST(Comm25D, TracksBandwidthLowerBound) {
+  // With M = memory_per_proc, the ITT bound is N³/(p·√M); 2.5D should sit
+  // within a small constant of it for valid c.
+  const double n = 8192.0;
+  for (const std::size_t c : {1UL, 2UL, 4UL}) {
+    const std::size_t p = 16 * c;
+    const Matmul25DParams params{p, c};
+    const double memory = matmul_25d_memory_per_proc(n, params);
+    const double bound = matmul_bandwidth_lower_bound(n, p, memory);
+    const double words = matmul_25d_words_per_proc(n, params);
+    EXPECT_GE(words, 0.5 * bound);   // not magically below the bound
+    EXPECT_LE(words, 8.0 * bound);   // within a small constant
+  }
+}
+
+TEST(Comm25D, RejectsBadShapes) {
+  EXPECT_THROW((void)matmul_25d_words_per_proc(16.0, {20, 2}),
+               util::PreconditionError);
+  EXPECT_THROW((void)matmul_25d_memory_per_proc(16.0, {20, 2}),
+               util::PreconditionError);
+  EXPECT_THROW((void)matmul_bandwidth_lower_bound(16.0, 4, 0.0),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace nldl::linalg

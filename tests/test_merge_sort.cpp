@@ -1,0 +1,83 @@
+// Tests for the parallel merge sort baseline.
+#include "sort/merge_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nldl::sort {
+namespace {
+
+TEST(MergeSort, SortsRandomData) {
+  util::Rng rng(1);
+  std::vector<double> data(50000);
+  for (double& v : data) v = rng.uniform(-100.0, 100.0);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(parallel_merge_sort(std::move(data), 8), expected);
+}
+
+TEST(MergeSort, HandlesNonPowerOfTwoWays) {
+  util::Rng rng(2);
+  for (const std::size_t ways : {1UL, 2UL, 3UL, 5UL, 7UL, 12UL}) {
+    std::vector<std::int64_t> data(10007);
+    for (auto& v : data) v = rng.uniform_int(-500, 500);
+    auto expected = data;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(parallel_merge_sort(std::move(data), ways), expected)
+        << ways << " ways";
+  }
+}
+
+TEST(MergeSort, TinyInputs) {
+  EXPECT_TRUE(parallel_merge_sort(std::vector<double>{}, 4).empty());
+  EXPECT_EQ(parallel_merge_sort(std::vector<double>{1.0}, 4),
+            (std::vector<double>{1.0}));
+  EXPECT_EQ(parallel_merge_sort(std::vector<double>{2.0, 1.0}, 4),
+            (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MergeSort, MoreWaysThanElements) {
+  std::vector<double> data{3.0, 1.0, 2.0};
+  EXPECT_EQ(parallel_merge_sort(std::move(data), 64),
+            (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(MergeSort, ParallelMatchesSerial) {
+  util::Rng rng(3);
+  std::vector<double> data(100000);
+  for (double& v : data) v = rng.normal(0.0, 10.0);
+  const auto serial = parallel_merge_sort(data, 6);
+  util::ThreadPool pool(2);
+  const auto parallel = parallel_merge_sort(std::move(data), 6, &pool);
+  EXPECT_EQ(parallel, serial);
+}
+
+TEST(MergeSort, AlreadySortedAndReversed) {
+  std::vector<double> ascending(9999);
+  std::iota(ascending.begin(), ascending.end(), 0.0);
+  EXPECT_EQ(parallel_merge_sort(ascending, 4), ascending);
+  std::vector<double> descending(ascending.rbegin(), ascending.rend());
+  EXPECT_EQ(parallel_merge_sort(std::move(descending), 4), ascending);
+}
+
+TEST(MergeSort, RejectsZeroWays) {
+  EXPECT_THROW((void)parallel_merge_sort(std::vector<double>{1.0, 2.0}, 0),
+               util::PreconditionError);
+}
+
+TEST(MergeSort, DuplicateHeavyInput) {
+  util::Rng rng(4);
+  std::vector<std::int64_t> data(20000);
+  for (auto& v : data) v = rng.uniform_int(0, 3);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(parallel_merge_sort(std::move(data), 5), expected);
+}
+
+}  // namespace
+}  // namespace nldl::sort

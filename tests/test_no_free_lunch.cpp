@@ -1,0 +1,84 @@
+// Tests for the Section 2/3 sweep helpers.
+#include "core/no_free_lunch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace nldl::core {
+namespace {
+
+TEST(RemainingFractionSweep, MatchesClosedForm) {
+  const auto points = remaining_fraction_sweep({2, 8, 32}, 2.0, 1000.0);
+  ASSERT_EQ(points.size(), 3U);
+  for (const auto& point : points) {
+    EXPECT_NEAR(point.simulated_parallel, point.closed_form, 1e-6);
+    // One-port serialization skews the allocation toward early workers;
+    // by convexity of x^α that *slightly* increases the work done, so the
+    // one-port remaining fraction sits just below the equal-split closed
+    // form — but stays within a percent of it.
+    EXPECT_NEAR(point.simulated_one_port, point.closed_form, 0.01);
+  }
+}
+
+TEST(RemainingFractionSweep, IncreasesWithP) {
+  const auto points = remaining_fraction_sweep({2, 4, 8, 16}, 2.0, 500.0);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].closed_form, points[i - 1].closed_form);
+    EXPECT_GT(points[i].simulated_parallel,
+              points[i - 1].simulated_parallel);
+  }
+}
+
+TEST(RemainingFractionOn, HeterogeneousStillVanishes) {
+  const auto plat = platform::Platform::from_speeds(
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+  const auto point = remaining_fraction_on(plat, 2.0, 1000.0);
+  // Even on heterogeneous platforms most work remains after one round.
+  EXPECT_GT(point.simulated_parallel, 0.5);
+  EXPECT_LE(point.simulated_parallel, 1.0);
+}
+
+TEST(SortingSweep, FractionMatchesFormula) {
+  const auto points = sorting_fraction_sweep({1024.0}, {2, 32});
+  ASSERT_EQ(points.size(), 2U);
+  EXPECT_NEAR(points[0].fraction, 0.1, 1e-9);   // log 2 / log 1024
+  EXPECT_NEAR(points[1].fraction, 0.5, 1e-9);   // log 32 / log 1024
+}
+
+TEST(SortingSweep, PreprocessingVanishesForLargeN) {
+  const auto points =
+      sorting_fraction_sweep({1e4, 1e7, 1e10}, {16});
+  ASSERT_EQ(points.size(), 3U);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i].preprocessing_ratio,
+              points[i - 1].preprocessing_ratio);
+  }
+  EXPECT_LT(points.back().preprocessing_ratio, 0.5);
+}
+
+TEST(Tables, RenderWithoutError) {
+  const auto nfl = remaining_fraction_sweep({2, 4}, 2.0, 100.0);
+  std::ostringstream out;
+  nfl_table(nfl).print(out);
+  EXPECT_NE(out.str().find("parallel-links"), std::string::npos);
+
+  const auto sorting = sorting_fraction_sweep({4096.0}, {4});
+  std::ostringstream out2;
+  sorting_table(sorting).print(out2);
+  EXPECT_NE(out2.str().find("log p/log N"), std::string::npos);
+}
+
+TEST(Sweeps, RejectEmptyInput) {
+  EXPECT_THROW((void)remaining_fraction_sweep({}, 2.0, 10.0),
+               util::PreconditionError);
+  EXPECT_THROW((void)sorting_fraction_sweep({}, {2}),
+               util::PreconditionError);
+  EXPECT_THROW((void)sorting_fraction_sweep({10.0}, {}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace nldl::core

@@ -1,0 +1,165 @@
+// Unit + integration tests for distributed outer products (Section 4.1).
+#include "linalg/outer_product.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "partition/block_homogeneous.hpp"
+#include "partition/lower_bound.hpp"
+#include "partition/peri_sum.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nldl::linalg {
+namespace {
+
+std::vector<double> iota_vector(std::size_t n, double start = 1.0) {
+  std::vector<double> v(n);
+  std::iota(v.begin(), v.end(), start);
+  return v;
+}
+
+TEST(OuterProductSerial, KnownValues) {
+  const Matrix c = outer_product_serial({1.0, 2.0}, {3.0, 4.0, 5.0});
+  EXPECT_EQ(c.rows(), 2U);
+  EXPECT_EQ(c.cols(), 3U);
+  EXPECT_DOUBLE_EQ(c(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(c(1, 2), 10.0);
+}
+
+TEST(OuterProductPartitioned, MatchesSerial) {
+  util::Rng rng(1);
+  const std::size_t n = 64;
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+  const std::vector<double> speeds{1.0, 2.0, 3.0, 10.0};
+  const auto part = partition::peri_sum_partition(speeds);
+  const auto layout = partition::discretize(part, static_cast<long long>(n));
+  ASSERT_TRUE(partition::verify_exact_cover(layout));
+
+  const auto dist = outer_product_partitioned(a, b, layout, speeds);
+  EXPECT_TRUE(dist.result.approx_equal(outer_product_serial(a, b), 1e-12));
+}
+
+TEST(OuterProductPartitioned, CommMatchesHalfPerimeters) {
+  const std::size_t n = 100;
+  const auto a = iota_vector(n);
+  const auto b = iota_vector(n);
+  const std::vector<double> speeds{1.0, 1.0, 2.0};
+  const auto layout = partition::discretize(
+      partition::peri_sum_partition(speeds), static_cast<long long>(n));
+  const auto dist = outer_product_partitioned(a, b, layout, speeds);
+  EXPECT_EQ(dist.total_elements, layout.total_half_perimeter);
+  for (std::size_t w = 0; w < speeds.size(); ++w) {
+    EXPECT_EQ(dist.elements_per_worker[w],
+              layout.rects[w].area() > 0 ? layout.rects[w].half_perimeter()
+                                         : 0);
+  }
+}
+
+TEST(OuterProductPartitioned, BalancedWhenAreasProportional) {
+  const std::size_t n = 1000;
+  const auto a = iota_vector(n);
+  const auto b = iota_vector(n);
+  const std::vector<double> speeds{1.0, 2.0, 3.0, 4.0};
+  const auto layout = partition::discretize(
+      partition::peri_sum_partition(speeds), static_cast<long long>(n));
+  const auto dist = outer_product_partitioned(a, b, layout, speeds);
+  EXPECT_LT(dist.imbalance, 0.02);  // discretization noise only
+}
+
+TEST(OuterProductPartitioned, ParallelMatchesSerialExecution) {
+  util::Rng rng(2);
+  const std::size_t n = 128;
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const std::vector<double> speeds{1.0, 5.0};
+  const auto layout = partition::discretize(
+      partition::peri_sum_partition(speeds), static_cast<long long>(n));
+  util::ThreadPool pool(2);
+  const auto parallel = outer_product_partitioned(a, b, layout, speeds, &pool);
+  const auto serial = outer_product_partitioned(a, b, layout, speeds);
+  EXPECT_TRUE(parallel.result.approx_equal(serial.result, 0.0));
+}
+
+TEST(OuterProductPartitioned, RejectsMismatchedShapes) {
+  const auto layout = partition::discretize(
+      partition::peri_sum_partition({1.0}), 8);
+  EXPECT_THROW((void)outer_product_partitioned(iota_vector(8),
+                                               iota_vector(7), layout,
+                                               {1.0}),
+               util::PreconditionError);
+  EXPECT_THROW((void)outer_product_partitioned(iota_vector(9),
+                                               iota_vector(9), layout,
+                                               {1.0}),
+               util::PreconditionError);
+  EXPECT_THROW((void)outer_product_partitioned(iota_vector(8),
+                                               iota_vector(8), layout,
+                                               {1.0, 2.0}),
+               util::PreconditionError);
+}
+
+TEST(OuterProductBlocked, MatchesSerial) {
+  util::Rng rng(3);
+  const std::size_t n = 60;
+  std::vector<double> a(n);
+  std::vector<double> b(n);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const auto dist =
+      outer_product_blocked(a, b, 10, {1.0, 2.0, 3.0});
+  EXPECT_TRUE(dist.result.approx_equal(outer_product_serial(a, b), 1e-12));
+}
+
+TEST(OuterProductBlocked, CommIsBlocksTimesTwoD) {
+  const std::size_t n = 100;
+  const auto dist = outer_product_blocked(iota_vector(n), iota_vector(n),
+                                          10, {1.0, 3.0});
+  // 100 blocks, each shipping 2·10 elements, no reuse.
+  EXPECT_EQ(dist.total_elements, 100LL * 20LL);
+}
+
+TEST(OuterProductBlocked, MoreCommThanPartitionedOnHeterogeneous) {
+  // The paper's core claim, on an executable instance.
+  // Speeds chosen so that D = √x₁·N divides N exactly: Σ s = 64, so
+  // x₁ = 1/64 and D = N/8 = 30.
+  const std::size_t n = 240;
+  const auto a = iota_vector(n);
+  const auto b = iota_vector(n);
+  const std::vector<double> speeds{1.0, 1.0, 31.0, 31.0};
+
+  const auto layout = partition::discretize(
+      partition::peri_sum_partition(speeds), static_cast<long long>(n));
+  const auto het = outer_product_partitioned(a, b, layout, speeds);
+
+  const auto formula = partition::homogeneous_blocks_formula(speeds,
+                                                             double(n));
+  const auto d = static_cast<long long>(std::llround(formula.block_dim));
+  ASSERT_EQ(d, 30);
+  const auto hom = outer_product_blocked(a, b, d, speeds);
+
+  EXPECT_GT(static_cast<double>(hom.total_elements),
+            1.5 * static_cast<double>(het.total_elements));
+}
+
+TEST(OuterProductBlocked, RejectsBadBlocks) {
+  EXPECT_THROW((void)outer_product_blocked(iota_vector(10), iota_vector(10),
+                                           3, {1.0}),
+               util::PreconditionError);
+  EXPECT_THROW((void)outer_product_blocked(iota_vector(10), iota_vector(10),
+                                           0, {1.0}),
+               util::PreconditionError);
+  EXPECT_THROW((void)outer_product_blocked(iota_vector(10), iota_vector(10),
+                                           5, {}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace nldl::linalg

@@ -1,0 +1,190 @@
+// Unit + property tests for the PERI-SUM column-based partitioner
+// (reference [41]) — the engine behind Comm_het.
+#include "partition/peri_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "partition/lower_bound.hpp"
+#include "platform/speed_distributions.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nldl::partition {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+void expect_valid_partition(const ColumnPartition& part,
+                            const std::vector<double>& areas) {
+  const double total =
+      std::accumulate(areas.begin(), areas.end(), 0.0);
+  // Areas proportional to the prescription.
+  for (std::size_t i = 0; i < areas.size(); ++i) {
+    EXPECT_NEAR(part.rects[i].area(), areas[i] / total, 1e-6)
+        << "rect " << i;
+  }
+  // Total area is the unit square.
+  double area_sum = 0.0;
+  for (const Rect& rect : part.rects) area_sum += rect.area();
+  EXPECT_NEAR(area_sum, 1.0, 1e-9);
+  // No pairwise overlap.
+  for (std::size_t i = 0; i < part.rects.size(); ++i) {
+    for (std::size_t j = i + 1; j < part.rects.size(); ++j) {
+      EXPECT_FALSE(part.rects[i].overlaps(part.rects[j]))
+          << "rects " << i << " and " << j << " overlap";
+    }
+  }
+  // All inside the unit square.
+  for (const Rect& rect : part.rects) {
+    EXPECT_GE(rect.x, -kTol);
+    EXPECT_GE(rect.y, -kTol);
+    EXPECT_LE(rect.x + rect.width, 1.0 + kTol);
+    EXPECT_LE(rect.y + rect.height, 1.0 + kTol);
+  }
+}
+
+TEST(PeriSumLowerBound, SquaresAreOptimal) {
+  // Four equal areas: four half-unit squares achieve the bound exactly.
+  const std::vector<double> areas(4, 0.25);
+  EXPECT_NEAR(peri_sum_lower_bound(areas), 4.0, 1e-12);
+  const auto part = peri_sum_partition(areas);
+  EXPECT_NEAR(part.total_half_perimeter, 4.0, 1e-9);
+}
+
+TEST(PeriSum, SingleProcessorGetsTheWholeSquare) {
+  const auto part = peri_sum_partition({7.0});
+  ASSERT_EQ(part.rects.size(), 1U);
+  EXPECT_NEAR(part.rects[0].area(), 1.0, 1e-12);
+  EXPECT_NEAR(part.total_half_perimeter, 2.0, 1e-12);
+}
+
+TEST(PeriSum, TwoEqualProcessors) {
+  const auto part = peri_sum_partition({1.0, 1.0});
+  expect_valid_partition(part, {1.0, 1.0});
+  // Best is two 1×½ rectangles: total half-perimeter 3.
+  EXPECT_NEAR(part.total_half_perimeter, 3.0, 1e-9);
+}
+
+TEST(PeriSum, NormalizesUnscaledAreas) {
+  const auto scaled = peri_sum_partition({10.0, 30.0, 60.0});
+  const auto unit = peri_sum_partition({0.1, 0.3, 0.6});
+  EXPECT_NEAR(scaled.total_half_perimeter, unit.total_half_perimeter, 1e-9);
+}
+
+TEST(PeriSum, InputOrderIsPreserved) {
+  // Areas deliberately unsorted; rect i must match areas[i].
+  const std::vector<double> areas{0.5, 0.1, 0.4};
+  const auto part = peri_sum_partition(areas);
+  expect_valid_partition(part, areas);
+}
+
+TEST(PeriSum, GuaranteeHoldsOnPaperPlatforms) {
+  // Ĉ <= 1 + (5/4)·LB (and hence <= 7/4·LB) on the paper's random speeds.
+  util::Rng rng(42);
+  for (const auto model : {platform::SpeedModel::kUniform,
+                           platform::SpeedModel::kLogNormal}) {
+    for (const std::size_t p : {10UL, 40UL, 100UL}) {
+      const auto plat = platform::make_platform(model, p, rng);
+      const auto speeds = plat.speeds();
+      const auto part = peri_sum_partition(speeds);
+      const double lb = comm_lower_bound_unit(speeds);
+      EXPECT_LE(part.total_half_perimeter, 1.0 + 1.25 * lb + 1e-9);
+      EXPECT_GE(part.total_half_perimeter, lb - 1e-9);
+    }
+  }
+}
+
+TEST(PeriSum, NearOptimalInPractice) {
+  // The paper observes Comm_het within ~2 % of the lower bound.
+  util::Rng rng(7);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto plat = platform::make_platform(
+        platform::SpeedModel::kUniform, 50, rng);
+    const auto speeds = plat.speeds();
+    const auto part = peri_sum_partition(speeds);
+    const double lb = comm_lower_bound_unit(speeds);
+    EXPECT_LE(part.total_half_perimeter / lb, 1.05);
+  }
+}
+
+TEST(PeriSum, RejectsBadInput) {
+  EXPECT_THROW((void)peri_sum_partition({}), util::PreconditionError);
+  EXPECT_THROW((void)peri_sum_partition({1.0, 0.0}),
+               util::PreconditionError);
+  EXPECT_THROW((void)peri_sum_partition({1.0, -2.0}),
+               util::PreconditionError);
+}
+
+TEST(ColumnPartitionWithSizes, HonorsStructure) {
+  const std::vector<double> areas{0.1, 0.2, 0.3, 0.4};
+  const auto part = column_partition_with_sizes(areas, {2, 2});
+  expect_valid_partition(part, areas);
+  EXPECT_EQ(part.columns.size(), 2U);
+  EXPECT_EQ(part.columns[0].size(), 2U);
+  EXPECT_EQ(part.columns[1].size(), 2U);
+}
+
+TEST(ColumnPartitionWithSizes, RejectsMismatchedSizes) {
+  EXPECT_THROW((void)column_partition_with_sizes({0.5, 0.5}, {1}),
+               util::PreconditionError);
+  EXPECT_THROW((void)column_partition_with_sizes({0.5, 0.5}, {1, 1, 1}),
+               util::PreconditionError);
+  EXPECT_THROW((void)column_partition_with_sizes({0.5, 0.5}, {0, 2}),
+               util::PreconditionError);
+}
+
+TEST(ColumnPartitionWithSizes, DpBeatsOrMatchesFixedStructures) {
+  util::Rng rng(11);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<double> areas;
+    const auto p = static_cast<std::size_t>(rng.uniform_int(4, 16));
+    for (std::size_t i = 0; i < p; ++i) {
+      areas.push_back(rng.uniform(0.1, 10.0));
+    }
+    const double dp_cost =
+        peri_sum_partition(areas).total_half_perimeter;
+    // Single column.
+    const double one_col =
+        column_partition_with_sizes(areas, {p}).total_half_perimeter;
+    EXPECT_LE(dp_cost, one_col + 1e-9);
+    // Even split into two columns (when possible).
+    if (p % 2 == 0) {
+      const double two_col =
+          column_partition_with_sizes(areas, {p / 2, p / 2})
+              .total_half_perimeter;
+      EXPECT_LE(dp_cost, two_col + 1e-9);
+    }
+  }
+}
+
+// Property sweep across sizes and distributions: structural invariants and
+// the 7/4 guarantee.
+class PeriSumProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PeriSumProperty, InvariantsHold) {
+  const auto [p, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 3);
+  std::vector<double> areas;
+  areas.reserve(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    areas.push_back(seed % 2 == 0 ? rng.uniform(0.5, 1.5)
+                                  : rng.lognormal(0.0, 1.0));
+  }
+  const auto part = peri_sum_partition(areas);
+  expect_valid_partition(part, areas);
+  const double lb = comm_lower_bound_unit(areas);
+  EXPECT_LE(part.total_half_perimeter, 1.75 * lb + 1e-9);
+  EXPECT_GE(part.total_half_perimeter, lb - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PeriSumProperty,
+    ::testing::Combine(::testing::Values(2, 3, 5, 10, 30, 100),
+                       ::testing::Range(0, 6)));
+
+}  // namespace
+}  // namespace nldl::partition

@@ -1,0 +1,57 @@
+// Geometry unit tests for Rect / IRect.
+#include "partition/rect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nldl::partition {
+namespace {
+
+TEST(Rect, AreaAndHalfPerimeter) {
+  const Rect rect{0.0, 0.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(rect.area(), 12.0);
+  EXPECT_DOUBLE_EQ(rect.half_perimeter(), 7.0);
+}
+
+TEST(Rect, ContainsHalfOpenSemantics) {
+  const Rect rect{1.0, 2.0, 2.0, 2.0};
+  EXPECT_TRUE(rect.contains(1.0, 2.0));    // lower-left inclusive
+  EXPECT_TRUE(rect.contains(2.9, 3.9));
+  EXPECT_FALSE(rect.contains(3.0, 3.0));   // upper edges exclusive
+  EXPECT_FALSE(rect.contains(0.9, 3.0));
+}
+
+TEST(Rect, OverlapsDetectsInteriorIntersection) {
+  const Rect a{0.0, 0.0, 2.0, 2.0};
+  const Rect b{1.0, 1.0, 2.0, 2.0};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+}
+
+TEST(Rect, TouchingEdgesDoNotOverlap) {
+  const Rect a{0.0, 0.0, 1.0, 1.0};
+  const Rect right{1.0, 0.0, 1.0, 1.0};
+  const Rect above{0.0, 1.0, 1.0, 1.0};
+  EXPECT_FALSE(a.overlaps(right));
+  EXPECT_FALSE(a.overlaps(above));
+}
+
+TEST(Rect, ZeroSizeNeverOverlaps) {
+  const Rect empty{0.5, 0.5, 0.0, 0.0};
+  const Rect full{0.0, 0.0, 1.0, 1.0};
+  EXPECT_FALSE(empty.overlaps(full));
+  EXPECT_FALSE(full.overlaps(empty));
+}
+
+TEST(IRect, AreaAndHalfPerimeter) {
+  const IRect rect{2, 3, 5, 7};
+  EXPECT_EQ(rect.area(), 35);
+  EXPECT_EQ(rect.half_perimeter(), 12);
+}
+
+TEST(IRect, EmptyHasZeroArea) {
+  const IRect rect{0, 0, 0, 9};
+  EXPECT_EQ(rect.area(), 0);
+}
+
+}  // namespace
+}  // namespace nldl::partition

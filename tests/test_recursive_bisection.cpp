@@ -1,0 +1,112 @@
+// Tests for the recursive-bisection partitioner.
+#include "partition/recursive_bisection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "partition/lower_bound.hpp"
+#include "partition/peri_sum.hpp"
+#include "platform/speed_distributions.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nldl::partition {
+namespace {
+
+void expect_valid(const BisectionPartition& part,
+                  const std::vector<double>& areas) {
+  double total = 0.0;
+  for (const double a : areas) total += a;
+  double covered = 0.0;
+  for (std::size_t i = 0; i < areas.size(); ++i) {
+    EXPECT_NEAR(part.rects[i].area(), areas[i] / total, 1e-9);
+    covered += part.rects[i].area();
+  }
+  EXPECT_NEAR(covered, 1.0, 1e-9);
+  // Overlap check with an ulp-scale margin: deep recursive cuts can leave
+  // boundaries ~1e-15 apart, which is not a real overlap.
+  constexpr double kMargin = 1e-12;
+  for (std::size_t i = 0; i < part.rects.size(); ++i) {
+    Rect a = part.rects[i];
+    a.x += kMargin;
+    a.y += kMargin;
+    a.width = std::max(0.0, a.width - 2 * kMargin);
+    a.height = std::max(0.0, a.height - 2 * kMargin);
+    for (std::size_t j = i + 1; j < part.rects.size(); ++j) {
+      EXPECT_FALSE(a.overlaps(part.rects[j])) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(RecursiveBisection, SingleArea) {
+  const auto part = recursive_bisection_partition({3.0});
+  EXPECT_NEAR(part.rects[0].area(), 1.0, 1e-12);
+  EXPECT_NEAR(part.total_half_perimeter, 2.0, 1e-12);
+}
+
+TEST(RecursiveBisection, FourEqualGivesQuadrants) {
+  const auto part =
+      recursive_bisection_partition(std::vector<double>(4, 1.0));
+  expect_valid(part, std::vector<double>(4, 1.0));
+  // Quadrants: every half-perimeter is 1, total 4 (the lower bound).
+  EXPECT_NEAR(part.total_half_perimeter, 4.0, 1e-9);
+  EXPECT_NEAR(part.max_half_perimeter, 1.0, 1e-9);
+}
+
+TEST(RecursiveBisection, ProportionalAreas) {
+  const std::vector<double> areas{0.5, 0.25, 0.125, 0.125};
+  const auto part = recursive_bisection_partition(areas);
+  expect_valid(part, areas);
+}
+
+TEST(RecursiveBisection, RejectsBadInput) {
+  EXPECT_THROW((void)recursive_bisection_partition({}),
+               util::PreconditionError);
+  EXPECT_THROW((void)recursive_bisection_partition({1.0, 0.0}),
+               util::PreconditionError);
+}
+
+TEST(RecursiveBisection, ComparableToPeriSum) {
+  // Not as tight as the DP on the sum objective, but within a modest
+  // factor of the lower bound across the paper's platforms.
+  util::Rng rng(3);
+  for (int rep = 0; rep < 20; ++rep) {
+    const auto speeds =
+        platform::make_platform(platform::SpeedModel::kLogNormal, 30, rng)
+            .speeds();
+    const auto bisection = recursive_bisection_partition(speeds);
+    const auto column = peri_sum_partition(speeds);
+    const double lb = comm_lower_bound_unit(speeds);
+    EXPECT_LE(bisection.total_half_perimeter, 1.6 * lb);
+    // The DP should win (or tie) on its own objective.
+    EXPECT_LE(column.total_half_perimeter,
+              bisection.total_half_perimeter + 1e-9);
+  }
+}
+
+// Property: structural invariants across sizes and distributions.
+class BisectionProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BisectionProperty, InvariantsHold) {
+  const auto [p, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 613 + 29);
+  std::vector<double> areas;
+  for (int i = 0; i < p; ++i) {
+    areas.push_back(seed % 2 == 0 ? rng.uniform(0.5, 1.5)
+                                  : rng.lognormal(0.0, 1.0));
+  }
+  const auto part = recursive_bisection_partition(areas);
+  expect_valid(part, areas);
+  EXPECT_GE(part.total_half_perimeter,
+            comm_lower_bound_unit(areas) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BisectionProperty,
+    ::testing::Combine(::testing::Values(2, 3, 7, 16, 33, 100),
+                       ::testing::Range(0, 4)));
+
+}  // namespace
+}  // namespace nldl::partition

@@ -1,0 +1,197 @@
+// Unit and statistical tests for the deterministic RNG.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace nldl::util {
+namespace {
+
+TEST(SplitMix64, MatchesReferenceSequence) {
+  // Reference values for seed 1234567 from the public-domain reference
+  // implementation (Steele/Lea/Flood).
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.next(), 3203168211198807973ULL);
+  EXPECT_EQ(sm.next(), 9817491932198370423ULL);
+}
+
+TEST(Xoshiro, DeterministicAcrossInstances) {
+  Xoshiro256StarStar a(42);
+  Xoshiro256StarStar b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256StarStar a(1);
+  Xoshiro256StarStar b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, JumpProducesDisjointStream) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  b.jump();
+  std::set<std::uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(a());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(first.count(b()), 0U);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(3.5, 12.25);
+    ASSERT_GE(u, 3.5);
+    ASSERT_LT(u, 12.25);
+  }
+}
+
+TEST(Rng, UniformRejectsEmptyRange) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform(2.0, 2.0), PreconditionError);
+  EXPECT_THROW((void)rng.uniform(3.0, 1.0), PreconditionError);
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.push(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.005);
+  EXPECT_NEAR(stats.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(12);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) {
+    const auto v = rng.uniform_int(1, 6);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 6);
+    ++counts[static_cast<std::size_t>(v - 1)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 10000, 500);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  }
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform_int(3, 2), PreconditionError);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(14);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.push(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, NormalScalesAndShifts) {
+  Rng rng(15);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.push(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, NormalRejectsNegativeStddev) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), PreconditionError);
+}
+
+TEST(Rng, LogNormalMedianIsExpMu) {
+  // The median of LogNormal(mu, sigma) is exp(mu); with mu = 0 it is 1.
+  Rng rng(16);
+  std::vector<double> sample;
+  sample.reserve(100001);
+  for (int i = 0; i < 100001; ++i) sample.push_back(rng.lognormal(0.0, 1.0));
+  EXPECT_NEAR(quantile(std::move(sample), 0.5), 1.0, 0.03);
+}
+
+TEST(Rng, LogNormalIsPositive) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GT(rng.lognormal(0.0, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(18);
+  Rng child = parent.split();
+  // The child should not replay the parent's outputs.
+  std::set<std::uint64_t> parent_draws;
+  for (int i = 0; i < 1000; ++i) parent_draws.insert(parent.next_u64());
+  int collisions = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent_draws.count(child.next_u64()) != 0) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Rng, RepeatedSplitsDiffer) {
+  Rng parent(19);
+  Rng a = parent.split();
+  Rng b = parent.split();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(20);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, values);
+}
+
+TEST(Rng, ShuffleIsUniformish) {
+  // Each position should host each value ~ 1/n of the time.
+  Rng rng(21);
+  constexpr int kN = 5;
+  constexpr int kTrials = 50000;
+  int first_position_counts[kN] = {};
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<int> values{0, 1, 2, 3, 4};
+    rng.shuffle(values);
+    ++first_position_counts[values[0]];
+  }
+  for (const int c : first_position_counts) {
+    EXPECT_NEAR(c, kTrials / kN, 600);
+  }
+}
+
+}  // namespace
+}  // namespace nldl::util

@@ -1,0 +1,121 @@
+// Unit and property tests for the scalar root-finders.
+#include "util/roots.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace nldl::util {
+namespace {
+
+TEST(Bisect, FindsSqrtTwo) {
+  const auto result = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, ExactRootAtBoundary) {
+  const auto at_lo = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(at_lo.converged);
+  EXPECT_EQ(at_lo.x, 0.0);
+  const auto at_hi = bisect([](double x) { return x - 1.0; }, 0.0, 1.0);
+  EXPECT_TRUE(at_hi.converged);
+  EXPECT_EQ(at_hi.x, 1.0);
+}
+
+TEST(Bisect, RequiresSignChange) {
+  EXPECT_THROW(
+      (void)bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+      PreconditionError);
+}
+
+TEST(Bisect, DecreasingFunction) {
+  const auto result =
+      bisect([](double x) { return 1.0 - x * x * x; }, 0.0, 4.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 1.0, 1e-9);
+}
+
+TEST(NewtonSafeguarded, QuadraticConvergesFast) {
+  int evals = 0;
+  auto f = [&](double x) {
+    ++evals;
+    return x * x - 2.0;
+  };
+  auto df = [](double x) { return 2.0 * x; };
+  const auto result = newton_safeguarded(f, df, 0.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, std::sqrt(2.0), 1e-12);
+  EXPECT_LT(result.iterations, 12);
+}
+
+TEST(NewtonSafeguarded, SurvivesZeroDerivative) {
+  // f(x) = x³ has f'(0) = 0; safeguard must fall back to bisection.
+  auto f = [](double x) { return x * x * x; };
+  auto df = [](double x) { return 3.0 * x * x; };
+  const auto result = newton_safeguarded(f, df, -1.0, 2.0);
+  EXPECT_TRUE(result.converged);
+  // The cubic is flat at its root, so |f| <= f_tol is reached while x is
+  // still ~1e-4 away; that is the documented convergence criterion.
+  EXPECT_NEAR(result.x, 0.0, 1e-4);
+}
+
+TEST(NewtonSafeguarded, StaysInsideBracket) {
+  // Steep function whose Newton step overshoots from most points.
+  auto f = [](double x) { return std::tanh(20.0 * (x - 0.7)); };
+  auto df = [](double x) {
+    const double t = std::tanh(20.0 * (x - 0.7));
+    return 20.0 * (1.0 - t * t);
+  };
+  const auto result = newton_safeguarded(f, df, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 0.7, 1e-8);
+}
+
+TEST(SolveIncreasing, ExpandsBracket) {
+  // Root at 1000, initial guess far too small.
+  const auto result =
+      solve_increasing([](double x) { return x - 1000.0; }, 0.0, 1.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x, 1000.0, 1e-6);
+}
+
+TEST(SolveIncreasing, ThrowsWhenNoRoot) {
+  EXPECT_THROW((void)solve_increasing([](double) { return -1.0; }, 0.0, 1.0),
+               PreconditionError);
+}
+
+// Property sweep: both solvers find the root of c·x + w·x^a − T (the
+// nonlinear DLT chunk equation) across random parameters.
+class ChunkEquationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChunkEquationProperty, BothSolversAgree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (int rep = 0; rep < 50; ++rep) {
+    const double c = rng.uniform(0.01, 10.0);
+    const double w = rng.uniform(0.01, 10.0);
+    const double a = rng.uniform(1.0, 4.0);
+    const double t = rng.uniform(0.1, 1000.0);
+    auto f = [&](double x) { return c * x + w * std::pow(x, a) - t; };
+    auto df = [&](double x) {
+      return c + w * a * std::pow(x, a - 1.0);
+    };
+    double hi = std::min(t / c, std::pow(t / w, 1.0 / a));
+    while (f(hi) < 0.0) hi *= 2.0;
+    const auto by_bisect = bisect(f, 0.0, hi);
+    const auto by_newton = newton_safeguarded(f, df, 0.0, hi);
+    ASSERT_TRUE(by_bisect.converged);
+    ASSERT_TRUE(by_newton.converged);
+    EXPECT_NEAR(by_bisect.x, by_newton.x,
+                1e-7 * std::max(1.0, by_bisect.x));
+    EXPECT_NEAR(f(by_newton.x), 0.0, 1e-6 * std::max(1.0, t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ChunkEquationProperty,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace nldl::util

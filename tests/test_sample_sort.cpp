@@ -1,0 +1,266 @@
+// Unit + property tests for the parallel sample sort (paper Section 3).
+#include "sort/sample_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nldl::sort {
+namespace {
+
+std::vector<double> random_doubles(std::size_t n, util::Rng& rng,
+                                   double lo = 0.0, double hi = 1.0) {
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.uniform(lo, hi);
+  return out;
+}
+
+TEST(DefaultOversampling, LogSquared) {
+  EXPECT_EQ(default_oversampling(1 << 10), 100U);  // log2 = 10
+  EXPECT_EQ(default_oversampling(1 << 16), 256U);
+  EXPECT_GE(default_oversampling(0), 1U);
+  EXPECT_GE(default_oversampling(3), 1U);
+}
+
+TEST(HomogeneousRanks, MultiplesOfS) {
+  EXPECT_EQ(homogeneous_splitter_ranks(4, 3),
+            (std::vector<std::size_t>{3, 6, 9}));
+  EXPECT_TRUE(homogeneous_splitter_ranks(1, 5).empty());
+}
+
+TEST(HeterogeneousRanks, ProportionalToCumulativeSpeed) {
+  // speeds 1,1,2: cum shares 0.25, 0.5 → ranks ~ ¼ and ½ of sample.
+  const auto ranks = heterogeneous_splitter_ranks({1.0, 1.0, 2.0}, 101);
+  ASSERT_EQ(ranks.size(), 2U);
+  EXPECT_EQ(ranks[0], 25U);
+  EXPECT_EQ(ranks[1], 50U);
+}
+
+TEST(HeterogeneousRanks, StrictlyIncreasingUnderSkew) {
+  // A tiny share must still get a distinct splitter rank.
+  const auto ranks =
+      heterogeneous_splitter_ranks({1e-9, 1e-9, 1.0, 1.0}, 50);
+  for (std::size_t i = 1; i < ranks.size(); ++i) {
+    EXPECT_GT(ranks[i], ranks[i - 1]);
+  }
+}
+
+TEST(HeterogeneousRanks, HugeLeadingShareStaysInRange) {
+  // Regression: a dominant first share used to push trailing forced
+  // ranks past the sample bound.
+  const auto ranks =
+      heterogeneous_splitter_ranks({1e9, 1e-9, 1e-9, 1e-9}, 8);
+  ASSERT_EQ(ranks.size(), 3U);
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    EXPECT_LT(ranks[i], 8U);
+    if (i > 0) {
+      EXPECT_GT(ranks[i], ranks[i - 1]);
+    }
+  }
+}
+
+TEST(SampleSortHeterogeneous, ExtremeSkewStillSorts) {
+  util::Rng rng(99);
+  std::vector<double> data(5000);
+  for (double& v : data) v = rng.uniform();
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  SampleSortConfig config;
+  EXPECT_EQ(sample_sort_heterogeneous(std::move(data),
+                                      {1e9, 1e-9, 1e-9, 1e-9}, config),
+            expected);
+}
+
+TEST(SampleSort, SortsUniformData) {
+  util::Rng rng(1);
+  auto data = random_doubles(20000, rng);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  SampleSortConfig config;
+  config.num_buckets = 8;
+  EXPECT_EQ(sample_sort(std::move(data), config), expected);
+}
+
+TEST(SampleSort, SortsAdversarialPatterns) {
+  SampleSortConfig config;
+  config.num_buckets = 4;
+  // Already sorted.
+  std::vector<double> ascending(5000);
+  std::iota(ascending.begin(), ascending.end(), 0.0);
+  const auto resorted = sample_sort(ascending, config);
+  EXPECT_TRUE(std::is_sorted(resorted.begin(), resorted.end()));
+  // Reverse sorted.
+  std::vector<double> descending(ascending.rbegin(), ascending.rend());
+  auto sorted = sample_sort(std::move(descending), config);
+  EXPECT_EQ(sorted, ascending);
+  // All equal keys (degenerate splitters).
+  std::vector<double> equal(5000, 3.25);
+  EXPECT_EQ(sample_sort(equal, config), equal);
+}
+
+TEST(SampleSort, TinyInputs) {
+  SampleSortConfig config;
+  config.num_buckets = 8;
+  EXPECT_TRUE(sample_sort(std::vector<double>{}, config).empty());
+  EXPECT_EQ(sample_sort(std::vector<double>{5.0}, config),
+            (std::vector<double>{5.0}));
+  EXPECT_EQ(sample_sort(std::vector<double>{2.0, 1.0}, config),
+            (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(SampleSort, IntegersSortToo) {
+  util::Rng rng(2);
+  std::vector<std::int64_t> data(10000);
+  for (auto& v : data) v = rng.uniform_int(-1000, 1000);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  SampleSortConfig config;
+  config.num_buckets = 5;
+  EXPECT_EQ(sample_sort(std::move(data), config), expected);
+}
+
+TEST(SampleSort, StatsAreConsistent) {
+  util::Rng rng(3);
+  auto data = random_doubles(50000, rng);
+  SampleSortConfig config;
+  config.num_buckets = 10;
+  SampleSortStats stats;
+  const auto sorted = sample_sort(std::move(data), config, &stats);
+  EXPECT_EQ(stats.n, 50000U);
+  EXPECT_EQ(stats.num_buckets, 10U);
+  EXPECT_EQ(stats.bucket_sizes.size(), 10U);
+  std::size_t total = 0;
+  for (const std::size_t b : stats.bucket_sizes) total += b;
+  EXPECT_EQ(total, 50000U);
+  EXPECT_EQ(stats.max_bucket,
+            *std::max_element(stats.bucket_sizes.begin(),
+                              stats.bucket_sizes.end()));
+  EXPECT_GE(stats.max_over_expected, 1.0);
+}
+
+TEST(SampleSort, OversamplingKeepsBucketsNearEqual) {
+  // With the paper's s = log²N, the largest bucket should stay within ~25 %
+  // of N/p w.h.p. for this size.
+  util::Rng rng(4);
+  auto data = random_doubles(200000, rng);
+  SampleSortConfig config;
+  config.num_buckets = 16;
+  SampleSortStats stats;
+  (void)sample_sort(std::move(data), config, &stats);
+  EXPECT_LT(stats.max_over_expected, 1.25);
+}
+
+TEST(SampleSort, ParallelMatchesSerial) {
+  util::Rng rng(5);
+  auto data = random_doubles(100000, rng);
+  SampleSortConfig serial;
+  serial.num_buckets = 8;
+  const auto expected = sample_sort(data, serial);
+
+  util::ThreadPool pool(2);
+  SampleSortConfig parallel = serial;
+  parallel.pool = &pool;
+  EXPECT_EQ(sample_sort(std::move(data), parallel), expected);
+}
+
+TEST(SampleSort, DeterministicGivenSeed) {
+  util::Rng rng(6);
+  const auto data = random_doubles(10000, rng);
+  SampleSortConfig config;
+  config.num_buckets = 6;
+  config.seed = 12345;
+  SampleSortStats a;
+  SampleSortStats b;
+  (void)sample_sort(data, config, &a);
+  (void)sample_sort(data, config, &b);
+  EXPECT_EQ(a.bucket_sizes, b.bucket_sizes);
+}
+
+TEST(SampleSortHeterogeneous, SortsCorrectly) {
+  util::Rng rng(7);
+  auto data = random_doubles(30000, rng);
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  SampleSortConfig config;
+  EXPECT_EQ(sample_sort_heterogeneous(std::move(data), {1.0, 2.0, 4.0},
+                                      config),
+            expected);
+}
+
+TEST(SampleSortHeterogeneous, BucketsTrackSpeeds) {
+  util::Rng rng(8);
+  auto data = random_doubles(400000, rng);
+  const std::vector<double> speeds{1.0, 3.0};
+  SampleSortConfig config;
+  SampleSortStats stats;
+  (void)sample_sort_heterogeneous(std::move(data), speeds, config, &stats);
+  ASSERT_EQ(stats.bucket_sizes.size(), 2U);
+  const double share0 =
+      static_cast<double>(stats.bucket_sizes[0]) / 400000.0;
+  EXPECT_NEAR(share0, 0.25, 0.05);  // x₀ = 1/4
+}
+
+TEST(SampleSortHeterogeneous, BalancesModelTime) {
+  // With speed-proportional buckets, bucket_size/speed should be nearly
+  // equal across workers — the Section 3.2 claim.
+  util::Rng rng(9);
+  auto data = random_doubles(500000, rng);
+  const std::vector<double> speeds{1.0, 2.0, 3.0, 6.0};
+  SampleSortConfig config;
+  SampleSortStats stats;
+  (void)sample_sort_heterogeneous(std::move(data), speeds, config, &stats);
+  std::vector<double> model_time;
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    model_time.push_back(
+        static_cast<double>(stats.bucket_sizes[i]) / speeds[i]);
+  }
+  const double t_max =
+      *std::max_element(model_time.begin(), model_time.end());
+  const double t_min =
+      *std::min_element(model_time.begin(), model_time.end());
+  EXPECT_LT((t_max - t_min) / t_min, 0.15);
+}
+
+// Property sweep over input distributions: output sorted and a permutation
+// of the input.
+class SampleSortProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SampleSortProperty, SortedPermutation) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 1);
+  std::vector<double> data(30000);
+  switch (GetParam() % 4) {
+    case 0:
+      for (double& v : data) v = rng.uniform();
+      break;
+    case 1:
+      for (double& v : data) v = rng.normal(0.0, 100.0);
+      break;
+    case 2:
+      for (double& v : data) v = rng.lognormal(0.0, 2.0);
+      break;
+    default:
+      // Heavily duplicated keys.
+      for (double& v : data) {
+        v = static_cast<double>(rng.uniform_int(0, 9));
+      }
+      break;
+  }
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  SampleSortConfig config;
+  config.num_buckets =
+      static_cast<std::size_t>(2 + GetParam() % 15);
+  config.seed = static_cast<std::uint64_t>(GetParam());
+  EXPECT_EQ(sample_sort(std::move(data), config), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, SampleSortProperty,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace nldl::sort

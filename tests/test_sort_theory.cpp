@@ -1,0 +1,71 @@
+// Monte-Carlo tests for the Theorem B.4 bucket-size bound (Section 3.1/3.2).
+#include "sort/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dlt/analysis.hpp"
+#include "util/assert.hpp"
+
+namespace nldl::sort {
+namespace {
+
+TEST(BucketBound, ConfiguredFromTheorem) {
+  const auto check = validate_max_bucket_bound(100000, 10, 5, 1);
+  EXPECT_EQ(check.n, 100000U);
+  EXPECT_EQ(check.p, 10U);
+  EXPECT_EQ(check.trials, 5U);
+  EXPECT_DOUBLE_EQ(check.threshold, dlt::max_bucket_bound(100000.0, 10));
+  EXPECT_DOUBLE_EQ(check.probability_bound,
+                   dlt::max_bucket_bound_probability(100000.0));
+}
+
+TEST(BucketBound, ViolationRateIsRare) {
+  // The theorem promises violations with probability <= N^(-1/3)
+  // (≈ 2.2 % at N = 10^5). Allow generous Monte-Carlo slack.
+  const auto check = validate_max_bucket_bound(100000, 8, 200, 7);
+  EXPECT_LE(check.violation_rate, 3.0 * check.probability_bound + 0.05);
+}
+
+TEST(BucketBound, MeanMaxIsCloseToExpected) {
+  const auto check = validate_max_bucket_bound(200000, 10, 100, 11);
+  // With s = log²N oversampling the expected MaxSize/(N/p) is ~1.0–1.1.
+  EXPECT_GE(check.mean_max_over_expected, 1.0);
+  EXPECT_LE(check.mean_max_over_expected, 1.2);
+}
+
+TEST(BucketBound, OversamplingIsLogSquared) {
+  const auto check = validate_max_bucket_bound(1 << 16, 4, 2, 3);
+  EXPECT_EQ(check.oversampling, 256U);
+}
+
+TEST(BucketBound, RejectsBadInput) {
+  EXPECT_THROW((void)validate_max_bucket_bound(1, 4, 10, 1),
+               util::PreconditionError);
+  EXPECT_THROW((void)validate_max_bucket_bound(100, 1, 10, 1),
+               util::PreconditionError);
+  EXPECT_THROW((void)validate_max_bucket_bound(100, 4, 0, 1),
+               util::PreconditionError);
+}
+
+TEST(BucketBoundHeterogeneous, BalancedSharesStayWithinSlack) {
+  const std::vector<double> speeds{1.0, 2.0, 3.0, 4.0};
+  const auto check =
+      validate_max_bucket_bound_heterogeneous(200000, speeds, 100, 13);
+  // Relative overshoot vs x_i·N should stay near 1.
+  EXPECT_GE(check.mean_max_over_expected, 1.0);
+  EXPECT_LE(check.mean_max_over_expected, 1.25);
+  EXPECT_LE(check.violation_rate, 3.0 * check.probability_bound + 0.05);
+}
+
+TEST(BucketBoundHeterogeneous, DeterministicGivenSeed) {
+  const std::vector<double> speeds{1.0, 5.0};
+  const auto a =
+      validate_max_bucket_bound_heterogeneous(50000, speeds, 20, 99);
+  const auto b =
+      validate_max_bucket_bound_heterogeneous(50000, speeds, 20, 99);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_DOUBLE_EQ(a.mean_max_over_expected, b.mean_max_over_expected);
+}
+
+}  // namespace
+}  // namespace nldl::sort

@@ -1,0 +1,116 @@
+// Tests for straggler injection + speculative re-execution (the MapReduce
+// mechanism of paper Section 1.1).
+#include "mapreduce/speculation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace nldl::mapreduce {
+namespace {
+
+std::vector<SimTask> identical_tasks(std::size_t count, double cost) {
+  std::vector<SimTask> tasks(count);
+  for (std::size_t t = 0; t < count; ++t) {
+    tasks[t].compute_cost = cost;
+    tasks[t].inputs = {static_cast<BlockId>(t)};
+  }
+  return tasks;
+}
+
+TEST(Speculation, HealthyClusterMatchesPlainSchedule) {
+  StragglerConfig config;
+  config.speeds = {1.0, 2.0};
+  const auto tasks = identical_tasks(30, 1.0);
+  const auto outcome = run_with_stragglers(tasks, config);
+
+  ClusterConfig plain;
+  plain.speeds = config.speeds;
+  const auto reference = run_cluster(tasks, plain);
+  EXPECT_NEAR(outcome.makespan, reference.makespan, 1e-9);
+  EXPECT_EQ(outcome.backup_launches, 0U);
+}
+
+TEST(Speculation, StragglerStretchesMakespan) {
+  StragglerConfig healthy;
+  healthy.speeds = {1.0, 1.0, 1.0, 1.0};
+  const auto tasks = identical_tasks(40, 1.0);
+  const auto base = run_with_stragglers(tasks, healthy);
+
+  StragglerConfig degraded = healthy;
+  degraded.slowdown = {1.0, 1.0, 1.0, 10.0};
+  const auto slow = run_with_stragglers(tasks, degraded);
+  EXPECT_GT(slow.makespan, base.makespan);
+}
+
+TEST(Speculation, BackupTasksRescueTheTail) {
+  // One worker 20x degraded: without speculation its last task dominates
+  // the makespan; with backups an idle healthy worker re-runs it.
+  StragglerConfig config;
+  config.speeds = {1.0, 1.0, 1.0, 1.0};
+  config.slowdown = {1.0, 1.0, 1.0, 20.0};
+  const auto tasks = identical_tasks(40, 1.0);
+
+  const auto without = run_with_stragglers(tasks, config);
+  auto speculative = config;
+  speculative.speculative_execution = true;
+  const auto with = run_with_stragglers(tasks, speculative);
+
+  EXPECT_LT(with.makespan, without.makespan);
+  EXPECT_GE(with.backup_launches, 1U);
+  EXPECT_GE(with.backups_won, 1U);
+}
+
+TEST(Speculation, BackupsCostExtraBytes) {
+  StragglerConfig config;
+  config.speeds = {1.0, 1.0};
+  config.slowdown = {1.0, 50.0};
+  config.bytes_per_block = 4.0;
+  config.speculative_execution = true;
+  const auto tasks = identical_tasks(10, 1.0);
+  const auto with = run_with_stragglers(tasks, config);
+
+  auto plain = config;
+  plain.speculative_execution = false;
+  const auto without = run_with_stragglers(tasks, plain);
+  // Duplicated tasks re-fetch their inputs on the backup worker.
+  EXPECT_GE(with.total_bytes, without.total_bytes);
+}
+
+TEST(Speculation, NoBackupWhenItCannotWin) {
+  // Degraded worker is only slightly slow: a backup started after the
+  // original cannot finish earlier, so none should launch.
+  StragglerConfig config;
+  config.speeds = {1.0, 1.0};
+  config.slowdown = {1.0, 1.01};
+  config.speculative_execution = true;
+  const auto tasks = identical_tasks(2, 1.0);
+  const auto outcome = run_with_stragglers(tasks, config);
+  EXPECT_EQ(outcome.backups_won, 0U);
+}
+
+TEST(Speculation, EmptyTaskList) {
+  StragglerConfig config;
+  config.speeds = {1.0};
+  const auto outcome = run_with_stragglers({}, config);
+  EXPECT_DOUBLE_EQ(outcome.makespan, 0.0);
+}
+
+TEST(Speculation, RejectsBadConfig) {
+  StragglerConfig bad;
+  EXPECT_THROW((void)run_with_stragglers({}, bad), util::PreconditionError);
+  StragglerConfig mismatched;
+  mismatched.speeds = {1.0, 1.0};
+  mismatched.slowdown = {1.0};
+  EXPECT_THROW((void)run_with_stragglers(identical_tasks(1, 1.0),
+                                         mismatched),
+               util::PreconditionError);
+  StragglerConfig speedup;
+  speedup.speeds = {1.0};
+  speedup.slowdown = {0.5};
+  EXPECT_THROW((void)run_with_stragglers(identical_tasks(1, 1.0), speedup),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace nldl::mapreduce

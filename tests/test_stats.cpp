@@ -1,0 +1,142 @@
+// Unit tests for streaming statistics, quantiles and histograms.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nldl::util {
+namespace {
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.count(), 0U);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.push(42.0);
+  EXPECT_EQ(stats.count(), 1U);
+  EXPECT_EQ(stats.mean(), 42.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 42.0);
+  EXPECT_EQ(stats.max(), 42.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.push(x);
+  }
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.population_variance(), 4.0, 1e-12);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsBulk) {
+  Rng rng(77);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.push(x);
+    (i % 2 == 0 ? left : right).push(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-8);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats stats;
+  stats.push(1.0);
+  stats.push(3.0);
+  RunningStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2U);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 2U);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStats, NumericallyStableOnShiftedData) {
+  // Large common offset: naive sum-of-squares loses all precision.
+  RunningStats stats;
+  const double offset = 1e12;
+  for (const double x : {offset + 1.0, offset + 2.0, offset + 3.0}) {
+    stats.push(x);
+  }
+  EXPECT_NEAR(stats.variance(), 1.0, 1e-6);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(Quantile, Extremes) {
+  std::vector<double> sample{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(sample, 1.0), 9.0);
+}
+
+TEST(Quantile, RejectsEmptyAndBadOrder) {
+  EXPECT_THROW((void)quantile({}, 0.5), PreconditionError);
+  EXPECT_THROW((void)quantile({1.0}, -0.1), PreconditionError);
+  EXPECT_THROW((void)quantile({1.0}, 1.1), PreconditionError);
+}
+
+TEST(MeanStddevOf, MatchRunningStats) {
+  const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(sample), 2.5);
+  RunningStats stats;
+  for (const double x : sample) stats.push(x);
+  EXPECT_DOUBLE_EQ(stddev_of(sample), stats.stddev());
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.push(0.5);    // bin 0
+  hist.push(9.99);   // bin 4
+  hist.push(-3.0);   // clamped to bin 0
+  hist.push(100.0);  // clamped to bin 4
+  hist.push(5.0);    // bin 2
+  EXPECT_EQ(hist.total(), 5U);
+  EXPECT_EQ(hist.count(0), 2U);
+  EXPECT_EQ(hist.count(2), 1U);
+  EXPECT_EQ(hist.count(4), 2U);
+  EXPECT_DOUBLE_EQ(hist.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(hist.bin_hi(1), 4.0);
+}
+
+TEST(Histogram, AsciiHasOneRowPerBin) {
+  Histogram hist(0.0, 1.0, 4);
+  hist.push(0.1);
+  const std::string art = hist.ascii(10);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 3), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace nldl::util

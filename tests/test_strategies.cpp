@@ -1,0 +1,149 @@
+// Unit + property tests for the unified strategy evaluation (Section 4).
+#include "core/strategies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "partition/lower_bound.hpp"
+#include "platform/speed_distributions.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nldl::core {
+namespace {
+
+TEST(StrategyNames, MatchPaper) {
+  EXPECT_EQ(to_string(Strategy::kHomogeneousBlocks), "Comm_hom");
+  EXPECT_EQ(to_string(Strategy::kHomogeneousBlocksRefined), "Comm_hom/k");
+  EXPECT_EQ(to_string(Strategy::kHeterogeneousBlocks), "Comm_het");
+}
+
+TEST(Evaluate, HomogeneousPlatformAllNearOptimal) {
+  // Figure 4(a): all strategies within ~1 % of the bound.
+  const std::vector<double> speeds(25, 3.0);
+  for (const auto strategy :
+       {Strategy::kHomogeneousBlocks, Strategy::kHomogeneousBlocksRefined,
+        Strategy::kHeterogeneousBlocks}) {
+    const auto eval = evaluate_strategy(strategy, speeds, 100.0);
+    EXPECT_LE(eval.ratio_to_lower_bound, 1.01)
+        << to_string(strategy);
+    EXPECT_GE(eval.ratio_to_lower_bound, 1.0 - 1e-9);
+  }
+}
+
+TEST(Evaluate, HeterogeneousOrdering) {
+  // Under heterogeneity: Comm_het ≪ Comm_hom, and Comm_hom/k >= Comm_hom
+  // in volume (it trades communication for balance).
+  util::Rng rng(5);
+  const auto plat =
+      platform::make_platform(platform::SpeedModel::kUniform, 50, rng);
+  const auto speeds = plat.speeds();
+  const auto het =
+      evaluate_strategy(Strategy::kHeterogeneousBlocks, speeds, 10.0);
+  const auto hom =
+      evaluate_strategy(Strategy::kHomogeneousBlocks, speeds, 10.0);
+  const auto hom_k =
+      evaluate_strategy(Strategy::kHomogeneousBlocksRefined, speeds, 10.0);
+  EXPECT_LT(het.ratio_to_lower_bound, 1.1);
+  EXPECT_GT(hom.ratio_to_lower_bound, 2.0);
+  EXPECT_GE(hom_k.comm_volume, hom.comm_volume - 1e-9);
+  EXPECT_LE(hom_k.load_imbalance, 0.01);
+}
+
+TEST(Evaluate, HetHasZeroImbalanceAndPChunks) {
+  const std::vector<double> speeds{1.0, 2.0, 3.0};
+  const auto eval =
+      evaluate_strategy(Strategy::kHeterogeneousBlocks, speeds, 5.0);
+  EXPECT_DOUBLE_EQ(eval.load_imbalance, 0.0);
+  EXPECT_EQ(eval.num_chunks, 3);
+  EXPECT_EQ(eval.refinement_k, 1);
+}
+
+TEST(Evaluate, VolumeScalesLinearlyInN) {
+  const std::vector<double> speeds{1.0, 4.0, 9.0};
+  for (const auto strategy :
+       {Strategy::kHomogeneousBlocks, Strategy::kHeterogeneousBlocks}) {
+    const auto small = evaluate_strategy(strategy, speeds, 10.0);
+    const auto large = evaluate_strategy(strategy, speeds, 1000.0);
+    EXPECT_NEAR(large.comm_volume / small.comm_volume, 100.0, 1e-6);
+    EXPECT_NEAR(large.ratio_to_lower_bound, small.ratio_to_lower_bound,
+                1e-9);
+  }
+}
+
+TEST(Evaluate, AllStrategiesReturnsThree) {
+  const auto evals = evaluate_all_strategies({1.0, 2.0}, 4.0);
+  ASSERT_EQ(evals.size(), 3U);
+  EXPECT_EQ(evals[0].strategy, Strategy::kHomogeneousBlocks);
+  EXPECT_EQ(evals[1].strategy, Strategy::kHomogeneousBlocksRefined);
+  EXPECT_EQ(evals[2].strategy, Strategy::kHeterogeneousBlocks);
+}
+
+TEST(RhoBounds, HomogeneousGivesFourSevenths) {
+  // All equal speeds: ρ bound = (4/7)·p·s/(√s·p·√s) = 4/7.
+  EXPECT_NEAR(rho_lower_bound(std::vector<double>(10, 4.0)), 4.0 / 7.0,
+              1e-12);
+}
+
+TEST(RhoBounds, TwoClassFormula) {
+  EXPECT_DOUBLE_EQ(rho_two_class_bound(1.0), 1.0);
+  EXPECT_NEAR(rho_two_class_bound(16.0), 17.0 / 5.0, 1e-12);
+  // (1+k)/(1+√k) >= √k − 1 for all k >= 1.
+  for (double k = 1.0; k <= 100.0; k += 7.3) {
+    EXPECT_GE(rho_two_class_bound(k), std::sqrt(k) - 1.0);
+  }
+}
+
+TEST(RhoBounds, MeasuredRatioBeatsTheBound) {
+  // Section 4.1.3: ρ = Comm_hom/Comm_het >= (4/7)·Σs/(√s₁·Σ√s).
+  util::Rng rng(6);
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto plat = platform::make_platform(
+        platform::SpeedModel::kLogNormal, 30, rng);
+    const auto speeds = plat.speeds();
+    const auto hom =
+        evaluate_strategy(Strategy::kHomogeneousBlocks, speeds, 1.0);
+    const auto het =
+        evaluate_strategy(Strategy::kHeterogeneousBlocks, speeds, 1.0);
+    const double rho = hom.comm_volume / het.comm_volume;
+    EXPECT_GE(rho, rho_lower_bound(speeds) * (1.0 - 1e-6));
+  }
+}
+
+TEST(Evaluate, RejectsBadInput) {
+  EXPECT_THROW(
+      (void)evaluate_strategy(Strategy::kHeterogeneousBlocks, {}, 1.0),
+      util::PreconditionError);
+  EXPECT_THROW((void)evaluate_strategy(Strategy::kHeterogeneousBlocks,
+                                       {1.0}, 0.0),
+               util::PreconditionError);
+}
+
+// Property: on two-class platforms the measured ρ grows like √k, per the
+// paper's closing example of Section 4.1.3.
+class TwoClassProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwoClassProperty, RhoScalesWithRootK) {
+  const double k = std::pow(2.0, GetParam());
+  const auto plat = platform::Platform::two_class(16, 1.0, k);
+  const auto speeds = plat.speeds();
+  const auto hom =
+      evaluate_strategy(Strategy::kHomogeneousBlocks, speeds, 1.0);
+  const auto het =
+      evaluate_strategy(Strategy::kHeterogeneousBlocks, speeds, 1.0);
+  const double rho = hom.comm_volume / het.comm_volume;
+  // Rigorous guarantee (Comm_het <= 7/4·LB): ρ >= (4/7)·(1+k)/(1+√k).
+  EXPECT_GE(rho, 4.0 / 7.0 * rho_two_class_bound(k) - 1e-9);
+  // Empirically Comm_het is within a few % of LB, so ρ tracks the paper's
+  // LB-relative bound (1+k)/(1+√k) much more closely than 4/7 of it.
+  EXPECT_GE(rho, 0.85 * rho_two_class_bound(k));
+  // ρ cannot exceed the hom strategy's own ratio (het >= LB).
+  EXPECT_LE(rho, hom.ratio_to_lower_bound + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(GrowingK, TwoClassProperty,
+                         ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace nldl::core

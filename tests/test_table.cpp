@@ -1,0 +1,101 @@
+// Unit tests for the tabular output writer.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace nldl::util {
+namespace {
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(Table, RejectsRaggedRow) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), PreconditionError);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), PreconditionError);
+}
+
+TEST(Table, RowBuilderTypes) {
+  Table table({"s", "d", "z", "ll", "i"});
+  table.row()
+      .cell("x")
+      .cell(1.5, 1)
+      .cell(std::size_t{7})
+      .cell(9LL)
+      .cell(-3)
+      .done();
+  ASSERT_EQ(table.num_rows(), 1U);
+  EXPECT_EQ(table.cell(0, 0), "x");
+  EXPECT_EQ(table.cell(0, 1), "1.5");
+  EXPECT_EQ(table.cell(0, 2), "7");
+  EXPECT_EQ(table.cell(0, 3), "9");
+  EXPECT_EQ(table.cell(0, 4), "-3");
+}
+
+TEST(Table, CellAccessBounds) {
+  Table table({"a"});
+  table.add_row({"v"});
+  EXPECT_THROW((void)table.cell(1, 0), PreconditionError);
+  EXPECT_THROW((void)table.cell(0, 1), PreconditionError);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table table({"name", "v"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "2"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // Header row, separator, two data rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  // All lines equal width (alignment).
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, CsvEscaping) {
+  Table table({"a", "b"});
+  table.add_row({"plain", "with,comma"});
+  table.add_row({"quote\"inside", "line\nbreak"});
+  std::ostringstream out;
+  table.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(Table, SaveCsvRoundTrip) {
+  Table table({"x"});
+  table.add_row({"1"});
+  const std::string path = ::testing::TempDir() + "nldl_table_test.csv";
+  table.save_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1");
+}
+
+}  // namespace
+}  // namespace nldl::util

@@ -1,0 +1,109 @@
+// Unit tests for the thread pool.
+#include "util/threadpool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace nldl::util {
+namespace {
+
+TEST(ThreadPool, RequiresAtLeastOneThread) {
+  EXPECT_THROW(ThreadPool(0), PreconditionError);
+}
+
+TEST(ThreadPool, ReportsSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3U);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW((void)future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      (void)pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++counter;
+      });
+    }
+  }  // destructor must wait for all 100
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, hits.size(), 7,
+               [&](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) {
+    ASSERT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  parallel_for(pool, 5, 5, 1, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, RejectsInvertedRange) {
+  ThreadPool pool(1);
+  EXPECT_THROW(parallel_for(pool, 5, 4, 1, [](std::size_t) {}),
+               PreconditionError);
+}
+
+TEST(ParallelFor, PropagatesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 10, 1,
+                            [](std::size_t i) {
+                              if (i == 7) throw std::runtime_error("x");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<double> values(10000);
+  std::iota(values.begin(), values.end(), 0.0);
+  std::atomic<long long> sum{0};
+  parallel_for(pool, 0, values.size(), 64, [&](std::size_t i) {
+    sum += static_cast<long long>(values[i]);
+  });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace nldl::util
