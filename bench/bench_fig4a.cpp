@@ -7,6 +7,6 @@
 
 int main(int argc, char** argv) {
   return nldl::bench::run_fig4_panel(
-      "4(a)", nldl::platform::SpeedModel::kHomogeneous,
+      "4(a)", "a", nldl::platform::SpeedModel::kHomogeneous,
       "all strategies within ~1% of the bound; k stays 1", argc, argv);
 }

@@ -7,6 +7,6 @@
 
 int main(int argc, char** argv) {
   return nldl::bench::run_fig4_panel(
-      "4(b)", nldl::platform::SpeedModel::kUniform,
+      "4(b)", "b", nldl::platform::SpeedModel::kUniform,
       "Comm_het <= 1.02; Comm_hom/k grows to ~15-20x at p=100", argc, argv);
 }

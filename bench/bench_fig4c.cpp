@@ -6,6 +6,6 @@
 
 int main(int argc, char** argv) {
   return nldl::bench::run_fig4_panel(
-      "4(c)", nldl::platform::SpeedModel::kLogNormal,
+      "4(c)", "c", nldl::platform::SpeedModel::kLogNormal,
       "Comm_het <= 1.02; Comm_hom/k grows to ~15-30x at p=100", argc, argv);
 }

@@ -12,11 +12,11 @@
 #include <iostream>
 #include <limits>
 
+#include "core/experiments.hpp"
 #include "core/no_free_lunch.hpp"
 #include "dlt/analysis.hpp"
 #include "dlt/nonlinear_dlt.hpp"
 #include "platform/speed_distributions.hpp"
-#include "sim/bounded_multiport.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -94,32 +94,10 @@ void model_independence(double total_load) {
   // round's *makespan* moves.
   std::printf("\n=== Model independence: round makespan under bounded "
               "master capacity (alpha = 2, p = 64) ===\n\n");
-  const std::size_t p = 64;
-  const auto plat = platform::Platform::homogeneous(p, 1.0, 1.0);
-  const std::vector<double> amounts(
-      p, total_load / static_cast<double>(p));
-  util::Table table({"master capacity", "comm phase ends", "round makespan",
-                     "work covered"});
-  const double covered =
-      1.0 - dlt::remaining_fraction_homogeneous(p, 2.0);
-  for (const double capacity :
-       {1.0, 4.0, 16.0, 64.0, std::numeric_limits<double>::infinity()}) {
-    const auto result =
-        sim::simulate_bounded_multiport(plat, amounts, capacity, 2.0);
-    double comm_end = 0.0;
-    for (const double t : result.comm_finish) {
-      comm_end = std::max(comm_end, t);
-    }
-    table.row()
-        .cell(std::isfinite(capacity)
-                  ? util::format_double(capacity, 0)
-                  : std::string("inf (parallel links)"))
-        .cell(comm_end, 1)
-        .cell(result.makespan, 1)
-        .cell(covered, 6)
-        .done();
-  }
-  table.print(std::cout);
+  core::CapacitySweepConfig config;
+  config.total_load = total_load;
+  const auto rows = core::capacity_sweep(config);
+  core::capacity_sweep_table(rows).print(std::cout);
   std::printf("\n(the covered share is a property of the division, not of "
               "the network: no model buys a free lunch)\n");
 }

@@ -1,21 +1,51 @@
 // Shared driver for the Figure 4 reproductions (bench_fig4{a,b,c}).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "core/experiments.hpp"
 #include "util/chart.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 
 namespace nldl::bench {
 
-/// Run one Figure 4 panel and print the paper-style table.
+/// Bitwise comparison of two sweeps: the parallel runner must reproduce
+/// the serial run exactly (same sub-streams, same reduction order).
+inline bool fig4_rows_identical(const std::vector<core::Fig4Row>& a,
+                                const std::vector<core::Fig4Row>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto same = [](const util::RunningStats& x,
+                         const util::RunningStats& y) {
+      return x.count() == y.count() && x.mean() == y.mean() &&
+             x.variance() == y.variance();
+    };
+    if (a[i].p != b[i].p || !same(a[i].het, b[i].het) ||
+        !same(a[i].hom, b[i].hom) || !same(a[i].hom_k, b[i].hom_k) ||
+        !same(a[i].k_used, b[i].k_used) ||
+        !same(a[i].hom_imbalance, b[i].hom_imbalance)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Run one Figure 4 panel: print the paper-style table, then record the
+/// serial-vs-parallel runner comparison to BENCH_fig4<panel>.json.
 ///
 /// Flags: --trials=N (default 100), --seed=S, --csv=path, --target=e
-/// (imbalance target for Comm_hom/k, default 0.01 = the paper's 1 %).
-inline int run_fig4_panel(const char* figure, platform::SpeedModel model,
+/// (imbalance target for Comm_hom/k, default 0.01 = the paper's 1 %),
+/// --threads=T (parallel runner width; 0 = hardware, default), --json=path
+/// (default BENCH_fig4<panel>.json in the working directory).
+inline int run_fig4_panel(const char* figure, const char* panel,
+                          platform::SpeedModel model,
                           const char* expectation, int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
   const util::Args args(argc, argv);
   core::Fig4Config config;
   config.model = model;
@@ -23,6 +53,12 @@ inline int run_fig4_panel(const char* figure, platform::SpeedModel model,
   config.seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<long long>(util::Rng::kDefaultSeed)));
   config.strategy_options.imbalance_target = args.get_double("target", 0.01);
+
+  std::size_t threads =
+      static_cast<std::size_t>(args.get_int("threads", 0));
+  if (threads == 0) {
+    threads = std::max(1U, std::thread::hardware_concurrency());
+  }
 
   std::printf("=== Figure %s: ratio of communication volume to the lower "
               "bound ===\n",
@@ -33,7 +69,22 @@ inline int run_fig4_panel(const char* figure, platform::SpeedModel model,
               100.0 * config.strategy_options.imbalance_target);
   std::printf("paper expectation: %s\n\n", expectation);
 
+  // Serial reference run, then the pooled run; the two must agree bit for
+  // bit (per-trial RNG sub-streams + ordered reduction).
+  config.threads = 1;
+  const auto serial_start = Clock::now();
   const auto rows = core::run_fig4(config);
+  const std::chrono::duration<double> serial_time =
+      Clock::now() - serial_start;
+
+  config.threads = threads;
+  const auto parallel_start = Clock::now();
+  const auto parallel_rows = core::run_fig4(config);
+  const std::chrono::duration<double> parallel_time =
+      Clock::now() - parallel_start;
+
+  const bool identical = fig4_rows_identical(rows, parallel_rows);
+
   const auto table = core::fig4_table(rows);
   table.print(std::cout);
 
@@ -56,12 +107,66 @@ inline int run_fig4_panel(const char* figure, platform::SpeedModel model,
   chart.add_series("Comm_hom/k", '*', ps, hom_k);
   std::printf("\n%s", chart.render().c_str());
 
+  std::printf("\nrunner: serial %.3fs | %zu threads %.3fs | speedup %.2fx "
+              "| bit-identical: %s\n",
+              serial_time.count(), threads, parallel_time.count(),
+              parallel_time.count() > 0.0
+                  ? serial_time.count() / parallel_time.count()
+                  : 0.0,
+              identical ? "yes" : "NO (runner bug!)");
+
+  const std::string json_path =
+      args.get_string("json", std::string("BENCH_fig4") + panel + ".json");
+  bool json_written = false;
+  {
+    std::ofstream out(json_path);
+    util::JsonWriter json(out);
+    json.begin_object();
+    json.key("bench").value(std::string("fig4") + panel);
+    json.key("speed_model").value(platform::to_string(model));
+    json.key("trials").value(config.trials);
+    json.key("seed").value(static_cast<std::int64_t>(config.seed));
+    json.key("imbalance_target")
+        .value(config.strategy_options.imbalance_target);
+    json.key("threads").value(threads);
+    json.key("wall_time_serial_s").value(serial_time.count());
+    json.key("wall_time_parallel_s").value(parallel_time.count());
+    json.key("speedup").value(parallel_time.count() > 0.0
+                                  ? serial_time.count() /
+                                        parallel_time.count()
+                                  : 0.0);
+    json.key("parallel_bit_identical").value(identical);
+    json.key("points").begin_array();
+    for (const auto& row : rows) {
+      json.begin_object();
+      json.key("p").value(row.p);
+      json.key("het_mean").value(row.het.mean());
+      json.key("het_stddev").value(row.het.stddev());
+      json.key("hom_mean").value(row.hom.mean());
+      json.key("hom_stddev").value(row.hom.stddev());
+      json.key("hom_k_mean").value(row.hom_k.mean());
+      json.key("hom_k_stddev").value(row.hom_k.stddev());
+      json.key("k_mean").value(row.k_used.mean());
+      json.key("hom_imbalance_mean").value(row.hom_imbalance.mean());
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    out.flush();
+    json_written = static_cast<bool>(out);
+  }
+  if (json_written) {
+    std::printf("JSON written to %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
+  }
+
   if (args.has("csv")) {
     const std::string path = args.get_string("csv", "");
     table.save_csv(path);
-    std::printf("\nCSV written to %s\n", path.c_str());
+    std::printf("CSV written to %s\n", path.c_str());
   }
-  return 0;
+  return identical ? 0 : 1;
 }
 
 }  // namespace nldl::bench

@@ -24,13 +24,9 @@ int main(int argc, char** argv) {
   // Show the actual schedule on a small platform first.
   const auto plat = platform::Platform::homogeneous(p, 1.0, 1.0);
   const auto alloc = dlt::nonlinear_parallel_single_round(plat, n, alpha);
-  std::vector<sim::ChunkAssignment> schedule;
-  for (std::size_t i = 0; i < p; ++i) {
-    schedule.push_back({i, alloc.amounts[i]});
-  }
-  sim::SimOptions options;
-  options.alpha = alpha;
-  const auto result = sim::simulate(plat, schedule, options);
+  const sim::Engine engine(plat, sim::EngineOptions{alpha});
+  const auto result =
+      engine.run(alloc.to_schedule(), sim::CommModelKind::kParallelLinks);
   std::printf("Gantt of the round on p = %zu homogeneous workers "
               "('-' receive, '#' compute):\n\n%s\n",
               p, sim::ascii_gantt(plat, result, 64).c_str());

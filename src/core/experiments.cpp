@@ -1,45 +1,102 @@
 #include "core/experiments.hpp"
 
 #include <cmath>
+#include <thread>
 
+#include "dlt/analysis.hpp"
+#include "sim/engine.hpp"
 #include "util/assert.hpp"
+#include "util/threadpool.hpp"
 
 namespace nldl::core {
+
+namespace {
+
+/// Everything one trial contributes to its Fig4Row. Trials are evaluated
+/// in any order (possibly concurrently) but reduced strictly in trial
+/// order, which keeps the Welford accumulators bit-identical to a serial
+/// sweep.
+struct TrialOutcome {
+  double het = 0.0;
+  double hom = 0.0;
+  double hom_k = 0.0;
+  double k_used = 0.0;
+  double hom_imbalance = 0.0;
+};
+
+TrialOutcome evaluate_trial(const Fig4Config& config, std::size_t p,
+                            util::Rng rng) {
+  const platform::Platform plat =
+      platform::make_platform(config.model, p, rng, config.model_params);
+  const std::vector<double> speeds = plat.speeds();
+
+  const auto het = evaluate_strategy(Strategy::kHeterogeneousBlocks, speeds,
+                                     config.domain_n,
+                                     config.strategy_options);
+  const auto hom = evaluate_strategy(Strategy::kHomogeneousBlocks, speeds,
+                                     config.domain_n,
+                                     config.strategy_options);
+  const auto hom_k = evaluate_strategy(Strategy::kHomogeneousBlocksRefined,
+                                       speeds, config.domain_n,
+                                       config.strategy_options);
+
+  TrialOutcome outcome;
+  outcome.het = het.ratio_to_lower_bound;
+  outcome.hom = hom.ratio_to_lower_bound;
+  outcome.hom_k = hom_k.ratio_to_lower_bound;
+  outcome.k_used = static_cast<double>(hom_k.refinement_k);
+  outcome.hom_imbalance = hom.load_imbalance;
+  return outcome;
+}
+
+}  // namespace
 
 std::vector<Fig4Row> run_fig4(const Fig4Config& config) {
   NLDL_REQUIRE(config.trials >= 1, "at least one trial required");
   NLDL_REQUIRE(!config.processor_counts.empty(),
                "at least one processor count required");
 
+  // Pre-split one RNG sub-stream per (p, trial) pair, in the exact order a
+  // serial sweep consumes them. Splitting is cheap (a jump-ahead), and it
+  // decouples every trial from the others: the sweep can then run on any
+  // number of threads without touching the sampled platforms.
+  const std::size_t total = config.processor_counts.size() * config.trials;
+  util::Rng master(config.seed);
+  std::vector<util::Rng> streams;
+  streams.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) streams.push_back(master.split());
+
+  std::vector<TrialOutcome> outcomes(total);
+  auto run_one = [&](std::size_t index) {
+    const std::size_t p = config.processor_counts[index / config.trials];
+    outcomes[index] = evaluate_trial(config, p, streams[index]);
+  };
+
+  std::size_t threads = config.threads;
+  if (threads == 0) {
+    threads = std::max(1U, std::thread::hardware_concurrency());
+  }
+  if (threads == 1 || total == 1) {
+    for (std::size_t i = 0; i < total; ++i) run_one(i);
+  } else {
+    util::ThreadPool pool(std::min(threads, total));
+    util::parallel_for(pool, 0, total, 1, run_one);
+  }
+
+  // Deterministic reduction: push every trial in trial order.
   std::vector<Fig4Row> rows;
   rows.reserve(config.processor_counts.size());
-  util::Rng master(config.seed);
-
-  for (const std::size_t p : config.processor_counts) {
+  for (std::size_t pi = 0; pi < config.processor_counts.size(); ++pi) {
     Fig4Row row;
-    row.p = p;
+    row.p = config.processor_counts[pi];
     for (std::size_t trial = 0; trial < config.trials; ++trial) {
-      util::Rng rng = master.split();
-      const platform::Platform plat = platform::make_platform(
-          config.model, p, rng, config.model_params);
-      const std::vector<double> speeds = plat.speeds();
-
-      const auto het = evaluate_strategy(Strategy::kHeterogeneousBlocks,
-                                         speeds, config.domain_n,
-                                         config.strategy_options);
-      const auto hom = evaluate_strategy(Strategy::kHomogeneousBlocks,
-                                         speeds, config.domain_n,
-                                         config.strategy_options);
-      const auto hom_k = evaluate_strategy(
-          Strategy::kHomogeneousBlocksRefined, speeds, config.domain_n,
-          config.strategy_options);
-
-      row.het.push(het.ratio_to_lower_bound);
-      row.hom.push(hom.ratio_to_lower_bound);
-      row.hom_k.push(hom_k.ratio_to_lower_bound);
-      row.k_used.push(static_cast<double>(hom_k.refinement_k));
-      if (std::isfinite(hom.load_imbalance)) {
-        row.hom_imbalance.push(hom.load_imbalance);
+      const TrialOutcome& outcome = outcomes[pi * config.trials + trial];
+      row.het.push(outcome.het);
+      row.hom.push(outcome.hom);
+      row.hom_k.push(outcome.hom_k);
+      row.k_used.push(outcome.k_used);
+      if (std::isfinite(outcome.hom_imbalance)) {
+        row.hom_imbalance.push(outcome.hom_imbalance);
       }
     }
     rows.push_back(std::move(row));
@@ -62,6 +119,55 @@ util::Table fig4_table(const std::vector<Fig4Row>& rows) {
         .cell(row.hom_k.mean(), 3)
         .cell(row.hom_k.stddev(), 3)
         .cell(row.k_used.mean(), 2)
+        .done();
+  }
+  return table;
+}
+
+std::vector<CapacitySweepRow> capacity_sweep(
+    const CapacitySweepConfig& config) {
+  NLDL_REQUIRE(config.p >= 1, "at least one worker required");
+  NLDL_REQUIRE(config.alpha >= 1.0, "alpha must be >= 1");
+  NLDL_REQUIRE(config.total_load >= 0.0, "total_load must be >= 0");
+  NLDL_REQUIRE(!config.capacities.empty(),
+               "at least one capacity required");
+
+  const platform::Platform plat =
+      platform::Platform::homogeneous(config.p, config.c, config.w);
+  const sim::Engine engine(plat, sim::EngineOptions{config.alpha});
+  const std::vector<double> amounts(
+      config.p, config.total_load / static_cast<double>(config.p));
+  const double covered =
+      1.0 - dlt::remaining_fraction_homogeneous(config.p, config.alpha);
+
+  std::vector<CapacitySweepRow> rows;
+  rows.reserve(config.capacities.size());
+  for (const double capacity : config.capacities) {
+    const sim::BoundedMultiportModel model(capacity);
+    const sim::SimResult result = engine.run_single_round(amounts, model);
+    CapacitySweepRow row;
+    row.capacity = capacity;
+    for (const sim::ChunkSpan& span : result.spans) {
+      row.comm_phase_end = std::max(row.comm_phase_end, span.comm_end);
+    }
+    row.makespan = result.makespan;
+    row.covered_fraction = covered;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+util::Table capacity_sweep_table(const std::vector<CapacitySweepRow>& rows) {
+  util::Table table({"master capacity", "comm phase ends", "round makespan",
+                     "work covered"});
+  for (const CapacitySweepRow& row : rows) {
+    table.row()
+        .cell(std::isfinite(row.capacity)
+                  ? util::format_double(row.capacity, 0)
+                  : std::string("inf (parallel links)"))
+        .cell(row.comm_phase_end, 1)
+        .cell(row.makespan, 1)
+        .cell(row.covered_fraction, 6)
         .done();
   }
   return table;

@@ -1,10 +1,19 @@
 // The Section 4.3 simulation study (Figures 4a, 4b, 4c): sweep the number
 // of processors, draw random platforms, evaluate all three strategies, and
 // report mean ± stddev of each strategy's communication ratio to the lower
-// bound.
+// bound. Trials dispatch onto a util::ThreadPool; every trial consumes its
+// own pre-split RNG sub-stream and results are reduced in trial order, so
+// the output is bit-identical for any thread count.
+//
+// Also hosts the Section 2 "model independence" sweep: the makespan of the
+// equal-split DLT round under a bounded-multiport master of varying
+// capacity (simulated with sim::Engine), showing that the communication
+// model moves the round's makespan but not the vanishing share of work it
+// covers.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/strategies.hpp"
@@ -24,6 +33,10 @@ struct Fig4Config {
   std::uint64_t seed = util::Rng::kDefaultSeed;
   /// Ratios are N-invariant; N only matters for absolute volumes.
   double domain_n = 1.0;
+  /// Worker threads for the trial sweep: 1 = run serially on the calling
+  /// thread, 0 = one per hardware thread. The result is the same bit for
+  /// bit whatever the value.
+  std::size_t threads = 1;
   StrategyOptions strategy_options{};
   platform::SpeedModelParams model_params{};
 };
@@ -38,10 +51,38 @@ struct Fig4Row {
 };
 
 /// Run the sweep. Deterministic given the seed (each trial draws its own
-/// sub-stream, so rows are independent of sweep order).
+/// sub-stream, so rows are independent of sweep order and thread count).
 [[nodiscard]] std::vector<Fig4Row> run_fig4(const Fig4Config& config);
 
 /// Paper-style table: one row per p, mean and stddev per strategy.
 [[nodiscard]] util::Table fig4_table(const std::vector<Fig4Row>& rows);
+
+/// Section 2 model-independence sweep: one optimal equal-split DLT round
+/// of a nonlinear workload on a homogeneous platform, replayed under
+/// bounded-multiport masters of growing capacity (+inf = parallel links).
+struct CapacitySweepConfig {
+  std::size_t p = 64;
+  double alpha = 2.0;
+  double total_load = 10000.0;
+  double c = 1.0;  ///< uniform communication cost
+  double w = 1.0;  ///< uniform computation cost
+  std::vector<double> capacities = {1.0, 4.0, 16.0, 64.0,
+                                    std::numeric_limits<double>::infinity()};
+};
+
+struct CapacitySweepRow {
+  double capacity = 0.0;        ///< master aggregate bandwidth
+  double comm_phase_end = 0.0;  ///< last transfer completion
+  double makespan = 0.0;        ///< round makespan under this master
+  /// Share of the total work the round covers, 1/p^(alpha-1) — a property
+  /// of the division, identical for every capacity.
+  double covered_fraction = 0.0;
+};
+
+[[nodiscard]] std::vector<CapacitySweepRow> capacity_sweep(
+    const CapacitySweepConfig& config);
+
+[[nodiscard]] util::Table capacity_sweep_table(
+    const std::vector<CapacitySweepRow>& rows);
 
 }  // namespace nldl::core

@@ -9,7 +9,7 @@
 //   - linalg/     executable outer product and matmul with comm accounting
 //   - mapreduce/  mini MapReduce engine + heterogeneous cluster simulator
 //   - platform/   heterogeneous star platforms and speed distributions
-//   - sim/        master→worker schedule simulator
+//   - sim/        event-driven schedule engine + pluggable comm models
 //   - util/       RNG, statistics, root-finding, tables, thread pool
 #pragma once
 
@@ -40,6 +40,8 @@
 #include "platform/platform.hpp"   // IWYU pragma: export
 #include "platform/speed_distributions.hpp"  // IWYU pragma: export
 #include "sim/bounded_multiport.hpp"  // IWYU pragma: export
+#include "sim/comm_model.hpp"      // IWYU pragma: export
+#include "sim/engine.hpp"          // IWYU pragma: export
 #include "sim/simulator.hpp"       // IWYU pragma: export
 #include "sim/trace.hpp"           // IWYU pragma: export
 #include "sort/distributed.hpp"    // IWYU pragma: export

@@ -14,22 +14,12 @@ double Allocation::total() const noexcept {
 }
 
 std::vector<sim::ChunkAssignment> Allocation::to_schedule() const {
-  std::vector<std::size_t> order(amounts.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  return to_schedule(order);
+  return sim::single_round_schedule(amounts);
 }
 
 std::vector<sim::ChunkAssignment> Allocation::to_schedule(
     const std::vector<std::size_t>& send_order) const {
-  NLDL_REQUIRE(send_order.size() == amounts.size(),
-               "send order must cover every worker exactly once");
-  std::vector<sim::ChunkAssignment> schedule;
-  schedule.reserve(amounts.size());
-  for (const std::size_t worker : send_order) {
-    NLDL_REQUIRE(worker < amounts.size(), "send order index out of range");
-    schedule.push_back({worker, amounts[worker]});
-  }
-  return schedule;
+  return sim::single_round_schedule(amounts, send_order);
 }
 
 Allocation linear_parallel_single_round(const platform::Platform& platform,

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "platform/platform.hpp"
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 
 namespace nldl::dlt {
 

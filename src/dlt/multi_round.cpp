@@ -14,10 +14,9 @@ MultiRoundPlan simulate_plan(const platform::Platform& platform,
   MultiRoundPlan plan;
   plan.schedule = std::move(schedule);
   plan.rounds = rounds;
-  sim::SimOptions options;
-  options.comm_model = sim::CommModel::kOnePort;
+  const sim::Engine engine(platform);
   plan.simulated_makespan =
-      sim::simulate(platform, plan.schedule, options).makespan;
+      engine.run(plan.schedule, sim::CommModelKind::kOnePort).makespan;
   return plan;
 }
 

@@ -16,7 +16,7 @@
 
 #include "dlt/linear_dlt.hpp"
 #include "platform/platform.hpp"
-#include "sim/simulator.hpp"
+#include "sim/simulator.hpp"  // engine types + deprecated simulate() shim
 
 namespace nldl::dlt {
 

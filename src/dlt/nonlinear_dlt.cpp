@@ -8,6 +8,15 @@
 
 namespace nldl::dlt {
 
+std::vector<sim::ChunkAssignment> NonlinearAllocation::to_schedule() const {
+  return sim::single_round_schedule(amounts);
+}
+
+std::vector<sim::ChunkAssignment> NonlinearAllocation::to_schedule(
+    const std::vector<std::size_t>& send_order) const {
+  return sim::single_round_schedule(amounts, send_order);
+}
+
 namespace {
 
 /// Solve c·n + w·n^alpha = budget for n >= 0 (unique root; 0 if budget <= 0).

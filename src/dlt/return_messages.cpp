@@ -175,13 +175,17 @@ double simulate_one_port_with_return(
     NLDL_REQUIRE(n >= 0.0, "amounts must be >= 0");
   }
 
-  // Phase 1: serialized sends; compute starts on full receipt.
+  // Phase 1: serialized sends; compute starts on full receipt. The
+  // forward half is exactly a one-port engine run over the send order.
+  const sim::Engine engine(platform);
+  const sim::SimResult forward =
+      engine.run(sim::single_round_schedule(amounts, send_order),
+                 sim::CommModelKind::kOnePort);
   std::vector<double> compute_done(p, 0.0);
   double port = 0.0;
-  for (const std::size_t worker : send_order) {
-    const double send = platform.c(worker) * amounts[worker];
-    port += send;
-    compute_done[worker] = port + platform.w(worker) * amounts[worker];
+  for (const sim::ChunkSpan& span : forward.spans) {
+    compute_done[span.worker] = span.compute_end;
+    port = std::max(port, span.comm_end);
   }
   // Phase 2: returns honor return_order on the same port.
   double makespan = 0.0;

@@ -19,7 +19,7 @@
 
 #include "dlt/linear_dlt.hpp"
 #include "platform/platform.hpp"
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 
 namespace nldl::dlt {
 

@@ -1,52 +1,8 @@
 #include "sim/bounded_multiport.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
 #include "util/assert.hpp"
 
 namespace nldl::sim {
-
-namespace {
-
-/// Max-min fair rates for the active transfers: each transfer i has a
-/// private cap 1/c_i; the sum is capped by `capacity`. Water-filling:
-/// repeatedly give every unsaturated transfer an equal share of the
-/// remaining capacity; transfers whose private cap is below their share
-/// saturate at the cap.
-std::vector<double> fair_rates(const std::vector<double>& caps,
-                               double capacity) {
-  const std::size_t count = caps.size();
-  std::vector<double> rates(count, 0.0);
-  std::vector<bool> saturated(count, false);
-  double remaining = capacity;
-  std::size_t unsaturated = count;
-  for (std::size_t pass = 0; pass < count && unsaturated > 0; ++pass) {
-    const double share = remaining / static_cast<double>(unsaturated);
-    bool any_saturated = false;
-    for (std::size_t i = 0; i < count; ++i) {
-      if (saturated[i]) continue;
-      if (caps[i] <= share) {
-        rates[i] = caps[i];
-        remaining -= caps[i];
-        saturated[i] = true;
-        --unsaturated;
-        any_saturated = true;
-      }
-    }
-    if (!any_saturated) {
-      // Everyone is share-limited: split the remainder equally.
-      for (std::size_t i = 0; i < count; ++i) {
-        if (!saturated[i]) rates[i] = share;
-      }
-      break;
-    }
-  }
-  return rates;
-}
-
-}  // namespace
 
 BoundedMultiportResult simulate_bounded_multiport(
     const platform::Platform& platform, const std::vector<double>& amounts,
@@ -59,62 +15,18 @@ BoundedMultiportResult simulate_bounded_multiport(
     NLDL_REQUIRE(amount >= 0.0, "amounts must be >= 0");
   }
 
+  const Engine engine(platform, EngineOptions{alpha});
+  const BoundedMultiportModel model(master_capacity);
+  const SimResult sim = engine.run_single_round(amounts, model);
+
   BoundedMultiportResult result;
   result.comm_finish.assign(p, 0.0);
   result.compute_finish.assign(p, 0.0);
-
-  // Remaining data per transfer; workers with nothing to receive are done.
-  std::vector<double> remaining(p);
-  std::vector<bool> active(p, false);
-  std::size_t active_count = 0;
-  for (std::size_t i = 0; i < p; ++i) {
-    remaining[i] = amounts[i];
-    if (amounts[i] > 0.0) {
-      active[i] = true;
-      ++active_count;
-    }
+  for (const ChunkSpan& span : sim.spans) {
+    result.comm_finish[span.worker] = span.comm_end;
+    result.compute_finish[span.worker] = span.compute_end;
   }
-
-  double now = 0.0;
-  // Piecewise-constant rates: advance to the next completion, recompute.
-  while (active_count > 0) {
-    std::vector<double> caps;
-    std::vector<std::size_t> index;
-    caps.reserve(active_count);
-    index.reserve(active_count);
-    for (std::size_t i = 0; i < p; ++i) {
-      if (active[i]) {
-        caps.push_back(platform.worker(i).bandwidth());
-        index.push_back(i);
-      }
-    }
-    const std::vector<double> rates = fair_rates(caps, master_capacity);
-
-    // Time to the earliest completion under these rates.
-    double step = std::numeric_limits<double>::infinity();
-    for (std::size_t j = 0; j < index.size(); ++j) {
-      NLDL_ASSERT(rates[j] > 0.0, "active transfer with zero rate");
-      step = std::min(step, remaining[index[j]] / rates[j]);
-    }
-    now += step;
-    for (std::size_t j = 0; j < index.size(); ++j) {
-      const std::size_t i = index[j];
-      remaining[i] -= rates[j] * step;
-      if (remaining[i] <= 1e-12 * std::max(1.0, amounts[i])) {
-        remaining[i] = 0.0;
-        active[i] = false;
-        --active_count;
-        result.comm_finish[i] = now;
-      }
-    }
-  }
-
-  for (std::size_t i = 0; i < p; ++i) {
-    const double compute =
-        platform.w(i) * std::pow(amounts[i], alpha);
-    result.compute_finish[i] = result.comm_finish[i] + compute;
-    result.makespan = std::max(result.makespan, result.compute_finish[i]);
-  }
+  result.makespan = sim.makespan;
   return result;
 }
 

@@ -1,22 +1,17 @@
-// Bounded-multiport communication model (Hong & Prasanna style): the
-// master can feed any number of workers concurrently, but its aggregate
-// outgoing bandwidth is capped. This sits between the paper's two
-// extremes — fully parallel links (infinite master capacity) and the
-// one-port model (capacity = one transfer at a time) — and lets the
-// experiments quantify how much of the Section 2 conclusion depends on
-// the communication model.
+// Deprecated shim over the event-driven engine (sim/engine.hpp).
 //
-// Semantics: a single round (one chunk per worker, all transfers start at
-// t = 0). Transfer i's instantaneous rate is at most 1/c_i (its private
-// link) and the sum of all active rates is at most `master_capacity`.
-// Rates follow max-min fairness (water-filling), recomputed whenever a
-// transfer completes. A worker starts computing (cost w_i·X^alpha) when
-// its transfer finishes.
+// The original single-round bounded-multiport simulator (Hong & Prasanna
+// style max-min fair water-filling) is subsumed by
+// `Engine::run_single_round(amounts, BoundedMultiportModel(capacity))`,
+// which additionally handles arbitrary multi-round schedules and returns
+// the unified SimResult. This wrapper keeps the old signature and result
+// type alive for existing tests; new code should use the engine.
 #pragma once
 
 #include <vector>
 
 #include "platform/platform.hpp"
+#include "sim/engine.hpp"
 
 namespace nldl::sim {
 

@@ -1,0 +1,257 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace nldl::sim {
+
+double SimResult::load_imbalance() const noexcept {
+  if (worker_compute_time.size() < 2) return 0.0;
+  double t_min = std::numeric_limits<double>::infinity();
+  double t_max = 0.0;
+  for (const double t : worker_compute_time) {
+    t_min = std::min(t_min, t);
+    t_max = std::max(t_max, t);
+  }
+  if (t_min <= 0.0) return std::numeric_limits<double>::infinity();
+  return (t_max - t_min) / t_min;
+}
+
+Engine::Engine(const platform::Platform& platform, EngineOptions options)
+    : platform_(platform), options_(options) {
+  NLDL_REQUIRE(options.alpha >= 1.0, "alpha must be >= 1");
+}
+
+std::vector<ChunkAssignment> single_round_schedule(
+    const std::vector<double>& amounts) {
+  std::vector<std::size_t> order(amounts.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return single_round_schedule(amounts, order);
+}
+
+std::vector<ChunkAssignment> single_round_schedule(
+    const std::vector<double>& amounts,
+    const std::vector<std::size_t>& send_order) {
+  NLDL_REQUIRE(send_order.size() == amounts.size(),
+               "send order must cover every worker exactly once");
+  std::vector<bool> seen(amounts.size(), false);
+  std::vector<ChunkAssignment> schedule;
+  schedule.reserve(amounts.size());
+  for (const std::size_t worker : send_order) {
+    NLDL_REQUIRE(worker < amounts.size(), "send order index out of range");
+    NLDL_REQUIRE(!seen[worker], "send order repeats a worker");
+    seen[worker] = true;
+    schedule.push_back({worker, amounts[worker]});
+  }
+  return schedule;
+}
+
+namespace {
+
+/// Per-chunk transfer state. `remaining` is measured at `anchor_time`; the
+/// pair is only refreshed when the rate actually changes, so a transfer
+/// that runs at one rate its whole life (both discrete models) finishes at
+/// the exact closed-form instant with no integration drift.
+struct Transfer {
+  double remaining = 0.0;
+  double rate = 0.0;
+  double anchor_time = 0.0;
+  double released = 0.0;
+  double comm_start = 0.0;
+  bool started = false;
+};
+
+/// Remaining transfer time. Full-link-rate transfers use the exact c·size
+/// formula (the retired simulator's arithmetic); shared-rate transfers
+/// divide by the fluid rate.
+double time_left(const Transfer& transfer, double link_rate, double c) {
+  if (transfer.rate == link_rate) return transfer.remaining * c;
+  return transfer.remaining / transfer.rate;
+}
+
+}  // namespace
+
+SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
+                      const CommModel& model) const {
+  const std::size_t p = platform_.size();
+  const double alpha = options_.alpha;
+
+  SimResult result;
+  result.spans.resize(schedule.size());
+  result.worker_finish.assign(p, 0.0);
+  result.worker_compute_time.assign(p, 0.0);
+  result.worker_comm_time.assign(p, 0.0);
+
+  // Validate the schedule and build the per-worker link queues (chunks to
+  // one worker serialize in schedule order).
+  std::vector<std::vector<std::size_t>> queue(p);
+  for (std::size_t idx = 0; idx < schedule.size(); ++idx) {
+    const ChunkAssignment& chunk = schedule[idx];
+    NLDL_REQUIRE(chunk.worker < p, "chunk assigned to unknown worker");
+    NLDL_REQUIRE(chunk.size >= 0.0, "chunk size must be >= 0");
+    queue[chunk.worker].push_back(idx);
+  }
+
+  std::vector<std::size_t> head(p, 0);
+  std::vector<Transfer> transfers(schedule.size());
+  std::vector<double> cpu_free(p, 0.0);
+  std::vector<std::size_t> eligible;  // chunk indices, ascending
+
+  // Record the chunk's span once its communication is over, queueing its
+  // computation on the worker's CPU (receive/compute pipelining: compute
+  // of chunk k overlaps the receive of chunk k+1).
+  auto finish_chunk = [&](std::size_t idx, double comm_end) {
+    const ChunkAssignment& chunk = schedule[idx];
+    const auto& proc = platform_.worker(chunk.worker);
+    ChunkSpan& span = result.spans[idx];
+    span.worker = chunk.worker;
+    span.size = chunk.size;
+    span.comm_start =
+        transfers[idx].started ? transfers[idx].comm_start : comm_end;
+    span.comm_end = comm_end;
+    const double compute_duration =
+        proc.w * std::pow(chunk.size, alpha);
+    span.compute_start = std::max(span.comm_end, cpu_free[chunk.worker]);
+    span.compute_end = span.compute_start + compute_duration;
+    cpu_free[chunk.worker] = span.compute_end;
+
+    result.worker_comm_time[chunk.worker] += span.comm_end - span.comm_start;
+    result.worker_compute_time[chunk.worker] += compute_duration;
+    result.worker_finish[chunk.worker] = span.compute_end;
+    result.makespan = std::max(result.makespan, span.compute_end);
+  };
+
+  // Move worker w's next queued chunk to the head of its link at `now`.
+  // Zero-size chunks travel through the model like any other transfer
+  // (so e.g. the one-port model still serializes them at the port in
+  // schedule order, as the retired simulator did); they just take no time
+  // once served.
+  auto release_head = [&](std::size_t w, double now) {
+    if (head[w] >= queue[w].size()) return;
+    const std::size_t idx = queue[w][head[w]];
+    Transfer& transfer = transfers[idx];
+    transfer.remaining = schedule[idx].size;
+    transfer.anchor_time = now;
+    transfer.released = now;
+    eligible.insert(
+        std::lower_bound(eligible.begin(), eligible.end(), idx), idx);
+  };
+
+  for (std::size_t w = 0; w < p; ++w) release_head(w, 0.0);
+
+  std::vector<TransferView> views;
+  std::vector<double> rates;
+  std::vector<std::size_t> done;
+  double now = 0.0;
+
+  while (!eligible.empty()) {
+    // 1. Ask the model to rate the eligible transfers (sorted by schedule
+    // position, at most one per worker).
+    views.clear();
+    for (const std::size_t idx : eligible) {
+      const std::size_t w = schedule[idx].worker;
+      TransferView view;
+      view.chunk = idx;
+      view.worker = w;
+      view.link_rate = platform_.worker(w).bandwidth();
+      // Progress the view (not the anchor) to `now`, so models relying on
+      // remaining see current data.
+      view.remaining = std::max(
+          0.0, transfers[idx].remaining -
+                   transfers[idx].rate * (now - transfers[idx].anchor_time));
+      view.released = transfers[idx].released;
+      views.push_back(view);
+    }
+    rates.assign(views.size(), 0.0);
+    model.assign_rates(views, rates);
+
+    // 2. Apply the rates, re-anchoring only transfers whose rate changed.
+    bool any_positive = false;
+    for (std::size_t j = 0; j < views.size(); ++j) {
+      const std::size_t idx = views[j].chunk;
+      Transfer& transfer = transfers[idx];
+      NLDL_ASSERT(rates[j] >= 0.0, "comm model assigned a negative rate");
+      const double rate = std::min(rates[j], views[j].link_rate);
+      if (rate > 0.0) any_positive = true;
+      if (rate != transfer.rate) {
+        transfer.remaining = std::max(
+            0.0, transfer.remaining -
+                     transfer.rate * (now - transfer.anchor_time));
+        transfer.anchor_time = now;
+        transfer.rate = rate;
+      }
+      if (rate > 0.0 && !transfer.started) {
+        transfer.started = true;
+        transfer.comm_start = now;
+      }
+    }
+    NLDL_ASSERT(any_positive, "comm model starves every pending transfer");
+
+    // 3. Advance to the earliest transfer completion.
+    double next = std::numeric_limits<double>::infinity();
+    for (const std::size_t idx : eligible) {
+      const Transfer& transfer = transfers[idx];
+      if (transfer.rate <= 0.0) continue;
+      const auto& proc = platform_.worker(schedule[idx].worker);
+      next = std::min(next, transfer.anchor_time +
+                                time_left(transfer, proc.bandwidth(),
+                                          proc.c));
+    }
+    NLDL_ASSERT(std::isfinite(next), "no finite next event");
+    now = std::max(now, next);
+
+    // 4. Complete every transfer done at `now`. Transfers running below
+    // their private link rate (fluid sharing) additionally snap within
+    // the retired water-filling simulator's tolerance: fair sharing
+    // leaves O(eps)-sized residues on transfers that tie in exact
+    // arithmetic. Full-link-rate transfers never snap, so the discrete
+    // models keep their exact closed-form finish times even in
+    // near-ties.
+    done.clear();
+    for (const std::size_t idx : eligible) {
+      const Transfer& transfer = transfers[idx];
+      if (transfer.rate <= 0.0) continue;
+      const auto& proc = platform_.worker(schedule[idx].worker);
+      const double finish =
+          transfer.anchor_time + time_left(transfer, proc.bandwidth(),
+                                           proc.c);
+      const bool shared_rate = transfer.rate != proc.bandwidth();
+      const double left =
+          transfer.remaining - transfer.rate * (now - transfer.anchor_time);
+      if (finish <= now ||
+          (shared_rate &&
+           left <= 1e-12 * std::max(1.0, schedule[idx].size))) {
+        done.push_back(idx);
+      }
+    }
+    NLDL_ASSERT(!done.empty(), "event advanced time without a completion");
+    for (const std::size_t idx : done) {
+      eligible.erase(
+          std::find(eligible.begin(), eligible.end(), idx));
+      const std::size_t w = schedule[idx].worker;
+      ++head[w];
+      finish_chunk(idx, now);
+      release_head(w, now);
+    }
+  }
+
+  return result;
+}
+
+SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
+                      CommModelKind kind) const {
+  const auto model = make_comm_model(kind);
+  return run(schedule, *model);
+}
+
+SimResult Engine::run_single_round(const std::vector<double>& amounts,
+                                   const CommModel& model) const {
+  NLDL_REQUIRE(amounts.size() == platform_.size(),
+               "one amount per worker required");
+  return run(single_round_schedule(amounts), model);
+}
+
+}  // namespace nldl::sim

@@ -1,0 +1,119 @@
+// Event-driven simulation engine for master→worker divisible-load
+// schedules (paper Section 1.2 model), with pluggable communication models.
+//
+// The engine replays an arbitrary multi-round schedule of chunks under one
+// platform and one CommModel (sim/comm_model.hpp):
+//
+//   - Chunks destined to the same worker serialize on that worker's
+//     incoming link, in schedule order (per-worker FIFO).
+//   - The communication model assigns an instantaneous rate to every
+//     transfer currently at the head of its link queue; rates are
+//     piecewise-constant between events (a transfer completing, a link
+//     freeing), and the engine advances event to event.
+//   - A worker may compute one chunk while receiving the next (multi-round
+//     pipelining) but starts computing a chunk only once it is fully
+//     received. Compute time for a chunk of size X on worker i is
+//     w_i · X^alpha (alpha = 1 is classical linear DLT; alpha > 1 is the
+//     paper's nonlinear case).
+//
+// Under ParallelLinksModel and OnePortModel every transfer runs at its full
+// link rate for its entire lifetime, and the engine reproduces the retired
+// closed-form simulator (sim/simulator.hpp) bit for bit. Under
+// BoundedMultiportModel the rates follow max-min fair water-filling,
+// recomputed at every completion, generalizing the retired single-round
+// simulate_bounded_multiport() to arbitrary schedules.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "platform/platform.hpp"
+#include "sim/comm_model.hpp"
+
+namespace nldl::sim {
+
+/// One master→worker transfer: `size` load units to `worker`.
+struct ChunkAssignment {
+  std::size_t worker = 0;
+  double size = 0.0;
+};
+
+/// Build the single-round schedule sending amounts[w] to worker w, in
+/// worker order or in an explicit `send_order` (which must be a
+/// permutation of all workers). This is the shape of every classical DLT
+/// allocation; the dlt allocators' to_schedule() methods delegate here.
+[[nodiscard]] std::vector<ChunkAssignment> single_round_schedule(
+    const std::vector<double>& amounts);
+[[nodiscard]] std::vector<ChunkAssignment> single_round_schedule(
+    const std::vector<double>& amounts,
+    const std::vector<std::size_t>& send_order);
+
+/// Timeline of a single chunk.
+struct ChunkSpan {
+  std::size_t worker = 0;
+  double size = 0.0;
+  double comm_start = 0.0;
+  double comm_end = 0.0;
+  double compute_start = 0.0;
+  double compute_end = 0.0;
+};
+
+struct SimResult {
+  std::vector<ChunkSpan> spans;             ///< in schedule order
+  std::vector<double> worker_finish;        ///< last compute end, 0 if unused
+  std::vector<double> worker_compute_time;  ///< total compute busy time
+  std::vector<double> worker_comm_time;     ///< total receive busy time
+  double makespan = 0.0;
+
+  /// Load imbalance e = (t_max - t_min) / t_min over per-worker computation
+  /// times (paper Section 4.3). Returns +infinity when some worker computed
+  /// nothing (t_min = 0), and 0 for a single-worker platform.
+  [[nodiscard]] double load_imbalance() const noexcept;
+};
+
+struct EngineOptions {
+  /// Computational complexity exponent: cost = w_i * size^alpha.
+  double alpha = 1.0;
+};
+
+/// The single simulation entry point. Holds a reference to the platform
+/// (which must outlive the engine) and replays schedules under any
+/// communication model.
+class Engine {
+ public:
+  explicit Engine(const platform::Platform& platform,
+                  EngineOptions options = {});
+
+  [[nodiscard]] const platform::Platform& platform() const noexcept {
+    return platform_;
+  }
+  [[nodiscard]] const EngineOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Simulate the schedule under the given model. Chunk sizes must be
+  /// >= 0; zero-size chunks are allowed and consume no time (they still
+  /// queue like any transfer — e.g. the one-port model serializes them at
+  /// the port in schedule order — but complete the instant they are
+  /// served).
+  [[nodiscard]] SimResult run(const std::vector<ChunkAssignment>& schedule,
+                              const CommModel& model) const;
+
+  /// Convenience: simulate under a built-in model with default parameters
+  /// (kBoundedMultiport defaults to an uncapped master, i.e. parallel
+  /// links — pass a configured BoundedMultiportModel for a real cap).
+  [[nodiscard]] SimResult run(const std::vector<ChunkAssignment>& schedule,
+                              CommModelKind kind) const;
+
+  /// Convenience: one chunk per worker (amounts[i] to worker i, in worker
+  /// order), the single-round shape of every classical DLT allocation.
+  [[nodiscard]] SimResult run_single_round(const std::vector<double>& amounts,
+                                           const CommModel& model) const;
+
+ private:
+  const platform::Platform& platform_;
+  EngineOptions options_;
+};
+
+}  // namespace nldl::sim

@@ -1,76 +1,12 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "util/assert.hpp"
-
 namespace nldl::sim {
-
-double SimResult::load_imbalance() const noexcept {
-  if (worker_compute_time.size() < 2) return 0.0;
-  double t_min = std::numeric_limits<double>::infinity();
-  double t_max = 0.0;
-  for (const double t : worker_compute_time) {
-    t_min = std::min(t_min, t);
-    t_max = std::max(t_max, t);
-  }
-  if (t_min <= 0.0) return std::numeric_limits<double>::infinity();
-  return (t_max - t_min) / t_min;
-}
 
 SimResult simulate(const platform::Platform& platform,
                    const std::vector<ChunkAssignment>& schedule,
                    const SimOptions& options) {
-  NLDL_REQUIRE(options.alpha >= 1.0, "alpha must be >= 1");
-  const std::size_t p = platform.size();
-
-  SimResult result;
-  result.spans.reserve(schedule.size());
-  result.worker_finish.assign(p, 0.0);
-  result.worker_compute_time.assign(p, 0.0);
-  result.worker_comm_time.assign(p, 0.0);
-
-  // Next time each worker's incoming link is free (parallel-links model),
-  // or next time the master's outgoing port is free (one-port model).
-  std::vector<double> link_free(p, 0.0);
-  double master_free = 0.0;
-  // Next time each worker's CPU is free.
-  std::vector<double> cpu_free(p, 0.0);
-
-  for (const ChunkAssignment& chunk : schedule) {
-    NLDL_REQUIRE(chunk.worker < p, "chunk assigned to unknown worker");
-    NLDL_REQUIRE(chunk.size >= 0.0, "chunk size must be >= 0");
-    const auto& proc = platform.worker(chunk.worker);
-
-    ChunkSpan span;
-    span.worker = chunk.worker;
-    span.size = chunk.size;
-
-    const double comm_duration = proc.c * chunk.size;
-    if (options.comm_model == CommModel::kParallelLinks) {
-      span.comm_start = link_free[chunk.worker];
-      span.comm_end = span.comm_start + comm_duration;
-      link_free[chunk.worker] = span.comm_end;
-    } else {
-      span.comm_start = master_free;
-      span.comm_end = span.comm_start + comm_duration;
-      master_free = span.comm_end;
-    }
-
-    const double compute_duration =
-        proc.w * std::pow(chunk.size, options.alpha);
-    span.compute_start = std::max(span.comm_end, cpu_free[chunk.worker]);
-    span.compute_end = span.compute_start + compute_duration;
-    cpu_free[chunk.worker] = span.compute_end;
-
-    result.worker_comm_time[chunk.worker] += comm_duration;
-    result.worker_compute_time[chunk.worker] += compute_duration;
-    result.worker_finish[chunk.worker] = span.compute_end;
-    result.makespan = std::max(result.makespan, span.compute_end);
-    result.spans.push_back(span);
-  }
-  return result;
+  const Engine engine(platform, EngineOptions{options.alpha});
+  return engine.run(schedule, options.comm_model);
 }
 
 }  // namespace nldl::sim

@@ -1,16 +1,15 @@
-// Deterministic simulator for master→worker divisible-load schedules
-// (paper Section 1.2 model).
+// Deprecated shim over the event-driven engine (sim/engine.hpp).
 //
-// The master sends chunks in a prescribed order. Two communication models:
-//   - kParallelLinks: every worker has a private link (the paper's primary
-//     model); chunks to the *same* worker serialize on its link, chunks to
-//     different workers overlap.
-//   - kOnePort: the master can send to only one worker at a time; all
-//     communications serialize globally in schedule order (the model of the
-//     nonlinear-DLT papers the paper critiques).
-// A worker may compute one chunk while receiving the next (multi-round
-// pipelining), but can start computing a chunk only once it is fully
-// received. Compute time for a chunk of size X on worker i is w_i · X^alpha.
+// The original closed-form simulator handled the parallel-links and
+// one-port models for arbitrary chunk schedules; it is now a thin wrapper
+// so code and tests written against `sim::simulate()` keep working. New
+// code should construct a `sim::Engine` and pick a `CommModel` directly —
+// that API also covers the bounded-multiport model and single-round
+// helpers.
+//
+// The old `enum class CommModel` became `CommModelKind`; the spelling
+// `sim::CommModel::kOnePort` still compiles via compatibility aliases on
+// the CommModel base class (sim/comm_model.hpp).
 #pragma once
 
 #include <cstddef>
@@ -18,53 +17,21 @@
 #include <vector>
 
 #include "platform/platform.hpp"
+#include "sim/engine.hpp"
 
 namespace nldl::sim {
 
-enum class CommModel {
-  kParallelLinks,
-  kOnePort,
-};
-
-/// One master→worker transfer: `size` load units to `worker`.
-struct ChunkAssignment {
-  std::size_t worker = 0;
-  double size = 0.0;
-};
-
-/// Timeline of a single chunk.
-struct ChunkSpan {
-  std::size_t worker = 0;
-  double size = 0.0;
-  double comm_start = 0.0;
-  double comm_end = 0.0;
-  double compute_start = 0.0;
-  double compute_end = 0.0;
-};
-
 struct SimOptions {
-  CommModel comm_model = CommModel::kParallelLinks;
+  CommModelKind comm_model = CommModelKind::kParallelLinks;
   /// Computational complexity exponent: cost = w_i * size^alpha.
   /// alpha = 1 is the classical linear divisible load; alpha > 1 is the
   /// paper's nonlinear case.
   double alpha = 1.0;
 };
 
-struct SimResult {
-  std::vector<ChunkSpan> spans;             ///< in schedule order
-  std::vector<double> worker_finish;        ///< last compute end, 0 if unused
-  std::vector<double> worker_compute_time;  ///< total compute busy time
-  std::vector<double> worker_comm_time;     ///< total receive busy time
-  double makespan = 0.0;
-
-  /// Load imbalance e = (t_max - t_min) / t_min over per-worker computation
-  /// times (paper Section 4.3). Returns +infinity when some worker computed
-  /// nothing (t_min = 0), and 0 for a single-worker platform.
-  [[nodiscard]] double load_imbalance() const noexcept;
-};
-
-/// Simulate the schedule on the platform. Chunk sizes must be >= 0; zero-size
-/// chunks are allowed and consume no time.
+/// Simulate the schedule on the platform. Chunk sizes must be >= 0; zero-
+/// size chunks are allowed and consume no time. Equivalent to
+/// `Engine(platform, {options.alpha}).run(schedule, options.comm_model)`.
 [[nodiscard]] SimResult simulate(const platform::Platform& platform,
                                  const std::vector<ChunkAssignment>& schedule,
                                  const SimOptions& options = {});

@@ -3,7 +3,7 @@
 
 #include <string>
 
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 
 namespace nldl::sim {
 

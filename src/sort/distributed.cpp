@@ -39,19 +39,18 @@ DistributedSortPlan plan_distributed_sort(
   plan.step2_time =
       config.master_w * n * std::log2(std::max(2.0, double(p)));
 
-  // Scatter + local sorts. Workers start sorting when their bucket lands.
+  // Scatter + local sorts. Workers start sorting when their bucket lands;
+  // arrival times come from the engine under the configured comm model.
+  const sim::Engine engine(platform);
+  const auto model = sim::make_comm_model(config.comm_model,
+                                          config.master_capacity);
+  const sim::SimResult scatter =
+      engine.run_single_round(plan.bucket_sizes, *model);
   double makespan = 0.0;
-  double port = 0.0;  // one-port serialization clock
   double scatter_end = 0.0;
-  for (std::size_t i = 0; i < p; ++i) {
-    const double transfer = platform.c(i) * plan.bucket_sizes[i];
-    double arrive;
-    if (config.comm_model == sim::CommModel::kParallelLinks) {
-      arrive = transfer;
-    } else {
-      port += transfer;
-      arrive = port;
-    }
+  for (const sim::ChunkSpan& span : scatter.spans) {
+    const std::size_t i = span.worker;
+    const double arrive = span.comm_end;
     scatter_end = std::max(scatter_end, arrive);
     const double bucket = std::max(2.0, plan.bucket_sizes[i]);
     const double local_sort =

@@ -15,17 +15,21 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "platform/platform.hpp"
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 
 namespace nldl::sort {
 
 struct DistributedSortConfig {
   double master_w = 1.0;    ///< master's time per unit of comparison work
   std::size_t oversampling = 0;  ///< 0 = paper's log²N
-  sim::CommModel comm_model = sim::CommModel::kParallelLinks;
+  /// Communication model for the scatter phase (simulated by sim::Engine).
+  sim::CommModelKind comm_model = sim::CommModelKind::kParallelLinks;
+  /// Master aggregate bandwidth, used when comm_model is kBoundedMultiport.
+  double master_capacity = std::numeric_limits<double>::infinity();
   /// Use speed-proportional buckets (Section 3.2) instead of equal shares.
   bool heterogeneous_buckets = true;
 };

@@ -1,0 +1,156 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+
+namespace nldl::util {
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[40];
+  // %.17g round-trips every double; trim to the shortest form that does.
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    double parsed = 0.0;
+    std::sscanf(buffer, "%lf", &parsed);
+    if (parsed == value) break;
+  }
+  return buffer;
+}
+
+std::string json_quote(const std::string& value) {
+  std::string out = "\"";
+  for (const char ch : value) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buffer;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+void JsonWriter::indent() {
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::prepare_value() {
+  NLDL_ASSERT(!wrote_root_ || !stack_.empty(),
+              "JSON document already complete");
+  if (stack_.empty()) {
+    wrote_root_ = true;
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    NLDL_ASSERT(pending_key_, "object values need a key() first");
+    pending_key_ = false;
+    return;
+  }
+  if (scope_has_items_.back()) out_ << ',';
+  scope_has_items_.back() = true;
+  indent();
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  NLDL_ASSERT(!stack_.empty() && stack_.back() == Scope::kObject,
+              "key() outside an object");
+  NLDL_ASSERT(!pending_key_, "two key() calls in a row");
+  if (scope_has_items_.back()) out_ << ',';
+  scope_has_items_.back() = true;
+  indent();
+  out_ << json_quote(name) << ": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_value();
+  out_ << '{';
+  stack_.push_back(Scope::kObject);
+  scope_has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  NLDL_ASSERT(!stack_.empty() && stack_.back() == Scope::kObject,
+              "end_object() without begin_object()");
+  NLDL_ASSERT(!pending_key_, "dangling key() at end_object()");
+  const bool had_items = scope_has_items_.back();
+  stack_.pop_back();
+  scope_has_items_.pop_back();
+  if (had_items) indent();
+  out_ << '}';
+  if (stack_.empty()) out_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_value();
+  out_ << '[';
+  stack_.push_back(Scope::kArray);
+  scope_has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  NLDL_ASSERT(!stack_.empty() && stack_.back() == Scope::kArray,
+              "end_array() without begin_array()");
+  const bool had_items = scope_has_items_.back();
+  stack_.pop_back();
+  scope_has_items_.pop_back();
+  if (had_items) indent();
+  out_ << ']';
+  if (stack_.empty()) out_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  prepare_value();
+  out_ << json_number(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  prepare_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::size_t number) {
+  prepare_value();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool boolean) {
+  prepare_value();
+  out_ << (boolean ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  prepare_value();
+  out_ << json_quote(text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string(text));
+}
+
+}  // namespace nldl::util

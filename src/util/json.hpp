@@ -1,0 +1,76 @@
+// Minimal streaming JSON writer for the benchmark harness.
+//
+// The benches emit machine-readable BENCH_*.json files so the performance
+// trajectory can be tracked across commits. The writer covers exactly what
+// those files need — objects, arrays, strings, numbers, booleans — with
+// round-trip double formatting. Non-finite doubles serialize as null
+// (JSON has no Infinity/NaN literals).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nldl::util {
+
+/// Round-trip (shortest-exact) JSON representation of a double; "null"
+/// for NaN and infinities.
+[[nodiscard]] std::string json_number(double value);
+
+/// JSON string literal with the mandatory escapes.
+[[nodiscard]] std::string json_quote(const std::string& value);
+
+/// Streaming writer with explicit scopes:
+///
+///   JsonWriter json(out);
+///   json.begin_object();
+///   json.key("trials").value(100);
+///   json.key("points").begin_array();
+///   ...
+///   json.end_array();
+///   json.end_object();
+///
+/// The writer validates scope nesting (misuse throws InvariantError) and
+/// pretty-prints with two-space indentation.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; the next value/begin_* call supplies its value.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::size_t number);
+  JsonWriter& value(int number) {
+    return value(static_cast<std::int64_t>(number));
+  }
+  JsonWriter& value(bool boolean);
+  JsonWriter& value(const std::string& text);
+  JsonWriter& value(const char* text);
+
+  /// True when every scope has been closed.
+  [[nodiscard]] bool complete() const noexcept {
+    return stack_.empty() && wrote_root_;
+  }
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void prepare_value();
+  void indent();
+
+  std::ostream& out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> scope_has_items_;
+  bool pending_key_ = false;
+  bool wrote_root_ = false;
+};
+
+}  // namespace nldl::util

@@ -1,0 +1,236 @@
+// Equivalence tests across the three communication models, on randomized
+// platforms and randomized multi-round schedules:
+//
+//   - bounded-multiport with capacity = +inf (unlimited concurrency)
+//     reproduces parallel links bit for bit;
+//   - bounded-multiport restricted to one transfer at a time — the
+//     one-port model's defining constraint — reproduces one-port bit for
+//     bit, including with capacity set exactly to a single link's rate on
+//     uniform-bandwidth platforms;
+//   - with capacity equal to a single link's rate but unrestricted
+//     concurrency, fluid max-min sharing still moves the same aggregate
+//     volume as the serialized port, so the communication phase ends at
+//     the same instant;
+//   - makespan is monotone non-increasing in master capacity.
+#include "sim/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "platform/processor.hpp"
+#include "sim/bounded_multiport.hpp"
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace nldl::sim {
+namespace {
+
+using platform::Platform;
+using platform::Processor;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Platform random_platform(util::Rng& rng, bool uniform_c) {
+  const std::size_t p = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  std::vector<Processor> workers;
+  workers.reserve(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    Processor proc;
+    proc.c = uniform_c ? 1.0 : rng.uniform(0.2, 3.0);
+    proc.w = rng.uniform(0.2, 3.0);
+    workers.push_back(proc);
+  }
+  return Platform(std::move(workers));
+}
+
+std::vector<ChunkAssignment> random_schedule(util::Rng& rng,
+                                             std::size_t p) {
+  const std::size_t chunks = static_cast<std::size_t>(rng.uniform_int(0, 24));
+  std::vector<ChunkAssignment> schedule;
+  schedule.reserve(chunks);
+  for (std::size_t k = 0; k < chunks; ++k) {
+    ChunkAssignment chunk;
+    chunk.worker = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(p) - 1));
+    // A few zero-size chunks exercise the instant-completion path.
+    chunk.size = rng.uniform() < 0.1 ? 0.0 : rng.uniform(0.1, 10.0);
+    schedule.push_back(chunk);
+  }
+  return schedule;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  for (std::size_t i = 0; i < a.spans.size(); ++i) {
+    EXPECT_EQ(a.spans[i].worker, b.spans[i].worker);
+    EXPECT_EQ(a.spans[i].comm_start, b.spans[i].comm_start) << "chunk " << i;
+    EXPECT_EQ(a.spans[i].comm_end, b.spans[i].comm_end) << "chunk " << i;
+    EXPECT_EQ(a.spans[i].compute_start, b.spans[i].compute_start)
+        << "chunk " << i;
+    EXPECT_EQ(a.spans[i].compute_end, b.spans[i].compute_end)
+        << "chunk " << i;
+  }
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(CommModelEquivalence, InfiniteCapacityIsParallelLinks) {
+  util::Rng rng(2013);
+  for (int rep = 0; rep < 50; ++rep) {
+    const Platform plat = random_platform(rng, /*uniform_c=*/false);
+    const auto schedule = random_schedule(rng, plat.size());
+    const Engine engine(plat, EngineOptions{rep % 2 == 0 ? 1.0 : 2.0});
+    const SimResult links =
+        engine.run(schedule, CommModelKind::kParallelLinks);
+    const SimResult bounded =
+        engine.run(schedule, BoundedMultiportModel(kInf));
+    expect_identical(links, bounded);
+  }
+}
+
+TEST(CommModelEquivalence, SingleTransferAtATimeIsOnePort) {
+  // One transfer at a time with an uncapped budget: the heterogeneous-
+  // bandwidth one-port star.
+  util::Rng rng(41);
+  for (int rep = 0; rep < 50; ++rep) {
+    const Platform plat = random_platform(rng, /*uniform_c=*/false);
+    const auto schedule = random_schedule(rng, plat.size());
+    const Engine engine(plat);
+    const SimResult one_port = engine.run(schedule, CommModelKind::kOnePort);
+    const SimResult bounded =
+        engine.run(schedule, BoundedMultiportModel::one_port());
+    expect_identical(one_port, bounded);
+  }
+}
+
+TEST(CommModelEquivalence, LinkRateCapacitySerialIsOnePort) {
+  // Capacity equal to a single link's rate, serving one transfer at a
+  // time, on platforms with uniform bandwidth (the generated-platform
+  // setting): exactly the one-port star.
+  util::Rng rng(42);
+  for (int rep = 0; rep < 50; ++rep) {
+    const Platform plat = random_platform(rng, /*uniform_c=*/true);
+    const auto schedule = random_schedule(rng, plat.size());
+    const Engine engine(plat, EngineOptions{rep % 2 == 0 ? 1.0 : 1.5});
+    const SimResult one_port = engine.run(schedule, CommModelKind::kOnePort);
+    const double link_rate = plat.worker(0).bandwidth();
+    const SimResult bounded =
+        engine.run(schedule, BoundedMultiportModel(link_rate, 1));
+    expect_identical(one_port, bounded);
+  }
+}
+
+TEST(CommModelEquivalence, LinkRateCapacityFluidEndsCommWithOnePort) {
+  // Fluid max-min sharing at aggregate capacity = one link's rate divides
+  // the port among pending workers instead of serializing, so individual
+  // arrivals differ — but the total volume moves at the same capped rate,
+  // and the communication phase ends at the one-port instant.
+  util::Rng rng(43);
+  for (int rep = 0; rep < 50; ++rep) {
+    const Platform plat = random_platform(rng, /*uniform_c=*/true);
+    const auto schedule = random_schedule(rng, plat.size());
+    const Engine engine(plat);
+    const double link_rate = plat.worker(0).bandwidth();
+    const SimResult one_port = engine.run(schedule, CommModelKind::kOnePort);
+    const SimResult fluid =
+        engine.run(schedule, BoundedMultiportModel(link_rate));
+    double one_port_end = 0.0;
+    double fluid_end = 0.0;
+    for (const ChunkSpan& span : one_port.spans) {
+      one_port_end = std::max(one_port_end, span.comm_end);
+    }
+    for (const ChunkSpan& span : fluid.spans) {
+      fluid_end = std::max(fluid_end, span.comm_end);
+    }
+    EXPECT_NEAR(fluid_end, one_port_end, 1e-9 * std::max(1.0, one_port_end));
+  }
+}
+
+TEST(CommModelEquivalence, MakespanMonotoneInCapacity) {
+  util::Rng rng(7);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Platform plat = random_platform(rng, /*uniform_c=*/false);
+    const auto schedule = random_schedule(rng, plat.size());
+    const Engine engine(plat);
+    double previous = kInf;
+    for (const double capacity : {0.25, 1.0, 4.0, 16.0, kInf}) {
+      const double makespan =
+          engine.run(schedule, BoundedMultiportModel(capacity)).makespan;
+      EXPECT_LE(makespan, previous * (1.0 + 1e-9) + 1e-9)
+          << "capacity " << capacity;
+      previous = makespan;
+    }
+  }
+}
+
+TEST(CommModelEquivalence, DeprecatedShimMatchesEngine) {
+  // simulate_bounded_multiport() is a thin wrapper over the engine; its
+  // per-worker view must agree with the spans.
+  util::Rng rng(99);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Platform plat = random_platform(rng, /*uniform_c=*/false);
+    std::vector<double> amounts(plat.size());
+    for (double& amount : amounts) {
+      amount = rng.uniform() < 0.2 ? 0.0 : rng.uniform(0.1, 10.0);
+    }
+    const double capacity = rng.uniform(0.5, 8.0);
+    const auto shim =
+        simulate_bounded_multiport(plat, amounts, capacity, 2.0);
+    const Engine engine(plat, EngineOptions{2.0});
+    const SimResult direct =
+        engine.run_single_round(amounts, BoundedMultiportModel(capacity));
+    for (const ChunkSpan& span : direct.spans) {
+      EXPECT_EQ(shim.comm_finish[span.worker], span.comm_end);
+      EXPECT_EQ(shim.compute_finish[span.worker], span.compute_end);
+    }
+    EXPECT_EQ(shim.makespan, direct.makespan);
+  }
+}
+
+TEST(CommModel, MaxMinFairRatesWaterFill) {
+  // Private caps 0.5 and 10 sharing capacity 4: the slow link saturates,
+  // the fast one takes the rest.
+  const auto rates = max_min_fair_rates({0.5, 10.0}, 4.0);
+  EXPECT_DOUBLE_EQ(rates[0], 0.5);
+  EXPECT_DOUBLE_EQ(rates[1], 3.5);
+  // Equal caps under a binding capacity split evenly.
+  const auto equal = max_min_fair_rates({10.0, 10.0}, 1.0);
+  EXPECT_DOUBLE_EQ(equal[0], 0.5);
+  EXPECT_DOUBLE_EQ(equal[1], 0.5);
+  // Unbounded capacity saturates every private cap.
+  const auto caps = max_min_fair_rates({1.0, 2.0, 3.0}, kInf);
+  EXPECT_DOUBLE_EQ(caps[0], 1.0);
+  EXPECT_DOUBLE_EQ(caps[1], 2.0);
+  EXPECT_DOUBLE_EQ(caps[2], 3.0);
+}
+
+TEST(CommModel, FactoryAndNames) {
+  EXPECT_EQ(to_string(CommModelKind::kParallelLinks), "parallel-links");
+  EXPECT_EQ(to_string(CommModelKind::kOnePort), "one-port");
+  EXPECT_EQ(to_string(CommModelKind::kBoundedMultiport),
+            "bounded-multiport");
+  const auto links = make_comm_model(CommModelKind::kParallelLinks);
+  EXPECT_EQ(links->kind(), CommModelKind::kParallelLinks);
+  const auto port = make_comm_model(CommModelKind::kOnePort);
+  EXPECT_EQ(port->kind(), CommModelKind::kOnePort);
+  const auto bounded = make_comm_model(CommModelKind::kBoundedMultiport, 2.5);
+  EXPECT_EQ(bounded->kind(), CommModelKind::kBoundedMultiport);
+}
+
+TEST(CommModel, CompatibilityAliasesDenoteKinds) {
+  // The pre-engine spelling `sim::CommModel::kOnePort` still works.
+  EXPECT_EQ(CommModel::kParallelLinks, CommModelKind::kParallelLinks);
+  EXPECT_EQ(CommModel::kOnePort, CommModelKind::kOnePort);
+  EXPECT_EQ(CommModel::kBoundedMultiport, CommModelKind::kBoundedMultiport);
+}
+
+TEST(CommModel, RejectsBadParameters) {
+  EXPECT_THROW(BoundedMultiportModel(0.0), util::PreconditionError);
+  EXPECT_THROW(BoundedMultiportModel(-1.0), util::PreconditionError);
+  EXPECT_THROW(BoundedMultiportModel(1.0, 0), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace nldl::sim

@@ -1,0 +1,228 @@
+// Unit tests for the event-driven simulation engine.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace nldl::sim {
+namespace {
+
+using platform::Platform;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Engine, SingleChunkTimelineParallelLinks) {
+  const Platform plat = Platform::from_speeds({2.0}, 3.0);  // c=3, w=0.5
+  const Engine engine(plat);
+  const SimResult result =
+      engine.run({{0, 4.0}}, CommModelKind::kParallelLinks);
+  ASSERT_EQ(result.spans.size(), 1U);
+  const ChunkSpan& span = result.spans[0];
+  EXPECT_DOUBLE_EQ(span.comm_start, 0.0);
+  EXPECT_DOUBLE_EQ(span.comm_end, 12.0);
+  EXPECT_DOUBLE_EQ(span.compute_start, 12.0);
+  EXPECT_DOUBLE_EQ(span.compute_end, 14.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 14.0);
+}
+
+TEST(Engine, OnePortSerializesInScheduleOrder) {
+  const Platform plat = Platform::homogeneous(2, 1.0, 1.0);
+  const Engine engine(plat);
+  const SimResult result =
+      engine.run({{0, 5.0}, {1, 5.0}}, CommModelKind::kOnePort);
+  EXPECT_DOUBLE_EQ(result.spans[0].comm_start, 0.0);
+  EXPECT_DOUBLE_EQ(result.spans[1].comm_start, 5.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 15.0);
+}
+
+TEST(Engine, MultiRoundPipelinesReceiveAndCompute) {
+  const Platform plat = Platform::homogeneous(1, 1.0, 2.0);
+  const Engine engine(plat);
+  const SimResult result =
+      engine.run({{0, 2.0}, {0, 2.0}}, CommModelKind::kParallelLinks);
+  const ChunkSpan& second = result.spans[1];
+  EXPECT_DOUBLE_EQ(second.comm_start, 2.0);  // link frees after first comm
+  EXPECT_DOUBLE_EQ(second.comm_end, 4.0);
+  EXPECT_DOUBLE_EQ(second.compute_start, 6.0);  // CPU busy until then
+  EXPECT_DOUBLE_EQ(result.makespan, 10.0);
+}
+
+TEST(Engine, NonlinearComputeCost) {
+  const Platform plat = Platform::homogeneous(1, 1.0, 2.0);
+  const Engine engine(plat, EngineOptions{2.0});
+  const SimResult result =
+      engine.run({{0, 3.0}}, CommModelKind::kParallelLinks);
+  EXPECT_DOUBLE_EQ(result.makespan, 3.0 + 2.0 * 9.0);
+}
+
+TEST(Engine, BoundedMultiportSharesCapacityFairly) {
+  // Two equal transfers, master capacity 1, private caps 10 each: both run
+  // at 0.5 and finish together.
+  const Platform plat = Platform::homogeneous(2, 0.1, 1.0);
+  const Engine engine(plat);
+  const SimResult result =
+      engine.run({{0, 5.0}, {1, 5.0}}, BoundedMultiportModel(1.0));
+  EXPECT_NEAR(result.spans[0].comm_end, 10.0, 1e-9);
+  EXPECT_NEAR(result.spans[1].comm_end, 10.0, 1e-9);
+}
+
+TEST(Engine, BoundedMultiportMultiRoundSerializesPerLink) {
+  // Two chunks to one worker under an uncapped master: the second transfer
+  // must wait for the first (link FIFO), exactly like parallel links.
+  const Platform plat = Platform::homogeneous(1, 2.0, 1.0);
+  const Engine engine(plat);
+  const SimResult result =
+      engine.run({{0, 1.0}, {0, 1.0}}, BoundedMultiportModel(kInf));
+  EXPECT_DOUBLE_EQ(result.spans[0].comm_end, 2.0);
+  EXPECT_DOUBLE_EQ(result.spans[1].comm_start, 2.0);
+  EXPECT_DOUBLE_EQ(result.spans[1].comm_end, 4.0);
+}
+
+TEST(Engine, BoundedMultiportCapacityReleasedToSurvivors) {
+  // Transfers of 2 and 6 units, capacity 2, private caps 10: both at rate
+  // 1 until t=2, then the survivor takes min(10, 2) = 2.
+  const Platform plat = Platform::homogeneous(2, 0.1, 1.0);
+  const Engine engine(plat);
+  const SimResult result =
+      engine.run({{0, 2.0}, {1, 6.0}}, BoundedMultiportModel(2.0));
+  EXPECT_NEAR(result.spans[0].comm_end, 2.0, 1e-9);
+  EXPECT_NEAR(result.spans[1].comm_end, 4.0, 1e-9);
+}
+
+TEST(Engine, BoundedMultiportConcurrencyOneIsOnePort) {
+  const Platform plat = Platform::from_speeds({1.0, 2.0}, 0.5);
+  const Engine engine(plat);
+  const std::vector<ChunkAssignment> schedule{{1, 4.0}, {0, 2.0}};
+  const SimResult one_port = engine.run(schedule, CommModelKind::kOnePort);
+  const SimResult bounded =
+      engine.run(schedule, BoundedMultiportModel::one_port());
+  ASSERT_EQ(one_port.spans.size(), bounded.spans.size());
+  for (std::size_t i = 0; i < one_port.spans.size(); ++i) {
+    EXPECT_EQ(one_port.spans[i].comm_start, bounded.spans[i].comm_start);
+    EXPECT_EQ(one_port.spans[i].comm_end, bounded.spans[i].comm_end);
+    EXPECT_EQ(one_port.spans[i].compute_end, bounded.spans[i].compute_end);
+  }
+}
+
+TEST(Engine, ZeroSizeChunksCompleteInstantly) {
+  const Platform plat = Platform::homogeneous(2);
+  const Engine engine(plat);
+  const SimResult result =
+      engine.run({{0, 0.0}, {1, 3.0}}, CommModelKind::kParallelLinks);
+  EXPECT_DOUBLE_EQ(result.spans[0].comm_end, 0.0);
+  EXPECT_DOUBLE_EQ(result.worker_compute_time[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 6.0);
+}
+
+TEST(Engine, ZeroSizeChunkBetweenTransfersKeepsLinkOrder) {
+  // Worker 0 receives 2 units, then a zero chunk, then 2 more: the zero
+  // chunk completes the instant the first transfer ends.
+  const Platform plat = Platform::homogeneous(1, 1.0, 1.0);
+  const Engine engine(plat);
+  const SimResult result = engine.run({{0, 2.0}, {0, 0.0}, {0, 2.0}},
+                                      CommModelKind::kParallelLinks);
+  EXPECT_DOUBLE_EQ(result.spans[1].comm_start, 2.0);
+  EXPECT_DOUBLE_EQ(result.spans[1].comm_end, 2.0);
+  EXPECT_DOUBLE_EQ(result.spans[2].comm_start, 2.0);
+  EXPECT_DOUBLE_EQ(result.spans[2].comm_end, 4.0);
+}
+
+TEST(Engine, NearTyingTransfersKeepExactFinishTimes) {
+  // Transfers within the fluid snapping tolerance of each other must NOT
+  // be snapped together under the discrete models: each keeps its exact
+  // closed-form completion instant.
+  const Platform plat = Platform::homogeneous(2, 1.0, 1.0);
+  const Engine engine(plat);
+  const double close = 1.0 + 2e-13;
+  const SimResult result =
+      engine.run({{0, 1.0}, {1, close}}, CommModelKind::kParallelLinks);
+  EXPECT_EQ(result.spans[0].comm_end, 1.0);
+  EXPECT_EQ(result.spans[1].comm_end, close);
+}
+
+TEST(Engine, SingleRoundScheduleValidatesTheOrder) {
+  const std::vector<double> amounts{1.0, 2.0};
+  const auto schedule = single_round_schedule(amounts, {1, 0});
+  ASSERT_EQ(schedule.size(), 2U);
+  EXPECT_EQ(schedule[0].worker, 1U);
+  EXPECT_DOUBLE_EQ(schedule[0].size, 2.0);
+  EXPECT_THROW((void)single_round_schedule(amounts, {0, 0}),
+               util::PreconditionError);
+  EXPECT_THROW((void)single_round_schedule(amounts, {0, 2}),
+               util::PreconditionError);
+  EXPECT_THROW((void)single_round_schedule(amounts, {0}),
+               util::PreconditionError);
+}
+
+TEST(Engine, ZeroSizeChunkWaitsForThePortUnderOnePort) {
+  // The retired simulator serialized zero-size chunks at the port like
+  // any other send; the engine must too.
+  const Platform plat = Platform::homogeneous(2, 1.0, 1.0);
+  const Engine engine(plat);
+  const SimResult result =
+      engine.run({{0, 5.0}, {1, 0.0}}, CommModelKind::kOnePort);
+  EXPECT_DOUBLE_EQ(result.spans[1].comm_start, 5.0);
+  EXPECT_DOUBLE_EQ(result.spans[1].comm_end, 5.0);
+  EXPECT_DOUBLE_EQ(result.worker_finish[1], 5.0);
+}
+
+TEST(Engine, PerWorkerAccounting) {
+  const Platform plat = Platform::from_speeds({1.0, 2.0});
+  const Engine engine(plat);
+  const SimResult result = engine.run({{0, 2.0}, {1, 4.0}, {0, 1.0}},
+                                      CommModelKind::kParallelLinks);
+  EXPECT_DOUBLE_EQ(result.worker_comm_time[0], 3.0);
+  EXPECT_DOUBLE_EQ(result.worker_compute_time[0], 3.0);
+  EXPECT_DOUBLE_EQ(result.worker_compute_time[1], 2.0);
+  EXPECT_DOUBLE_EQ(result.worker_finish[0], result.spans[2].compute_end);
+}
+
+TEST(Engine, EmptyScheduleIsFree) {
+  const Platform plat = Platform::homogeneous(3);
+  const Engine engine(plat);
+  const SimResult result = engine.run({}, CommModelKind::kParallelLinks);
+  EXPECT_TRUE(result.spans.empty());
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+TEST(Engine, RunSingleRoundMatchesExplicitSchedule) {
+  const Platform plat = Platform::from_speeds({1.0, 3.0}, 0.5);
+  const Engine engine(plat);
+  const ParallelLinksModel model;
+  const SimResult a = engine.run_single_round({2.0, 6.0}, model);
+  const SimResult b = engine.run({{0, 2.0}, {1, 6.0}}, model);
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.spans[1].comm_end, b.spans[1].comm_end);
+}
+
+TEST(Engine, RejectsBadInput) {
+  const Platform plat = Platform::homogeneous(1);
+  const Engine engine(plat);
+  EXPECT_THROW((void)engine.run({{1, 1.0}}, CommModelKind::kParallelLinks),
+               util::PreconditionError);
+  EXPECT_THROW((void)engine.run({{0, -1.0}}, CommModelKind::kParallelLinks),
+               util::PreconditionError);
+  EXPECT_THROW((void)Engine(plat, EngineOptions{0.5}),
+               util::PreconditionError);
+  EXPECT_THROW((void)engine.run_single_round({1.0, 1.0},
+                                             ParallelLinksModel{}),
+               util::PreconditionError);
+}
+
+TEST(Engine, LoadImbalanceMatchesDefinition) {
+  SimResult result;
+  result.worker_compute_time = {4.0, 5.0};
+  EXPECT_DOUBLE_EQ(result.load_imbalance(), 0.25);
+  result.worker_compute_time = {0.0, 5.0};
+  EXPECT_TRUE(std::isinf(result.load_imbalance()));
+  result.worker_compute_time = {5.0};
+  EXPECT_DOUBLE_EQ(result.load_imbalance(), 0.0);
+}
+
+}  // namespace
+}  // namespace nldl::sim

@@ -1,0 +1,111 @@
+// Tests for the parallel Figure 4 runner (thread-count invariance) and the
+// engine-backed capacity sweep.
+#include "core/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace nldl::core {
+namespace {
+
+Fig4Config small_config(std::size_t threads) {
+  Fig4Config config;
+  config.model = platform::SpeedModel::kLogNormal;
+  config.processor_counts = {10, 20, 40};
+  config.trials = 8;
+  config.seed = 424242;
+  config.threads = threads;
+  return config;
+}
+
+void expect_rows_identical(const std::vector<Fig4Row>& a,
+                           const std::vector<Fig4Row>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].p, b[i].p);
+    EXPECT_EQ(a[i].het.count(), b[i].het.count());
+    EXPECT_EQ(a[i].het.mean(), b[i].het.mean());
+    EXPECT_EQ(a[i].het.variance(), b[i].het.variance());
+    EXPECT_EQ(a[i].hom.mean(), b[i].hom.mean());
+    EXPECT_EQ(a[i].hom.variance(), b[i].hom.variance());
+    EXPECT_EQ(a[i].hom_k.mean(), b[i].hom_k.mean());
+    EXPECT_EQ(a[i].hom_k.variance(), b[i].hom_k.variance());
+    EXPECT_EQ(a[i].k_used.mean(), b[i].k_used.mean());
+    EXPECT_EQ(a[i].hom_imbalance.count(), b[i].hom_imbalance.count());
+    EXPECT_EQ(a[i].hom_imbalance.mean(), b[i].hom_imbalance.mean());
+  }
+}
+
+TEST(Fig4Parallel, BitIdenticalAcrossThreadCounts) {
+  const auto serial = run_fig4(small_config(1));
+  for (const std::size_t threads : {2UL, 4UL, 7UL}) {
+    const auto parallel = run_fig4(small_config(threads));
+    expect_rows_identical(serial, parallel);
+  }
+}
+
+TEST(Fig4Parallel, HardwareThreadCountAlsoIdentical) {
+  const auto serial = run_fig4(small_config(1));
+  const auto automatic = run_fig4(small_config(0));  // 0 = hardware
+  expect_rows_identical(serial, automatic);
+}
+
+TEST(Fig4Parallel, MoreThreadsThanTrialsIsFine) {
+  Fig4Config config = small_config(64);
+  config.processor_counts = {10};
+  config.trials = 3;
+  const auto rows = run_fig4(config);
+  ASSERT_EQ(rows.size(), 1U);
+  EXPECT_EQ(rows[0].het.count(), 3U);
+}
+
+TEST(CapacitySweep, MakespanDropsCoveredFractionDoesNot) {
+  CapacitySweepConfig config;
+  config.p = 16;
+  config.alpha = 2.0;
+  config.total_load = 1000.0;
+  const auto rows = capacity_sweep(config);
+  ASSERT_EQ(rows.size(), config.capacities.size());
+  double previous = std::numeric_limits<double>::infinity();
+  for (const auto& row : rows) {
+    EXPECT_LE(row.makespan, previous + 1e-9);
+    previous = row.makespan;
+    // The covered share is a property of the division, not the network.
+    EXPECT_DOUBLE_EQ(row.covered_fraction, rows.front().covered_fraction);
+    EXPECT_LE(row.comm_phase_end, row.makespan);
+  }
+}
+
+TEST(CapacitySweep, InfiniteCapacityMatchesParallelLinksEngine) {
+  CapacitySweepConfig config;
+  config.p = 8;
+  config.total_load = 800.0;
+  config.capacities = {std::numeric_limits<double>::infinity()};
+  const auto rows = capacity_sweep(config);
+  ASSERT_EQ(rows.size(), 1U);
+
+  const auto plat = platform::Platform::homogeneous(config.p, config.c,
+                                                    config.w);
+  const sim::Engine engine(plat, sim::EngineOptions{config.alpha});
+  const std::vector<double> amounts(config.p,
+                                    config.total_load / config.p);
+  const auto direct = engine.run_single_round(
+      amounts, sim::ParallelLinksModel{});
+  EXPECT_EQ(rows[0].makespan, direct.makespan);
+}
+
+TEST(CapacitySweep, RejectsBadConfig) {
+  CapacitySweepConfig config;
+  config.capacities = {};
+  EXPECT_THROW((void)capacity_sweep(config), util::PreconditionError);
+  CapacitySweepConfig bad_alpha;
+  bad_alpha.alpha = 0.5;
+  EXPECT_THROW((void)capacity_sweep(bad_alpha), util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace nldl::core

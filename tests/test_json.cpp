@@ -1,0 +1,89 @@
+// Tests for the streaming JSON writer used by the bench harness.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace nldl::util {
+namespace {
+
+TEST(JsonNumber, RoundTripsAndTrims) {
+  EXPECT_EQ(json_number(1.0), "1");
+  EXPECT_EQ(json_number(0.5), "0.5");
+  EXPECT_EQ(json_number(-3.25), "-3.25");
+  // Round-trip: parsing the emitted text recovers the exact double.
+  const double awkward = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(json_number(awkward)), awkward);
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+}
+
+TEST(JsonQuote, EscapesSpecials) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(json_quote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonWriter, WritesNestedDocument) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("name").value("fig4a");
+  json.key("trials").value(100);
+  json.key("fast").value(true);
+  json.key("points").begin_array();
+  json.begin_object();
+  json.key("p").value(std::size_t{10});
+  json.key("mean").value(1.25);
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"name\": \"fig4a\""), std::string::npos);
+  EXPECT_NE(text.find("\"trials\": 100"), std::string::npos);
+  EXPECT_NE(text.find("\"fast\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"mean\": 1.25"), std::string::npos);
+  // Balanced braces/brackets.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
+  EXPECT_EQ(std::count(text.begin(), text.end(), '['),
+            std::count(text.begin(), text.end(), ']'));
+}
+
+TEST(JsonWriter, ArraysSeparateElements) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.begin_array();
+  json.value(1).value(2).value(3);
+  json.end_array();
+  std::string text = out.str();
+  // Exactly two commas for three elements.
+  EXPECT_EQ(std::count(text.begin(), text.end(), ','), 2);
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  std::ostringstream out;
+  JsonWriter json(out);
+  EXPECT_THROW(json.end_object(), util::InvariantError);
+  json.begin_object();
+  EXPECT_THROW(json.value(1.0), util::InvariantError);  // key required
+  json.key("k");
+  EXPECT_THROW(json.key("k2"), util::InvariantError);  // two keys in a row
+}
+
+}  // namespace
+}  // namespace nldl::util
