@@ -1,17 +1,58 @@
-// google-benchmark microbenchmarks for the core kernels.
-#include <benchmark/benchmark.h>
+// Microbenchmarks for the core kernels, on the same bench::Harness /
+// util::Sweep protocol as every other driver (this used to be the one
+// google-benchmark executable; the rewrite drops that dependency).
+//
+// Each grid point is one (kernel, size) pair: the kernel runs
+// --micro-reps times (default 3), the best wall time is reported, and a
+// deterministic checksum of the kernel's output enters the harness's
+// serial-vs-parallel bit-identity self-check. Wall times are measured on
+// the serial pass only; the parallel pass re-validates the checksums.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
 
+#include "bench/harness.hpp"
 #include "linalg/matmul.hpp"
 #include "partition/block_homogeneous.hpp"
 #include "partition/layout.hpp"
 #include "partition/peri_sum.hpp"
 #include "platform/speed_distributions.hpp"
 #include "sort/sample_sort.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/sweep.hpp"
+#include "util/table.hpp"
 
 using namespace nldl;
 
 namespace {
+
+struct KernelCase {
+  const char* name;
+  std::size_t n;
+  std::uint64_t seed;  ///< input-generation seed (fixed per case)
+};
+
+const std::vector<KernelCase> kCases{
+    {"peri_sum_partition", 10, 1},
+    {"peri_sum_partition", 100, 1},
+    {"peri_sum_partition", 1000, 1},
+    {"demand_driven_counts", 10, 2},
+    {"demand_driven_counts", 100, 2},
+    {"demand_driven_counts", 1000, 2},
+    {"refine_until_balanced", 10, 3},
+    {"refine_until_balanced", 100, 3},
+    {"sample_sort", 1 << 16, 4},
+    {"sample_sort", 1 << 19, 4},
+    {"std_sort", 1 << 16, 5},
+    {"std_sort", 1 << 19, 5},
+    {"matmul_outer_product", 64, 6},
+    {"matmul_outer_product", 128, 6},
+    {"discretize", 10, 7},
+    {"discretize", 100, 7},
+    {"discretize", 1000, 7},
+};
 
 std::vector<double> random_speeds(std::size_t p, std::uint64_t seed) {
   util::Rng rng(seed);
@@ -20,89 +61,141 @@ std::vector<double> random_speeds(std::size_t p, std::uint64_t seed) {
   return plat.speeds();
 }
 
-void BM_PeriSumPartition(benchmark::State& state) {
-  const auto speeds =
-      random_speeds(static_cast<std::size_t>(state.range(0)), 1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(partition::peri_sum_partition(speeds));
-  }
-  state.SetComplexityN(state.range(0));
-}
-BENCHMARK(BM_PeriSumPartition)->Arg(10)->Arg(100)->Arg(1000)->Complexity();
+struct MicroResult {
+  double checksum = 0.0;      ///< deterministic kernel output digest
+  double best_seconds = 0.0;  ///< best of the inner repetitions
+};
 
-void BM_DemandDrivenCounts(benchmark::State& state) {
-  const auto speeds =
-      random_speeds(static_cast<std::size_t>(state.range(0)), 2);
-  std::vector<double> tau(speeds.size());
-  for (std::size_t i = 0; i < tau.size(); ++i) tau[i] = 1.0 / speeds[i];
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        partition::demand_driven_counts(tau, 100000));
+/// Run one kernel case: returns the checksum (identical on every run) and
+/// the best wall time over `reps` executions.
+MicroResult run_kernel(const KernelCase& kernel, std::size_t reps) {
+  using Clock = std::chrono::steady_clock;
+  MicroResult out;
+  out.best_seconds = -1.0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    double checksum = 0.0;
+    const auto start = Clock::now();
+    const std::string name(kernel.name);
+    if (name == "peri_sum_partition") {
+      const auto speeds = random_speeds(kernel.n, kernel.seed);
+      checksum = partition::peri_sum_partition(speeds).total_half_perimeter;
+    } else if (name == "demand_driven_counts") {
+      const auto speeds = random_speeds(kernel.n, kernel.seed);
+      std::vector<double> tau(speeds.size());
+      for (std::size_t i = 0; i < tau.size(); ++i) tau[i] = 1.0 / speeds[i];
+      const auto counts = partition::demand_driven_counts(tau, 100000);
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        checksum += static_cast<double>(counts[i]) * double(i + 1);
+      }
+    } else if (name == "refine_until_balanced") {
+      const auto speeds = random_speeds(kernel.n, kernel.seed);
+      const auto blocks =
+          partition::refine_until_balanced(speeds, 1.0, 0.01);
+      checksum = double(blocks.k) + blocks.imbalance;
+    } else if (name == "sample_sort" || name == "std_sort") {
+      util::Rng rng(kernel.seed);
+      std::vector<double> data(kernel.n);
+      for (double& v : data) v = rng.uniform();
+      if (name == "sample_sort") {
+        sort::SampleSortConfig config;
+        config.num_buckets = 8;
+        data = sort::sample_sort(std::move(data), config);
+      } else {
+        std::sort(data.begin(), data.end());
+      }
+      checksum = data.front() + data[data.size() / 2] + data.back();
+    } else if (name == "matmul_outer_product") {
+      util::Rng rng(kernel.seed);
+      const auto a = linalg::Matrix::random(kernel.n, kernel.n, rng);
+      const auto b = linalg::Matrix::random(kernel.n, kernel.n, rng);
+      const std::vector<double> speeds{1.0, 2.0, 3.0, 4.0};
+      const auto layout = partition::discretize(
+          partition::peri_sum_partition(speeds),
+          static_cast<long long>(kernel.n));
+      const auto dist =
+          linalg::matmul_outer_product(a, b, layout, speeds, 32);
+      checksum = static_cast<double>(dist.total_elements) +
+                 dist.result(0, 0) +
+                 dist.result(kernel.n - 1, kernel.n - 1);
+    } else if (name == "discretize") {
+      const auto part =
+          partition::peri_sum_partition(random_speeds(kernel.n, kernel.seed));
+      const auto layout = partition::discretize(part, 1 << 20);
+      checksum = static_cast<double>(layout.total_half_perimeter) +
+                 static_cast<double>(layout.rects.size());
+    } else {
+      NLDL_ASSERT(false, "unknown micro kernel");
+    }
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (out.best_seconds < 0.0 || elapsed < out.best_seconds) {
+      out.best_seconds = elapsed;
+    }
+    if (rep == 0) {
+      out.checksum = checksum;
+    } else {
+      NLDL_ASSERT(out.checksum == checksum,
+                  "micro kernel is not deterministic across repetitions");
+    }
   }
+  return out;
 }
-BENCHMARK(BM_DemandDrivenCounts)->Arg(10)->Arg(100)->Arg(1000);
-
-void BM_RefineUntilBalanced(benchmark::State& state) {
-  const auto speeds =
-      random_speeds(static_cast<std::size_t>(state.range(0)), 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        partition::refine_until_balanced(speeds, 1.0, 0.01));
-  }
-}
-BENCHMARK(BM_RefineUntilBalanced)->Arg(10)->Arg(100);
-
-void BM_SampleSort(benchmark::State& state) {
-  util::Rng rng(4);
-  std::vector<double> data(static_cast<std::size_t>(state.range(0)));
-  for (double& v : data) v = rng.uniform();
-  sort::SampleSortConfig config;
-  config.num_buckets = 8;
-  for (auto _ : state) {
-    auto copy = data;
-    benchmark::DoNotOptimize(sort::sample_sort(std::move(copy), config));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_SampleSort)->Arg(1 << 16)->Arg(1 << 19);
-
-void BM_StdSortBaseline(benchmark::State& state) {
-  util::Rng rng(5);
-  std::vector<double> data(static_cast<std::size_t>(state.range(0)));
-  for (double& v : data) v = rng.uniform();
-  for (auto _ : state) {
-    auto copy = data;
-    std::sort(copy.begin(), copy.end());
-    benchmark::DoNotOptimize(copy);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_StdSortBaseline)->Arg(1 << 16)->Arg(1 << 19);
-
-void BM_MatmulOuterProduct(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(6);
-  const auto a = linalg::Matrix::random(n, n, rng);
-  const auto b = linalg::Matrix::random(n, n, rng);
-  const std::vector<double> speeds{1.0, 2.0, 3.0, 4.0};
-  const auto layout = partition::discretize(
-      partition::peri_sum_partition(speeds), static_cast<long long>(n));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        linalg::matmul_outer_product(a, b, layout, speeds, 32));
-  }
-  state.SetItemsProcessed(state.iterations() * 2 *
-                          static_cast<std::int64_t>(n) * n * n);
-}
-BENCHMARK(BM_MatmulOuterProduct)->Arg(64)->Arg(128);
-
-void BM_Discretize(benchmark::State& state) {
-  const auto part = partition::peri_sum_partition(
-      random_speeds(static_cast<std::size_t>(state.range(0)), 7));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(partition::discretize(part, 1 << 20));
-  }
-}
-BENCHMARK(BM_Discretize)->Arg(10)->Arg(100)->Arg(1000);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto micro_reps =
+      static_cast<std::size_t>(args.get_int("micro-reps", 3));
+
+  bench::Harness harness("micro", bench::harness_options_from_args(args));
+  harness.config("micro_reps", micro_reps);
+  harness.config("kernels", kCases.size());
+
+  std::printf("=== Microbenchmarks: core kernels (best of %zu reps) "
+              "===\n\n", micro_reps);
+
+  const auto results = harness.run<std::vector<MicroResult>>(
+      [&](std::size_t threads) {
+        util::Grid grid;
+        grid.axis("case", kCases.size());
+        util::SweepOptions options;
+        options.threads = threads;
+        return util::Sweep(std::move(grid), options).map<MicroResult>(
+            [micro_reps](const util::SweepPoint& point, util::Rng&) {
+              return run_kernel(kCases[point.index_of("case")], micro_reps);
+            });
+      },
+      [](const std::vector<MicroResult>& a,
+         const std::vector<MicroResult>& b) {
+        // Only the checksums enter the identity check — wall times are
+        // honest measurements and never bit-stable.
+        if (a.size() != b.size()) return false;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          if (a[i].checksum != b[i].checksum) return false;
+        }
+        return true;
+      });
+
+  util::Table table({"kernel", "n", "best (s)", "checksum"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    table.row()
+        .cell(std::string(kCases[i].name))
+        .cell(kCases[i].n)
+        .cell(results[i].best_seconds, 6)
+        .cell(results[i].checksum, 4)
+        .done();
+  }
+  table.print(std::cout);
+
+  return harness.finish([&](util::JsonWriter& json) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      json.begin_object();
+      json.key("kernel").value(kCases[i].name);
+      json.key("n").value(kCases[i].n);
+      json.key("best_seconds").value(results[i].best_seconds);
+      json.key("checksum").value(results[i].checksum);
+      json.end_object();
+    }
+  });
+}

@@ -5,13 +5,21 @@
 //       of the sample-sort preprocessing (Section 3.1 analysis);
 //   (2) a Monte-Carlo check of the Theorem B.4 bucket-size bound with the
 //       paper's oversampling s = log²N (homogeneous and heterogeneous);
-//   (3) an actual parallel sample sort execution with phase timings,
-//       showing the preprocessing share of wall-clock shrink with N.
+//   (3) the whole pipeline scheduled on star platforms: makespan vs the
+//       ideal divisible time;
+//   (4) actual parallel sample sort / merge sort executions with phase
+//       wall-clock timings.
+//
+// Families (1)–(3) are deterministic util::Sweep grids driven by
+// bench::Harness (serial vs parallel bit-identity self-checked at
+// runtime); family (4) measures real wall-clock, so it runs once and its
+// timings are reported in the JSON without entering the identity check.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
-#include <chrono>
-
+#include "bench/harness.hpp"
 #include "core/no_free_lunch.hpp"
 #include "platform/speed_distributions.hpp"
 #include "sort/distributed.hpp"
@@ -20,6 +28,7 @@
 #include "sort/theory.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
+#include "util/sweep.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
 
@@ -27,60 +36,157 @@ using namespace nldl;
 
 namespace {
 
-void fraction_tables() {
-  std::printf("=== Sorting: remaining fraction log p / log N and phase "
-              "costs (Section 3.1) ===\n");
-  std::printf("paper: fraction -> 0 for large N, so sorting is 'almost "
-              "divisible'\n\n");
-  const auto points = core::sorting_fraction_sweep(
-      {1 << 16, 1 << 20, 1 << 24, 1e9, 1e12}, {2, 8, 32, 128});
-  core::sorting_table(points).print(std::cout);
-}
+const std::vector<double> kFractionNs{1 << 16, 1 << 20, 1 << 24, 1e9, 1e12};
+const std::vector<double> kFractionPs{2, 8, 32, 128};
+const std::vector<double> kBoundNs{100000, 1000000, 10000000};
+const std::vector<double> kBoundPs{8, 32};
+const std::vector<double> kHetBoundNs{1000000, 10000000};
+const std::vector<double> kPipelineNs{1e6, 1e8, 1e10};
 
-void bound_check(std::uint64_t seed) {
-  std::printf("\n=== Theorem B.4 bucket bound, Monte-Carlo with "
-              "s = log^2 N (Section 3.1) ===\n");
-  std::printf("paper: Pr[MaxSize >= (N/p)(1+(1/ln N)^(1/3))] <= N^(-1/3)\n\n");
-  util::Table table({"N", "p", "s", "threshold/(N/p)", "violation rate",
-                     "bound N^(-1/3)", "mean Max/(N/p)"});
-  for (const std::size_t n : {100000UL, 1000000UL, 10000000UL}) {
-    for (const std::size_t p : {8UL, 32UL}) {
-      const auto check = sort::validate_max_bucket_bound(n, p, 300, seed);
-      table.row()
-          .cell(n)
-          .cell(p)
-          .cell(check.oversampling)
-          .cell(check.threshold / (double(n) / double(p)), 4)
-          .cell(check.violation_rate, 4)
-          .cell(check.probability_bound, 4)
-          .cell(check.mean_max_over_expected, 4)
-          .done();
+struct PipelineRow {
+  std::size_t platform = 0;  ///< index into the platform list
+  double n = 0.0;
+  bool heterogeneous = false;
+  double makespan = 0.0;
+  double ideal = 0.0;
+  double overhead = 0.0;
+};
+
+struct Sec3Results {
+  std::vector<core::SortingPoint> fractions;      ///< n-major, p fastest
+  std::vector<sort::BucketBoundCheck> bound_hom;  ///< n-major, p fastest
+  std::vector<sort::BucketBoundCheck> bound_het;
+  std::vector<PipelineRow> pipeline;
+
+  [[nodiscard]] std::vector<double> signature() const {
+    std::vector<double> sig;
+    for (const auto& point : fractions) {
+      sig.insert(sig.end(),
+                 {point.n, static_cast<double>(point.p), point.fraction,
+                  point.step1, point.step2, point.step3,
+                  point.preprocessing_ratio});
     }
+    const auto bound = [&sig](const sort::BucketBoundCheck& check) {
+      sig.insert(sig.end(),
+                 {static_cast<double>(check.n),
+                  static_cast<double>(check.p),
+                  static_cast<double>(check.oversampling), check.threshold,
+                  check.probability_bound,
+                  static_cast<double>(check.violations),
+                  check.violation_rate, check.mean_max_over_expected});
+    };
+    for (const auto& check : bound_hom) bound(check);
+    for (const auto& check : bound_het) bound(check);
+    for (const auto& row : pipeline) {
+      sig.insert(sig.end(),
+                 {static_cast<double>(row.platform), row.n,
+                  row.heterogeneous ? 1.0 : 0.0, row.makespan, row.ideal,
+                  row.overhead});
+    }
+    return sig;
   }
-  table.print(std::cout);
+};
 
-  std::printf("\nheterogeneous splitters (Section 3.2): worst bucket "
-              "relative to its own share x_i*N\n\n");
-  util::Table het({"N", "speeds", "violation rate", "bound",
-                   "mean worst rel. size"});
+/// The star platforms of the scheduled-pipeline family. The heterogeneous
+/// one is drawn once, before any sweep, so every (n, buckets) row sees the
+/// same machine — the sweeps themselves stay pure.
+std::vector<std::pair<std::string, platform::Platform>> pipeline_platforms(
+    std::uint64_t seed) {
   util::Rng rng(seed);
-  const auto plat =
-      platform::make_platform(platform::SpeedModel::kUniform, 16, rng);
-  for (const std::size_t n : {1000000UL, 10000000UL}) {
-    const auto check = sort::validate_max_bucket_bound_heterogeneous(
-        n, plat.speeds(), 300, seed + 1);
-    het.row()
-        .cell(n)
-        .cell(std::string("uniform[1,100], p=16"))
-        .cell(check.violation_rate, 4)
-        .cell(check.probability_bound, 4)
-        .cell(check.mean_max_over_expected, 4)
-        .done();
-  }
-  het.print(std::cout);
+  std::vector<std::pair<std::string, platform::Platform>> platforms;
+  platforms.emplace_back("16 equal",
+                         platform::Platform::homogeneous(16, 0.01, 1.0));
+  platforms.emplace_back(
+      "uniform p=16",
+      platform::make_platform(platform::SpeedModel::kUniform, 16, rng));
+  return platforms;
 }
 
-void executed_sort(std::uint64_t seed) {
+Sec3Results compute_all(
+    std::size_t threads, std::uint64_t seed,
+    const std::vector<std::pair<std::string, platform::Platform>>&
+        platforms,
+    const std::vector<double>& het_speeds) {
+  Sec3Results results;
+  util::SweepOptions options;
+  options.threads = threads;
+  options.seed = seed;
+
+  {
+    util::Grid grid;
+    grid.axis("n", kFractionNs).axis("p", kFractionPs);
+    results.fractions =
+        util::Sweep(std::move(grid), options).map<core::SortingPoint>(
+            [](const util::SweepPoint& point, util::Rng&) {
+              const auto p = static_cast<std::size_t>(point.value("p"));
+              return core::sorting_fraction_sweep({point.value("n")},
+                                                  {p})[0];
+            });
+  }
+  {
+    util::Grid grid;
+    grid.axis("n", kBoundNs).axis("p", kBoundPs);
+    results.bound_hom =
+        util::Sweep(std::move(grid), options)
+            .map<sort::BucketBoundCheck>(
+                [seed](const util::SweepPoint& point, util::Rng&) {
+                  return sort::validate_max_bucket_bound(
+                      static_cast<std::size_t>(point.value("n")),
+                      static_cast<std::size_t>(point.value("p")), 300,
+                      seed);
+                });
+  }
+  {
+    util::Grid grid;
+    grid.axis("n", kHetBoundNs);
+    results.bound_het =
+        util::Sweep(std::move(grid), options)
+            .map<sort::BucketBoundCheck>(
+                [seed, &het_speeds](const util::SweepPoint& point,
+                                    util::Rng&) {
+                  return sort::validate_max_bucket_bound_heterogeneous(
+                      static_cast<std::size_t>(point.value("n")),
+                      het_speeds, 300, seed + 1);
+                });
+  }
+  {
+    util::Grid grid;
+    grid.axis("platform", platforms.size())
+        .axis("n", kPipelineNs)
+        .axis("het", std::size_t{2});
+    results.pipeline =
+        util::Sweep(std::move(grid), options).map<PipelineRow>(
+            [&platforms](const util::SweepPoint& point, util::Rng&) {
+              const std::size_t pi = point.index_of("platform");
+              const platform::Platform& plat = platforms[pi].second;
+              PipelineRow row;
+              row.platform = pi;
+              row.n = point.value("n");
+              row.heterogeneous = point.index_of("het") == 1;
+              sort::DistributedSortConfig config;
+              config.heterogeneous_buckets = row.heterogeneous;
+              // The master is an average machine of the platform.
+              config.master_w =
+                  static_cast<double>(plat.size()) / plat.total_speed();
+              const auto plan =
+                  sort::plan_distributed_sort(plat, row.n, config);
+              row.makespan = plan.makespan;
+              row.ideal = plan.ideal_time;
+              row.overhead = plan.overhead_ratio;
+              return row;
+            });
+  }
+  return results;
+}
+
+struct ExecutedSortRow {
+  std::size_t n = 0;
+  std::size_t p = 0;
+  sort::SampleSortStats stats;
+};
+
+/// Family (4a): real sample-sort executions — wall-clock, not self-checked.
+std::vector<ExecutedSortRow> executed_sort(std::uint64_t seed) {
   std::printf("\n=== Executed parallel sample sort: phase wall-clock "
               "breakdown ===\n");
   std::printf("paper: Steps 1+2 (preprocessing) are dominated by Step 3 "
@@ -89,6 +195,7 @@ void executed_sort(std::uint64_t seed) {
   util::Table table({"N", "p", "step1 (s)", "step2 (s)", "step3 (s)",
                      "preproc share", "Max/(N/p)"});
   util::Rng rng(seed);
+  std::vector<ExecutedSortRow> rows;
   for (const std::size_t n : {1UL << 18, 1UL << 20, 1UL << 22}) {
     std::vector<double> data(n);
     for (double& v : data) v = rng.uniform();
@@ -100,8 +207,7 @@ void executed_sort(std::uint64_t seed) {
       sort::SampleSortStats stats;
       auto sorted = sort::sample_sort(data, config, &stats);
       const double pre = stats.step1_seconds + stats.step2_seconds;
-      const double share =
-          pre / (pre + stats.step3_seconds + 1e-12);
+      const double share = pre / (pre + stats.step3_seconds + 1e-12);
       table.row()
           .cell(n)
           .cell(p)
@@ -111,14 +217,24 @@ void executed_sort(std::uint64_t seed) {
           .cell(share, 3)
           .cell(stats.max_over_expected, 3)
           .done();
+      rows.push_back(ExecutedSortRow{n, p, stats});
     }
   }
   table.print(std::cout);
   std::printf("\n(step2 is the N*log p bucketing on the master; step3 the "
               "parallel local sorts)\n");
+  return rows;
 }
 
-void sample_vs_merge(std::uint64_t seed) {
+struct SortRaceRow {
+  std::size_t n = 0;
+  double std_sort_seconds = 0.0;
+  double merge_sort_seconds = 0.0;
+  double sample_sort_seconds = 0.0;
+};
+
+/// Family (4b): sample sort vs parallel merge sort vs std::sort.
+std::vector<SortRaceRow> sample_vs_merge(std::uint64_t seed) {
   // Baseline contrast: parallel merge sort's final k-way merge is residual
   // *non-divisible* work; sample sort's buckets are independent. Both are
   // executed here (2 threads) for wall-clock comparison.
@@ -128,6 +244,7 @@ void sample_vs_merge(std::uint64_t seed) {
   util::Rng rng(seed);
   util::Table table({"N", "std::sort (s)", "merge sort (s)",
                      "sample sort (s)"});
+  std::vector<SortRaceRow> rows;
   for (const std::size_t n : {1UL << 20, 1UL << 22}) {
     std::vector<double> data(n);
     for (double& v : data) v = rng.uniform();
@@ -157,50 +274,84 @@ void sample_vs_merge(std::uint64_t seed) {
     auto seconds = [](Clock::time_point a, Clock::time_point b) {
       return std::chrono::duration<double>(b - a).count();
     };
+    SortRaceRow row;
+    row.n = n;
+    row.std_sort_seconds = seconds(t0, t1);
+    row.merge_sort_seconds = seconds(t2, t3);
+    row.sample_sort_seconds = seconds(t4, t5);
     table.row()
         .cell(n)
-        .cell(seconds(t0, t1), 3)
-        .cell(seconds(t2, t3), 3)
-        .cell(seconds(t4, t5), 3)
+        .cell(row.std_sort_seconds, 3)
+        .cell(row.merge_sort_seconds, 3)
+        .cell(row.sample_sort_seconds, 3)
+        .done();
+    rows.push_back(row);
+  }
+  table.print(std::cout);
+  return rows;
+}
+
+void print_tables(
+    const Sec3Results& results,
+    const std::vector<std::pair<std::string, platform::Platform>>&
+        platforms) {
+  std::printf("=== Sorting: remaining fraction log p / log N and phase "
+              "costs (Section 3.1) ===\n");
+  std::printf("paper: fraction -> 0 for large N, so sorting is 'almost "
+              "divisible'\n\n");
+  core::sorting_table(results.fractions).print(std::cout);
+
+  std::printf("\n=== Theorem B.4 bucket bound, Monte-Carlo with "
+              "s = log^2 N (Section 3.1) ===\n");
+  std::printf("paper: Pr[MaxSize >= (N/p)(1+(1/ln N)^(1/3))] <= N^(-1/3)\n\n");
+  util::Table table({"N", "p", "s", "threshold/(N/p)", "violation rate",
+                     "bound N^(-1/3)", "mean Max/(N/p)"});
+  for (const auto& check : results.bound_hom) {
+    table.row()
+        .cell(check.n)
+        .cell(check.p)
+        .cell(check.oversampling)
+        .cell(check.threshold /
+                  (double(check.n) / double(check.p)), 4)
+        .cell(check.violation_rate, 4)
+        .cell(check.probability_bound, 4)
+        .cell(check.mean_max_over_expected, 4)
         .done();
   }
   table.print(std::cout);
-}
 
-void scheduled_pipeline(std::uint64_t seed) {
+  std::printf("\nheterogeneous splitters (Section 3.2): worst bucket "
+              "relative to its own share x_i*N\n\n");
+  util::Table het({"N", "speeds", "violation rate", "bound",
+                   "mean worst rel. size"});
+  for (const auto& check : results.bound_het) {
+    het.row()
+        .cell(check.n)
+        .cell(std::string("uniform[1,100], p=16"))
+        .cell(check.violation_rate, 4)
+        .cell(check.probability_bound, 4)
+        .cell(check.mean_max_over_expected, 4)
+        .done();
+  }
+  het.print(std::cout);
+
   std::printf("\n=== The whole pipeline on the star platform (model "
               "schedule): makespan vs the ideal divisible time ===\n");
   std::printf("overhead ratio -> 1 as N grows: sorting becomes a true "
               "divisible load\n\n");
-  util::Table table({"platform", "N", "buckets", "makespan", "ideal",
-                     "overhead ratio"});
-  util::Rng rng(seed);
-  const std::vector<std::pair<std::string, platform::Platform>> platforms{
-      {"16 equal", platform::Platform::homogeneous(16, 0.01, 1.0)},
-      {"uniform p=16",
-       platform::make_platform(platform::SpeedModel::kUniform, 16, rng)},
-  };
-  for (const auto& [name, plat] : platforms) {
-    for (const double n : {1e6, 1e8, 1e10}) {
-      for (const bool het : {false, true}) {
-        sort::DistributedSortConfig config;
-        config.heterogeneous_buckets = het;
-        // The master is an average machine of the platform.
-        config.master_w =
-            double(plat.size()) / plat.total_speed();
-        const auto plan = sort::plan_distributed_sort(plat, n, config);
-        table.row()
-            .cell(name)
-            .cell(n, 0)
-            .cell(std::string(het ? "speed-prop." : "equal"))
-            .cell(plan.makespan, 0)
-            .cell(plan.ideal_time, 0)
-            .cell(plan.overhead_ratio, 4)
-            .done();
-      }
-    }
+  util::Table pipeline({"platform", "N", "buckets", "makespan", "ideal",
+                        "overhead ratio"});
+  for (const PipelineRow& row : results.pipeline) {
+    pipeline.row()
+        .cell(platforms[row.platform].first)
+        .cell(row.n, 0)
+        .cell(std::string(row.heterogeneous ? "speed-prop." : "equal"))
+        .cell(row.makespan, 0)
+        .cell(row.ideal, 0)
+        .cell(row.overhead, 4)
+        .done();
   }
-  table.print(std::cout);
+  pipeline.print(std::cout);
 }
 
 }  // namespace
@@ -209,10 +360,89 @@ int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const auto seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<long long>(util::Rng::kDefaultSeed)));
-  fraction_tables();
-  bound_check(seed);
-  executed_sort(seed);
-  sample_vs_merge(seed);
-  scheduled_pipeline(seed);
-  return 0;
+
+  bench::Harness harness("sec3_sorting",
+                         bench::harness_options_from_args(args));
+  harness.config("seed", static_cast<std::int64_t>(seed));
+
+  const auto platforms = pipeline_platforms(seed);
+  util::Rng het_rng(seed);
+  const auto het_speeds =
+      platform::make_platform(platform::SpeedModel::kUniform, 16, het_rng)
+          .speeds();
+
+  const Sec3Results results = harness.run<Sec3Results>(
+      [&](std::size_t threads) {
+        return compute_all(threads, seed, platforms, het_speeds);
+      },
+      [](const Sec3Results& a, const Sec3Results& b) {
+        return bench::identical_doubles(a.signature(), b.signature());
+      });
+
+  print_tables(results, platforms);
+
+  const auto executed = executed_sort(seed);
+  const auto race = sample_vs_merge(seed);
+
+  return harness.finish([&](util::JsonWriter& json) {
+    for (const auto& point : results.fractions) {
+      json.begin_object();
+      json.key("family").value("fraction");
+      json.key("n").value(point.n);
+      json.key("p").value(point.p);
+      json.key("log_p_over_log_n").value(point.fraction);
+      json.key("preprocessing_ratio").value(point.preprocessing_ratio);
+      json.end_object();
+    }
+    const auto emit_bound = [&json](const sort::BucketBoundCheck& check,
+                                    const char* family) {
+      json.begin_object();
+      json.key("family").value(family);
+      json.key("n").value(check.n);
+      json.key("p").value(check.p);
+      json.key("oversampling").value(check.oversampling);
+      json.key("violation_rate").value(check.violation_rate);
+      json.key("probability_bound").value(check.probability_bound);
+      json.key("mean_max_over_expected")
+          .value(check.mean_max_over_expected);
+      json.end_object();
+    };
+    for (const auto& check : results.bound_hom) {
+      emit_bound(check, "bucket_bound");
+    }
+    for (const auto& check : results.bound_het) {
+      emit_bound(check, "bucket_bound_heterogeneous");
+    }
+    for (const auto& row : results.pipeline) {
+      json.begin_object();
+      json.key("family").value("scheduled_pipeline");
+      json.key("platform").value(row.platform);
+      json.key("n").value(row.n);
+      json.key("heterogeneous_buckets").value(row.heterogeneous);
+      json.key("makespan").value(row.makespan);
+      json.key("ideal").value(row.ideal);
+      json.key("overhead_ratio").value(row.overhead);
+      json.end_object();
+    }
+    for (const auto& row : executed) {
+      json.begin_object();
+      json.key("family").value("executed_sample_sort");
+      json.key("n").value(row.n);
+      json.key("p").value(row.p);
+      json.key("step1_seconds").value(row.stats.step1_seconds);
+      json.key("step2_seconds").value(row.stats.step2_seconds);
+      json.key("step3_seconds").value(row.stats.step3_seconds);
+      json.key("max_over_expected").value(row.stats.max_over_expected);
+      json.end_object();
+    }
+    for (const auto& row : race) {
+      json.begin_object();
+      json.key("family").value("executed_sort_race");
+      json.key("n").value(row.n);
+      json.key("std_sort_seconds").value(row.std_sort_seconds);
+      json.key("merge_sort_seconds").value(row.merge_sort_seconds);
+      json.key("sample_sort_seconds").value(row.sample_sort_seconds);
+      json.end_object();
+    }
+  });
 }

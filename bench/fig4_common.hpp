@@ -1,16 +1,16 @@
-// Shared driver for the Figure 4 reproductions (bench_fig4{a,b,c}).
+// Shared driver for the Figure 4 reproductions (bench_fig4{a,b,c}),
+// running the trial sweep through bench::Harness (which in turn drives
+// core::run_fig4's util::Sweep at serial and parallel widths and
+// self-checks bit-identity).
 #pragma once
 
-#include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
-#include <thread>
 
+#include "bench/harness.hpp"
 #include "core/experiments.hpp"
 #include "util/chart.hpp"
 #include "util/cli.hpp"
-#include "util/json.hpp"
 
 namespace nldl::bench {
 
@@ -28,7 +28,9 @@ inline bool fig4_rows_identical(const std::vector<core::Fig4Row>& a,
     if (a[i].p != b[i].p || !same(a[i].het, b[i].het) ||
         !same(a[i].hom, b[i].hom) || !same(a[i].hom_k, b[i].hom_k) ||
         !same(a[i].k_used, b[i].k_used) ||
-        !same(a[i].hom_imbalance, b[i].hom_imbalance)) {
+        !same(a[i].hom_imbalance, b[i].hom_imbalance) ||
+        a[i].hom_imbalance_dropped != b[i].hom_imbalance_dropped ||
+        a[i].hom_idle_trials != b[i].hom_idle_trials) {
       return false;
     }
   }
@@ -40,12 +42,11 @@ inline bool fig4_rows_identical(const std::vector<core::Fig4Row>& a,
 ///
 /// Flags: --trials=N (default 100), --seed=S, --csv=path, --target=e
 /// (imbalance target for Comm_hom/k, default 0.01 = the paper's 1 %),
-/// --threads=T (parallel runner width; 0 = hardware, default), --json=path
-/// (default BENCH_fig4<panel>.json in the working directory).
+/// plus the shared harness flags --threads=T (0 = hardware, default),
+/// --reps=R, --warmup=W, --json=path (default BENCH_fig4<panel>.json).
 inline int run_fig4_panel(const char* figure, const char* panel,
                           platform::SpeedModel model,
                           const char* expectation, int argc, char** argv) {
-  using Clock = std::chrono::steady_clock;
   const util::Args args(argc, argv);
   core::Fig4Config config;
   config.model = model;
@@ -54,11 +55,13 @@ inline int run_fig4_panel(const char* figure, const char* panel,
       args.get_int("seed", static_cast<long long>(util::Rng::kDefaultSeed)));
   config.strategy_options.imbalance_target = args.get_double("target", 0.01);
 
-  std::size_t threads =
-      static_cast<std::size_t>(args.get_int("threads", 0));
-  if (threads == 0) {
-    threads = std::max(1U, std::thread::hardware_concurrency());
-  }
+  Harness harness(std::string("fig4") + panel,
+                  harness_options_from_args(args));
+  harness.config("speed_model", platform::to_string(model));
+  harness.config("trials", config.trials);
+  harness.config("seed", static_cast<std::int64_t>(config.seed));
+  harness.config("imbalance_target",
+                 config.strategy_options.imbalance_target);
 
   std::printf("=== Figure %s: ratio of communication volume to the lower "
               "bound ===\n",
@@ -69,21 +72,16 @@ inline int run_fig4_panel(const char* figure, const char* panel,
               100.0 * config.strategy_options.imbalance_target);
   std::printf("paper expectation: %s\n\n", expectation);
 
-  // Serial reference run, then the pooled run; the two must agree bit for
-  // bit (per-trial RNG sub-streams + ordered reduction).
-  config.threads = 1;
-  const auto serial_start = Clock::now();
-  const auto rows = core::run_fig4(config);
-  const std::chrono::duration<double> serial_time =
-      Clock::now() - serial_start;
-
-  config.threads = threads;
-  const auto parallel_start = Clock::now();
-  const auto parallel_rows = core::run_fig4(config);
-  const std::chrono::duration<double> parallel_time =
-      Clock::now() - parallel_start;
-
-  const bool identical = fig4_rows_identical(rows, parallel_rows);
+  // Serial reference run, then the pooled run; the harness requires the
+  // two to agree bit for bit (per-trial RNG sub-streams + ordered
+  // reduction inside core::run_fig4's util::Sweep).
+  const auto rows = harness.run<std::vector<core::Fig4Row>>(
+      [&config](std::size_t threads) {
+        core::Fig4Config run_config = config;
+        run_config.threads = threads;
+        return core::run_fig4(run_config);
+      },
+      fig4_rows_identical);
 
   const auto table = core::fig4_table(rows);
   table.print(std::cout);
@@ -107,36 +105,7 @@ inline int run_fig4_panel(const char* figure, const char* panel,
   chart.add_series("Comm_hom/k", '*', ps, hom_k);
   std::printf("\n%s", chart.render().c_str());
 
-  std::printf("\nrunner: serial %.3fs | %zu threads %.3fs | speedup %.2fx "
-              "| bit-identical: %s\n",
-              serial_time.count(), threads, parallel_time.count(),
-              parallel_time.count() > 0.0
-                  ? serial_time.count() / parallel_time.count()
-                  : 0.0,
-              identical ? "yes" : "NO (runner bug!)");
-
-  const std::string json_path =
-      args.get_string("json", std::string("BENCH_fig4") + panel + ".json");
-  bool json_written = false;
-  {
-    std::ofstream out(json_path);
-    util::JsonWriter json(out);
-    json.begin_object();
-    json.key("bench").value(std::string("fig4") + panel);
-    json.key("speed_model").value(platform::to_string(model));
-    json.key("trials").value(config.trials);
-    json.key("seed").value(static_cast<std::int64_t>(config.seed));
-    json.key("imbalance_target")
-        .value(config.strategy_options.imbalance_target);
-    json.key("threads").value(threads);
-    json.key("wall_time_serial_s").value(serial_time.count());
-    json.key("wall_time_parallel_s").value(parallel_time.count());
-    json.key("speedup").value(parallel_time.count() > 0.0
-                                  ? serial_time.count() /
-                                        parallel_time.count()
-                                  : 0.0);
-    json.key("parallel_bit_identical").value(identical);
-    json.key("points").begin_array();
+  const int exit_code = harness.finish([&rows](util::JsonWriter& json) {
     for (const auto& row : rows) {
       json.begin_object();
       json.key("p").value(row.p);
@@ -148,25 +117,18 @@ inline int run_fig4_panel(const char* figure, const char* panel,
       json.key("hom_k_stddev").value(row.hom_k.stddev());
       json.key("k_mean").value(row.k_used.mean());
       json.key("hom_imbalance_mean").value(row.hom_imbalance.mean());
+      json.key("hom_imbalance_dropped").value(row.hom_imbalance_dropped);
+      json.key("hom_idle_trials").value(row.hom_idle_trials);
       json.end_object();
     }
-    json.end_array();
-    json.end_object();
-    out.flush();
-    json_written = static_cast<bool>(out);
-  }
-  if (json_written) {
-    std::printf("JSON written to %s\n", json_path.c_str());
-  } else {
-    std::fprintf(stderr, "warning: could not write %s\n", json_path.c_str());
-  }
+  });
 
   if (args.has("csv")) {
     const std::string path = args.get_string("csv", "");
     table.save_csv(path);
     std::printf("CSV written to %s\n", path.c_str());
   }
-  return identical ? 0 : 1;
+  return exit_code;
 }
 
 }  // namespace nldl::bench

@@ -1,0 +1,111 @@
+#include "bench/harness.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/sweep.hpp"
+
+namespace nldl::bench {
+
+HarnessOptions harness_options_from_args(const util::Args& args) {
+  HarnessOptions options;
+  options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  options.repetitions =
+      static_cast<std::size_t>(args.get_int("reps", 1));
+  options.warmup = static_cast<std::size_t>(args.get_int("warmup", 0));
+  options.json_path = args.get_string("json", "");
+  return options;
+}
+
+bool identical_doubles(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+Harness::Harness(std::string name, HarnessOptions options)
+    : name_(std::move(name)), options_(std::move(options)) {
+  NLDL_REQUIRE(!name_.empty(), "bench name must not be empty");
+  NLDL_REQUIRE(options_.repetitions >= 1,
+               "at least one timed repetition required");
+  threads_ = util::resolve_threads(options_.threads);
+}
+
+void Harness::config(const std::string& key, const std::string& value) {
+  config_.push_back(
+      {key, [value](util::JsonWriter& json) { json.value(value); }});
+}
+void Harness::config(const std::string& key, const char* value) {
+  config(key, std::string(value));
+}
+void Harness::config(const std::string& key, double value) {
+  config_.push_back(
+      {key, [value](util::JsonWriter& json) { json.value(value); }});
+}
+void Harness::config(const std::string& key, std::int64_t value) {
+  config_.push_back(
+      {key, [value](util::JsonWriter& json) { json.value(value); }});
+}
+void Harness::config(const std::string& key, std::size_t value) {
+  config_.push_back(
+      {key, [value](util::JsonWriter& json) { json.value(value); }});
+}
+void Harness::config(const std::string& key, bool value) {
+  config_.push_back(
+      {key, [value](util::JsonWriter& json) { json.value(value); }});
+}
+
+double Harness::speedup() const noexcept {
+  return parallel_seconds_ > 0.0 ? serial_seconds_ / parallel_seconds_ : 0.0;
+}
+
+int Harness::finish(
+    const std::function<void(util::JsonWriter&)>& emit_points) {
+  NLDL_REQUIRE(ran_, "Harness::finish() before run()");
+
+  std::printf("\nrunner[%s]: serial %.3fs | %zu threads %.3fs | speedup "
+              "%.2fx | bit-identical: %s\n",
+              name_.c_str(), serial_seconds_, threads_, parallel_seconds_,
+              speedup(), bit_identical_ ? "yes" : "NO (runner bug!)");
+
+  const std::string path =
+      options_.json_path.empty() ? "BENCH_" + name_ + ".json"
+                                 : options_.json_path;
+  bool written = false;
+  {
+    std::ofstream out(path);
+    util::JsonWriter json(out);
+    json.begin_object();
+    json.key("bench").value(name_);
+    json.key("config").begin_object();
+    for (const ConfigEntry& entry : config_) {
+      json.key(entry.key);
+      entry.emit(json);
+    }
+    json.end_object();
+    json.key("threads").value(threads_);
+    json.key("repetitions").value(options_.repetitions);
+    json.key("wall_time_serial_s").value(serial_seconds_);
+    json.key("wall_time_parallel_s").value(parallel_seconds_);
+    json.key("speedup").value(speedup());
+    json.key("parallel_bit_identical").value(bit_identical_);
+    json.key("points").begin_array();
+    emit_points(json);
+    json.end_array();
+    json.end_object();
+    NLDL_ASSERT(json.complete(), "bench JSON left scopes open");
+    out.flush();
+    written = static_cast<bool>(out);
+  }
+  if (written) {
+    std::printf("JSON written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+  return bit_identical_ && written ? 0 : 1;
+}
+
+}  // namespace nldl::bench

@@ -1,0 +1,164 @@
+// Benchmark harness: the shared protocol of every bench/ driver.
+//
+// A driver describes its experiment as "run the whole sweep at a given
+// thread count and return the results"; the harness then
+//
+//   1. runs optional untimed warmup passes,
+//   2. times `repetitions` serial passes (threads = 1) and keeps the best
+//      wall time and the first pass's results as the reference,
+//   3. times `repetitions` parallel passes (the configured width) and
+//      checks every one bit-identical to the serial reference — the
+//      runtime proof that the util::Sweep contract (pre-split RNG
+//      sub-streams + ordered reduction) held,
+//   4. streams a machine-readable BENCH_<name>.json via util::JsonWriter:
+//      config metadata, serial/parallel wall times, the self-check
+//      verdict, and a caller-emitted per-point "points" array,
+//
+// and turns the self-check into the process exit code, so CI fails loudly
+// on any determinism regression.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+namespace nldl::bench {
+
+struct HarnessOptions {
+  /// Parallel width for the checked pass: 0 = one per hardware thread.
+  std::size_t threads = 0;
+  /// Timed repetitions of each variant (best wall time is reported).
+  std::size_t repetitions = 1;
+  /// Untimed warmup passes before the serial timing.
+  std::size_t warmup = 0;
+  /// Output path; empty = BENCH_<name>.json in the working directory.
+  std::string json_path;
+};
+
+/// Read the shared harness flags: --threads=T (0 = hardware, default),
+/// --reps=R, --warmup=W, --json=path.
+[[nodiscard]] HarnessOptions harness_options_from_args(
+    const util::Args& args);
+
+/// Bitwise equality for result vectors built of doubles — the default
+/// self-check comparator. (Exact comparison is the point: the parallel
+/// sweep must reproduce the serial one to the last bit.)
+[[nodiscard]] bool identical_doubles(const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+class Harness {
+ public:
+  Harness(std::string name, HarnessOptions options);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Resolved parallel width (never 0).
+  [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
+  [[nodiscard]] std::size_t repetitions() const noexcept {
+    return options_.repetitions;
+  }
+
+  /// Record a config key/value, emitted (in insertion order) into the
+  /// JSON "config" object. Call before finish().
+  void config(const std::string& key, const std::string& value);
+  void config(const std::string& key, const char* value);
+  void config(const std::string& key, double value);
+  void config(const std::string& key, std::int64_t value);
+  void config(const std::string& key, std::size_t value);
+  void config(const std::string& key, bool value);
+  void config(const std::string& key, int value) {
+    config(key, static_cast<std::int64_t>(value));
+  }
+
+  /// Run the protocol: warmup, timed serial passes, timed parallel passes,
+  /// self-check. `run_sweep(threads)` must evaluate the full experiment at
+  /// the given thread count; `identical` decides bit-identity. Returns the
+  /// serial reference result (the one every table/JSON point should be
+  /// derived from).
+  template <typename Result>
+  Result run(const std::function<Result(std::size_t)>& run_sweep,
+             const std::function<bool(const Result&, const Result&)>&
+                 identical) {
+    using Clock = std::chrono::steady_clock;
+    for (std::size_t i = 0; i < options_.warmup; ++i) {
+      (void)run_sweep(1);
+    }
+
+    Result reference{};
+    serial_seconds_ = -1.0;
+    for (std::size_t rep = 0; rep < options_.repetitions; ++rep) {
+      const auto start = Clock::now();
+      Result result = run_sweep(1);
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (rep == 0) {
+        reference = std::move(result);
+      } else if (!identical(reference, result)) {
+        bit_identical_ = false;  // serial runs disagree: not deterministic
+      }
+      if (serial_seconds_ < 0.0 || elapsed < serial_seconds_) {
+        serial_seconds_ = elapsed;
+      }
+    }
+
+    parallel_seconds_ = -1.0;
+    for (std::size_t rep = 0; rep < options_.repetitions; ++rep) {
+      const auto start = Clock::now();
+      const Result result = run_sweep(threads_);
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (!identical(reference, result)) bit_identical_ = false;
+      if (parallel_seconds_ < 0.0 || elapsed < parallel_seconds_) {
+        parallel_seconds_ = elapsed;
+      }
+    }
+    ran_ = true;
+    return reference;
+  }
+
+  /// run() with the default comparator (Result = std::vector<double> or
+  /// anything with operator==).
+  template <typename Result>
+  Result run(const std::function<Result(std::size_t)>& run_sweep) {
+    return run<Result>(run_sweep,
+                       [](const Result& a, const Result& b) { return a == b; });
+  }
+
+  [[nodiscard]] bool bit_identical() const noexcept { return bit_identical_; }
+  [[nodiscard]] double serial_seconds() const noexcept {
+    return serial_seconds_;
+  }
+  [[nodiscard]] double parallel_seconds() const noexcept {
+    return parallel_seconds_;
+  }
+  [[nodiscard]] double speedup() const noexcept;
+
+  /// Print the runner summary line, write BENCH_<name>.json (config,
+  /// wall times, self-check, plus the caller-emitted "points" array), and
+  /// return the process exit code: 0 iff the self-check passed and the
+  /// JSON landed on disk.
+  int finish(const std::function<void(util::JsonWriter&)>& emit_points);
+
+ private:
+  struct ConfigEntry {
+    std::string key;
+    std::function<void(util::JsonWriter&)> emit;  ///< writes the typed value
+  };
+
+  std::string name_;
+  HarnessOptions options_;
+  std::size_t threads_ = 1;
+  std::vector<ConfigEntry> config_;
+  bool ran_ = false;
+  bool bit_identical_ = true;
+  double serial_seconds_ = 0.0;
+  double parallel_seconds_ = 0.0;
+};
+
+}  // namespace nldl::bench

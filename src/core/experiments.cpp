@@ -1,12 +1,11 @@
 #include "core/experiments.hpp"
 
 #include <cmath>
-#include <thread>
 
 #include "dlt/analysis.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
-#include "util/threadpool.hpp"
+#include "util/sweep.hpp"
 
 namespace nldl::core {
 
@@ -22,6 +21,7 @@ struct TrialOutcome {
   double hom_k = 0.0;
   double k_used = 0.0;
   double hom_imbalance = 0.0;
+  bool hom_idle = false;  ///< Comm_hom starved at least one worker
 };
 
 TrialOutcome evaluate_trial(const Fig4Config& config, std::size_t p,
@@ -46,6 +46,7 @@ TrialOutcome evaluate_trial(const Fig4Config& config, std::size_t p,
   outcome.hom_k = hom_k.ratio_to_lower_bound;
   outcome.k_used = static_cast<double>(hom_k.refinement_k);
   outcome.hom_imbalance = hom.load_imbalance;
+  outcome.hom_idle = hom.idle_workers > 0;
   return outcome;
 }
 
@@ -56,34 +57,30 @@ std::vector<Fig4Row> run_fig4(const Fig4Config& config) {
   NLDL_REQUIRE(!config.processor_counts.empty(),
                "at least one processor count required");
 
-  // Pre-split one RNG sub-stream per (p, trial) pair, in the exact order a
-  // serial sweep consumes them. Splitting is cheap (a jump-ahead), and it
-  // decouples every trial from the others: the sweep can then run on any
-  // number of threads without touching the sampled platforms.
-  const std::size_t total = config.processor_counts.size() * config.trials;
-  util::Rng master(config.seed);
-  std::vector<util::Rng> streams;
-  streams.reserve(total);
-  for (std::size_t i = 0; i < total; ++i) streams.push_back(master.split());
-
-  std::vector<TrialOutcome> outcomes(total);
-  auto run_one = [&](std::size_t index) {
-    const std::size_t p = config.processor_counts[index / config.trials];
-    outcomes[index] = evaluate_trial(config, p, streams[index]);
-  };
-
-  std::size_t threads = config.threads;
-  if (threads == 0) {
-    threads = std::max(1U, std::thread::hardware_concurrency());
+  // The sweep grid: p (outer) × trial (inner), the exact flat order the
+  // original serial loop used. util::Sweep pre-splits one RNG sub-stream
+  // per point in that order and dispatches onto a thread pool, so the
+  // sampled platforms are independent of the thread count.
+  std::vector<double> ps;
+  ps.reserve(config.processor_counts.size());
+  for (const std::size_t p : config.processor_counts) {
+    ps.push_back(static_cast<double>(p));
   }
-  if (threads == 1 || total == 1) {
-    for (std::size_t i = 0; i < total; ++i) run_one(i);
-  } else {
-    util::ThreadPool pool(std::min(threads, total));
-    util::parallel_for(pool, 0, total, 1, run_one);
-  }
+  util::Grid grid;
+  grid.axis("p", std::move(ps)).axis("trial", config.trials);
 
-  // Deterministic reduction: push every trial in trial order.
+  util::SweepOptions options;
+  options.threads = config.threads;
+  options.seed = config.seed;
+  const util::Sweep sweep(std::move(grid), options);
+
+  const std::vector<TrialOutcome> outcomes = sweep.map<TrialOutcome>(
+      [&config](const util::SweepPoint& point, util::Rng& rng) {
+        const auto p = static_cast<std::size_t>(point.value("p"));
+        return evaluate_trial(config, p, rng);
+      });
+
+  // Deterministic reduction: push every trial in flat (p-major) order.
   std::vector<Fig4Row> rows;
   rows.reserve(config.processor_counts.size());
   for (std::size_t pi = 0; pi < config.processor_counts.size(); ++pi) {
@@ -95,9 +92,15 @@ std::vector<Fig4Row> run_fig4(const Fig4Config& config) {
       row.hom.push(outcome.hom);
       row.hom_k.push(outcome.hom_k);
       row.k_used.push(outcome.k_used);
+      // The imbalance is finite by construction now; if it ever stops
+      // being finite the trial is *counted* as dropped, never silently
+      // hidden from the statistic.
       if (std::isfinite(outcome.hom_imbalance)) {
         row.hom_imbalance.push(outcome.hom_imbalance);
+      } else {
+        ++row.hom_imbalance_dropped;
       }
+      if (outcome.hom_idle) ++row.hom_idle_trials;
     }
     rows.push_back(std::move(row));
   }
@@ -140,21 +143,27 @@ std::vector<CapacitySweepRow> capacity_sweep(
   const double covered =
       1.0 - dlt::remaining_fraction_homogeneous(config.p, config.alpha);
 
-  std::vector<CapacitySweepRow> rows;
-  rows.reserve(config.capacities.size());
-  for (const double capacity : config.capacities) {
-    const sim::BoundedMultiportModel model(capacity);
-    const sim::SimResult result = engine.run_single_round(amounts, model);
-    CapacitySweepRow row;
-    row.capacity = capacity;
-    for (const sim::ChunkSpan& span : result.spans) {
-      row.comm_phase_end = std::max(row.comm_phase_end, span.comm_end);
-    }
-    row.makespan = result.makespan;
-    row.covered_fraction = covered;
-    rows.push_back(row);
-  }
-  return rows;
+  // One grid point per master capacity; the engine replay is pure, so the
+  // points can run on any number of threads (bit-identical results).
+  util::Grid grid;
+  grid.axis("capacity", config.capacities);
+  util::SweepOptions options;
+  options.threads = config.threads;
+  const util::Sweep sweep(std::move(grid), options);
+  return sweep.map<CapacitySweepRow>(
+      [&](const util::SweepPoint& point, util::Rng&) {
+        const double capacity = point.value("capacity");
+        const sim::BoundedMultiportModel model(capacity);
+        const sim::SimResult result = engine.run_single_round(amounts, model);
+        CapacitySweepRow row;
+        row.capacity = capacity;
+        for (const sim::ChunkSpan& span : result.spans) {
+          row.comm_phase_end = std::max(row.comm_phase_end, span.comm_end);
+        }
+        row.makespan = result.makespan;
+        row.covered_fraction = covered;
+        return row;
+      });
 }
 
 util::Table capacity_sweep_table(const std::vector<CapacitySweepRow>& rows) {

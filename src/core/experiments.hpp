@@ -1,7 +1,7 @@
 // The Section 4.3 simulation study (Figures 4a, 4b, 4c): sweep the number
 // of processors, draw random platforms, evaluate all three strategies, and
 // report mean ± stddev of each strategy's communication ratio to the lower
-// bound. Trials dispatch onto a util::ThreadPool; every trial consumes its
+// bound. The trial grid runs through util::Sweep: every trial consumes its
 // own pre-split RNG sub-stream and results are reduced in trial order, so
 // the output is bit-identical for any thread count.
 //
@@ -47,7 +47,15 @@ struct Fig4Row {
   util::RunningStats hom;    ///< Comm_hom / LB
   util::RunningStats hom_k;  ///< Comm_hom/k / LB
   util::RunningStats k_used; ///< refinement k chosen by Comm_hom/k
-  util::RunningStats hom_imbalance;  ///< e of plain Comm_hom (can be +inf-free: finite trials only)
+  /// e of plain Comm_hom over the workers it kept busy (always finite).
+  util::RunningStats hom_imbalance;
+  /// Trials whose imbalance sample was non-finite and therefore excluded
+  /// from hom_imbalance — reported, never silently dropped. 0 by
+  /// construction since imbalance is defined over busy workers.
+  std::size_t hom_imbalance_dropped = 0;
+  /// Trials where plain Comm_hom left at least one worker without a block
+  /// (the granularity failure the old +inf imbalance conflated with e).
+  std::size_t hom_idle_trials = 0;
 };
 
 /// Run the sweep. Deterministic given the seed (each trial draws its own
@@ -68,6 +76,9 @@ struct CapacitySweepConfig {
   double w = 1.0;  ///< uniform computation cost
   std::vector<double> capacities = {1.0, 4.0, 16.0, 64.0,
                                     std::numeric_limits<double>::infinity()};
+  /// Worker threads for the capacity sweep (1 = serial, 0 = hardware);
+  /// results are bit-identical whatever the value.
+  std::size_t threads = 1;
 };
 
 struct CapacitySweepRow {

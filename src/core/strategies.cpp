@@ -36,6 +36,7 @@ StrategyEvaluation evaluate_strategy(Strategy strategy,
           partition::homogeneous_blocks_demand_driven(speeds, n, 1);
       eval.comm_volume = blocks.comm_volume;
       eval.load_imbalance = blocks.imbalance;
+      eval.idle_workers = blocks.idle_workers;
       eval.refinement_k = 1;
       eval.num_chunks = blocks.num_blocks;
       break;
@@ -45,6 +46,7 @@ StrategyEvaluation evaluate_strategy(Strategy strategy,
           speeds, n, options.imbalance_target, options.max_k);
       eval.comm_volume = blocks.comm_volume;
       eval.load_imbalance = blocks.imbalance;
+      eval.idle_workers = blocks.idle_workers;
       eval.refinement_k = blocks.k;
       eval.num_chunks = blocks.num_blocks;
       break;

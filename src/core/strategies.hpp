@@ -41,8 +41,11 @@ struct StrategyEvaluation {
   double comm_volume = 0.0;
   double lower_bound = 0.0;
   double ratio_to_lower_bound = 0.0;
-  /// e = (t_max − t_min)/t_min; 0 for Comm_het (areas exactly proportional).
+  /// e = (t_max − t_min)/t_min over the workers that received work; 0 for
+  /// Comm_het (areas exactly proportional).
   double load_imbalance = 0.0;
+  /// Workers the block hand-out starved (0 for Comm_het).
+  std::size_t idle_workers = 0;
   int refinement_k = 1;       ///< k used (1 unless refined)
   long long num_chunks = 0;   ///< blocks handed out, or p rectangles
 };

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/assert.hpp"
+#include "util/stats.hpp"
 
 namespace nldl::linalg {
 
@@ -100,16 +101,8 @@ DistributedMatmul matmul_outer_product(const Matrix& a, const Matrix& b,
                                static_cast<double>(n) / speeds[worker];
   }
 
-  double t_min = std::numeric_limits<double>::infinity();
-  double t_max = 0.0;
-  for (const double t : out.compute_time) {
-    t_min = std::min(t_min, t);
-    t_max = std::max(t_max, t);
-  }
-  out.imbalance = (p < 2) ? 0.0
-                  : (t_min <= 0.0)
-                      ? std::numeric_limits<double>::infinity()
-                      : (t_max - t_min) / t_min;
+  // Shared definition: e over the workers with a non-empty rectangle.
+  out.imbalance = util::imbalance_over_busy(out.compute_time);
   return out;
 }
 

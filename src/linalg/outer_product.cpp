@@ -5,21 +5,16 @@
 
 #include "partition/block_homogeneous.hpp"
 #include "util/assert.hpp"
+#include "util/stats.hpp"
 
 namespace nldl::linalg {
 
 namespace {
 
+// Shared definition (util::imbalance_over_busy): e over the workers that
+// got work; idle workers don't drive e to +infinity.
 double imbalance_of(const std::vector<double>& times) {
-  if (times.size() < 2) return 0.0;
-  double t_min = std::numeric_limits<double>::infinity();
-  double t_max = 0.0;
-  for (const double t : times) {
-    t_min = std::min(t_min, t);
-    t_max = std::max(t_max, t);
-  }
-  if (t_min <= 0.0) return std::numeric_limits<double>::infinity();
-  return (t_max - t_min) / t_min;
+  return util::imbalance_over_busy(times);
 }
 
 }  // namespace

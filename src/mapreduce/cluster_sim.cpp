@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "util/assert.hpp"
+#include "util/stats.hpp"
 
 namespace nldl::mapreduce {
 
@@ -80,18 +81,16 @@ ClusterOutcome run_cluster(const std::vector<SimTask>& tasks,
     idle.push({now + duration, worker});
   }
 
-  double t_min = std::numeric_limits<double>::infinity();
   double t_max = 0.0;
   for (std::size_t w = 0; w < p; ++w) {
     out.total_bytes += out.bytes_per_worker[w];
-    t_min = std::min(t_min, out.worker_time[w]);
     t_max = std::max(t_max, out.worker_time[w]);
   }
   out.makespan = t_max;
-  out.imbalance = (p < 2) ? 0.0
-                  : (t_min <= 0.0)
-                      ? std::numeric_limits<double>::infinity()
-                      : (t_max - t_min) / t_min;
+  // Shared definition: e over the workers that got tasks; an idle worker
+  // does not turn the statistic into +infinity.
+  out.imbalance = util::imbalance_over_busy(out.worker_time);
+  out.idle_workers = util::count_idle(out.worker_time);
   return out;
 }
 

@@ -36,7 +36,10 @@ struct ClusterOutcome {
   std::vector<double> worker_time;      ///< total compute time per worker
   std::vector<double> bytes_per_worker; ///< data shipped to each worker
   double makespan = 0.0;
-  double imbalance = 0.0;               ///< e over worker compute times
+  /// e over the workers that got at least one task (always finite; see
+  /// util::imbalance_over_busy).
+  double imbalance = 0.0;
+  std::size_t idle_workers = 0;         ///< workers that got no task
   double total_bytes = 0.0;
 };
 

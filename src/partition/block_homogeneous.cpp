@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "util/assert.hpp"
+#include "util/stats.hpp"
 
 namespace nldl::partition {
 
@@ -144,18 +145,16 @@ DemandDrivenBlocks homogeneous_blocks_demand_driven(
   out.blocks_per_worker = demand_driven_counts(tau, out.num_blocks);
   out.comm_volume = static_cast<double>(out.num_blocks) * 2.0 * out.block_dim;
 
-  double t_min = std::numeric_limits<double>::infinity();
-  double t_max = 0.0;
+  // Imbalance over the workers that got at least one block (the shared
+  // util::imbalance_over_busy definition); a worker left idle is counted
+  // separately rather than driving e to +infinity.
+  std::vector<double> times(p);
   for (std::size_t i = 0; i < p; ++i) {
-    const double t = static_cast<double>(out.blocks_per_worker[i]) * tau[i];
-    t_min = std::min(t_min, t);
-    t_max = std::max(t_max, t);
+    times[i] = static_cast<double>(out.blocks_per_worker[i]) * tau[i];
   }
-  out.makespan = t_max;
-  out.imbalance = (p < 2) ? 0.0
-                  : (t_min <= 0.0)
-                      ? std::numeric_limits<double>::infinity()
-                      : (t_max - t_min) / t_min;
+  out.makespan = *std::max_element(times.begin(), times.end());
+  out.imbalance = util::imbalance_over_busy(times);
+  out.idle_workers = util::count_idle(times);
   return out;
 }
 
@@ -167,7 +166,10 @@ DemandDrivenBlocks refine_until_balanced(const std::vector<double>& speeds,
   DemandDrivenBlocks last;
   for (int k = 1; k <= max_k; ++k) {
     last = homogeneous_blocks_demand_driven(speeds, n, k);
-    if (last.imbalance <= target_e) return last;
+    // A partition that starves a worker is never "balanced", however small
+    // e over the busy workers is — keep refining, as the old +inf
+    // imbalance used to force implicitly.
+    if (last.idle_workers == 0 && last.imbalance <= target_e) return last;
   }
   return last;  // best effort: the paper's criterion was not reached
 }

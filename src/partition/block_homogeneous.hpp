@@ -41,9 +41,12 @@ struct DemandDrivenBlocks {
   std::vector<long long> blocks_per_worker;
   double comm_volume = 0.0;     ///< num_blocks · 2·block_dim
   double makespan = 0.0;        ///< max_i blocks_i · w_i · block_dim²
-  /// e = (t_max − t_min)/t_min over per-worker compute times; +inf when a
-  /// worker received no block at all.
+  /// e = (t_max − t_min)/t_min over the workers that received at least one
+  /// block. Always finite: workers left without a block are a granularity
+  /// failure reported via idle_workers, not an infinite imbalance.
   double imbalance = 0.0;
+  /// Workers that received no block at all (too few blocks for p).
+  std::size_t idle_workers = 0;
 };
 
 /// Evaluate Comm_hom/k for a fixed k (k = 1 is plain Comm_hom). Block
@@ -55,8 +58,9 @@ struct DemandDrivenBlocks {
 [[nodiscard]] DemandDrivenBlocks homogeneous_blocks_demand_driven(
     const std::vector<double>& speeds, double n, int k);
 
-/// The paper's refinement loop: smallest k with imbalance <= target_e
-/// (default 1 %). Gives up (returning the last k tried) after max_k.
+/// The paper's refinement loop: smallest k with every worker busy and
+/// imbalance <= target_e (default 1 %). Gives up (returning the last k
+/// tried) after max_k.
 [[nodiscard]] DemandDrivenBlocks refine_until_balanced(
     const std::vector<double>& speeds, double n, double target_e = 0.01,
     int max_k = 512);

@@ -5,19 +5,21 @@
 #include <numeric>
 
 #include "util/assert.hpp"
+#include "util/stats.hpp"
 
 namespace nldl::sim {
 
 double SimResult::load_imbalance() const noexcept {
-  if (worker_compute_time.size() < 2) return 0.0;
-  double t_min = std::numeric_limits<double>::infinity();
-  double t_max = 0.0;
-  for (const double t : worker_compute_time) {
-    t_min = std::min(t_min, t);
-    t_max = std::max(t_max, t);
-  }
-  if (t_min <= 0.0) return std::numeric_limits<double>::infinity();
-  return (t_max - t_min) / t_min;
+  // Imbalance is defined over the workers that actually computed
+  // something: a worker the schedule never fed is a scheduling decision,
+  // not an infinite imbalance, and returning +inf would poison any
+  // statistic aggregated over trials. Callers that care about unused
+  // workers can count them via idle_workers().
+  return util::imbalance_over_busy(worker_compute_time);
+}
+
+std::size_t SimResult::idle_workers() const noexcept {
+  return util::count_idle(worker_compute_time);
 }
 
 Engine::Engine(const platform::Platform& platform, EngineOptions options)

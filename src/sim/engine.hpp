@@ -67,9 +67,14 @@ struct SimResult {
   double makespan = 0.0;
 
   /// Load imbalance e = (t_max - t_min) / t_min over per-worker computation
-  /// times (paper Section 4.3). Returns +infinity when some worker computed
-  /// nothing (t_min = 0), and 0 for a single-worker platform.
+  /// times (paper Section 4.3), restricted to workers that computed
+  /// something: workers the schedule never fed do not turn the statistic
+  /// into +infinity (use idle_workers() to count them). Returns 0 when
+  /// fewer than two workers computed.
   [[nodiscard]] double load_imbalance() const noexcept;
+
+  /// Number of workers that computed nothing under this schedule.
+  [[nodiscard]] std::size_t idle_workers() const noexcept;
 };
 
 struct EngineOptions {

@@ -1,5 +1,6 @@
 #include "util/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -9,15 +10,19 @@ namespace nldl::util {
 
 std::string json_number(double value) {
   if (!std::isfinite(value)) return "null";
+  // std::to_chars is locale-independent and emits the shortest string that
+  // round-trips the exact double — unlike %g/%lf, which honor the C locale
+  // and would print a comma decimal point (invalid JSON) under e.g. de_DE.
   char buffer[40];
-  // %.17g round-trips every double; trim to the shortest form that does.
-  for (int precision = 1; precision <= 17; ++precision) {
-    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
-    double parsed = 0.0;
-    std::sscanf(buffer, "%lf", &parsed);
-    if (parsed == value) break;
-  }
-  return buffer;
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  NLDL_ASSERT(result.ec == std::errc{}, "double does not fit json buffer");
+  double parsed = 0.0;
+  const auto back =
+      std::from_chars(buffer, result.ptr, parsed);
+  NLDL_ASSERT(back.ec == std::errc{} && parsed == value,
+              "json_number failed to round-trip");
+  return std::string(buffer, result.ptr);
 }
 
 std::string json_quote(const std::string& value) {

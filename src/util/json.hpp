@@ -14,8 +14,9 @@
 
 namespace nldl::util {
 
-/// Round-trip (shortest-exact) JSON representation of a double; "null"
-/// for NaN and infinities.
+/// Round-trip (shortest-exact) JSON representation of a double via
+/// std::to_chars, so the output is locale-independent; "null" for NaN and
+/// infinities.
 [[nodiscard]] std::string json_number(double value);
 
 /// JSON string literal with the mandatory escapes.

@@ -56,6 +56,28 @@ double stddev_of(const std::vector<double>& sample) {
   return stats.stddev();
 }
 
+double imbalance_over_busy(const std::vector<double>& times) {
+  double t_min = std::numeric_limits<double>::infinity();
+  double t_max = 0.0;
+  std::size_t busy = 0;
+  for (const double t : times) {
+    if (t <= 0.0) continue;
+    ++busy;
+    t_min = std::min(t_min, t);
+    t_max = std::max(t_max, t);
+  }
+  if (busy < 2) return 0.0;
+  return (t_max - t_min) / t_min;
+}
+
+std::size_t count_idle(const std::vector<double>& times) {
+  std::size_t idle = 0;
+  for (const double t : times) {
+    if (t <= 0.0) ++idle;
+  }
+  return idle;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), counts_(bins, 0) {
   NLDL_REQUIRE(lo < hi, "Histogram requires lo < hi");
@@ -63,11 +85,20 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::push(double x) noexcept {
+  // NaN has no bin; counting it silently anywhere would skew the shape.
+  if (std::isnan(x)) {
+    ++nan_count_;
+    return;
+  }
+  // Clamp in floating point *before* the integer cast: casting an
+  // out-of-range double (e.g. +/-inf scaled by the bin count) to an
+  // integer is undefined behavior. Infinities land on the boundary bins,
+  // consistent with the documented clamping of out-of-range samples.
   const double span = hi_ - lo_;
-  auto bin = static_cast<long long>((x - lo_) / span *
-                                    static_cast<double>(counts_.size()));
-  bin = std::clamp(bin, 0LL, static_cast<long long>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  const double pos = std::clamp(
+      (x - lo_) / span * static_cast<double>(counts_.size()), 0.0,
+      static_cast<double>(counts_.size() - 1));
+  ++counts_[static_cast<std::size_t>(pos)];
   ++total_;
 }
 

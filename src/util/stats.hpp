@@ -64,11 +64,24 @@ class RunningStats {
 /// Mean of a non-empty sample.
 [[nodiscard]] double mean_of(const std::vector<double>& sample);
 
+/// Load imbalance e = (t_max − t_min)/t_min over the *positive* entries
+/// of `times` — the workers that actually received work. Returns 0 when
+/// fewer than two entries are positive. This is the one shared definition
+/// (paper Section 4.3) used by the sim engine, the partitioners, and the
+/// workload executors: idle workers are counted via count_idle(), never
+/// folded in as +infinity.
+[[nodiscard]] double imbalance_over_busy(const std::vector<double>& times);
+
+/// Number of non-positive entries of `times` (idle workers).
+[[nodiscard]] std::size_t count_idle(const std::vector<double>& times);
+
 /// Sample standard deviation of a sample (0 for fewer than two values).
 [[nodiscard]] double stddev_of(const std::vector<double>& sample);
 
-/// Fixed-width histogram over [lo, hi); values outside are clamped to the
-/// boundary bins. Used by the examples' ASCII visualizations.
+/// Fixed-width histogram over [lo, hi); values outside — including the
+/// infinities — are clamped to the boundary bins. NaN samples are rejected
+/// from the bins but counted (nan_count()) so callers can report them.
+/// Used by the examples' ASCII visualizations.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -77,7 +90,10 @@ class Histogram {
 
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
   [[nodiscard]] std::size_t count(std::size_t bin) const;
+  /// Number of binned samples (NaN pushes are excluded).
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Number of NaN samples pushed (never binned).
+  [[nodiscard]] std::size_t nan_count() const noexcept { return nan_count_; }
   [[nodiscard]] double bin_lo(std::size_t bin) const;
   [[nodiscard]] double bin_hi(std::size_t bin) const;
 
@@ -89,6 +105,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_count_ = 0;
 };
 
 }  // namespace nldl::util

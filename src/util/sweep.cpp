@@ -1,0 +1,59 @@
+#include "util/sweep.hpp"
+
+#include <cmath>
+#include <thread>
+
+namespace nldl::util {
+
+Grid& Grid::axis(std::string name, std::vector<double> values) {
+  NLDL_REQUIRE(!values.empty(), "grid axis needs at least one value");
+  for (const Axis& existing : axes_) {
+    NLDL_REQUIRE(existing.name != name, "duplicate grid axis name");
+  }
+  axes_.push_back(Axis{std::move(name), std::move(values)});
+  return *this;
+}
+
+Grid& Grid::axis(std::string name, std::size_t count) {
+  NLDL_REQUIRE(count >= 1, "grid axis needs at least one value");
+  std::vector<double> values;
+  values.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    values.push_back(static_cast<double>(i));
+  }
+  return axis(std::move(name), std::move(values));
+}
+
+std::size_t Grid::size() const noexcept {
+  std::size_t total = 1;
+  for (const Axis& axis : axes_) total *= axis.values.size();
+  return total;
+}
+
+double Grid::value(std::size_t index, const std::string& axis) const {
+  NLDL_REQUIRE(index < size(), "grid index out of range");
+  // Row-major: the last axis varies fastest.
+  std::size_t stride = 1;
+  for (std::size_t a = axes_.size(); a-- > 0;) {
+    const Axis& candidate = axes_[a];
+    const std::size_t coordinate = (index / stride) % candidate.values.size();
+    if (candidate.name == axis) return candidate.values[coordinate];
+    stride *= candidate.values.size();
+  }
+  throw_precondition("known axis name", __FILE__, __LINE__,
+                     "unknown grid axis: " + axis);
+}
+
+std::size_t Grid::index_of(std::size_t index, const std::string& axis) const {
+  const double v = value(index, axis);
+  NLDL_REQUIRE(v >= 0.0 && v == std::floor(v),
+               "axis value is not a container index: " + axis);
+  return static_cast<std::size_t>(v);
+}
+
+std::size_t resolve_threads(std::size_t threads) noexcept {
+  if (threads != 0) return threads;
+  return std::max(1U, std::thread::hardware_concurrency());
+}
+
+}  // namespace nldl::util

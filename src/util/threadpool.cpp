@@ -48,7 +48,18 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
       for (std::size_t i = chunk; i < chunk_end; ++i) fn(i);
     }));
   }
-  for (auto& future : futures) future.get();  // rethrows task exceptions
+  // Wait for *every* chunk before rethrowing: queued tasks hold references
+  // to `fn` and the chunk state in this frame, so unwinding while any of
+  // them is still pending would leave them with dangling captures.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace nldl::util

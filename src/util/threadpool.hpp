@@ -62,7 +62,9 @@ class ThreadPool {
 
 /// Run fn(i) for i in [begin, end) across the pool, blocking until all
 /// indices complete. Work is split into contiguous chunks of at least
-/// `grain` indices. Exceptions from any chunk propagate to the caller.
+/// `grain` indices. Every chunk is waited on even when one throws — only
+/// then is the first exception (in chunk order) rethrown, so no queued
+/// task can outlive the caller's `fn` or chunk state.
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   std::size_t grain,
                   const std::function<void(std::size_t)>& fn);

@@ -102,11 +102,14 @@ TEST(Cluster, AffinityPreservesLoadBalance) {
   EXPECT_LT(outcome.imbalance, 0.15);
 }
 
-TEST(Cluster, ImbalanceInfiniteWhenWorkerIdle) {
+TEST(Cluster, IdleWorkersExcludedFromImbalanceAndCounted) {
   ClusterConfig config;
   config.speeds = {1.0, 1.0, 1.0};
+  // One task, three workers: two stay idle. The shared busy-worker
+  // definition keeps e finite and reports the idle count instead.
   const auto outcome = run_cluster(identical_tasks(1, 1.0), config);
-  EXPECT_TRUE(std::isinf(outcome.imbalance));
+  EXPECT_DOUBLE_EQ(outcome.imbalance, 0.0);
+  EXPECT_EQ(outcome.idle_workers, 2U);
 }
 
 TEST(Cluster, EmptyTaskListIsFine) {

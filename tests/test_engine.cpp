@@ -214,14 +214,66 @@ TEST(Engine, RejectsBadInput) {
                util::PreconditionError);
 }
 
+TEST(Engine, BoundedMultiportNearTieSnapsToOneEvent) {
+  // Two transfers sharing the master capacity tie in exact arithmetic but
+  // differ by one rounding error in floating point: 0.1 + 0.2 vs 0.3.
+  // Fair sharing leaves an O(eps) residue on the "slightly larger" one;
+  // the engine's snap tolerance must complete both at the same event
+  // instead of scheduling a ~1e-17-long follow-up slice.
+  const Platform plat = Platform::homogeneous(2, 1.0, 1.0);
+  const Engine engine(plat);
+  const BoundedMultiportModel model(1.0);  // each transfer runs at 1/2
+  const SimResult result =
+      engine.run({{0, 0.1 + 0.2}, {1, 0.3}}, model);
+  ASSERT_EQ(result.spans.size(), 2U);
+  EXPECT_EQ(result.spans[0].comm_end, result.spans[1].comm_end);
+  EXPECT_NEAR(result.spans[0].comm_end, 0.6, 1e-9);
+  EXPECT_TRUE(std::isfinite(result.makespan));
+}
+
+TEST(Engine, OnePortZeroSizeChunkHoldsItsScheduleSlot) {
+  // A zero-size chunk still travels through the one-port master in
+  // schedule order: it is served (instantly) before later chunks, and it
+  // waits its turn behind earlier ones.
+  const Platform plat = Platform::homogeneous(2, 1.0, 1.0);
+  const Engine engine(plat);
+
+  // Zero chunk first: served at t=0 for free, then the big chunks.
+  const SimResult zero_first =
+      engine.run({{0, 0.0}, {1, 5.0}, {0, 3.0}}, CommModelKind::kOnePort);
+  EXPECT_DOUBLE_EQ(zero_first.spans[0].comm_start, 0.0);
+  EXPECT_DOUBLE_EQ(zero_first.spans[0].comm_end, 0.0);
+  EXPECT_DOUBLE_EQ(zero_first.spans[1].comm_start, 0.0);
+  EXPECT_DOUBLE_EQ(zero_first.spans[1].comm_end, 5.0);
+  EXPECT_DOUBLE_EQ(zero_first.spans[2].comm_start, 5.0);
+  EXPECT_DOUBLE_EQ(zero_first.spans[2].comm_end, 8.0);
+
+  // Zero chunk second: it waits for the port even though it is free.
+  const SimResult zero_second =
+      engine.run({{1, 5.0}, {0, 0.0}}, CommModelKind::kOnePort);
+  EXPECT_DOUBLE_EQ(zero_second.spans[0].comm_end, 5.0);
+  EXPECT_DOUBLE_EQ(zero_second.spans[1].comm_start, 5.0);
+  EXPECT_DOUBLE_EQ(zero_second.spans[1].comm_end, 5.0);
+  // The zero-size chunk costs no compute either.
+  EXPECT_DOUBLE_EQ(zero_second.worker_compute_time[0], 0.0);
+  EXPECT_EQ(zero_second.idle_workers(), 1U);
+}
+
 TEST(Engine, LoadImbalanceMatchesDefinition) {
   SimResult result;
   result.worker_compute_time = {4.0, 5.0};
   EXPECT_DOUBLE_EQ(result.load_imbalance(), 0.25);
+  // Imbalance is defined over the workers that computed: an unused worker
+  // is counted by idle_workers(), not folded into e as +infinity.
   result.worker_compute_time = {0.0, 5.0};
-  EXPECT_TRUE(std::isinf(result.load_imbalance()));
+  EXPECT_DOUBLE_EQ(result.load_imbalance(), 0.0);
+  EXPECT_EQ(result.idle_workers(), 1U);
+  result.worker_compute_time = {0.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(result.load_imbalance(), 0.25);
+  EXPECT_EQ(result.idle_workers(), 1U);
   result.worker_compute_time = {5.0};
   EXPECT_DOUBLE_EQ(result.load_imbalance(), 0.0);
+  EXPECT_EQ(result.idle_workers(), 0U);
 }
 
 }  // namespace

@@ -37,6 +37,8 @@ void expect_rows_identical(const std::vector<Fig4Row>& a,
     EXPECT_EQ(a[i].k_used.mean(), b[i].k_used.mean());
     EXPECT_EQ(a[i].hom_imbalance.count(), b[i].hom_imbalance.count());
     EXPECT_EQ(a[i].hom_imbalance.mean(), b[i].hom_imbalance.mean());
+    EXPECT_EQ(a[i].hom_imbalance_dropped, b[i].hom_imbalance_dropped);
+    EXPECT_EQ(a[i].hom_idle_trials, b[i].hom_idle_trials);
   }
 }
 
@@ -96,6 +98,41 @@ TEST(CapacitySweep, InfiniteCapacityMatchesParallelLinksEngine) {
   const auto direct = engine.run_single_round(
       amounts, sim::ParallelLinksModel{});
   EXPECT_EQ(rows[0].makespan, direct.makespan);
+}
+
+TEST(Fig4Parallel, ImbalanceSamplesAreAccountedFor) {
+  // Every trial's imbalance sample is either pushed or counted as
+  // dropped — never silently discarded (the pre-fix behavior).
+  const auto rows = run_fig4(small_config(1));
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.hom_imbalance.count() + row.hom_imbalance_dropped,
+              row.het.count());
+    // With imbalance defined over busy workers, nothing is non-finite.
+    EXPECT_EQ(row.hom_imbalance_dropped, 0U);
+    if (!row.hom_imbalance.empty()) {
+      EXPECT_TRUE(std::isfinite(row.hom_imbalance.mean()));
+      EXPECT_TRUE(std::isfinite(row.hom_imbalance.max()));
+    }
+  }
+}
+
+TEST(CapacitySweep, BitIdenticalAcrossThreadCounts) {
+  CapacitySweepConfig config;
+  config.p = 16;
+  config.total_load = 1000.0;
+  config.threads = 1;
+  const auto serial = capacity_sweep(config);
+  for (const std::size_t threads : {2UL, 4UL, 0UL}) {
+    config.threads = threads;
+    const auto parallel = capacity_sweep(config);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].capacity, serial[i].capacity);
+      EXPECT_EQ(parallel[i].comm_phase_end, serial[i].comm_phase_end);
+      EXPECT_EQ(parallel[i].makespan, serial[i].makespan);
+      EXPECT_EQ(parallel[i].covered_fraction, serial[i].covered_fraction);
+    }
+  }
 }
 
 TEST(CapacitySweep, RejectsBadConfig) {

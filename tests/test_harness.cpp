@@ -1,0 +1,152 @@
+// Tests for the bench harness: serial-vs-parallel self-check protocol,
+// timing bookkeeping, and BENCH_*.json emission.
+#include "bench/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/sweep.hpp"
+
+namespace nldl::bench {
+namespace {
+
+/// RAII temp file in the test working directory.
+struct TempJson {
+  std::string path;
+  explicit TempJson(std::string name) : path(std::move(name)) {}
+  ~TempJson() { std::remove(path.c_str()); }
+  [[nodiscard]] std::string read() const {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+};
+
+HarnessOptions options_with_json(const std::string& path,
+                                 std::size_t threads = 3) {
+  HarnessOptions options;
+  options.threads = threads;
+  options.json_path = path;
+  return options;
+}
+
+TEST(HarnessOptions, ReadsSharedFlags) {
+  const char* argv[] = {"bench", "--threads=5", "--reps=2", "--warmup=1",
+                        "--json=out.json"};
+  const util::Args args(5, argv);
+  const HarnessOptions options = harness_options_from_args(args);
+  EXPECT_EQ(options.threads, 5U);
+  EXPECT_EQ(options.repetitions, 2U);
+  EXPECT_EQ(options.warmup, 1U);
+  EXPECT_EQ(options.json_path, "out.json");
+}
+
+TEST(IdenticalDoubles, ExactComparison) {
+  EXPECT_TRUE(identical_doubles({1.0, 2.0}, {1.0, 2.0}));
+  EXPECT_FALSE(identical_doubles({1.0}, {1.0, 2.0}));
+  EXPECT_FALSE(identical_doubles({1.0}, {1.0 + 1e-15}));
+  EXPECT_TRUE(identical_doubles({}, {}));
+}
+
+TEST(Harness, SelfCheckPassesForDeterministicSweep) {
+  TempJson json("test_harness_ok.json");
+  Harness harness("test_ok", options_with_json(json.path));
+  harness.config("alpha", 2.0);
+  harness.config("label", "unit-test");
+  harness.config("count", std::size_t{3});
+  harness.config("flag", true);
+
+  const auto result = harness.run<std::vector<double>>(
+      [](std::size_t threads) {
+        util::Grid grid;
+        grid.axis("x", {1.0, 2.0, 3.0});
+        util::SweepOptions options;
+        options.threads = threads;
+        return util::Sweep(std::move(grid), options).map<double>(
+            [](const util::SweepPoint& point, util::Rng& rng) {
+              return point.value("x") + rng.uniform();
+            });
+      });
+
+  EXPECT_EQ(result.size(), 3U);
+  EXPECT_TRUE(harness.bit_identical());
+  EXPECT_GE(harness.serial_seconds(), 0.0);
+  EXPECT_GE(harness.parallel_seconds(), 0.0);
+
+  const int exit_code = harness.finish([&](util::JsonWriter& writer) {
+    for (const double value : result) {
+      writer.begin_object();
+      writer.key("value").value(value);
+      writer.end_object();
+    }
+  });
+  EXPECT_EQ(exit_code, 0);
+
+  const std::string text = json.read();
+  EXPECT_NE(text.find("\"bench\": \"test_ok\""), std::string::npos);
+  EXPECT_NE(text.find("\"alpha\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"label\": \"unit-test\""), std::string::npos);
+  EXPECT_NE(text.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(text.find("\"flag\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"parallel_bit_identical\": true"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"wall_time_serial_s\""), std::string::npos);
+  EXPECT_NE(text.find("\"wall_time_parallel_s\""), std::string::npos);
+  EXPECT_NE(text.find("\"points\""), std::string::npos);
+  // Balanced scopes — the writer enforces this, but check the file too.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
+  EXPECT_EQ(std::count(text.begin(), text.end(), '['),
+            std::count(text.begin(), text.end(), ']'));
+}
+
+TEST(Harness, SelfCheckFailsForThreadDependentSweep) {
+  TempJson json("test_harness_bad.json");
+  Harness harness("test_bad", options_with_json(json.path));
+
+  // A "sweep" whose result depends on the thread count — exactly the
+  // determinism bug the harness exists to catch.
+  (void)harness.run<std::vector<double>>([](std::size_t threads) {
+    return std::vector<double>{static_cast<double>(threads)};
+  });
+  EXPECT_FALSE(harness.bit_identical());
+
+  const int exit_code = harness.finish([](util::JsonWriter&) {});
+  EXPECT_EQ(exit_code, 1);
+  EXPECT_NE(json.read().find("\"parallel_bit_identical\": false"),
+            std::string::npos);
+}
+
+TEST(Harness, RepetitionsCatchRunToRunNondeterminism) {
+  TempJson json("test_harness_reps.json");
+  HarnessOptions options = options_with_json(json.path, 2);
+  options.repetitions = 3;
+  Harness harness("test_reps", options);
+
+  // Deterministic in the thread count but different on every call.
+  int calls = 0;
+  (void)harness.run<std::vector<double>>([&calls](std::size_t) {
+    return std::vector<double>{static_cast<double>(calls++)};
+  });
+  EXPECT_FALSE(harness.bit_identical());
+  EXPECT_EQ(harness.finish([](util::JsonWriter&) {}), 1);
+}
+
+TEST(Harness, RejectsMisuse) {
+  EXPECT_THROW(Harness("", HarnessOptions{}), util::PreconditionError);
+  HarnessOptions no_reps;
+  no_reps.repetitions = 0;
+  EXPECT_THROW(Harness("x", no_reps), util::PreconditionError);
+  Harness unrun("x", HarnessOptions{});
+  EXPECT_THROW((void)unrun.finish([](util::JsonWriter&) {}),
+               util::PreconditionError);
+}
+
+}  // namespace
+}  // namespace nldl::bench

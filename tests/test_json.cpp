@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <charconv>
+#include <clocale>
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <string>
 
 #include "util/assert.hpp"
 
@@ -26,6 +29,43 @@ TEST(JsonNumber, NonFiniteBecomesNull) {
   EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
   EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
   EXPECT_EQ(json_number(std::nan("")), "null");
+}
+
+TEST(JsonNumber, RoundTripsViaFromChars) {
+  for (const double value :
+       {0.1, 1.0 / 3.0, -2.5e-300, 1.7976931348623157e308,
+        5e-324 /* min subnormal */, 0.0, -0.0}) {
+    const std::string text = json_number(value);
+    double parsed = 0.0;
+    const auto result =
+        std::from_chars(text.data(), text.data() + text.size(), parsed);
+    ASSERT_EQ(result.ec, std::errc{}) << text;
+    EXPECT_EQ(parsed, value) << text;
+  }
+}
+
+// Regression: json_number used to format through %g/%lf, which honor the
+// C locale — under a comma-decimal locale (de_DE, fr_FR, ...) the emitted
+// file contained "3,25", which is invalid JSON. std::to_chars is
+// locale-independent by specification.
+TEST(JsonNumber, IgnoresCommaDecimalLocale) {
+  const char* previous = std::setlocale(LC_ALL, nullptr);
+  const std::string saved = previous ? previous : "C";
+  const char* comma_locale = nullptr;
+  for (const char* candidate :
+       {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR"}) {
+    if (std::setlocale(LC_ALL, candidate) != nullptr) {
+      comma_locale = candidate;
+      break;
+    }
+  }
+  if (comma_locale == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale available on this system";
+  }
+  const std::string text = json_number(3.25);
+  std::setlocale(LC_ALL, saved.c_str());
+  EXPECT_EQ(text, "3.25");
+  EXPECT_EQ(text.find(','), std::string::npos);
 }
 
 TEST(JsonQuote, EscapesSpecials) {

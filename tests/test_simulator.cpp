@@ -103,10 +103,14 @@ TEST(LoadImbalance, MatchesDefinition) {
   EXPECT_DOUBLE_EQ(result.load_imbalance(), 0.25);
 }
 
-TEST(LoadImbalance, IdleWorkerIsInfinite) {
+TEST(LoadImbalance, IdleWorkerIsExcludedAndCounted) {
   SimResult result;
   result.worker_compute_time = {0.0, 5.0};
-  EXPECT_TRUE(std::isinf(result.load_imbalance()));
+  // The idle worker doesn't poison e with +inf; it is reported separately.
+  EXPECT_DOUBLE_EQ(result.load_imbalance(), 0.0);
+  EXPECT_EQ(result.idle_workers(), 1U);
+  result.worker_compute_time = {0.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(result.load_imbalance(), 0.25);
 }
 
 TEST(AsciiGantt, RendersOneRowPerWorker) {

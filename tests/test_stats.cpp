@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -111,6 +113,17 @@ TEST(MeanStddevOf, MatchRunningStats) {
   EXPECT_DOUBLE_EQ(stddev_of(sample), stats.stddev());
 }
 
+TEST(ImbalanceOverBusy, SharedDefinition) {
+  EXPECT_DOUBLE_EQ(imbalance_over_busy({4.0, 5.0}), 0.25);
+  // Idle workers are excluded, not folded in as +infinity.
+  EXPECT_DOUBLE_EQ(imbalance_over_busy({0.0, 4.0, 5.0}), 0.25);
+  EXPECT_DOUBLE_EQ(imbalance_over_busy({0.0, 5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(imbalance_over_busy({}), 0.0);
+  EXPECT_DOUBLE_EQ(imbalance_over_busy({5.0, 5.0, 5.0}), 0.0);
+  EXPECT_EQ(count_idle({0.0, 4.0, 0.0}), 2U);
+  EXPECT_EQ(count_idle({1.0}), 0U);
+}
+
 TEST(Histogram, BinsAndClamping) {
   Histogram hist(0.0, 10.0, 5);
   hist.push(0.5);    // bin 0
@@ -136,6 +149,32 @@ TEST(Histogram, AsciiHasOneRowPerBin) {
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(1.0, 0.0, 3), PreconditionError);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+// Regression: push() used to cast the scaled position to long long
+// *before* clamping — undefined behavior for NaN and ±inf samples (the
+// cast of an out-of-range double is UB, caught by UBSan on this test).
+TEST(Histogram, InfinitiesClampToBoundaryBins) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.push(std::numeric_limits<double>::infinity());
+  hist.push(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(hist.total(), 2U);
+  EXPECT_EQ(hist.count(0), 1U);
+  EXPECT_EQ(hist.count(4), 1U);
+  EXPECT_EQ(hist.nan_count(), 0U);
+}
+
+TEST(Histogram, NanIsCountedButNeverBinned) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.push(std::nan(""));
+  hist.push(-std::nan(""));
+  hist.push(5.0);
+  EXPECT_EQ(hist.nan_count(), 2U);
+  EXPECT_EQ(hist.total(), 1U);  // only the finite sample is binned
+  EXPECT_EQ(hist.count(2), 1U);
+  for (const std::size_t bin : {0UL, 1UL, 3UL, 4UL}) {
+    EXPECT_EQ(hist.count(bin), 0U);
+  }
 }
 
 }  // namespace

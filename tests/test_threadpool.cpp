@@ -94,6 +94,52 @@ TEST(ParallelFor, PropagatesTaskException) {
                std::runtime_error);
 }
 
+// Regression: parallel_for used to rethrow from the first failed
+// future.get() while later queued chunks still held references to `fn`
+// and the caller's frame — a use-after-free window once the frame
+// unwound (caught by ASan on this test). The fix waits for *all* chunks,
+// then rethrows, so every non-throwing chunk must have fully executed
+// against live state by the time the exception escapes.
+TEST(ParallelFor, WaitsForAllChunksWhenOneThrows) {
+  ThreadPool pool(2);
+  constexpr std::size_t kCount = 64;
+  std::vector<std::atomic<int>> hits(kCount);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      parallel_for(pool, 0, kCount, 1,
+                   [&](std::size_t i) {
+                     if (i == 5) throw std::runtime_error("mid-range");
+                     // Stagger the survivors so plenty of chunks are
+                     // still queued when chunk 5 fails.
+                     std::this_thread::sleep_for(
+                         std::chrono::microseconds(50));
+                     ++hits[i];
+                     ++completed;
+                   }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), static_cast<int>(kCount) - 1);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), i == 5 ? 0 : 1) << "chunk " << i;
+  }
+}
+
+TEST(ParallelFor, RethrowsFirstExceptionInChunkOrder) {
+  // One worker thread makes chunk execution order deterministic, so the
+  // "first captured exception" is the one from the lowest chunk.
+  ThreadPool pool(1);
+  try {
+    parallel_for(pool, 0, 12, 1, [](std::size_t i) {
+      if (i == 2) throw std::runtime_error("early");
+      if (i == 9) throw std::logic_error("late");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "early");
+  } catch (const std::logic_error&) {
+    FAIL() << "later chunk's exception won over the earlier one";
+  }
+}
+
 TEST(ParallelFor, SumMatchesSerial) {
   ThreadPool pool(4);
   std::vector<double> values(10000);
