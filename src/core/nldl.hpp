@@ -8,6 +8,8 @@
 //   - sort/       parallel sample sort (the "almost linear" workload)
 //   - linalg/     executable outer product and matmul with comm accounting
 //   - mapreduce/  mini MapReduce engine + heterogeneous cluster simulator
+//   - online/     open-system multi-job scheduling: arrivals, queueing,
+//                 pluggable multi-load schedulers, service metrics
 //   - platform/   heterogeneous star platforms and speed distributions
 //   - sim/        event-driven schedule engine + pluggable comm models
 //   - util/       RNG, statistics, root-finding, tables, thread pool
@@ -31,6 +33,11 @@
 #include "mapreduce/matmul_job.hpp"  // IWYU pragma: export
 #include "mapreduce/outer_product_job.hpp"  // IWYU pragma: export
 #include "mapreduce/speculation.hpp"  // IWYU pragma: export
+#include "online/arrivals.hpp"     // IWYU pragma: export
+#include "online/job.hpp"          // IWYU pragma: export
+#include "online/metrics.hpp"      // IWYU pragma: export
+#include "online/scheduler.hpp"    // IWYU pragma: export
+#include "online/server.hpp"       // IWYU pragma: export
 #include "partition/block_homogeneous.hpp"  // IWYU pragma: export
 #include "partition/layout.hpp"    // IWYU pragma: export
 #include "partition/lower_bound.hpp"  // IWYU pragma: export

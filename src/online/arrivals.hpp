@@ -1,0 +1,132 @@
+// Arrival processes for the online subsystem: how job streams are born.
+//
+// Four generators, spanning the traffic shapes the queueing literature
+// cares about: deterministic (fixed period), Poisson (memoryless),
+// bursty MMPP (two-state Markov-modulated Poisson — heavy bursts between
+// quiet stretches), and trace replay (explicit arrival/load/alpha rows,
+// e.g. recorded from production).
+//
+// Determinism contract: generate() consumes only the util::Rng it is
+// handed, splitting it into an arrival-time sub-stream and a job-size
+// sub-stream first — so the arrival point process and the size marks
+// cannot perturb each other, and a stream driven from a util::Sweep
+// point's pre-split RNG is bit-identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "online/job.hpp"
+#include "util/rng.hpp"
+
+namespace nldl::online {
+
+/// How job sizes (load units) and cost exponents are drawn: loads are
+/// uniform in [load_lo, load_hi]; alpha is picked from `alphas` with
+/// probability proportional to `alpha_weights`. Defaults to a single
+/// linear class of mid-sized jobs.
+struct JobMix {
+  double load_lo = 50.0;
+  double load_hi = 150.0;
+  std::vector<double> alphas{1.0};
+  std::vector<double> alpha_weights{1.0};
+
+  void validate() const;
+
+  [[nodiscard]] double mean_load() const noexcept {
+    return 0.5 * (load_lo + load_hi);
+  }
+
+  /// Draw one job (load then alpha, two rng consumptions).
+  [[nodiscard]] Job sample(std::size_t id, double arrival,
+                           util::Rng& rng) const;
+};
+
+/// Abstract generator of job streams.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Jobs with arrival times in [0, horizon), ids 0..n-1 in
+  /// non-decreasing arrival order. See the file comment for the RNG
+  /// splitting contract.
+  [[nodiscard]] virtual std::vector<Job> generate(double horizon,
+                                                  util::Rng& rng) const = 0;
+};
+
+/// One arrival every `period` time units, starting at t = 0.
+class DeterministicArrivals final : public ArrivalProcess {
+ public:
+  DeterministicArrivals(double period, JobMix mix);
+
+  [[nodiscard]] std::string name() const override { return "deterministic"; }
+  [[nodiscard]] std::vector<Job> generate(double horizon,
+                                          util::Rng& rng) const override;
+
+ private:
+  double period_;
+  JobMix mix_;
+};
+
+/// Poisson process: i.i.d. exponential inter-arrival times at `rate`.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  PoissonArrivals(double rate, JobMix mix);
+
+  [[nodiscard]] std::string name() const override { return "poisson"; }
+  [[nodiscard]] std::vector<Job> generate(double horizon,
+                                          util::Rng& rng) const override;
+
+ private:
+  double rate_;
+  JobMix mix_;
+};
+
+/// Two-state Markov-modulated Poisson process: the stream alternates
+/// between a quiet state (rate_low) and a burst state (rate_high), with
+/// exponentially distributed dwell times. Starts in the quiet state.
+class MmppArrivals final : public ArrivalProcess {
+ public:
+  MmppArrivals(double rate_low, double rate_high, double dwell_low,
+               double dwell_high, JobMix mix);
+
+  [[nodiscard]] std::string name() const override { return "mmpp"; }
+  [[nodiscard]] std::vector<Job> generate(double horizon,
+                                          util::Rng& rng) const override;
+
+ private:
+  double rate_low_;
+  double rate_high_;
+  double dwell_low_;
+  double dwell_high_;
+  JobMix mix_;
+};
+
+/// Replay of an explicit job list (ignores the RNG). The trace is sorted
+/// by arrival and re-numbered on construction; generate() keeps the jobs
+/// arriving before the horizon.
+class TraceArrivals final : public ArrivalProcess {
+ public:
+  explicit TraceArrivals(std::vector<Job> trace);
+
+  /// Parse a whitespace-separated text trace: one `arrival load alpha`
+  /// row per line; blank lines and lines starting with '#' are skipped.
+  /// Numbers are parsed locale-independently (std::from_chars).
+  [[nodiscard]] static TraceArrivals from_file(const std::string& path);
+
+  [[nodiscard]] std::string name() const override { return "trace"; }
+  [[nodiscard]] std::vector<Job> generate(double horizon,
+                                          util::Rng& rng) const override;
+
+  [[nodiscard]] const std::vector<Job>& trace() const noexcept {
+    return trace_;
+  }
+
+ private:
+  std::vector<Job> trace_;
+};
+
+}  // namespace nldl::online

@@ -1,0 +1,53 @@
+// The job model of the online (open-system) scheduling subsystem.
+//
+// Where the rest of the library studies ONE divisible load in isolation,
+// online/ simulates a stream of competing loads arriving over time (the
+// multi-load setting of Gallet–Robert–Vivien and Wu–Cao–Robertazzi). Each
+// job is itself a divisible load: `load` units of work whose compute cost
+// on worker i is w_i · X^alpha for a chunk of X units, exactly the
+// sim::Engine cost model. Jobs carry their own alpha so a stream can mix
+// job classes (linear alpha = 1 next to quadratic alpha = 2) — the case
+// where the paper's nonlinearity makes size-based priority rules mis-rank
+// (see online/scheduler.hpp).
+#pragma once
+
+#include <cstddef>
+
+namespace nldl::online {
+
+/// One divisible-load job of an open arrival stream.
+struct Job {
+  std::size_t id = 0;      ///< 0..n-1, in arrival order
+  double arrival = 0.0;    ///< release time (>= 0)
+  double load = 0.0;       ///< load units of divisible work (> 0)
+  double alpha = 1.0;      ///< compute cost exponent (>= 1)
+};
+
+/// Completed-job record produced by online::Server.
+struct JobStats {
+  Job job;
+  double dispatch = 0.0;   ///< service start (>= job.arrival)
+  double finish = 0.0;     ///< last chunk's compute end
+  std::size_t slot = 0;    ///< processor partition that served the job
+  std::size_t workers = 0; ///< workers in that partition
+  /// Σ compute busy time over the job's workers (utilization accounting).
+  double compute_time = 0.0;
+  /// Makespan of the job run alone on the FULL platform under the same
+  /// communication model — the slowdown baseline. 0 when the server was
+  /// configured not to record it.
+  double isolated_makespan = 0.0;
+
+  [[nodiscard]] double wait() const noexcept { return dispatch - job.arrival; }
+  [[nodiscard]] double latency() const noexcept {
+    return finish - job.arrival;
+  }
+  /// Latency normalized by the job's isolated makespan (>= 1 under an
+  /// exclusive scheduler; can exceed 1 even with zero wait under
+  /// processor partitioning, which serves jobs on a slice of the
+  /// platform). 1 when no baseline was recorded.
+  [[nodiscard]] double slowdown() const noexcept {
+    return isolated_makespan > 0.0 ? latency() / isolated_makespan : 1.0;
+  }
+};
+
+}  // namespace nldl::online

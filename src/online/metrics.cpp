@@ -1,0 +1,78 @@
+#include "online/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace nldl::online {
+
+std::vector<double> ServiceMetrics::signature() const {
+  return {static_cast<double>(jobs),
+          horizon,
+          throughput,
+          utilization,
+          mean_wait,
+          max_wait,
+          mean_latency,
+          p50_latency,
+          p95_latency,
+          p99_latency,
+          mean_slowdown,
+          p50_slowdown,
+          p95_slowdown,
+          p99_slowdown};
+}
+
+MetricsAccumulator::MetricsAccumulator(std::size_t platform_size)
+    : platform_size_(platform_size) {
+  NLDL_REQUIRE(platform_size >= 1,
+               "metrics require at least one worker");
+}
+
+void MetricsAccumulator::push(const JobStats& stats) {
+  ++jobs_;
+  horizon_ = std::max(horizon_, stats.finish);
+  busy_ += stats.compute_time;
+  wait_.push(stats.wait());
+  latency_.push(stats.latency());
+  slowdown_.push(stats.slowdown());
+  latency_p50_.push(stats.latency());
+  latency_p95_.push(stats.latency());
+  latency_p99_.push(stats.latency());
+  slowdown_p50_.push(stats.slowdown());
+  slowdown_p95_.push(stats.slowdown());
+  slowdown_p99_.push(stats.slowdown());
+}
+
+ServiceMetrics MetricsAccumulator::finish() const {
+  ServiceMetrics metrics;
+  metrics.jobs = jobs_;
+  if (jobs_ == 0) return metrics;
+  metrics.horizon = horizon_;
+  metrics.throughput =
+      horizon_ > 0.0 ? static_cast<double>(jobs_) / horizon_ : 0.0;
+  metrics.utilization =
+      horizon_ > 0.0
+          ? busy_ / (static_cast<double>(platform_size_) * horizon_)
+          : 0.0;
+  metrics.mean_wait = wait_.mean();
+  metrics.max_wait = wait_.max();
+  metrics.mean_latency = latency_.mean();
+  metrics.p50_latency = latency_p50_.value();
+  metrics.p95_latency = latency_p95_.value();
+  metrics.p99_latency = latency_p99_.value();
+  metrics.mean_slowdown = slowdown_.mean();
+  metrics.p50_slowdown = slowdown_p50_.value();
+  metrics.p95_slowdown = slowdown_p95_.value();
+  metrics.p99_slowdown = slowdown_p99_.value();
+  return metrics;
+}
+
+ServiceMetrics summarize(const std::vector<JobStats>& stats,
+                         std::size_t platform_size) {
+  MetricsAccumulator acc(platform_size);
+  for (const JobStats& record : stats) acc.push(record);
+  return acc.finish();
+}
+
+}  // namespace nldl::online

@@ -1,0 +1,72 @@
+// Service metrics of an online run: latency/slowdown percentiles,
+// throughput, utilization.
+//
+// The accumulator is streaming: means via util::RunningStats, percentiles
+// via the P² estimator (util::P2Quantile) — O(1) memory, so a run of
+// millions of simulated jobs never stores per-job samples. Push order is
+// part of the result (P² is order-sensitive); pushing in job-id order, as
+// summarize() does, keeps metrics bit-identical across runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "online/job.hpp"
+#include "util/stats.hpp"
+
+namespace nldl::online {
+
+struct ServiceMetrics {
+  std::size_t jobs = 0;
+  double horizon = 0.0;      ///< last finish time (0 when no jobs)
+  double throughput = 0.0;   ///< jobs / horizon
+  double utilization = 0.0;  ///< Σ compute busy time / (p · horizon)
+  double mean_wait = 0.0;
+  double max_wait = 0.0;
+  double mean_latency = 0.0;
+  double p50_latency = 0.0;
+  double p95_latency = 0.0;
+  double p99_latency = 0.0;
+  double mean_slowdown = 0.0;
+  double p50_slowdown = 0.0;
+  double p95_slowdown = 0.0;
+  double p99_slowdown = 0.0;
+
+  /// Flat numeric signature (bench serial-vs-parallel bitwise self-check).
+  [[nodiscard]] std::vector<double> signature() const;
+};
+
+/// Streaming accumulator over completed jobs.
+class MetricsAccumulator {
+ public:
+  /// `platform_size` = worker count p of the serving platform, for the
+  /// utilization denominator.
+  explicit MetricsAccumulator(std::size_t platform_size);
+
+  void push(const JobStats& stats);
+
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+  [[nodiscard]] ServiceMetrics finish() const;
+
+ private:
+  std::size_t platform_size_;
+  std::size_t jobs_ = 0;
+  double horizon_ = 0.0;
+  double busy_ = 0.0;
+  util::RunningStats wait_;
+  util::RunningStats latency_;
+  util::RunningStats slowdown_;
+  util::P2Quantile latency_p50_{0.50};
+  util::P2Quantile latency_p95_{0.95};
+  util::P2Quantile latency_p99_{0.99};
+  util::P2Quantile slowdown_p50_{0.50};
+  util::P2Quantile slowdown_p95_{0.95};
+  util::P2Quantile slowdown_p99_{0.99};
+};
+
+/// Accumulate `stats` in order and finish. (The vector the Server returns
+/// is in job-id order, so this is deterministic.)
+[[nodiscard]] ServiceMetrics summarize(const std::vector<JobStats>& stats,
+                                       std::size_t platform_size);
+
+}  // namespace nldl::online

@@ -1,0 +1,123 @@
+#include "online/scheduler.hpp"
+
+#include "dlt/nonlinear_dlt.hpp"
+#include "util/assert.hpp"
+
+namespace nldl::online {
+
+double predicted_makespan(const Job& job,
+                          const platform::Platform& platform,
+                          sim::CommModelKind comm) {
+  NLDL_REQUIRE(job.load > 0.0, "predicted_makespan requires a positive load");
+  // Match the allocator Server::simulate_service uses under each model
+  // (one-port feeds in platform order there too).
+  if (comm == sim::CommModelKind::kOnePort) {
+    return dlt::nonlinear_one_port_single_round(platform, job.load,
+                                                job.alpha)
+        .makespan;
+  }
+  return dlt::nonlinear_parallel_single_round(platform, job.load, job.alpha)
+      .makespan;
+}
+
+double mean_predicted_makespan(const JobMix& mix,
+                               const platform::Platform& platform,
+                               sim::CommModelKind comm) {
+  mix.validate();
+  double weighted = 0.0;
+  double total_weight = 0.0;
+  for (std::size_t k = 0; k < mix.alphas.size(); ++k) {
+    const Job mean_job{0, 0.0, mix.mean_load(), mix.alphas[k]};
+    weighted +=
+        mix.alpha_weights[k] * predicted_makespan(mean_job, platform, comm);
+    total_weight += mix.alpha_weights[k];
+  }
+  return weighted / total_weight;
+}
+
+std::size_t FcfsScheduler::pick(const std::vector<Job>& queue,
+                                const platform::Platform&) const {
+  NLDL_REQUIRE(!queue.empty(), "pick() on an empty queue");
+  return 0;
+}
+
+FairShareScheduler::FairShareScheduler(std::size_t shares)
+    : shares_(shares) {
+  NLDL_REQUIRE(shares >= 1, "FairShareScheduler requires >= 1 share");
+}
+
+std::size_t FairShareScheduler::pick(const std::vector<Job>& queue,
+                                     const platform::Platform&) const {
+  NLDL_REQUIRE(!queue.empty(), "pick() on an empty queue");
+  return 0;
+}
+
+std::size_t SpmfScheduler::pick(
+    const std::vector<Job>& queue,
+    const platform::Platform& slot_platform) const {
+  NLDL_REQUIRE(!queue.empty(), "pick() on an empty queue");
+
+  // Invalidate the memo if this is a different slot platform than the one
+  // the cached predictions were solved on.
+  double sum_c = 0.0;
+  for (const auto& worker : slot_platform.workers()) sum_c += worker.c;
+  const std::vector<double> signature{
+      static_cast<double>(slot_platform.size()),
+      slot_platform.total_speed(), sum_c};
+  if (signature != platform_signature_) {
+    cache_.clear();
+    platform_signature_ = signature;
+  }
+
+  const auto priority_of = [&](const Job& job) {
+    const auto it = cache_.find(job.id);
+    if (it != cache_.end() && it->second.load == job.load &&
+        it->second.alpha == job.alpha) {
+      return it->second.makespan;
+    }
+    const double makespan = predicted_makespan(job, slot_platform, comm_);
+    cache_[job.id] = {job.load, job.alpha, makespan};
+    return makespan;
+  };
+
+  std::size_t best = 0;
+  double best_makespan = priority_of(queue[0]);
+  for (std::size_t k = 1; k < queue.size(); ++k) {
+    const double makespan = priority_of(queue[k]);
+    // Strict < keeps ties on the earliest arrival (queue is in arrival
+    // order).
+    if (makespan < best_makespan) {
+      best = k;
+      best_makespan = makespan;
+    }
+  }
+  return best;
+}
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFcfs:
+      return "fcfs";
+    case SchedulerKind::kFairShare:
+      return "fair-share";
+    case SchedulerKind::kSpmf:
+      return "spmf";
+  }
+  NLDL_ASSERT(false, "unknown scheduler kind");
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          std::size_t shares,
+                                          sim::CommModelKind comm) {
+  switch (kind) {
+    case SchedulerKind::kFcfs:
+      return std::make_unique<FcfsScheduler>();
+    case SchedulerKind::kFairShare:
+      return std::make_unique<FairShareScheduler>(shares);
+    case SchedulerKind::kSpmf:
+      return std::make_unique<SpmfScheduler>(comm);
+  }
+  NLDL_ASSERT(false, "unknown scheduler kind");
+}
+
+}  // namespace nldl::online

@@ -1,0 +1,126 @@
+#include "online/server.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "dlt/nonlinear_dlt.hpp"
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace nldl::online {
+
+Server::Server(const platform::Platform& platform, ServerOptions options)
+    : platform_(platform),
+      options_(options),
+      model_(sim::make_comm_model(options.comm, options.capacity,
+                                  options.max_concurrent)) {}
+
+double Server::simulate_service(const platform::Platform& slot_platform,
+                                const Job& job, double* compute_time) const {
+  const auto allocation =
+      options_.comm == sim::CommModelKind::kOnePort
+          ? dlt::nonlinear_one_port_single_round(slot_platform, job.load,
+                                                 job.alpha)
+          : dlt::nonlinear_parallel_single_round(slot_platform, job.load,
+                                                 job.alpha);
+  const sim::Engine engine(slot_platform, {job.alpha});
+  double finish = 0.0;
+  double busy = 0.0;
+  const sim::SimResult result = engine.run(
+      allocation.to_schedule(), *model_,
+      [&](std::size_t, const sim::ChunkSpan& span) {
+        finish = std::max(finish, span.compute_end);
+        busy += span.compute_end - span.compute_start;
+      });
+  NLDL_ASSERT(finish == result.makespan,
+              "completion hook disagrees with the simulated makespan");
+  if (compute_time != nullptr) *compute_time = busy;
+  return finish;
+}
+
+std::vector<JobStats> Server::run(const std::vector<Job>& jobs,
+                                  const Scheduler& scheduler) const {
+  const std::size_t p = platform_.size();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    NLDL_REQUIRE(jobs[i].id == i, "job ids must be 0..n-1 in order");
+    NLDL_REQUIRE(jobs[i].arrival >= 0.0, "job arrivals must be >= 0");
+    NLDL_REQUIRE(i == 0 || jobs[i].arrival >= jobs[i - 1].arrival,
+                 "jobs must be sorted by arrival time");
+    NLDL_REQUIRE(jobs[i].load > 0.0, "job loads must be positive");
+    NLDL_REQUIRE(jobs[i].alpha >= 1.0, "job alphas must be >= 1");
+  }
+
+  // Carve the platform into the scheduler's slots, interleaving by worker
+  // index so a sorted or two-class platform splits evenly.
+  const std::size_t slots = std::clamp<std::size_t>(scheduler.shares(), 1, p);
+  std::vector<platform::Platform> slot_platforms;
+  slot_platforms.reserve(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    std::vector<platform::Processor> workers;
+    for (std::size_t i = s; i < p; i += slots) {
+      workers.push_back(platform_.worker(i));
+    }
+    slot_platforms.emplace_back(std::move(workers));
+  }
+
+  std::vector<JobStats> stats(jobs.size());
+  if (options_.record_isolated) {
+    for (const Job& job : jobs) {
+      stats[job.id].isolated_makespan =
+          simulate_service(platform_, job, nullptr);
+    }
+  }
+
+  constexpr double kNever = std::numeric_limits<double>::infinity();
+  std::vector<double> slot_busy_until(slots, -kNever);  // idle when <= now
+  std::vector<Job> queue;  // waiting jobs, in arrival order
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+
+  while (true) {
+    // Admit every job that has arrived by `now` (queue stays in arrival
+    // order because `jobs` is sorted).
+    while (next_arrival < jobs.size() &&
+           jobs[next_arrival].arrival <= now) {
+      queue.push_back(jobs[next_arrival++]);
+    }
+
+    // Fill idle slots in ascending slot order.
+    for (std::size_t s = 0; s < slots && !queue.empty(); ++s) {
+      if (slot_busy_until[s] > now) continue;
+      const std::size_t k = scheduler.pick(queue, slot_platforms[s]);
+      NLDL_ASSERT(k < queue.size(), "scheduler picked outside the queue");
+      const Job job = queue[k];
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(k));
+
+      JobStats& record = stats[job.id];
+      record.job = job;
+      record.dispatch = now;
+      record.slot = s;
+      record.workers = slot_platforms[s].size();
+      const double service =
+          simulate_service(slot_platforms[s], job, &record.compute_time);
+      record.finish = now + service;
+      slot_busy_until[s] = record.finish;
+    }
+
+    // Advance to the next event: the earliest busy-slot completion or the
+    // next arrival, whichever comes first (completions before arrivals at
+    // ties, so freed slots see the tying arrival in the same round).
+    double next_event = kNever;
+    for (const double until : slot_busy_until) {
+      if (until > now) next_event = std::min(next_event, until);
+    }
+    if (next_arrival < jobs.size()) {
+      next_event = std::min(next_event, jobs[next_arrival].arrival);
+    }
+    if (next_event == kNever) break;  // no work left anywhere
+    now = next_event;
+  }
+
+  NLDL_ASSERT(queue.empty() && next_arrival == jobs.size(),
+              "online server stopped with unserved jobs");
+  return stats;
+}
+
+}  // namespace nldl::online

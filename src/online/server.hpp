@@ -1,0 +1,83 @@
+// The online server: an open system of divisible-load jobs on one star
+// platform.
+//
+// The server owns the queueing/admission layer and drives every job's
+// service through the event-driven sim::Engine:
+//
+//   - the platform is carved into scheduler.shares() disjoint worker
+//     partitions ("slots"), interleaved by worker index so heterogeneous
+//     platforms split evenly (worker i goes to slot i mod S);
+//   - whenever a slot is idle and the queue is non-empty, the scheduler
+//     picks the next job; the job's load is split across the slot's
+//     workers by the OPTIMAL single-round nonlinear allocation matched to
+//     the communication model (dlt::nonlinear_one_port_single_round under
+//     one-port, dlt::nonlinear_parallel_single_round otherwise), and the
+//     resulting schedule is replayed by sim::Engine under the configured
+//     CommModel — the per-job finish time is timestamped via the engine's
+//     ChunkCompletionHook;
+//   - simultaneous events resolve deterministically: completions first,
+//     then arrivals, then dispatches in ascending slot index. The whole
+//     simulation consumes no RNG, so a run is a pure function of the job
+//     stream — bit-identical wherever it executes (the property
+//     bench_online's serial-vs-parallel self-check rides on).
+//
+// Modeling note: each slot replays its jobs through its own engine run, so
+// the master's port/capacity constraint applies per slot, not across
+// concurrent slots (a partitioned master). Cross-slot bandwidth contention
+// is an open item in ROADMAP.md.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "online/job.hpp"
+#include "online/scheduler.hpp"
+#include "platform/platform.hpp"
+#include "sim/comm_model.hpp"
+
+namespace nldl::online {
+
+struct ServerOptions {
+  sim::CommModelKind comm = sim::CommModelKind::kParallelLinks;
+  /// Master capacity / concurrency (consulted for kBoundedMultiport).
+  double capacity = std::numeric_limits<double>::infinity();
+  std::size_t max_concurrent = sim::BoundedMultiportModel::kUnlimited;
+  /// Also simulate every job alone on the full platform to fill
+  /// JobStats::isolated_makespan (the slowdown baseline). Costs one extra
+  /// engine run per job.
+  bool record_isolated = true;
+};
+
+class Server {
+ public:
+  explicit Server(const platform::Platform& platform,
+                  ServerOptions options = {});
+
+  [[nodiscard]] const platform::Platform& platform() const noexcept {
+    return platform_;
+  }
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Simulate the open system to completion (every job served, however
+  /// far past the last arrival that takes). `jobs` must be in
+  /// non-decreasing arrival order with ids 0..n-1 — the shape every
+  /// ArrivalProcess produces. Returns one JobStats per job, in id order.
+  [[nodiscard]] std::vector<JobStats> run(const std::vector<Job>& jobs,
+                                          const Scheduler& scheduler) const;
+
+ private:
+  /// Service time of `job` run alone on `slot_platform`; also reports the
+  /// total compute busy time across the slot's workers.
+  [[nodiscard]] double simulate_service(
+      const platform::Platform& slot_platform, const Job& job,
+      double* compute_time) const;
+
+  const platform::Platform& platform_;
+  ServerOptions options_;
+  std::unique_ptr<sim::CommModel> model_;
+};
+
+}  // namespace nldl::online

@@ -78,6 +78,12 @@ double time_left(const Transfer& transfer, double link_rate, double c) {
 
 SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
                       const CommModel& model) const {
+  return run(schedule, model, ChunkCompletionHook{});
+}
+
+SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
+                      const CommModel& model,
+                      const ChunkCompletionHook& on_chunk_complete) const {
   const std::size_t p = platform_.size();
   const double alpha = options_.alpha;
 
@@ -124,6 +130,7 @@ SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
     result.worker_compute_time[chunk.worker] += compute_duration;
     result.worker_finish[chunk.worker] = span.compute_end;
     result.makespan = std::max(result.makespan, span.compute_end);
+    if (on_chunk_complete) on_chunk_complete(idx, span);
   };
 
   // Move worker w's next queued chunk to the head of its link at `now`.

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <limits>
 #include <vector>
 
@@ -82,6 +83,16 @@ struct EngineOptions {
   double alpha = 1.0;
 };
 
+/// Observer invoked as each chunk's timeline is finalized — at the chunk's
+/// communication-completion event, once its compute start/end are known
+/// (`span` is the same record that lands in SimResult::spans[chunk]).
+/// Chunks are reported in event order (non-decreasing comm_end), which is
+/// generally *not* schedule order. This is the hook the online subsystem
+/// uses to timestamp per-job completions without re-walking the spans of
+/// every finished run.
+using ChunkCompletionHook =
+    std::function<void(std::size_t chunk, const ChunkSpan& span)>;
+
 /// The single simulation entry point. Holds a reference to the platform
 /// (which must outlive the engine) and replays schedules under any
 /// communication model.
@@ -104,6 +115,13 @@ class Engine {
   /// served).
   [[nodiscard]] SimResult run(const std::vector<ChunkAssignment>& schedule,
                               const CommModel& model) const;
+
+  /// Same, additionally invoking `on_chunk_complete` (when non-empty) as
+  /// each chunk's span is finalized; see ChunkCompletionHook.
+  [[nodiscard]] SimResult run(const std::vector<ChunkAssignment>& schedule,
+                              const CommModel& model,
+                              const ChunkCompletionHook& on_chunk_complete)
+      const;
 
   /// Convenience: simulate under a built-in model with default parameters
   /// (kBoundedMultiport defaults to an uncapped master, i.e. parallel

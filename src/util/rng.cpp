@@ -68,4 +68,11 @@ double Rng::lognormal(double mu, double sigma) {
   return std::exp(mu + sigma * normal());
 }
 
+double Rng::exponential(double rate) {
+  NLDL_REQUIRE(rate > 0.0, "exponential() requires rate > 0");
+  // Inversion: -log(1 - U)/rate; log1p keeps precision for small U and
+  // 1 - U > 0 since uniform() < 1.
+  return -std::log1p(-uniform()) / rate;
+}
+
 }  // namespace nldl::util

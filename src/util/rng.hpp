@@ -105,6 +105,10 @@ class Rng {
   /// paper's Figure 4(c) platform generator with mu = 0, sigma = 1.
   double lognormal(double mu, double sigma);
 
+  /// Exponential with the given rate (mean 1/rate; rate > 0), via
+  /// inversion. Drives the Poisson/MMPP arrival processes of online/.
+  double exponential(double rate);
+
   /// Derive an independent sub-stream (jump-ahead by 2^128).
   Rng split() noexcept {
     Rng child = *this;

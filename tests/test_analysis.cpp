@@ -4,7 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "dlt/nonlinear_dlt.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
 #include "util/assert.hpp"
 
 namespace nldl::dlt {
@@ -104,6 +108,77 @@ TEST(Analysis, PreconditionsEnforced) {
   EXPECT_THROW((void)sample_sort_oversampling(0.5),
                util::PreconditionError);
   EXPECT_THROW((void)max_bucket_bound(0.5, 2), util::PreconditionError);
+}
+
+// --- Makespan predictions as scheduler priorities ---------------------------
+//
+// The online subsystem's SPMF scheduler ranks queued jobs by the predicted
+// makespan of dlt::nonlinear_parallel_single_round / _one_port_. These
+// tests pin (a) that the predictions agree with what sim::Engine actually
+// simulates, and (b) exactly where nonlinearity breaks the classical
+// size-based intuition those predictions replace.
+
+TEST(MakespanPrediction, ParallelPredictionMatchesTheSimulation) {
+  const std::vector<platform::Platform> platforms{
+      platform::Platform::homogeneous(4),
+      platform::Platform::two_class(6, 1.0, 4.0),
+      platform::Platform::from_speeds({0.5, 1.0, 2.0, 8.0}, 0.7)};
+  for (const auto& plat : platforms) {
+    for (const double alpha : {1.0, 1.5, 2.0, 3.0}) {
+      const auto alloc =
+          nonlinear_parallel_single_round(plat, 500.0, alpha);
+      const sim::Engine engine(plat, {alpha});
+      const auto result = engine.run(alloc.to_schedule(),
+                                     sim::CommModelKind::kParallelLinks);
+      EXPECT_NEAR(result.makespan, alloc.makespan,
+                  1e-6 * alloc.makespan)
+          << "alpha = " << alpha << ", p = " << plat.size();
+    }
+  }
+}
+
+TEST(MakespanPrediction, OnePortPredictionMatchesTheSimulation) {
+  const auto plat = platform::Platform::two_class(4, 1.0, 2.0);
+  for (const double alpha : {1.0, 2.0, 3.0}) {
+    const auto alloc = nonlinear_one_port_single_round(plat, 200.0, alpha);
+    const sim::Engine engine(plat, {alpha});
+    const auto result =
+        engine.run(alloc.to_schedule(), sim::CommModelKind::kOnePort);
+    EXPECT_NEAR(result.makespan, alloc.makespan, 1e-6 * alloc.makespan)
+        << "alpha = " << alpha;
+  }
+}
+
+TEST(MakespanPrediction, MonotoneInLoadWithinOneJobClass) {
+  // Within a fixed alpha the prediction IS monotone in job size — a
+  // larger load can never finish earlier.
+  const auto plat = platform::Platform::homogeneous(4);
+  for (const double alpha : {1.0, 2.0}) {
+    double previous = 0.0;
+    for (const double load : {50.0, 100.0, 200.0, 400.0}) {
+      const double makespan =
+          nonlinear_parallel_single_round(plat, load, alpha).makespan;
+      EXPECT_GT(makespan, previous);
+      previous = makespan;
+    }
+  }
+}
+
+TEST(MakespanPrediction, SizeOrderBreaksAcrossJobClasses) {
+  // ACROSS job classes monotonicity in size fails: on 4 homogeneous
+  // workers (c = w = 1) a 400-unit linear job is predicted at T = 200
+  // while a 60-unit quadratic job needs T = 240 (n = 15 per worker,
+  // 15 + 15² = 240). Smallest-size-first would run the quadratic job
+  // first and be wrong — the reason online::SpmfScheduler ranks by
+  // predicted makespan, not load.
+  const auto plat = platform::Platform::homogeneous(4);
+  const double linear_big =
+      nonlinear_parallel_single_round(plat, 400.0, 1.0).makespan;
+  const double quadratic_small =
+      nonlinear_parallel_single_round(plat, 60.0, 2.0).makespan;
+  EXPECT_NEAR(linear_big, 200.0, 1e-6);
+  EXPECT_NEAR(quadratic_small, 240.0, 1e-6);
+  EXPECT_LT(linear_big, quadratic_small);
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "util/assert.hpp"
 
@@ -274,6 +276,63 @@ TEST(Engine, LoadImbalanceMatchesDefinition) {
   result.worker_compute_time = {5.0};
   EXPECT_DOUBLE_EQ(result.load_imbalance(), 0.0);
   EXPECT_EQ(result.idle_workers(), 0U);
+}
+
+TEST(Engine, CompletionHookReportsEveryChunkOnce) {
+  const Platform plat = Platform::homogeneous(2, 1.0, 1.0);
+  const Engine engine(plat);
+  // Multi-round schedule: completion (event) order differs from schedule
+  // order — worker 1's first chunk finishes before worker 0's second.
+  const std::vector<ChunkAssignment> schedule{
+      {0, 2.0}, {1, 3.0}, {0, 4.0}, {1, 1.0}};
+
+  std::vector<std::size_t> seen;
+  std::vector<ChunkSpan> spans(schedule.size());
+  const SimResult result = engine.run(
+      schedule, ParallelLinksModel(),
+      [&](std::size_t chunk, const ChunkSpan& span) {
+        seen.push_back(chunk);
+        spans[chunk] = span;
+      });
+
+  ASSERT_EQ(seen.size(), schedule.size());
+  std::vector<std::size_t> sorted = seen;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+
+  // The hook hands out the exact records that land in SimResult::spans,
+  // in non-decreasing communication-completion order.
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    EXPECT_EQ(spans[i].worker, result.spans[i].worker);
+    EXPECT_EQ(spans[i].comm_end, result.spans[i].comm_end);
+    EXPECT_EQ(spans[i].compute_start, result.spans[i].compute_start);
+    EXPECT_EQ(spans[i].compute_end, result.spans[i].compute_end);
+  }
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_LE(spans[seen[i - 1]].comm_end, spans[seen[i]].comm_end);
+  }
+}
+
+TEST(Engine, CompletionHookTimestampsTheMakespan) {
+  const Platform plat = Platform::from_speeds({1.0, 2.0, 4.0});
+  const Engine engine(plat, {2.0});
+  double finish = 0.0;
+  const SimResult result =
+      engine.run(single_round_schedule({10.0, 20.0, 30.0}), OnePortModel(),
+                 [&](std::size_t, const ChunkSpan& span) {
+                   finish = std::max(finish, span.compute_end);
+                 });
+  EXPECT_EQ(finish, result.makespan);
+}
+
+TEST(Engine, EmptyHookIsIgnored) {
+  const Platform plat = Platform::homogeneous(2);
+  const Engine engine(plat);
+  const auto schedule = single_round_schedule({1.0, 2.0});
+  const SimResult with_hook =
+      engine.run(schedule, ParallelLinksModel(), ChunkCompletionHook{});
+  const SimResult without = engine.run(schedule, ParallelLinksModel());
+  EXPECT_EQ(with_hook.makespan, without.makespan);
 }
 
 }  // namespace

@@ -1,0 +1,410 @@
+// Unit tests for the online (open-system) scheduling subsystem: arrival
+// determinism, scheduler orderings, queue stability, service metrics.
+#include "online/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "online/arrivals.hpp"
+#include "online/metrics.hpp"
+#include "online/scheduler.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace nldl::online {
+namespace {
+
+JobMix linear_mix(double lo = 50.0, double hi = 150.0) {
+  JobMix mix;
+  mix.load_lo = lo;
+  mix.load_hi = hi;
+  return mix;
+}
+
+JobMix mixed_alpha_mix() {
+  JobMix mix;
+  mix.alphas = {1.0, 2.0};
+  mix.alpha_weights = {0.5, 0.5};
+  return mix;
+}
+
+void expect_same_jobs(const std::vector<Job>& a, const std::vector<Job>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_DOUBLE_EQ(a[i].load, b[i].load);
+    EXPECT_DOUBLE_EQ(a[i].alpha, b[i].alpha);
+  }
+}
+
+TEST(Arrivals, PoissonIsDeterministicPerSeed) {
+  const PoissonArrivals process(2.0, mixed_alpha_mix());
+  util::Rng rng_a(42);
+  util::Rng rng_b(42);
+  const auto a = process.generate(200.0, rng_a);
+  const auto b = process.generate(200.0, rng_b);
+  expect_same_jobs(a, b);
+
+  util::Rng rng_c(43);
+  const auto c = process.generate(200.0, rng_c);
+  ASSERT_FALSE(c.empty());
+  EXPECT_NE(a.front().arrival, c.front().arrival);
+}
+
+TEST(Arrivals, PoissonHitsTheConfiguredRate) {
+  const double rate = 3.0;
+  const PoissonArrivals process(rate, linear_mix());
+  util::Rng rng(7);
+  const auto jobs = process.generate(2000.0, rng);
+  const double empirical = static_cast<double>(jobs.size()) / 2000.0;
+  EXPECT_NEAR(empirical, rate, 0.15);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+    EXPECT_EQ(jobs[i].id, i);
+  }
+  for (const Job& job : jobs) {
+    EXPECT_LT(job.arrival, 2000.0);
+    EXPECT_GE(job.load, 50.0);
+    EXPECT_LE(job.load, 150.0);
+  }
+}
+
+TEST(Arrivals, DeterministicProcessHasExactSpacing) {
+  const DeterministicArrivals process(2.5, linear_mix(100.0, 100.0));
+  util::Rng rng(1);
+  const auto jobs = process.generate(10.0, rng);
+  ASSERT_EQ(jobs.size(), 4u);  // t = 0, 2.5, 5, 7.5
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(jobs[i].arrival, 2.5 * static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(jobs[i].load, 100.0);
+  }
+
+  // No accumulated-sum drift: 0.1 is inexact in binary, but the t = 1.0
+  // tick must still be excluded from [0, 1).
+  const DeterministicArrivals fine(0.1, linear_mix(100.0, 100.0));
+  EXPECT_EQ(fine.generate(1.0, rng).size(), 10u);
+}
+
+TEST(Arrivals, MmppIsBurstierThanPoissonAtTheSameMeanRate) {
+  // Quiet rate 0.5, burst rate 20, equal dwell: strongly bimodal gaps.
+  const MmppArrivals mmpp(0.5, 20.0, 20.0, 20.0, linear_mix());
+  util::Rng rng_m(11);
+  const auto bursty = mmpp.generate(4000.0, rng_m);
+  ASSERT_GT(bursty.size(), 100u);
+
+  const double mean_rate =
+      static_cast<double>(bursty.size()) / 4000.0;
+  const PoissonArrivals poisson(mean_rate, linear_mix());
+  util::Rng rng_p(11);
+  const auto smooth = poisson.generate(4000.0, rng_p);
+
+  const auto gap_cv = [](const std::vector<Job>& jobs) {
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < jobs.size(); ++i) {
+      gaps.push_back(jobs[i].arrival - jobs[i - 1].arrival);
+    }
+    return util::stddev_of(gaps) / util::mean_of(gaps);
+  };
+  // Poisson inter-arrivals have CV = 1; the MMPP mix is overdispersed.
+  EXPECT_GT(gap_cv(bursty), 1.3);
+  EXPECT_NEAR(gap_cv(smooth), 1.0, 0.2);
+
+  util::Rng rng_m2(11);
+  expect_same_jobs(bursty, mmpp.generate(4000.0, rng_m2));
+}
+
+TEST(Arrivals, TraceReplaySortsAndRenumbers) {
+  const TraceArrivals trace({{7, 5.0, 10.0, 1.0},
+                             {9, 1.0, 20.0, 2.0},
+                             {3, 3.0, 30.0, 1.0}});
+  const auto& jobs = trace.trace();
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_DOUBLE_EQ(jobs[0].arrival, 1.0);
+  EXPECT_DOUBLE_EQ(jobs[1].arrival, 3.0);
+  EXPECT_DOUBLE_EQ(jobs[2].arrival, 5.0);
+  for (std::size_t i = 0; i < jobs.size(); ++i) EXPECT_EQ(jobs[i].id, i);
+
+  util::Rng rng(1);
+  const auto clipped = trace.generate(4.0, rng);
+  ASSERT_EQ(clipped.size(), 2u);
+  EXPECT_DOUBLE_EQ(clipped[1].load, 30.0);
+}
+
+TEST(Arrivals, TraceReplayParsesFiles) {
+  const std::string path = testing::TempDir() + "nldl_trace_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# arrival load alpha\n"
+        << "2.5 100 1\n"
+        << "\n"
+        << "0.5 60 2.0\n";
+  }
+  const TraceArrivals trace = TraceArrivals::from_file(path);
+  ASSERT_EQ(trace.trace().size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.trace()[0].arrival, 0.5);
+  EXPECT_DOUBLE_EQ(trace.trace()[0].alpha, 2.0);
+  EXPECT_DOUBLE_EQ(trace.trace()[1].load, 100.0);
+  std::remove(path.c_str());
+
+  EXPECT_THROW(TraceArrivals::from_file("/nonexistent/trace.txt"),
+               util::PreconditionError);
+}
+
+TEST(Arrivals, ValidatesParameters) {
+  EXPECT_THROW(PoissonArrivals(0.0, linear_mix()), util::PreconditionError);
+  EXPECT_THROW(DeterministicArrivals(-1.0, linear_mix()),
+               util::PreconditionError);
+  JobMix bad = linear_mix();
+  bad.alphas = {0.5};
+  bad.alpha_weights = {1.0};
+  EXPECT_THROW(PoissonArrivals(1.0, bad), util::PreconditionError);
+  EXPECT_THROW(TraceArrivals({{0, -1.0, 10.0, 1.0}}),
+               util::PreconditionError);
+}
+
+// --- Server -----------------------------------------------------------------
+
+std::vector<Job> make_jobs(
+    const std::vector<std::array<double, 3>>& rows) {
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    jobs.push_back({i, rows[i][0], rows[i][1], rows[i][2]});
+  }
+  return jobs;
+}
+
+TEST(Server, UncontendedJobsNeverWait) {
+  // Period far beyond any service time: every job finds an idle server.
+  const auto plat = platform::Platform::homogeneous(4);
+  const Server server(plat);
+  const DeterministicArrivals process(500.0, linear_mix(80.0, 120.0));
+  util::Rng rng(3);
+  const auto jobs = process.generate(5000.0, rng);
+  ASSERT_GE(jobs.size(), 5u);
+
+  const FcfsScheduler fcfs;
+  const auto stats = server.run(jobs, fcfs);
+  for (const JobStats& record : stats) {
+    EXPECT_DOUBLE_EQ(record.wait(), 0.0);
+    // Alone on the full platform, latency IS the isolated makespan (up to
+    // the rounding of arrival + service − arrival).
+    EXPECT_NEAR(record.slowdown(), 1.0, 1e-9);
+    EXPECT_EQ(record.workers, plat.size());
+  }
+}
+
+TEST(Server, QueueStaysStableAtLowLoad) {
+  const auto plat = platform::Platform::homogeneous(8);
+  const Server server(plat);
+  // Mean isolated makespan ~ a few time units; rate chosen well below
+  // the service capacity.
+  const PoissonArrivals process(0.02, linear_mix(80.0, 120.0));
+  util::Rng rng(17);
+  const auto jobs = process.generate(20000.0, rng);
+  ASSERT_GT(jobs.size(), 100u);
+
+  const FcfsScheduler fcfs;
+  const ServiceMetrics metrics = summarize(server.run(jobs, fcfs),
+                                           plat.size());
+  EXPECT_LT(metrics.utilization, 0.6);
+  EXPECT_LT(metrics.mean_slowdown, 2.0);
+  EXPECT_GE(metrics.p99_latency, metrics.p95_latency);
+  EXPECT_GE(metrics.p95_latency, metrics.p50_latency);
+}
+
+TEST(Server, FcfsServesInArrivalOrder) {
+  const auto plat = platform::Platform::homogeneous(4);
+  const Server server(plat);
+  const auto jobs =
+      make_jobs({{0.0, 50.0, 1.0}, {1.0, 60.0, 2.0}, {2.0, 400.0, 1.0}});
+  const FcfsScheduler fcfs;
+  const auto stats = server.run(jobs, fcfs);
+  EXPECT_LT(stats[0].dispatch, stats[1].dispatch);
+  EXPECT_LT(stats[1].dispatch, stats[2].dispatch);
+  EXPECT_DOUBLE_EQ(stats[1].dispatch, stats[0].finish);
+  EXPECT_DOUBLE_EQ(stats[2].dispatch, stats[1].finish);
+}
+
+TEST(Server, SpmfPrefersThePredictedShorterJobNotTheSmallerOne) {
+  const auto plat = platform::Platform::homogeneous(4);
+
+  // The crux: a 400-unit LINEAR job is predicted faster (T = 200) than a
+  // 60-unit QUADRATIC job (T = 240) — smallest-size-first mis-ranks under
+  // superlinear cost.
+  const Job small_quadratic{1, 1.0, 60.0, 2.0};
+  const Job big_linear{2, 2.0, 400.0, 1.0};
+  EXPECT_LT(predicted_makespan(big_linear, plat),
+            predicted_makespan(small_quadratic, plat));
+
+  const auto jobs =
+      make_jobs({{0.0, 50.0, 1.0}, {1.0, 60.0, 2.0}, {2.0, 400.0, 1.0}});
+  const Server server(plat);
+  const SpmfScheduler spmf;
+  const auto spmf_stats = server.run(jobs, spmf);
+  const FcfsScheduler fcfs;
+  const auto fcfs_stats = server.run(jobs, fcfs);
+
+  // FCFS takes the small quadratic job first; SPMF reorders and serves
+  // the big linear job first.
+  EXPECT_LT(fcfs_stats[1].dispatch, fcfs_stats[2].dispatch);
+  EXPECT_LT(spmf_stats[2].dispatch, spmf_stats[1].dispatch);
+}
+
+TEST(Server, SpmfPredictionsMatchTheServersCommModel) {
+  // Under one-port the serial feed reverses the parallel-links ranking of
+  // these two jobs on a slow shared link (c = 0.7): a comm-matched SPMF
+  // must rank by the one-port prediction, not the parallel-links one.
+  const auto plat = platform::Platform::from_speeds({1, 1, 1, 1}, 0.7);
+  const Job big_linear{0, 0.0, 400.0, 1.0};
+  const Job small_quadratic{1, 0.0, 60.0, 2.0};
+  using sim::CommModelKind;
+  EXPECT_LT(predicted_makespan(big_linear, plat,
+                               CommModelKind::kParallelLinks),
+            predicted_makespan(small_quadratic, plat,
+                               CommModelKind::kParallelLinks));
+  EXPECT_GT(predicted_makespan(big_linear, plat, CommModelKind::kOnePort),
+            predicted_makespan(small_quadratic, plat,
+                               CommModelKind::kOnePort));
+
+  const auto jobs =
+      make_jobs({{0.0, 10.0, 1.0}, {1.0, 400.0, 1.0}, {1.5, 60.0, 2.0}});
+  ServerOptions one_port;
+  one_port.comm = CommModelKind::kOnePort;
+  const Server server(plat, one_port);
+  const SpmfScheduler matched(CommModelKind::kOnePort);
+  const auto stats = server.run(jobs, matched);
+  // The one-port prediction says the quadratic job is shorter: it goes
+  // first even though a parallel-links (or size-based) ranking disagrees.
+  EXPECT_LT(stats[2].dispatch, stats[1].dispatch);
+}
+
+TEST(Server, FairShareOverlapsJobsOnDisjointPartitions) {
+  const auto plat = platform::Platform::homogeneous(4);
+  const Server server(plat);
+  const auto jobs = make_jobs({{0.0, 100.0, 1.0}, {0.5, 100.0, 1.0}});
+
+  const FcfsScheduler fcfs;
+  const auto serial = server.run(jobs, fcfs);
+  EXPECT_DOUBLE_EQ(serial[1].dispatch, serial[0].finish);
+  EXPECT_EQ(serial[0].workers, 4u);
+
+  const FairShareScheduler fair(2);
+  const auto shared = server.run(jobs, fair);
+  EXPECT_DOUBLE_EQ(shared[0].dispatch, 0.0);
+  EXPECT_DOUBLE_EQ(shared[1].dispatch, 0.5);  // before job 0 finishes
+  EXPECT_LT(shared[1].dispatch, shared[0].finish);
+  EXPECT_EQ(shared[0].workers, 2u);
+  EXPECT_EQ(shared[1].workers, 2u);
+  EXPECT_NE(shared[0].slot, shared[1].slot);
+  // Half the platform, zero wait: slowdown comes from the smaller share.
+  EXPECT_GT(shared[0].slowdown(), 1.0);
+}
+
+TEST(Server, SharesAreClampedToThePlatform) {
+  const auto plat = platform::Platform::homogeneous(2);
+  const Server server(plat);
+  const auto jobs = make_jobs({{0.0, 50.0, 1.0}, {0.0, 50.0, 1.0},
+                               {0.0, 50.0, 1.0}});
+  const FairShareScheduler fair(8);  // more shares than workers
+  const auto stats = server.run(jobs, fair);
+  for (const JobStats& record : stats) EXPECT_EQ(record.workers, 1u);
+}
+
+TEST(Server, RunsUnderEveryCommModel) {
+  const auto plat = platform::Platform::two_class(4, 1.0, 3.0);
+  const auto jobs =
+      make_jobs({{0.0, 80.0, 2.0}, {5.0, 120.0, 1.0}, {6.0, 60.0, 2.0}});
+  const FcfsScheduler fcfs;
+
+  ServerOptions parallel;
+  ServerOptions one_port;
+  one_port.comm = sim::CommModelKind::kOnePort;
+  ServerOptions bounded;
+  bounded.comm = sim::CommModelKind::kBoundedMultiport;
+  bounded.capacity = 2.0;
+
+  for (const ServerOptions& options : {parallel, one_port, bounded}) {
+    const Server server(plat, options);
+    const auto stats = server.run(jobs, fcfs);
+    for (const JobStats& record : stats) {
+      EXPECT_TRUE(std::isfinite(record.finish));
+      EXPECT_GE(record.finish, record.dispatch);
+      EXPECT_GE(record.slowdown(), 1.0 - 1e-12);
+    }
+    // Bit-identical replay: the server consumes no RNG.
+    const auto again = server.run(jobs, fcfs);
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      EXPECT_EQ(stats[i].dispatch, again[i].dispatch);
+      EXPECT_EQ(stats[i].finish, again[i].finish);
+      EXPECT_EQ(stats[i].compute_time, again[i].compute_time);
+      EXPECT_EQ(stats[i].isolated_makespan, again[i].isolated_makespan);
+    }
+  }
+}
+
+TEST(Server, ValidatesTheJobStream) {
+  const auto plat = platform::Platform::homogeneous(2);
+  const Server server(plat);
+  const FcfsScheduler fcfs;
+  EXPECT_THROW(server.run(make_jobs({{5.0, 10.0, 1.0}, {1.0, 10.0, 1.0}}),
+                          fcfs),
+               util::PreconditionError);
+  auto bad_ids = make_jobs({{0.0, 10.0, 1.0}});
+  bad_ids[0].id = 7;
+  EXPECT_THROW(server.run(bad_ids, fcfs), util::PreconditionError);
+  EXPECT_THROW(server.run(make_jobs({{0.0, 0.0, 1.0}}), fcfs),
+               util::PreconditionError);
+}
+
+TEST(Server, SkippingIsolatedBaselineZeroesSlowdown) {
+  const auto plat = platform::Platform::homogeneous(2);
+  ServerOptions options;
+  options.record_isolated = false;
+  const Server server(plat, options);
+  const FcfsScheduler fcfs;
+  const auto stats = server.run(make_jobs({{0.0, 10.0, 1.0}}), fcfs);
+  EXPECT_DOUBLE_EQ(stats[0].isolated_makespan, 0.0);
+  EXPECT_DOUBLE_EQ(stats[0].slowdown(), 1.0);
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+TEST(Metrics, SummarizeMatchesHandComputation) {
+  // Three jobs on p = 2; percentiles of n <= 5 samples are exact.
+  std::vector<JobStats> stats(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    stats[i].job = {i, 1.0 * static_cast<double>(i), 10.0, 1.0};
+    stats[i].dispatch = stats[i].job.arrival + 1.0;
+    stats[i].finish = stats[i].dispatch + 2.0 + static_cast<double>(i);
+    stats[i].compute_time = 1.0;
+    stats[i].isolated_makespan = 2.0;
+  }
+  const ServiceMetrics metrics = summarize(stats, 2);
+  EXPECT_EQ(metrics.jobs, 3u);
+  EXPECT_DOUBLE_EQ(metrics.horizon, stats[2].finish);
+  EXPECT_DOUBLE_EQ(metrics.throughput, 3.0 / stats[2].finish);
+  EXPECT_DOUBLE_EQ(metrics.utilization, 3.0 / (2.0 * stats[2].finish));
+  EXPECT_DOUBLE_EQ(metrics.mean_wait, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_latency, 4.0);  // latencies 3, 4, 5
+  EXPECT_DOUBLE_EQ(metrics.p50_latency, util::quantile({3, 4, 5}, 0.5));
+  EXPECT_DOUBLE_EQ(metrics.p99_latency, util::quantile({3, 4, 5}, 0.99));
+  EXPECT_DOUBLE_EQ(metrics.mean_slowdown, 2.0);
+  EXPECT_EQ(metrics.signature().size(), 14u);
+}
+
+TEST(Metrics, EmptyRunIsAllZeros) {
+  const ServiceMetrics metrics = summarize({}, 4);
+  EXPECT_EQ(metrics.jobs, 0u);
+  EXPECT_DOUBLE_EQ(metrics.throughput, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.p99_latency, 0.0);
+}
+
+}  // namespace
+}  // namespace nldl::online

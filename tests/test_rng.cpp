@@ -193,5 +193,25 @@ TEST(Rng, ShuffleIsUniformish) {
   }
 }
 
+TEST(Rng, ExponentialMatchesTheRate) {
+  Rng rng(2024);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.push(rng.exponential(4.0));
+  // Mean 1/rate, stddev 1/rate.
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+  EXPECT_NEAR(stats.stddev(), 0.25, 0.01);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(Rng, ExponentialIsDeterministicAndValidated) {
+  Rng a(9);
+  Rng b(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.exponential(2.0), b.exponential(2.0));
+  }
+  EXPECT_THROW(a.exponential(0.0), PreconditionError);
+  EXPECT_THROW(a.exponential(-1.0), PreconditionError);
+}
+
 }  // namespace
 }  // namespace nldl::util
