@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -12,6 +13,11 @@ namespace nldl::online {
 void JobMix::validate() const {
   NLDL_REQUIRE(load_lo > 0.0, "job loads must be positive");
   NLDL_REQUIRE(load_lo <= load_hi, "JobMix requires load_lo <= load_hi");
+  NLDL_REQUIRE(std::isfinite(load_hi), "JobMix requires a finite load_hi");
+  if (load_dist == LoadDistribution::kPareto) {
+    NLDL_REQUIRE(pareto_shape > 0.0,
+                 "JobMix requires a positive Pareto shape");
+  }
   NLDL_REQUIRE(!alphas.empty(), "JobMix requires at least one alpha class");
   NLDL_REQUIRE(alphas.size() == alpha_weights.size(),
                "JobMix requires one weight per alpha class");
@@ -26,11 +32,34 @@ void JobMix::validate() const {
   NLDL_REQUIRE(total > 0.0, "JobMix weights must not all be zero");
 }
 
+double JobMix::mean_load() const {
+  if (load_dist == LoadDistribution::kUniform || load_lo == load_hi) {
+    return 0.5 * (load_lo + load_hi);
+  }
+  // Mean of min(X, load_hi) with X ~ Pareto(load_lo, a):
+  //   ∫_lo^hi x·a·lo^a·x^(−a−1) dx + hi·P(X > hi).
+  const double a = pareto_shape;
+  const double lo = load_lo;
+  const double hi = load_hi;
+  const double tail = std::pow(lo / hi, a);  // P(X > hi)
+  const double body =
+      a == 1.0 ? lo * std::log(hi / lo)
+               : (a / (a - 1.0)) * std::pow(lo, a) *
+                     (std::pow(lo, 1.0 - a) - std::pow(hi, 1.0 - a));
+  return body + hi * tail;
+}
+
 Job JobMix::sample(std::size_t id, double arrival, util::Rng& rng) const {
   Job job;
   job.id = id;
   job.arrival = arrival;
-  job.load = load_lo == load_hi ? load_lo : rng.uniform(load_lo, load_hi);
+  if (load_lo == load_hi) {
+    job.load = load_lo;
+  } else if (load_dist == LoadDistribution::kPareto) {
+    job.load = std::min(rng.pareto(load_lo, pareto_shape), load_hi);
+  } else {
+    job.load = rng.uniform(load_lo, load_hi);
+  }
   double total = 0.0;
   for (const double weight : alpha_weights) total += weight;
   double draw = rng.uniform() * total;

@@ -22,21 +22,35 @@
 
 namespace nldl::online {
 
-/// How job sizes (load units) and cost exponents are drawn: loads are
-/// uniform in [load_lo, load_hi]; alpha is picked from `alphas` with
-/// probability proportional to `alpha_weights`. Defaults to a single
-/// linear class of mid-sized jobs.
+/// How job sizes (load units) are drawn.
+enum class LoadDistribution {
+  kUniform,  ///< uniform in [load_lo, load_hi]
+  /// Pareto(scale = load_lo, shape = pareto_shape) truncated at load_hi —
+  /// the heavy-tailed regime where a few giant jobs dominate the load and
+  /// size-aware preemption (SRPT) classically earns its keep.
+  kPareto,
+};
+
+/// How job sizes (load units) and cost exponents are drawn: loads follow
+/// `load_dist` over [load_lo, load_hi]; alpha is picked from `alphas`
+/// with probability proportional to `alpha_weights`. Defaults to a single
+/// linear class of mid-sized uniform jobs.
 struct JobMix {
   double load_lo = 50.0;
   double load_hi = 150.0;
+  LoadDistribution load_dist = LoadDistribution::kUniform;
+  /// Pareto tail exponent (only read under kPareto); shape <= 1 has an
+  /// infinite untruncated mean, so keep it > 1 unless load_hi clamps.
+  double pareto_shape = 1.5;
   std::vector<double> alphas{1.0};
   std::vector<double> alpha_weights{1.0};
 
   void validate() const;
 
-  [[nodiscard]] double mean_load() const noexcept {
-    return 0.5 * (load_lo + load_hi);
-  }
+  /// Expected load per job under the configured distribution (the
+  /// truncated-Pareto closed form under kPareto) — the quantity the
+  /// drivers use to map a load factor to an arrival rate.
+  [[nodiscard]] double mean_load() const;
 
   /// Draw one job (load then alpha, two rng consumptions).
   [[nodiscard]] Job sample(std::size_t id, double arrival,

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 
 namespace nldl::online {
 
@@ -21,6 +22,18 @@ struct Job {
   double arrival = 0.0;    ///< release time (>= 0)
   double load = 0.0;       ///< load units of divisible work (> 0)
   double alpha = 1.0;      ///< compute cost exponent (>= 1)
+  /// Absolute completion deadline (SLO); +infinity = best-effort, no
+  /// deadline. Ignored by online::Server; consumed by the qos/ admission
+  /// and EDF layers.
+  double deadline = std::numeric_limits<double>::infinity();
+  /// Owning tenant (qos/ multi-tenant fairness); 0 in single-tenant runs.
+  std::size_t tenant = 0;
+
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return deadline < std::numeric_limits<double>::infinity();
+  }
+  /// Time between release and deadline (+infinity when best-effort).
+  [[nodiscard]] double slack() const noexcept { return deadline - arrival; }
 };
 
 /// Completed-job record produced by online::Server.

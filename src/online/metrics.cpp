@@ -1,6 +1,7 @@
 #include "online/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/assert.hpp"
 
@@ -30,6 +31,18 @@ MetricsAccumulator::MetricsAccumulator(std::size_t platform_size)
 }
 
 void MetricsAccumulator::push(const JobStats& stats) {
+  // Reject malformed records up front: one non-finite or negative-span
+  // sample would otherwise poison every mean (and P2Quantile would throw
+  // halfway through, leaving the accumulator inconsistent).
+  NLDL_REQUIRE(std::isfinite(stats.finish) &&
+                   std::isfinite(stats.dispatch) &&
+                   std::isfinite(stats.compute_time),
+               "job record with non-finite times");
+  NLDL_REQUIRE(stats.dispatch >= stats.job.arrival &&
+                   stats.finish >= stats.dispatch,
+               "job record violates arrival <= dispatch <= finish");
+  NLDL_REQUIRE(stats.compute_time >= 0.0,
+               "job record with negative compute time");
   ++jobs_;
   horizon_ = std::max(horizon_, stats.finish);
   busy_ += stats.compute_time;

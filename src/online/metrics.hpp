@@ -37,6 +37,13 @@ struct ServiceMetrics {
 };
 
 /// Streaming accumulator over completed jobs.
+///
+/// Edge cases are total, never NaN: zero jobs finish() to an all-zero
+/// ServiceMetrics, a single job's percentiles are exactly that sample,
+/// and a zero-length horizon (every finish at t = 0) reports zero
+/// throughput/utilization instead of dividing by zero. push() rejects
+/// non-finite or out-of-order records up front rather than poisoning the
+/// running means.
 class MetricsAccumulator {
  public:
   /// `platform_size` = worker count p of the serving platform, for the

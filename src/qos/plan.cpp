@@ -1,0 +1,140 @@
+#include "qos/plan.hpp"
+
+#include "dlt/nonlinear_dlt.hpp"
+#include "sim/engine.hpp"
+#include "util/assert.hpp"
+
+namespace nldl::qos {
+
+std::unique_ptr<sim::CommModel> make_model(const ServiceModel& service) {
+  return sim::make_comm_model(service.comm, service.capacity,
+                              service.max_concurrent);
+}
+
+InstallmentSolver::InstallmentSolver(const platform::Platform& platform,
+                                     const sim::CommModel& model,
+                                     ServiceModel service)
+    : platform_(platform), model_(model), service_(service) {
+  NLDL_REQUIRE(service.plan.rounds >= 1,
+               "service plans require at least one round");
+}
+
+InstallmentSolver::Installment InstallmentSolver::solve(double load,
+                                                        double alpha) {
+  NLDL_REQUIRE(load > 0.0, "installments require a positive load");
+  const auto key = std::make_pair(load, alpha);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  // Solve the matched optimal allocation and replay it under the actual
+  // comm model (the replay reproduces the allocator's makespan under the
+  // matched discrete models and corrects it under bounded multiport).
+  const auto allocation =
+      service_.comm == sim::CommModelKind::kOnePort
+          ? dlt::nonlinear_one_port_single_round(platform_, load, alpha)
+          : dlt::nonlinear_parallel_single_round(platform_, load, alpha);
+  const sim::Engine engine(platform_, {alpha});
+  const sim::SimResult result = engine.run(allocation.to_schedule(), model_);
+  Installment installment;
+  installment.duration = result.makespan;
+  for (const double t : result.worker_compute_time) {
+    installment.busy += t;
+  }
+  cache_[key] = installment;
+  return installment;
+}
+
+double InstallmentSolver::predicted_service(double load, double alpha) {
+  NLDL_REQUIRE(load > 0.0, "predicted_service requires a positive load");
+  const double rounds = static_cast<double>(service_.plan.rounds);
+  return rounds * solve(load / rounds, alpha).duration;
+}
+
+double predicted_service(const ServiceModel& service,
+                         const platform::Platform& platform, double load,
+                         double alpha) {
+  const auto model = make_model(service);
+  InstallmentSolver solver(platform, *model, service);
+  return solver.predicted_service(load, alpha);
+}
+
+ServicePlan::ServicePlan(InstallmentSolver& solver, const online::Job& job,
+                         double served_load)
+    : solver_(solver),
+      alpha_(job.alpha),
+      served_load_(served_load),
+      rounds_(solver.service().plan.rounds),
+      restart_fraction_(solver.service().plan.restart_load_fraction) {
+  NLDL_REQUIRE(served_load > 0.0 && served_load <= job.load,
+               "served load must be in (0, job.load]");
+  NLDL_REQUIRE(restart_fraction_ >= 0.0,
+               "restart load fraction must be >= 0");
+  const auto clean = solver_.solve(
+      served_load_ / static_cast<double>(rounds_), alpha_);
+  clean_ = clean.duration;
+  clean_busy_ = clean.busy;
+}
+
+void ServicePlan::ensure_restart_solved() {
+  if (restart_solved_) return;
+  restart_solved_ = true;
+  if (restart_fraction_ == 0.0) {
+    // Free checkpoints: a resumed installment IS a clean installment, so
+    // a paused-and-resumed plan reproduces the uninterrupted timeline
+    // exactly (the pinned zero-restart-cost equivalence).
+    restart_ = clean_;
+    restart_busy_ = clean_busy_;
+    return;
+  }
+  const auto restart = solver_.solve(
+      (1.0 + restart_fraction_) * served_load_ /
+          static_cast<double>(rounds_),
+      alpha_);
+  restart_ = restart.duration;
+  restart_busy_ = restart.busy;
+}
+
+double ServicePlan::remaining_load() const noexcept {
+  return served_load_ *
+         static_cast<double>(rounds_ - completed_rounds_) /
+         static_cast<double>(rounds_);
+}
+
+double ServicePlan::next_duration() {
+  NLDL_REQUIRE(!done(), "next_duration() on a finished plan");
+  if (!restart_pending_) return clean_;
+  ensure_restart_solved();
+  return restart_;
+}
+
+double ServicePlan::remaining_duration() {
+  if (done()) return 0.0;
+  double total =
+      static_cast<double>(rounds_ - completed_rounds_) * clean_;
+  if (restart_pending_) {
+    ensure_restart_solved();
+    total += restart_ - clean_;
+  }
+  return total;
+}
+
+void ServicePlan::advance() {
+  NLDL_REQUIRE(!done(), "advance() on a finished plan");
+  if (restart_pending_) {
+    ensure_restart_solved();
+    restart_time_ += restart_ - clean_;
+    compute_time_ += restart_busy_;
+    restart_pending_ = false;
+  } else {
+    compute_time_ += clean_busy_;
+  }
+  ++completed_rounds_;
+}
+
+void ServicePlan::pause() {
+  if (!started() || done() || restart_pending_) return;
+  restart_pending_ = true;
+  ++preemptions_;
+}
+
+}  // namespace nldl::qos

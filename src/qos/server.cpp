@@ -1,0 +1,121 @@
+#include "qos/server.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/assert.hpp"
+
+namespace nldl::qos {
+
+Server::Server(const platform::Platform& platform, ServerOptions options)
+    : platform_(platform),
+      options_(options),
+      model_(make_model(options.service)),
+      solver_(platform, *model_, options.service),
+      admission_(solver_, options.admission) {}
+
+std::vector<JobRecord> Server::run(const std::vector<online::Job>& jobs,
+                                   Policy& policy) const {
+  std::size_t tenants = 1;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    NLDL_REQUIRE(jobs[i].id == i, "job ids must be 0..n-1 in order");
+    NLDL_REQUIRE(jobs[i].arrival >= 0.0, "job arrivals must be >= 0");
+    NLDL_REQUIRE(i == 0 || jobs[i].arrival >= jobs[i - 1].arrival,
+                 "jobs must be sorted by arrival time");
+    NLDL_REQUIRE(jobs[i].load > 0.0, "job loads must be positive");
+    NLDL_REQUIRE(jobs[i].alpha >= 1.0, "job alphas must be >= 1");
+    NLDL_REQUIRE(jobs[i].deadline > jobs[i].arrival,
+                 "deadlines must lie strictly after the arrival");
+    tenants = std::max(tenants, jobs[i].tenant + 1);
+  }
+  policy.reset(tenants);
+
+  std::vector<JobRecord> records(jobs.size());
+  std::vector<std::unique_ptr<ServicePlan>> plans(jobs.size());
+  std::vector<std::size_t> ready;  // admitted unfinished job ids, ascending
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t last = kNone;  // job that ran the preceding installment
+
+  const auto admit_until = [&](double t) {
+    while (next_arrival < jobs.size() &&
+           jobs[next_arrival].arrival <= t) {
+      const online::Job& job = jobs[next_arrival];
+      JobRecord& record = records[job.id];
+      record.job = job;
+      const AdmissionDecision decision = admission_.decide(job);
+      record.admitted = decision.admitted;
+      record.degraded = decision.degraded;
+      record.served_load = decision.served_load;
+      record.predicted_service = decision.predicted_service;
+      if (decision.admitted) {
+        plans[job.id] = std::make_unique<ServicePlan>(
+            solver_, job, decision.served_load);
+        ready.push_back(job.id);
+      } else {
+        record.finish = job.arrival;  // turned away on the spot
+      }
+      ++next_arrival;
+    }
+  };
+
+  std::vector<Candidate> candidates;
+  while (true) {
+    admit_until(now);
+    if (ready.empty()) {
+      if (next_arrival >= jobs.size()) break;  // drained
+      now = std::max(now, jobs[next_arrival].arrival);
+      continue;
+    }
+
+    // One candidate per ready job, in ascending id (arrival) order.
+    candidates.clear();
+    for (const std::size_t id : ready) {
+      Candidate candidate;
+      candidate.job = &records[id].job;
+      candidate.remaining_duration = plans[id]->remaining_duration();
+      candidate.total_duration = plans[id]->total_duration();
+      candidate.started = plans[id]->started();
+      candidate.active = id == last;
+      candidates.push_back(candidate);
+    }
+    const std::size_t k = policy.pick(candidates, now);
+    NLDL_ASSERT(k < ready.size(), "policy picked outside the ready set");
+    const std::size_t id = ready[k];
+
+    // Switching away from a started, unfinished job preempts it: its
+    // plan flags the restart surcharge for the eventual resume.
+    if (last != kNone && last != id && plans[last] != nullptr &&
+        !plans[last]->done()) {
+      plans[last]->pause();
+    }
+
+    JobRecord& record = records[id];
+    if (!plans[id]->started()) record.dispatch = now;
+    const double duration = plans[id]->next_duration();
+    plans[id]->advance();
+    policy.on_service(candidates[k], duration);
+    now += duration;
+    record.service_time += duration;
+    last = id;
+
+    if (plans[id]->done()) {
+      record.finish = now;
+      record.preemptions = plans[id]->preemptions();
+      record.restart_time = plans[id]->restart_time();
+      record.compute_time = plans[id]->compute_time();
+      ready.erase(ready.begin() +
+                  static_cast<std::ptrdiff_t>(k));
+      plans[id].reset();
+    }
+    // Arrivals during the installment become visible at this boundary.
+    admit_until(now);
+  }
+
+  NLDL_ASSERT(ready.empty() && next_arrival == jobs.size(),
+              "qos server stopped with unserved jobs");
+  return records;
+}
+
+}  // namespace nldl::qos

@@ -1,0 +1,107 @@
+// The QoS server: SLO-aware admission + chunk-boundary preemption on one
+// star platform.
+//
+// Where online::Server serves whole jobs atomically, the qos server
+// drives every admitted job through a preemptable ServicePlan
+// (qos/plan.hpp) and re-decides at every chunk boundary which ready job
+// runs next (qos/policy.hpp):
+//
+//   - arrivals pass through the AdmissionController: a job whose deadline
+//     provably cannot be met is rejected or degraded BEFORE it can clog
+//     the queue;
+//   - the platform serves one installment at a time (whole-platform
+//     service — the exclusive shape where SRPT/EDF theory applies);
+//     arrivals during an installment are only seen at its end: chunk
+//     boundaries are the only decision points, a running chunk is never
+//     abandoned;
+//   - switching away from a started job pauses its plan; the eventual
+//     resume pays the plan's nonlinear restart surcharge, so preemption
+//     is observable in both the latency metrics and the per-job restart
+//     accounting;
+//   - the whole run consumes no RNG and breaks every tie
+//     deterministically, so a run is a pure function of the job stream —
+//     bit-identical wherever it executes (the property bench_qos's
+//     serial-vs-parallel self-check rides on).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "online/job.hpp"
+#include "platform/platform.hpp"
+#include "qos/admission.hpp"
+#include "qos/plan.hpp"
+#include "qos/policy.hpp"
+
+namespace nldl::qos {
+
+struct ServerOptions {
+  ServiceModel service;
+  AdmissionOptions admission;
+};
+
+/// Outcome of one offered job.
+struct JobRecord {
+  online::Job job;  ///< as offered (original load and deadline)
+  bool admitted = false;
+  bool degraded = false;
+  /// Load actually dispatched (< job.load when degraded, 0 when
+  /// rejected).
+  double served_load = 0.0;
+  /// Admission's predicted uninterrupted service of served_load.
+  double predicted_service = 0.0;
+  double dispatch = 0.0;  ///< first installment start (admitted jobs)
+  double finish = 0.0;    ///< last installment end; = arrival if rejected
+  /// Σ wall time of the job's installments (incl. restart inflation).
+  double service_time = 0.0;
+  /// Σ compute busy time across workers (utilization accounting).
+  double compute_time = 0.0;
+  std::size_t preemptions = 0;
+  /// Extra wall time charged by restart inflation.
+  double restart_time = 0.0;
+
+  [[nodiscard]] double wait() const noexcept {
+    return dispatch - job.arrival;
+  }
+  [[nodiscard]] double latency() const noexcept {
+    return finish - job.arrival;
+  }
+  /// Admitted, completed, and on time (best-effort jobs are always on
+  /// time). False for rejected jobs.
+  [[nodiscard]] bool met_deadline() const noexcept {
+    return admitted && finish <= job.deadline;
+  }
+};
+
+class Server {
+ public:
+  explicit Server(const platform::Platform& platform,
+                  ServerOptions options = {});
+
+  [[nodiscard]] const platform::Platform& platform() const noexcept {
+    return platform_;
+  }
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Simulate the stream to completion. `jobs` must be in non-decreasing
+  /// arrival order with ids 0..n-1 (the shape generate_tenant_traffic and
+  /// every ArrivalProcess produce). `policy` is reset() and then owned
+  /// for the duration of the run (it accumulates run-local state).
+  /// Returns one JobRecord per offered job, in id order.
+  [[nodiscard]] std::vector<JobRecord> run(
+      const std::vector<online::Job>& jobs, Policy& policy) const;
+
+ private:
+  const platform::Platform& platform_;
+  ServerOptions options_;
+  std::unique_ptr<sim::CommModel> model_;
+  /// Shared by admission and every ServicePlan: one nonlinear solve per
+  /// distinct installment per server lifetime. mutable because run() is
+  /// const but the memo grows.
+  mutable InstallmentSolver solver_;
+  AdmissionController admission_;
+};
+
+}  // namespace nldl::qos

@@ -1,0 +1,121 @@
+#include "qos/tenant.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace nldl::qos {
+
+std::vector<double> tenant_weights(const std::vector<TenantSpec>& tenants) {
+  std::vector<double> weights;
+  weights.reserve(tenants.size());
+  for (const TenantSpec& tenant : tenants) weights.push_back(tenant.weight);
+  return weights;
+}
+
+std::vector<TenantSpec> reference_tenants() {
+  std::vector<TenantSpec> tenants(3);
+  tenants[0].name = "batch";
+  tenants[0].weight = 1.0;
+  tenants[0].rate = 0.5;
+  tenants[0].mix.load_lo = 30.0;
+  tenants[0].mix.load_hi = 300.0;
+  tenants[0].mix.load_dist = online::LoadDistribution::kPareto;
+  tenants[0].mix.pareto_shape = 1.3;
+  tenants[0].slo_slack_factor = 8.0;  // loose SLO
+
+  tenants[1].name = "interactive";
+  tenants[1].weight = 3.0;
+  tenants[1].rate = 0.3;
+  tenants[1].mix.load_lo = 20.0;
+  tenants[1].mix.load_hi = 60.0;
+  tenants[1].mix.alphas = {1.0, 2.0};
+  tenants[1].mix.alpha_weights = {0.5, 0.5};
+  tenants[1].slo_slack_factor = 2.5;  // tight SLO
+
+  tenants[2].name = "analytics";
+  tenants[2].weight = 1.0;
+  tenants[2].rate = 0.2;
+  tenants[2].mix.load_lo = 50.0;
+  tenants[2].mix.load_hi = 150.0;
+  tenants[2].mix.alphas = {2.0};
+  tenants[2].mix.alpha_weights = {1.0};
+  tenants[2].slo_slack_factor = 5.0;
+  return tenants;
+}
+
+double mean_predicted_service(const std::vector<TenantSpec>& tenants,
+                              const platform::Platform& platform,
+                              const ServiceModel& service) {
+  NLDL_REQUIRE(!tenants.empty(), "capacity requires at least one tenant");
+  const auto model = make_model(service);
+  InstallmentSolver solver(platform, *model, service);
+  double weighted = 0.0;
+  double total_rate = 0.0;
+  for (const TenantSpec& tenant : tenants) {
+    NLDL_REQUIRE(tenant.rate > 0.0, "tenant rates must be positive");
+    tenant.mix.validate();
+    double mix_service = 0.0;
+    double mix_weight = 0.0;
+    for (std::size_t k = 0; k < tenant.mix.alphas.size(); ++k) {
+      mix_service += tenant.mix.alpha_weights[k] *
+                     solver.predicted_service(tenant.mix.mean_load(),
+                                              tenant.mix.alphas[k]);
+      mix_weight += tenant.mix.alpha_weights[k];
+    }
+    weighted += tenant.rate * mix_service / mix_weight;
+    total_rate += tenant.rate;
+  }
+  return weighted / total_rate;
+}
+
+std::vector<online::Job> generate_tenant_traffic(
+    const std::vector<TenantSpec>& tenants,
+    const platform::Platform& platform, const ServiceModel& service,
+    double horizon, util::Rng& rng) {
+  NLDL_REQUIRE(!tenants.empty(), "traffic requires at least one tenant");
+  NLDL_REQUIRE(horizon > 0.0, "traffic horizon must be positive");
+  for (const TenantSpec& tenant : tenants) {
+    NLDL_REQUIRE(tenant.weight > 0.0, "tenant weights must be positive");
+    NLDL_REQUIRE(tenant.slo_slack_factor > 0.0,
+                 "SLO slack factors must be positive");
+  }
+
+  // One sub-stream per tenant, split in tenant order (the determinism
+  // contract): tenant t's jobs do not depend on how many jobs earlier
+  // tenants drew. One solver serves every deadline prediction.
+  const auto model = make_model(service);
+  InstallmentSolver solver(platform, *model, service);
+  std::vector<online::Job> merged;
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const TenantSpec& tenant = tenants[t];
+    util::Rng tenant_rng = rng.split();
+    const online::PoissonArrivals arrivals(tenant.rate, tenant.mix);
+    std::vector<online::Job> jobs = arrivals.generate(horizon, tenant_rng);
+    for (online::Job& job : jobs) {
+      job.tenant = t;
+      if (tenant.slo_slack_factor <
+          std::numeric_limits<double>::infinity()) {
+        job.deadline =
+            job.arrival + tenant.slo_slack_factor *
+                              solver.predicted_service(job.load, job.alpha);
+      }
+      merged.push_back(job);
+    }
+  }
+
+  // Merge by (arrival, tenant) — stable and total because every job of
+  // one tenant has a distinct arrival almost surely, and ties across
+  // tenants break on the tenant index.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const online::Job& a, const online::Job& b) {
+                     if (a.arrival != b.arrival) {
+                       return a.arrival < b.arrival;
+                     }
+                     return a.tenant < b.tenant;
+                   });
+  for (std::size_t i = 0; i < merged.size(); ++i) merged[i].id = i;
+  return merged;
+}
+
+}  // namespace nldl::qos

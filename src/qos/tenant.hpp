@@ -1,0 +1,79 @@
+// Multi-tenant traffic with SLO classes: who sends work, how much of the
+// platform they are owed, and how tight their deadlines are.
+//
+// Each tenant is an independent Poisson stream with its own JobMix (size
+// distribution — uniform or heavy-tailed Pareto — and alpha classes), a
+// WFQ weight, and an SLO class expressed as a slack factor: a job's
+// deadline is
+//
+//   arrival + slo_slack_factor × predicted_service(load, alpha)
+//
+// so "tight" means little more than the job's own uninterrupted service
+// time and "loose" leaves room to queue. An infinite slack factor makes
+// the tenant best-effort (no deadlines).
+//
+// Determinism contract: the merged stream is a pure function of the Rng
+// handed in — each tenant's stream draws from its own rng.split()
+// sub-stream in tenant order, streams are merged by (arrival, tenant) and
+// re-numbered 0..n-1 — so a stream driven from a util::Sweep point's
+// pre-split RNG is bit-identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "online/arrivals.hpp"
+#include "online/job.hpp"
+#include "platform/platform.hpp"
+#include "qos/plan.hpp"
+#include "util/rng.hpp"
+
+namespace nldl::qos {
+
+struct TenantSpec {
+  std::string name;
+  /// WFQ share (> 0).
+  double weight = 1.0;
+  /// Poisson arrival rate (> 0).
+  double rate = 1.0;
+  /// Job size / alpha-class distribution.
+  online::JobMix mix;
+  /// Deadline slack as a multiple of the job's predicted service;
+  /// +infinity = best-effort (no deadline).
+  double slo_slack_factor = std::numeric_limits<double>::infinity();
+};
+
+/// The WFQ weight vector of a tenant list, in tenant order.
+[[nodiscard]] std::vector<double> tenant_weights(
+    const std::vector<TenantSpec>& tenants);
+
+/// The canonical three-tenant demo/bench traffic (shared by bench_qos and
+/// qos_demo so their stories stay in sync): a heavy-tailed Pareto batch
+/// tenant with a loose SLO, a tight-SLO interactive tenant with 3x
+/// fair-share weight and mixed linear/quadratic jobs, and a quadratic
+/// analytics tenant. Rates carry the SHARE of the total arrival rate
+/// (they sum to 1) — rescale them to a target load factor.
+[[nodiscard]] std::vector<TenantSpec> reference_tenants();
+
+/// Rate-weighted mean predicted service time of the tenant set's traffic:
+/// each tenant contributes its mix's mean-load job per alpha class
+/// (alpha-weight averaged), weighted by its share of the total arrival
+/// rate. The capacity reference the drivers use to map a target load
+/// factor to arrival rates (rate_total = load_factor / this).
+[[nodiscard]] double mean_predicted_service(
+    const std::vector<TenantSpec>& tenants,
+    const platform::Platform& platform, const ServiceModel& service);
+
+/// Generate the merged multi-tenant job stream over [0, horizon): jobs
+/// carry tenant indices and SLO deadlines computed against `service` on
+/// `platform` (predictions memoized per distinct (load, alpha) are not
+/// needed — every job is predicted exactly once). See the file comment
+/// for the determinism contract.
+[[nodiscard]] std::vector<online::Job> generate_tenant_traffic(
+    const std::vector<TenantSpec>& tenants,
+    const platform::Platform& platform, const ServiceModel& service,
+    double horizon, util::Rng& rng);
+
+}  // namespace nldl::qos

@@ -256,6 +256,64 @@ SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
   return run(schedule, *model);
 }
 
+PartialRun Engine::run_until(const std::vector<ChunkAssignment>& schedule,
+                             const CommModel& model,
+                             double stop_after) const {
+  // The uninterrupted run IS the history up to any boundary: pausing only
+  // stops future dispatches, so the completed chunks' spans can be read
+  // straight off the full replay.
+  const SimResult full = run(schedule, model);
+
+  PartialRun partial;
+  if (stop_after >= full.makespan) {
+    partial.result = full;
+    partial.pause_time = full.makespan;
+    for (const ChunkAssignment& chunk : schedule) {
+      partial.completed_load += chunk.size;
+    }
+    return partial;
+  }
+
+  // The honored boundary: the earliest compute completion at or after the
+  // requested stop (the in-flight chunk finishes; it exists because
+  // stop_after < makespan = the latest compute completion).
+  double boundary = full.makespan;
+  for (const ChunkSpan& span : full.spans) {
+    if (span.compute_end >= stop_after) {
+      boundary = std::min(boundary, span.compute_end);
+    }
+  }
+
+  const std::size_t p = platform_.size();
+  partial.pause_time = boundary;
+  partial.result.spans.resize(schedule.size());
+  partial.result.worker_finish.assign(p, 0.0);
+  partial.result.worker_compute_time.assign(p, 0.0);
+  partial.result.worker_comm_time.assign(p, 0.0);
+  for (std::size_t idx = 0; idx < schedule.size(); ++idx) {
+    const ChunkSpan& span = full.spans[idx];
+    if (span.compute_end <= boundary) {
+      partial.result.spans[idx] = span;
+      partial.result.worker_comm_time[span.worker] +=
+          span.comm_end - span.comm_start;
+      partial.result.worker_compute_time[span.worker] +=
+          span.compute_end - span.compute_start;
+      partial.result.worker_finish[span.worker] = std::max(
+          partial.result.worker_finish[span.worker], span.compute_end);
+      partial.result.makespan =
+          std::max(partial.result.makespan, span.compute_end);
+      partial.completed_load += schedule[idx].size;
+    } else {
+      // Cancelled: keep the identity for positional lookup, zero the
+      // timeline, and hand the chunk back at full size.
+      partial.result.spans[idx].worker = schedule[idx].worker;
+      partial.result.spans[idx].size = schedule[idx].size;
+      partial.remaining.push_back(schedule[idx]);
+    }
+  }
+  return partial;
+}
+
 SimResult Engine::run_single_round(const std::vector<double>& amounts,
                                    const CommModel& model) const {
   NLDL_REQUIRE(amounts.size() == platform_.size(),

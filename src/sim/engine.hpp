@@ -83,6 +83,31 @@ struct EngineOptions {
   double alpha = 1.0;
 };
 
+/// Outcome of a paused replay (Engine::run_until). Divisible loads
+/// checkpoint naturally at chunk boundaries: a chunk whose compute
+/// finished by the pause boundary is durable progress, everything else —
+/// queued, in transfer, or still computing — is cancelled and must be
+/// re-dispatched from scratch (its partial communication/computation is
+/// lost, which is exactly the nonlinear restart cost the qos subsystem
+/// charges for preemption).
+struct PartialRun {
+  /// Spans and per-worker statistics of the chunks that completed by
+  /// `pause_time`. Cancelled chunks keep their worker/size in
+  /// result.spans for positional lookup but have zeroed timelines and
+  /// contribute nothing to makespan/worker totals.
+  SimResult result;
+  /// The cancelled chunks at full size, in schedule order — feed them to
+  /// a fresh run() (or re-allocate their total) to resume.
+  std::vector<ChunkAssignment> remaining;
+  /// The chunk boundary actually honored: the earliest chunk
+  /// compute-completion >= the requested stop time (the in-flight chunk
+  /// is never abandoned mid-compute), or the full makespan when the
+  /// schedule finishes first.
+  double pause_time = 0.0;
+  /// Σ sizes of the completed chunks.
+  double completed_load = 0.0;
+};
+
 /// Observer invoked as each chunk's timeline is finalized — at the chunk's
 /// communication-completion event, once its compute start/end are known
 /// (`span` is the same record that lands in SimResult::spans[chunk]).
@@ -128,6 +153,17 @@ class Engine {
   /// links — pass a configured BoundedMultiportModel for a real cap).
   [[nodiscard]] SimResult run(const std::vector<ChunkAssignment>& schedule,
                               CommModelKind kind) const;
+
+  /// Replay `schedule` but pause at the first chunk boundary at or after
+  /// `stop_after`: chunks whose compute completed by that boundary are
+  /// kept, every other chunk is cancelled and returned for re-dispatch
+  /// (see PartialRun). Pausing never rewrites history — the kept chunks'
+  /// spans are bit-identical to the uninterrupted run's, including any
+  /// bandwidth the cancelled transfers consumed before the boundary.
+  /// stop_after >= the makespan completes everything (empty `remaining`).
+  [[nodiscard]] PartialRun run_until(
+      const std::vector<ChunkAssignment>& schedule, const CommModel& model,
+      double stop_after) const;
 
   /// Convenience: one chunk per worker (amounts[i] to worker i, in worker
   /// order), the single-round shape of every classical DLT allocation.

@@ -75,4 +75,12 @@ double Rng::exponential(double rate) {
   return -std::log1p(-uniform()) / rate;
 }
 
+double Rng::pareto(double scale, double shape) {
+  NLDL_REQUIRE(scale > 0.0, "pareto() requires scale > 0");
+  NLDL_REQUIRE(shape > 0.0, "pareto() requires shape > 0");
+  // Inversion of the survival function: 1 - U in (0, 1] since
+  // uniform() < 1, so the draw is finite and >= scale.
+  return scale * std::pow(1.0 - uniform(), -1.0 / shape);
+}
+
 }  // namespace nldl::util

@@ -109,6 +109,12 @@ class Rng {
   /// inversion. Drives the Poisson/MMPP arrival processes of online/.
   double exponential(double rate);
 
+  /// Pareto (type I) with the given scale x_m > 0 and shape a > 0, via
+  /// inversion: x_m · (1 − U)^(−1/a), always >= x_m. The heavy-tailed job
+  /// size distribution of the qos/ traffic generators (mean a·x_m/(a−1)
+  /// for a > 1, infinite otherwise).
+  double pareto(double scale, double shape);
+
   /// Derive an independent sub-stream (jump-ahead by 2^128).
   Rng split() noexcept {
     Rng child = *this;

@@ -56,6 +56,20 @@ double stddev_of(const std::vector<double>& sample) {
   return stats.stddev();
 }
 
+double jain_index(const std::vector<double>& allocations) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : allocations) {
+    NLDL_REQUIRE(std::isfinite(x) && x >= 0.0,
+                 "jain_index requires finite allocations >= 0");
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (allocations.empty() || sum_sq == 0.0) return 1.0;
+  return sum * sum /
+         (static_cast<double>(allocations.size()) * sum_sq);
+}
+
 double imbalance_over_busy(const std::vector<double>& times) {
   double t_min = std::numeric_limits<double>::infinity();
   double t_max = 0.0;

@@ -78,6 +78,42 @@ class RunningStats {
 /// Sample standard deviation of a sample (0 for fewer than two values).
 [[nodiscard]] double stddev_of(const std::vector<double>& sample);
 
+/// Jain's fairness index J = (Σx)² / (n·Σx²) over per-entity allocations
+/// (Jain, Chiu, Hawe 1984): 1 when every entity receives the same share,
+/// 1/n when one entity receives everything. Entries must be >= 0 and
+/// finite. Degenerate inputs — an empty vector or an all-zero allocation —
+/// return 1 (nothing is shared unfairly), never NaN.
+[[nodiscard]] double jain_index(const std::vector<double>& allocations);
+
+/// Streaming hit/miss counter with NaN-free rates: the deadline-miss
+/// accumulator of the qos subsystem. miss_rate() is 0 over zero trials,
+/// never 0/0.
+class HitRate {
+ public:
+  void push(bool hit) noexcept {
+    ++trials_;
+    if (hit) ++hits_;
+  }
+
+  [[nodiscard]] std::size_t trials() const noexcept { return trials_; }
+  [[nodiscard]] std::size_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t misses() const noexcept {
+    return trials_ - hits_;
+  }
+  [[nodiscard]] double hit_rate() const noexcept {
+    return trials_ == 0
+               ? 0.0
+               : static_cast<double>(hits_) / static_cast<double>(trials_);
+  }
+  [[nodiscard]] double miss_rate() const noexcept {
+    return trials_ == 0 ? 0.0 : 1.0 - hit_rate();
+  }
+
+ private:
+  std::size_t trials_ = 0;
+  std::size_t hits_ = 0;
+};
+
 /// Streaming quantile estimator (the P² algorithm of Jain & Chlamtac,
 /// CACM 1985): tracks one quantile of a sample in O(1) memory by
 /// maintaining five markers whose heights are nudged toward their ideal

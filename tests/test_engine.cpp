@@ -335,5 +335,88 @@ TEST(Engine, EmptyHookIsIgnored) {
   EXPECT_EQ(with_hook.makespan, without.makespan);
 }
 
+// --- run_until: chunk-boundary pause/resume -------------------------------
+
+TEST(Engine, RunUntilPastTheMakespanCompletesEverything) {
+  const Platform plat = Platform::homogeneous(2);
+  const Engine engine(plat);
+  const auto schedule = single_round_schedule({1.0, 2.0});
+  const SimResult full = engine.run(schedule, ParallelLinksModel());
+  const PartialRun partial =
+      engine.run_until(schedule, ParallelLinksModel(), full.makespan);
+  EXPECT_TRUE(partial.remaining.empty());
+  EXPECT_EQ(partial.pause_time, full.makespan);
+  EXPECT_EQ(partial.result.makespan, full.makespan);
+  EXPECT_DOUBLE_EQ(partial.completed_load, 3.0);
+}
+
+TEST(Engine, RunUntilHonorsTheNextChunkBoundary) {
+  // One worker (w = 2), two sequential chunks: comm 0→2 / 2→4, compute
+  // 2→6 / 6→10, so the chunk boundaries sit at t = 6 and t = 10. A stop
+  // request at t = 3 lands on the t = 6 boundary: the in-flight chunk
+  // finishes, the second is cancelled at full size.
+  const Platform plat = Platform::homogeneous(1, 1.0, 2.0);
+  const Engine engine(plat);
+  const std::vector<ChunkAssignment> schedule{{0, 2.0}, {0, 2.0}};
+  const PartialRun partial =
+      engine.run_until(schedule, ParallelLinksModel(), 3.0);
+  EXPECT_DOUBLE_EQ(partial.pause_time, 6.0);  // first compute_end
+  ASSERT_EQ(partial.remaining.size(), 1u);
+  EXPECT_EQ(partial.remaining[0].worker, 0u);
+  EXPECT_DOUBLE_EQ(partial.remaining[0].size, 2.0);
+  EXPECT_DOUBLE_EQ(partial.completed_load, 2.0);
+  // The kept chunk's span is bit-identical to the uninterrupted run's.
+  const SimResult full = engine.run(schedule, ParallelLinksModel());
+  EXPECT_EQ(partial.result.spans[0].compute_end,
+            full.spans[0].compute_end);
+  EXPECT_EQ(partial.result.makespan, partial.pause_time);
+  // The cancelled chunk keeps its identity but a zeroed timeline.
+  EXPECT_DOUBLE_EQ(partial.result.spans[1].size, 2.0);
+  EXPECT_DOUBLE_EQ(partial.result.spans[1].compute_end, 0.0);
+}
+
+TEST(Engine, RunUntilBeforeAnyBoundaryKeepsTheFirstChunk) {
+  // A stop request at t = 0 still lets the running chunk finish: the
+  // boundary is the FIRST compute completion, never mid-chunk.
+  const Platform plat = Platform::homogeneous(1, 1.0, 2.0);
+  const Engine engine(plat);
+  const std::vector<ChunkAssignment> schedule{{0, 2.0}, {0, 2.0}};
+  const PartialRun partial =
+      engine.run_until(schedule, ParallelLinksModel(), 0.0);
+  EXPECT_DOUBLE_EQ(partial.pause_time, 6.0);
+  EXPECT_EQ(partial.remaining.size(), 1u);
+}
+
+TEST(Engine, RunUntilResumeReproducesTotalWorkWhenNothingInFlight) {
+  // Two workers, two rounds each. Pause after round 1 and replay the
+  // cancelled chunks through a fresh run: every load unit is computed
+  // exactly once across the two runs (Σ compute time is conserved),
+  // because durable chunks are never re-dispatched.
+  const Platform plat = Platform::homogeneous(2, 1.0, 1.0);
+  const Engine engine(plat, EngineOptions{2.0});
+  const std::vector<ChunkAssignment> schedule{
+      {0, 3.0}, {1, 3.0}, {0, 3.0}, {1, 3.0}};
+  const SimResult full = engine.run(schedule, ParallelLinksModel());
+  // Pause just after the first wave of compute completions.
+  const double first_wave = full.spans[0].compute_end;
+  const PartialRun partial =
+      engine.run_until(schedule, ParallelLinksModel(), first_wave);
+  ASSERT_EQ(partial.remaining.size(), 2u);
+  const SimResult resumed =
+      engine.run(partial.remaining, ParallelLinksModel());
+  double paused_compute = 0.0;
+  for (const double t : partial.result.worker_compute_time) {
+    paused_compute += t;
+  }
+  double resumed_compute = 0.0;
+  for (const double t : resumed.worker_compute_time) {
+    resumed_compute += t;
+  }
+  double full_compute = 0.0;
+  for (const double t : full.worker_compute_time) full_compute += t;
+  EXPECT_DOUBLE_EQ(paused_compute + resumed_compute, full_compute);
+  EXPECT_DOUBLE_EQ(partial.completed_load, 6.0);
+}
+
 }  // namespace
 }  // namespace nldl::sim

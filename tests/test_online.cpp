@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -404,6 +406,210 @@ TEST(Metrics, EmptyRunIsAllZeros) {
   EXPECT_EQ(metrics.jobs, 0u);
   EXPECT_DOUBLE_EQ(metrics.throughput, 0.0);
   EXPECT_DOUBLE_EQ(metrics.p99_latency, 0.0);
+  // EVERY field of the zero-jobs summary is exactly zero — no NaN, no
+  // -inf max over an empty accumulator.
+  for (const double value : metrics.signature()) {
+    EXPECT_DOUBLE_EQ(value, 0.0);
+  }
+}
+
+TEST(Metrics, SingleJobPercentilesAreThatSample) {
+  JobStats only;
+  only.job = {0, 1.0, 10.0, 1.0};
+  only.dispatch = 2.0;
+  only.finish = 5.0;
+  only.compute_time = 3.0;
+  only.isolated_makespan = 2.0;
+  const ServiceMetrics metrics = summarize({only}, 4);
+  EXPECT_EQ(metrics.jobs, 1u);
+  for (const double value : metrics.signature()) {
+    EXPECT_TRUE(std::isfinite(value));
+  }
+  EXPECT_DOUBLE_EQ(metrics.mean_wait, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.max_wait, 1.0);
+  // n = 1: every percentile is exactly the one latency sample.
+  EXPECT_DOUBLE_EQ(metrics.p50_latency, 4.0);
+  EXPECT_DOUBLE_EQ(metrics.p95_latency, 4.0);
+  EXPECT_DOUBLE_EQ(metrics.p99_latency, 4.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_slowdown, 2.0);
+  EXPECT_DOUBLE_EQ(metrics.throughput, 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(metrics.utilization, 3.0 / (4.0 * 5.0));
+}
+
+TEST(Metrics, ZeroHorizonSingleJobHasNoDivisionByZero) {
+  // A degenerate record finishing at t = 0: throughput and utilization
+  // must report 0, not 0/0.
+  JobStats instant;
+  instant.job = {0, 0.0, 1.0, 1.0};
+  const ServiceMetrics metrics = summarize({instant}, 2);
+  EXPECT_DOUBLE_EQ(metrics.throughput, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.utilization, 0.0);
+  for (const double value : metrics.signature()) {
+    EXPECT_TRUE(std::isfinite(value));
+  }
+}
+
+TEST(Metrics, RejectsMalformedRecords) {
+  MetricsAccumulator acc(2);
+  JobStats bad;
+  bad.job = {0, 5.0, 1.0, 1.0};
+  bad.dispatch = 1.0;  // dispatch before arrival
+  bad.finish = 6.0;
+  EXPECT_THROW(acc.push(bad), util::PreconditionError);
+  bad.dispatch = 6.0;
+  bad.finish = 5.0;  // finish before dispatch
+  EXPECT_THROW(acc.push(bad), util::PreconditionError);
+  bad.finish = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(acc.push(bad), util::PreconditionError);
+  EXPECT_EQ(acc.jobs(), 0u);  // nothing was half-accumulated
+}
+
+// --- PredictionCache --------------------------------------------------------
+
+TEST(PredictionCache, MemoizesPerJobId) {
+  const auto plat = platform::Platform::homogeneous(4);
+  PredictionCache cache;
+  const Job job{7, 0.0, 100.0, 2.0};
+  const double first = cache.predict(job, plat, sim::CommModelKind::kParallelLinks);
+  const double second = cache.predict(job, plat, sim::CommModelKind::kParallelLinks);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first, predicted_makespan(job, plat));
+}
+
+TEST(PredictionCache, CommModelChangeReSolvesTheSameJobId) {
+  // The satellite case: the same job id re-ranked after a comm-model
+  // change must get the matched prediction, not the stale one.
+  const auto plat = platform::Platform::from_speeds({1, 1, 1, 1}, 0.7);
+  PredictionCache cache;
+  const Job job{3, 0.0, 400.0, 1.0};
+  const double parallel =
+      cache.predict(job, plat, sim::CommModelKind::kParallelLinks);
+  const double one_port =
+      cache.predict(job, plat, sim::CommModelKind::kOnePort);
+  EXPECT_EQ(cache.misses(), 2u);  // the comm change evicted the entry
+  EXPECT_NE(parallel, one_port);
+  EXPECT_EQ(one_port,
+            predicted_makespan(job, plat, sim::CommModelKind::kOnePort));
+  // And flipping back re-solves again (the entry was overwritten).
+  EXPECT_EQ(cache.predict(job, plat, sim::CommModelKind::kParallelLinks),
+            parallel);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(PredictionCache, ReusedJobIdWithNewShapeReSolves) {
+  const auto plat = platform::Platform::homogeneous(4);
+  PredictionCache cache;
+  const Job original{0, 0.0, 100.0, 1.0};
+  const Job reused{0, 0.0, 60.0, 2.0};  // same id, different job
+  const double first = cache.predict(original, plat,
+                                     sim::CommModelKind::kParallelLinks);
+  const double second =
+      cache.predict(reused, plat, sim::CommModelKind::kParallelLinks);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(second, predicted_makespan(reused, plat));
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PredictionCache, AggregateTyingPlatformsDoNotCollide) {
+  // Same worker count, same Σ speed, same Σ c — only the per-worker
+  // values differ. The fingerprint must still tell them apart (it
+  // digests exact per-worker bits, not aggregate sums).
+  const auto het = platform::Platform::from_speeds({1.0, 3.0});
+  const auto hom = platform::Platform::from_speeds({2.0, 2.0});
+  PredictionCache cache;
+  const Job job{0, 0.0, 100.0, 2.0};
+  const double on_het =
+      cache.predict(job, het, sim::CommModelKind::kParallelLinks);
+  const double on_hom =
+      cache.predict(job, hom, sim::CommModelKind::kParallelLinks);
+  EXPECT_EQ(cache.misses(), 2u);  // the switch evicted and re-solved
+  EXPECT_EQ(on_hom, predicted_makespan(job, hom));
+  EXPECT_NE(on_het, on_hom);
+}
+
+TEST(PredictionCache, PlatformChangeEvictsEverything) {
+  const auto big = platform::Platform::homogeneous(8);
+  const auto small = platform::Platform::homogeneous(2);
+  PredictionCache cache;
+  const Job job{0, 0.0, 100.0, 2.0};
+  const double on_big =
+      cache.predict(job, big, sim::CommModelKind::kParallelLinks);
+  const double on_small =
+      cache.predict(job, small, sim::CommModelKind::kParallelLinks);
+  EXPECT_LT(on_big, on_small);  // more workers, shorter round
+  EXPECT_EQ(cache.size(), 1u);  // the big-platform entry was evicted
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PredictionCache, SpmfSchedulerExposesItsCache) {
+  const auto plat = platform::Platform::homogeneous(4);
+  const SpmfScheduler spmf;
+  const auto jobs =
+      make_jobs({{0.0, 50.0, 1.0}, {1.0, 60.0, 2.0}, {2.0, 400.0, 1.0}});
+  (void)spmf.pick(jobs, plat);
+  EXPECT_EQ(spmf.cache().misses(), 3u);  // one solve per queued job
+  (void)spmf.pick(jobs, plat);
+  EXPECT_EQ(spmf.cache().misses(), 3u);  // every re-rank is a hit
+  EXPECT_EQ(spmf.cache().hits(), 3u);
+}
+
+// --- Heavy-tailed job sizes -------------------------------------------------
+
+TEST(Arrivals, ParetoMixDrawsHeavyTailedLoads) {
+  JobMix mix;
+  mix.load_lo = 10.0;
+  mix.load_hi = 1000.0;
+  mix.load_dist = LoadDistribution::kPareto;
+  mix.pareto_shape = 1.2;
+  const PoissonArrivals process(2.0, mix);
+  util::Rng rng(5);
+  const auto jobs = process.generate(3000.0, rng);
+  ASSERT_GT(jobs.size(), 2000u);
+
+  double max_load = 0.0;
+  std::size_t small = 0;
+  for (const Job& job : jobs) {
+    ASSERT_GE(job.load, 10.0);
+    ASSERT_LE(job.load, 1000.0);
+    max_load = std::max(max_load, job.load);
+    if (job.load < 20.0) ++small;
+  }
+  // Heavy tail: the cap is actually hit AND most jobs stay small
+  // (P(X < 20) = 1 − 2^−1.2 ≈ 56%).
+  EXPECT_GT(max_load, 900.0);
+  EXPECT_GT(static_cast<double>(small) / static_cast<double>(jobs.size()),
+            0.45);
+
+  // Empirical mean tracks the truncated-Pareto closed form mean_load().
+  double sum = 0.0;
+  for (const Job& job : jobs) sum += job.load;
+  const double empirical = sum / static_cast<double>(jobs.size());
+  EXPECT_NEAR(empirical / mix.mean_load(), 1.0, 0.1);
+
+  util::Rng replay(5);
+  expect_same_jobs(jobs, process.generate(3000.0, replay));
+}
+
+TEST(Arrivals, ParetoMixValidatesShape) {
+  JobMix bad;
+  bad.load_dist = LoadDistribution::kPareto;
+  bad.pareto_shape = 0.0;
+  EXPECT_THROW(PoissonArrivals(1.0, bad), util::PreconditionError);
+}
+
+TEST(Arrivals, UniformMeanLoadIsTheMidpoint) {
+  EXPECT_DOUBLE_EQ(linear_mix().mean_load(), 100.0);
+  JobMix pareto = linear_mix();
+  pareto.load_dist = LoadDistribution::kPareto;
+  pareto.pareto_shape = 2.0;
+  // Truncated Pareto on [50, 150], a = 2: body + cap·tail
+  //   = 2·50²·(1/50 − 1/150)/1 ... spelled out: (a/(a−1))·lo^a·(lo^(1−a)
+  //   − hi^(1−a)) + hi·(lo/hi)^a = 2·2500·(1/50 − 1/150) + 150/9.
+  const double expected =
+      2.0 * 2500.0 * (1.0 / 50.0 - 1.0 / 150.0) + 150.0 / 9.0;
+  EXPECT_NEAR(pareto.mean_load(), expected, 1e-9);
 }
 
 }  // namespace

@@ -213,5 +213,55 @@ TEST(Rng, ExponentialIsDeterministicAndValidated) {
   EXPECT_THROW(a.exponential(-1.0), PreconditionError);
 }
 
+TEST(Rng, ParetoMatchesTheMomentsForShapeAboveFour) {
+  // Pareto(scale, shape): mean = a·x_m/(a−1) for a > 1, variance
+  // = x_m²·a/((a−1)²(a−2)) for a > 2. Use a = 5 — the 4th moment exists
+  // (a > 4), so the SAMPLE variance is stable enough to assert on.
+  Rng rng(77);
+  const double scale = 2.0;
+  const double shape = 5.0;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.push(rng.pareto(scale, shape));
+  EXPECT_NEAR(stats.mean(), shape * scale / (shape - 1.0), 0.02);
+  const double variance =
+      scale * scale * shape / ((shape - 1.0) * (shape - 1.0) * (shape - 2.0));
+  EXPECT_NEAR(stats.variance(), variance, 0.05);
+  EXPECT_GE(stats.min(), scale);  // support is [scale, inf)
+}
+
+TEST(Rng, ParetoMedianMatchesTheClosedForm) {
+  // Median = scale · 2^(1/shape); check the empirical median and that
+  // the tail is genuinely heavier than exponential at the same mean.
+  Rng rng(78);
+  const double scale = 1.0;
+  const double shape = 1.5;
+  std::vector<double> sample;
+  for (int i = 0; i < 100000; ++i) sample.push_back(rng.pareto(scale, shape));
+  EXPECT_NEAR(quantile(sample, 0.5), scale * std::pow(2.0, 1.0 / shape),
+              0.02);
+  // P(X > 8) = 8^-1.5 ≈ 4.4% — far above the exponential tail at the
+  // same mean (mean 3, P ≈ e^(-8/3) ≈ 7e-2... use a starker threshold).
+  std::size_t tail = 0;
+  for (const double x : sample) {
+    if (x > 100.0) ++tail;
+  }
+  // P(X > 100) = 100^-1.5 = 1e-3; exponential(mean 3) gives e^-33 ≈ 0.
+  EXPECT_NEAR(static_cast<double>(tail) / 100000.0, 1e-3, 5e-4);
+}
+
+TEST(Rng, ParetoIsDeterministicAndValidated) {
+  Rng a(13);
+  Rng b(13);
+  for (int i = 0; i < 100; ++i) {
+    const double x = a.pareto(5.0, 1.5);
+    EXPECT_EQ(x, b.pareto(5.0, 1.5));
+    EXPECT_TRUE(std::isfinite(x));
+    EXPECT_GE(x, 5.0);
+  }
+  EXPECT_THROW(a.pareto(0.0, 1.0), PreconditionError);
+  EXPECT_THROW(a.pareto(1.0, 0.0), PreconditionError);
+  EXPECT_THROW(a.pareto(-1.0, 2.0), PreconditionError);
+}
+
 }  // namespace
 }  // namespace nldl::util

@@ -113,6 +113,41 @@ TEST(MeanStddevOf, MatchRunningStats) {
   EXPECT_DOUBLE_EQ(stddev_of(sample), stats.stddev());
 }
 
+TEST(JainIndex, KnownAllocations) {
+  // Equal shares are perfectly fair; one-takes-all scores 1/n.
+  EXPECT_DOUBLE_EQ(jain_index({3.0, 3.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 0.0, 0.0, 0.0}), 0.25);
+  // (Σx)²/(n·Σx²) for {1, 2, 3}: 36 / (3·14).
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 2.0, 3.0}), 36.0 / 42.0);
+  // Scale invariance.
+  EXPECT_DOUBLE_EQ(jain_index({10.0, 20.0, 30.0}),
+                   jain_index({1.0, 2.0, 3.0}));
+}
+
+TEST(JainIndex, DegenerateInputsAreFairNotNaN) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index({5.0}), 1.0);
+  EXPECT_THROW(jain_index({-1.0, 2.0}), PreconditionError);
+  EXPECT_THROW(jain_index({std::numeric_limits<double>::infinity()}),
+               PreconditionError);
+}
+
+TEST(HitRate, RatesAreNeverNaN) {
+  HitRate rate;
+  EXPECT_EQ(rate.trials(), 0u);
+  EXPECT_DOUBLE_EQ(rate.hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(rate.miss_rate(), 0.0);
+  rate.push(true);
+  rate.push(true);
+  rate.push(false);
+  EXPECT_EQ(rate.trials(), 3u);
+  EXPECT_EQ(rate.hits(), 2u);
+  EXPECT_EQ(rate.misses(), 1u);
+  EXPECT_DOUBLE_EQ(rate.hit_rate(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(rate.miss_rate(), 1.0 - 2.0 / 3.0);
+}
+
 TEST(ImbalanceOverBusy, SharedDefinition) {
   EXPECT_DOUBLE_EQ(imbalance_over_busy({4.0, 5.0}), 0.25);
   // Idle workers are excluded, not folded in as +infinity.
