@@ -191,19 +191,7 @@ int main(int argc, char** argv) {
           .value(online::to_string(kSchedulers[point.scheduler]));
       json.key("comm").value(sim::to_string(kCommModels[point.comm]));
       json.key("jobs").value(point.jobs);
-      json.key("horizon").value(point.metrics.horizon);
-      json.key("throughput").value(point.metrics.throughput);
-      json.key("utilization").value(point.metrics.utilization);
-      json.key("mean_wait").value(point.metrics.mean_wait);
-      json.key("max_wait").value(point.metrics.max_wait);
-      json.key("mean_latency").value(point.metrics.mean_latency);
-      json.key("p50_latency").value(point.metrics.p50_latency);
-      json.key("p95_latency").value(point.metrics.p95_latency);
-      json.key("p99_latency").value(point.metrics.p99_latency);
-      json.key("mean_slowdown").value(point.metrics.mean_slowdown);
-      json.key("p50_slowdown").value(point.metrics.p50_slowdown);
-      json.key("p95_slowdown").value(point.metrics.p95_slowdown);
-      json.key("p99_slowdown").value(point.metrics.p99_slowdown);
+      online::write_service_metrics(json, point.metrics);
       json.end_object();
     }
   });

@@ -206,4 +206,15 @@ double homogeneous_nonlinear_makespan(std::size_t p, double c, double w,
   return share * c + w * std::pow(share, alpha);
 }
 
+NonlinearAllocation nonlinear_single_round_for(
+    sim::CommModelKind comm, const platform::Platform& platform,
+    double total_load, double alpha, const NonlinearOptions& options) {
+  if (comm == sim::CommModelKind::kOnePort) {
+    return nonlinear_one_port_single_round(platform, total_load, alpha,
+                                           options);
+  }
+  return nonlinear_parallel_single_round(platform, total_load, alpha,
+                                         options);
+}
+
 }  // namespace nldl::dlt

@@ -72,6 +72,17 @@ struct NonlinearOptions {
     const platform::Platform& platform, double total_load, double alpha,
     const NonlinearOptions& options = {});
 
+/// The optimal single-round allocation MATCHED to a communication model
+/// kind: the one-port optimality conditions under kOnePort (the master
+/// serializes sends, platform feed order), parallel links otherwise —
+/// bounded multiport has no closed-form allocator, and parallel links is
+/// its uncapped limit. This is the one dispatch every scheduler, server,
+/// and service-plan layer shares, so predictions and replays always
+/// solve the same allocation for a given comm kind.
+[[nodiscard]] NonlinearAllocation nonlinear_single_round_for(
+    sim::CommModelKind comm, const platform::Platform& platform,
+    double total_load, double alpha, const NonlinearOptions& options = {});
+
 /// Closed-form makespan of the homogeneous optimum (paper Section 2):
 /// every worker gets N/p, finishing at (N/p)·c + w·(N/p)^alpha.
 [[nodiscard]] double homogeneous_nonlinear_makespan(std::size_t p, double c,

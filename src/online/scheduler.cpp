@@ -12,14 +12,10 @@ double predicted_makespan(const Job& job,
                           const platform::Platform& platform,
                           sim::CommModelKind comm) {
   NLDL_REQUIRE(job.load > 0.0, "predicted_makespan requires a positive load");
-  // Match the allocator Server::simulate_service uses under each model
-  // (one-port feeds in platform order there too).
-  if (comm == sim::CommModelKind::kOnePort) {
-    return dlt::nonlinear_one_port_single_round(platform, job.load,
-                                                job.alpha)
-        .makespan;
-  }
-  return dlt::nonlinear_parallel_single_round(platform, job.load, job.alpha)
+  // The same matched allocator Server::simulate_service replays under
+  // each model (one-port feeds in platform order there too).
+  return dlt::nonlinear_single_round_for(comm, platform, job.load,
+                                         job.alpha)
       .makespan;
 }
 

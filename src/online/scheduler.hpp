@@ -9,6 +9,11 @@
 //   FairShareScheduler   k slots (processor-partitioning fair share): up
 //                        to k jobs run concurrently, each on a 1/k slice
 //                        of the platform, still FCFS within the queue.
+//                        Whether those k concurrent jobs also share the
+//                        MASTER's bandwidth is the server's
+//                        MasterMode (online/server.hpp): private ports
+//                        flatter fair share, kSharedMaster charges the
+//                        real contention bill (bench_contention).
 //   SpmfScheduler        one slot, shortest-PREDICTED-makespan first: the
 //                        priority is the nonlinear optimal makespan of
 //                        dlt::nonlinear_parallel_single_round, not the raw

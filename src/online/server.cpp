@@ -5,9 +5,25 @@
 
 #include "dlt/nonlinear_dlt.hpp"
 #include "sim/engine.hpp"
+#include "sim/multiplex.hpp"
 #include "util/assert.hpp"
 
 namespace nldl::online {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNoJob = static_cast<std::size_t>(-1);
+}  // namespace
+
+std::string to_string(MasterMode mode) {
+  switch (mode) {
+    case MasterMode::kPrivatePort:
+      return "private-port";
+    case MasterMode::kSharedMaster:
+      return "shared-master";
+  }
+  NLDL_ASSERT(false, "unknown MasterMode");
+}
 
 Server::Server(const platform::Platform& platform, ServerOptions options)
     : platform_(platform),
@@ -15,19 +31,20 @@ Server::Server(const platform::Platform& platform, ServerOptions options)
       model_(sim::make_comm_model(options.comm, options.capacity,
                                   options.max_concurrent)) {}
 
+std::vector<sim::ChunkAssignment> Server::job_schedule(
+    const platform::Platform& slot_platform, const Job& job) const {
+  return dlt::nonlinear_single_round_for(options_.comm, slot_platform,
+                                         job.load, job.alpha)
+      .to_schedule();
+}
+
 double Server::simulate_service(const platform::Platform& slot_platform,
                                 const Job& job, double* compute_time) const {
-  const auto allocation =
-      options_.comm == sim::CommModelKind::kOnePort
-          ? dlt::nonlinear_one_port_single_round(slot_platform, job.load,
-                                                 job.alpha)
-          : dlt::nonlinear_parallel_single_round(slot_platform, job.load,
-                                                 job.alpha);
   const sim::Engine engine(slot_platform, {job.alpha});
   double finish = 0.0;
   double busy = 0.0;
   const sim::SimResult result = engine.run(
-      allocation.to_schedule(), *model_,
+      job_schedule(slot_platform, job), *model_,
       [&](std::size_t, const sim::ChunkSpan& span) {
         finish = std::max(finish, span.compute_end);
         busy += span.compute_end - span.compute_start;
@@ -40,7 +57,6 @@ double Server::simulate_service(const platform::Platform& slot_platform,
 
 std::vector<JobStats> Server::run(const std::vector<Job>& jobs,
                                   const Scheduler& scheduler) const {
-  const std::size_t p = platform_.size();
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     NLDL_REQUIRE(jobs[i].id == i, "job ids must be 0..n-1 in order");
     NLDL_REQUIRE(jobs[i].arrival >= 0.0, "job arrivals must be >= 0");
@@ -50,18 +66,14 @@ std::vector<JobStats> Server::run(const std::vector<Job>& jobs,
     NLDL_REQUIRE(jobs[i].alpha >= 1.0, "job alphas must be >= 1");
   }
 
-  // Carve the platform into the scheduler's slots, interleaving by worker
-  // index so a sorted or two-class platform splits evenly.
-  const std::size_t slots = std::clamp<std::size_t>(scheduler.shares(), 1, p);
-  std::vector<platform::Platform> slot_platforms;
-  slot_platforms.reserve(slots);
-  for (std::size_t s = 0; s < slots; ++s) {
-    std::vector<platform::Processor> workers;
-    for (std::size_t i = s; i < p; i += slots) {
-      workers.push_back(platform_.worker(i));
-    }
-    slot_platforms.emplace_back(std::move(workers));
-  }
+  // Carve the platform into the scheduler's slots (interleaved so a
+  // sorted or two-class platform splits evenly); the carve also maps
+  // slot-local worker indices back to the platform for the shared-master
+  // mode.
+  platform::Platform::Partition carve =
+      platform_.interleaved_partition(scheduler.shares());
+  const std::vector<platform::Platform>& slot_platforms = carve.subsets;
+  const std::vector<std::vector<std::size_t>>& slot_workers = carve.workers;
 
   std::vector<JobStats> stats(jobs.size());
   if (options_.record_isolated) {
@@ -71,7 +83,19 @@ std::vector<JobStats> Server::run(const std::vector<Job>& jobs,
     }
   }
 
-  constexpr double kNever = std::numeric_limits<double>::infinity();
+  if (options_.master == MasterMode::kSharedMaster) {
+    run_shared(jobs, scheduler, slot_platforms, slot_workers, stats);
+  } else {
+    run_private(jobs, scheduler, slot_platforms, stats);
+  }
+  return stats;
+}
+
+void Server::run_private(const std::vector<Job>& jobs,
+                         const Scheduler& scheduler,
+                         const std::vector<platform::Platform>& slot_platforms,
+                         std::vector<JobStats>& stats) const {
+  const std::size_t slots = slot_platforms.size();
   std::vector<double> slot_busy_until(slots, -kNever);  // idle when <= now
   std::vector<Job> queue;  // waiting jobs, in arrival order
   std::size_t next_arrival = 0;
@@ -120,7 +144,100 @@ std::vector<JobStats> Server::run(const std::vector<Job>& jobs,
 
   NLDL_ASSERT(queue.empty() && next_arrival == jobs.size(),
               "online server stopped with unserved jobs");
-  return stats;
+}
+
+void Server::run_shared(
+    const std::vector<Job>& jobs, const Scheduler& scheduler,
+    const std::vector<platform::Platform>& slot_platforms,
+    const std::vector<std::vector<std::size_t>>& slot_workers,
+    std::vector<JobStats>& stats) const {
+  const std::size_t slots = slot_platforms.size();
+  std::vector<double> slot_busy_until(slots, -kNever);
+  std::vector<std::size_t> slot_owner(slots, kNoJob);
+  std::vector<Job> queue;
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+
+  // One sim::SharedMasterPeriod per busy period multiplexes every slot's
+  // chunks through a single engine run under the one configured model
+  // (see sim/multiplex.hpp for the period-relative clock and the
+  // finishes-only-move-later invariant the event loop rides on). Each
+  // job is one period owner.
+  const sim::Engine engine(platform_, {});
+  sim::SharedMasterPeriod period(engine, *model_);
+  std::vector<std::size_t> owner_job;  // job id per period owner
+
+  while (true) {
+    while (next_arrival < jobs.size() &&
+           jobs[next_arrival].arrival <= now) {
+      queue.push_back(jobs[next_arrival++]);
+    }
+
+    // The platform drained: every record of the period is final, so the
+    // accumulated schedule can be flushed. The next dispatch re-anchors
+    // the period clock at its own instant.
+    bool any_busy = false;
+    for (const double until : slot_busy_until) {
+      if (until > now) any_busy = true;
+    }
+    if (!any_busy && !period.empty()) {
+      period.clear();
+      owner_job.clear();
+      std::fill(slot_owner.begin(), slot_owner.end(), kNoJob);
+    }
+
+    // Fill idle slots in ascending slot order. One replay after the fill
+    // pass refreshes every estimate: the pass itself only reads
+    // slot_busy_until of slots it has not dispatched to, and those
+    // cannot flip busy (a settled finish <= now is unaffected by chunks
+    // released at now).
+    bool dispatched = false;
+    for (std::size_t s = 0; s < slots && !queue.empty(); ++s) {
+      if (slot_busy_until[s] > now) continue;
+      const std::size_t k = scheduler.pick(queue, slot_platforms[s]);
+      NLDL_ASSERT(k < queue.size(), "scheduler picked outside the queue");
+      const Job job = queue[k];
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(k));
+
+      JobStats& record = stats[job.id];
+      record.job = job;
+      record.dispatch = now;
+      record.slot = s;
+      record.workers = slot_platforms[s].size();
+
+      slot_owner[s] = period.dispatch(now, job.alpha,
+                                      job_schedule(slot_platforms[s], job),
+                                      slot_workers[s]);
+      owner_job.push_back(job.id);
+      dispatched = true;
+    }
+    if (dispatched) {
+      period.replay();
+      for (std::size_t owner = 0; owner < owner_job.size(); ++owner) {
+        JobStats& record = stats[owner_job[owner]];
+        record.finish = period.finish(owner);
+        record.compute_time = period.busy(owner);
+      }
+      for (std::size_t s = 0; s < slots; ++s) {
+        if (slot_owner[s] != kNoJob) {
+          slot_busy_until[s] = period.finish(slot_owner[s]);
+        }
+      }
+    }
+
+    double next_event = kNever;
+    for (const double until : slot_busy_until) {
+      if (until > now) next_event = std::min(next_event, until);
+    }
+    if (next_arrival < jobs.size()) {
+      next_event = std::min(next_event, jobs[next_arrival].arrival);
+    }
+    if (next_event == kNever) break;
+    now = next_event;
+  }
+
+  NLDL_ASSERT(queue.empty() && next_arrival == jobs.size(),
+              "online server stopped with unserved jobs");
 }
 
 }  // namespace nldl::online

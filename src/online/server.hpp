@@ -21,28 +21,50 @@
 //     stream — bit-identical wherever it executes (the property
 //     bench_online's serial-vs-parallel self-check rides on).
 //
-// Modeling note: each slot replays its jobs through its own engine run, so
-// the master's port/capacity constraint applies per slot, not across
-// concurrent slots (a partitioned master). Cross-slot bandwidth contention
-// is an open item in ROADMAP.md.
+// Master modes: under kPrivatePort (the historical model) each slot
+// replays its jobs through its own engine run, so the master's
+// port/capacity constraint applies per slot, not across concurrent slots
+// (a partitioned master — every slot effectively gets a private port).
+// Under kSharedMaster one engine run per busy period multiplexes the
+// chunks of every concurrent job using time-released chunks
+// (sim::ChunkAssignment::release): each job's chunks are released at its
+// dispatch instant and contend with every other in-flight job's
+// transfers under the ONE configured CommModel — with a
+// BoundedMultiportModel capacity this is honest cross-slot bandwidth
+// contention on a genuinely shared master. A busy period with a single
+// job reproduces the private-port replay bit for bit (chunk times are
+// kept period-relative), so exclusive schedulers are unchanged and
+// fair-share only diverges where contention is real.
 #pragma once
 
 #include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "online/job.hpp"
 #include "online/scheduler.hpp"
 #include "platform/platform.hpp"
 #include "sim/comm_model.hpp"
+#include "sim/engine.hpp"
 
 namespace nldl::online {
+
+/// How concurrent slots reach the master (see the file comment).
+enum class MasterMode {
+  kPrivatePort,   ///< per-slot engine runs: a partitioned master
+  kSharedMaster,  ///< one engine run per busy period: honest contention
+};
+
+[[nodiscard]] std::string to_string(MasterMode mode);
 
 struct ServerOptions {
   sim::CommModelKind comm = sim::CommModelKind::kParallelLinks;
   /// Master capacity / concurrency (consulted for kBoundedMultiport).
   double capacity = std::numeric_limits<double>::infinity();
   std::size_t max_concurrent = sim::BoundedMultiportModel::kUnlimited;
+  /// Whether concurrent slots contend for the master's bandwidth.
+  MasterMode master = MasterMode::kPrivatePort;
   /// Also simulate every job alone on the full platform to fill
   /// JobStats::isolated_makespan (the slowdown baseline). Costs one extra
   /// engine run per job.
@@ -74,6 +96,22 @@ class Server {
   [[nodiscard]] double simulate_service(
       const platform::Platform& slot_platform, const Job& job,
       double* compute_time) const;
+
+  /// The job's optimal single-round allocation on `slot_platform`
+  /// (matched to the configured comm model), as an engine schedule.
+  [[nodiscard]] std::vector<sim::ChunkAssignment> job_schedule(
+      const platform::Platform& slot_platform, const Job& job) const;
+
+  /// The two event loops behind run(); `slot_platforms` are the carved
+  /// partitions, `slot_workers[s][j]` the global index of slot s's j-th
+  /// worker. Both fill `stats` in place.
+  void run_private(const std::vector<Job>& jobs, const Scheduler& scheduler,
+                   const std::vector<platform::Platform>& slot_platforms,
+                   std::vector<JobStats>& stats) const;
+  void run_shared(const std::vector<Job>& jobs, const Scheduler& scheduler,
+                  const std::vector<platform::Platform>& slot_platforms,
+                  const std::vector<std::vector<std::size_t>>& slot_workers,
+                  std::vector<JobStats>& stats) const;
 
   const platform::Platform& platform_;
   ServerOptions options_;

@@ -75,6 +75,22 @@ Platform Platform::sorted_by_speed() const {
   return Platform(std::move(sorted));
 }
 
+Platform::Partition Platform::interleaved_partition(std::size_t k) const {
+  const std::size_t subsets = std::clamp<std::size_t>(k, 1, size());
+  Partition partition;
+  partition.subsets.reserve(subsets);
+  partition.workers.resize(subsets);
+  for (std::size_t s = 0; s < subsets; ++s) {
+    std::vector<Processor> workers;
+    for (std::size_t i = s; i < size(); i += subsets) {
+      workers.push_back(workers_[i]);
+      partition.workers[s].push_back(i);
+    }
+    partition.subsets.emplace_back(std::move(workers));
+  }
+  return partition;
+}
+
 double Platform::heterogeneity() const noexcept {
   double lo = workers_.front().speed();
   double hi = lo;

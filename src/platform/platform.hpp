@@ -62,6 +62,21 @@ class Platform {
   /// Ratio of fastest to slowest speed (heterogeneity measure, >= 1).
   [[nodiscard]] double heterogeneity() const noexcept;
 
+  /// A carve of the platform into disjoint subsets (see
+  /// interleaved_partition). `workers[s][j]` is the index, on the parent
+  /// platform, of subsets[s]'s j-th worker.
+  struct Partition {
+    std::vector<Platform> subsets;
+    std::vector<std::vector<std::size_t>> workers;
+  };
+
+  /// Carve the platform into k disjoint subsets interleaved by worker
+  /// index (worker i goes to subset i mod k), so a sorted or two-class
+  /// platform splits evenly. k is clamped to [1, size()]. This is the
+  /// carve behind the online server's fair-share slots and the qos
+  /// server's concurrent installment subsets.
+  [[nodiscard]] Partition interleaved_partition(std::size_t k) const;
+
  private:
   std::vector<Processor> workers_;
 };

@@ -7,7 +7,12 @@
 // SPMF scheduler ranks by, evaluated per installment. The check is
 // optimistic: queueing delay is not modeled, so an admitted job may still
 // miss its deadline under load, but a REJECTED job provably could not make
-// it even on an idle platform. Three modes:
+// it even on an idle platform. (Under qos::ServerOptions::concurrency > 1
+// the prediction stays whole-platform while service happens on a 1/k
+// subset with contention, widening the optimism: rejections remain sound
+// — subset service is never faster than whole-platform service — but
+// admit/degrade decisions are looser than in serial mode; see
+// qos/server.hpp.) Three modes:
 //
 //   kAdmitAll   SLO bookkeeping only (the baseline).
 //   kReject     infeasible jobs are turned away whole.

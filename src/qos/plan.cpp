@@ -30,9 +30,7 @@ InstallmentSolver::Installment InstallmentSolver::solve(double load,
   // comm model (the replay reproduces the allocator's makespan under the
   // matched discrete models and corrects it under bounded multiport).
   const auto allocation =
-      service_.comm == sim::CommModelKind::kOnePort
-          ? dlt::nonlinear_one_port_single_round(platform_, load, alpha)
-          : dlt::nonlinear_parallel_single_round(platform_, load, alpha);
+      dlt::nonlinear_single_round_for(service_.comm, platform_, load, alpha);
   const sim::Engine engine(platform_, {alpha});
   const sim::SimResult result = engine.run(allocation.to_schedule(), model_);
   Installment installment;
@@ -105,6 +103,14 @@ double ServicePlan::next_duration() {
   if (!restart_pending_) return clean_;
   ensure_restart_solved();
   return restart_;
+}
+
+double ServicePlan::next_load() const {
+  NLDL_REQUIRE(!done(), "next_load() on a finished plan");
+  const double clean_load =
+      served_load_ / static_cast<double>(rounds_);
+  return restart_pending_ ? (1.0 + restart_fraction_) * clean_load
+                          : clean_load;
 }
 
 double ServicePlan::remaining_duration() {

@@ -146,6 +146,16 @@ class ServicePlan {
   /// Wall time the next installment will take (restart-inflated when a
   /// pause is pending). Requires !done().
   [[nodiscard]] double next_duration();
+  /// Load the next installment dispatches: served_load / rounds, inflated
+  /// by (1 + restart_load_fraction) when a pause is pending. This is what
+  /// the concurrent qos server allocates on a worker subset — the
+  /// restart surcharge travels with the load, not just the duration
+  /// estimate. Requires !done().
+  [[nodiscard]] double next_load() const;
+  /// A pause is pending: the next installment pays the restart surcharge.
+  [[nodiscard]] bool restart_pending() const noexcept {
+    return restart_pending_;
+  }
   /// Predicted time to finish from here, including a pending restart —
   /// the SRPT priority.
   [[nodiscard]] double remaining_duration();

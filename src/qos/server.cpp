@@ -1,18 +1,32 @@
 #include "qos/server.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <map>
 #include <memory>
+#include <utility>
 
+#include "dlt/nonlinear_dlt.hpp"
+#include "sim/engine.hpp"
+#include "sim/multiplex.hpp"
 #include "util/assert.hpp"
 
 namespace nldl::qos {
+
+namespace {
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+constexpr double kNever = std::numeric_limits<double>::infinity();
+}  // namespace
 
 Server::Server(const platform::Platform& platform, ServerOptions options)
     : platform_(platform),
       options_(options),
       model_(make_model(options.service)),
       solver_(platform, *model_, options.service),
-      admission_(solver_, options.admission) {}
+      admission_(solver_, options.admission) {
+  NLDL_REQUIRE(options.concurrency >= 1,
+               "qos server concurrency must be >= 1");
+}
 
 std::vector<JobRecord> Server::run(const std::vector<online::Job>& jobs,
                                    Policy& policy) const {
@@ -31,11 +45,22 @@ std::vector<JobRecord> Server::run(const std::vector<online::Job>& jobs,
   policy.reset(tenants);
 
   std::vector<JobRecord> records(jobs.size());
+  const std::size_t concurrency =
+      std::clamp<std::size_t>(options_.concurrency, 1, platform_.size());
+  if (concurrency > 1) {
+    run_concurrent(jobs, policy, records, concurrency);
+  } else {
+    run_serial(jobs, policy, records);
+  }
+  return records;
+}
+
+void Server::run_serial(const std::vector<online::Job>& jobs, Policy& policy,
+                        std::vector<JobRecord>& records) const {
   std::vector<std::unique_ptr<ServicePlan>> plans(jobs.size());
   std::vector<std::size_t> ready;  // admitted unfinished job ids, ascending
   std::size_t next_arrival = 0;
   double now = 0.0;
-  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   std::size_t last = kNone;  // job that ran the preceding installment
 
   const auto admit_until = [&](double t) {
@@ -115,7 +140,205 @@ std::vector<JobRecord> Server::run(const std::vector<online::Job>& jobs,
 
   NLDL_ASSERT(ready.empty() && next_arrival == jobs.size(),
               "qos server stopped with unserved jobs");
-  return records;
+}
+
+void Server::run_concurrent(const std::vector<online::Job>& jobs,
+                            Policy& policy, std::vector<JobRecord>& records,
+                            std::size_t concurrency) const {
+  // Carve the platform into `concurrency` disjoint interleaved subsets
+  // (worker i serves subset i mod k, like the online server's slots).
+  const platform::Platform::Partition carve =
+      platform_.interleaved_partition(concurrency);
+  const std::vector<platform::Platform>& subsets = carve.subsets;
+  const std::vector<std::vector<std::size_t>>& subset_workers =
+      carve.workers;
+
+  // Subset installment allocations, memoized per (subset, load, alpha):
+  // a job's clean installment repeats every round, so each distinct
+  // inflated/clean load solves once per subset it lands on.
+  std::map<std::tuple<std::size_t, double, double>,
+           std::vector<sim::ChunkAssignment>>
+      allocation_cache;
+  const auto subset_schedule = [&](std::size_t s, double load,
+                                   double alpha)
+      -> const std::vector<sim::ChunkAssignment>& {
+    const auto key = std::make_tuple(s, load, alpha);
+    const auto it = allocation_cache.find(key);
+    if (it != allocation_cache.end()) return it->second;
+    const auto allocation = dlt::nonlinear_single_round_for(
+        options_.service.comm, subsets[s], load, alpha);
+    return allocation_cache.emplace(key, allocation.to_schedule())
+        .first->second;
+  };
+
+  std::vector<std::unique_ptr<ServicePlan>> plans(jobs.size());
+  std::vector<std::size_t> ready;  // admitted, not done, not running
+  std::vector<std::size_t> running(concurrency, kNone);
+  std::vector<double> busy_until(concurrency, -kNever);
+  std::vector<double> last_end(jobs.size(), -kNever);
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+
+  // One sim::SharedMasterPeriod per busy period multiplexes every
+  // subset's installments through a single engine run under the one
+  // configured model (see sim/multiplex.hpp). Each INSTALLMENT is one
+  // period owner; installment timelines settle once `now` passes them.
+  const sim::Engine engine(platform_, {});
+  sim::SharedMasterPeriod period(engine, *model_);
+  struct Installment {
+    std::size_t job = 0;
+    double start = 0.0;  ///< dispatch instant (absolute)
+  };
+  std::vector<Installment> installments;  ///< per period owner
+  std::vector<std::size_t> subset_owner(concurrency, kNone);
+
+  // Fold the drained period into the job records and drop its schedule.
+  const auto flush_period = [&]() {
+    for (std::size_t owner = 0; owner < installments.size(); ++owner) {
+      JobRecord& record = records[installments[owner].job];
+      record.service_time +=
+          period.finish(owner) - installments[owner].start;
+      record.compute_time += period.busy(owner);
+      record.finish = std::max(record.finish, period.finish(owner));
+    }
+    period.clear();
+    installments.clear();
+    std::fill(subset_owner.begin(), subset_owner.end(), kNone);
+  };
+
+  const auto admit_until = [&](double t) {
+    while (next_arrival < jobs.size() &&
+           jobs[next_arrival].arrival <= t) {
+      const online::Job& job = jobs[next_arrival];
+      JobRecord& record = records[job.id];
+      record.job = job;
+      const AdmissionDecision decision = admission_.decide(job);
+      record.admitted = decision.admitted;
+      record.degraded = decision.degraded;
+      record.served_load = decision.served_load;
+      record.predicted_service = decision.predicted_service;
+      if (decision.admitted) {
+        plans[job.id] = std::make_unique<ServicePlan>(
+            solver_, job, decision.served_load);
+        ready.push_back(job.id);
+      } else {
+        record.finish = job.arrival;
+      }
+      ++next_arrival;
+    }
+  };
+
+  std::vector<Candidate> candidates;
+  while (true) {
+    admit_until(now);
+
+    // Free subsets whose installment has completed; unfinished jobs
+    // return to the ready set (ascending id keeps picks deterministic).
+    for (std::size_t s = 0; s < concurrency; ++s) {
+      if (running[s] == kNone || busy_until[s] > now) continue;
+      const std::size_t id = running[s];
+      last_end[id] = busy_until[s];
+      running[s] = kNone;
+      if (!plans[id]->done()) {
+        ready.insert(
+            std::lower_bound(ready.begin(), ready.end(), id), id);
+      }
+    }
+
+    // The gap rule, applied the moment a job goes cold (not lazily at
+    // dispatch): a started ready job whose previous installment did not
+    // end at this very instant pays the restart surcharge on resume, and
+    // flagging it NOW makes the policies price the surcharge into
+    // remaining_duration() before ranking — exactly like the serial
+    // server, which pauses at switch-away. pause() is idempotent, so
+    // re-flagging on later boundaries charges nothing twice.
+    for (const std::size_t id : ready) {
+      if (plans[id]->started() && last_end[id] < now) plans[id]->pause();
+    }
+
+    // Platform drained: every installment of the period has settled.
+    bool any_running = false;
+    for (const std::size_t id : running) {
+      if (id != kNone) any_running = true;
+    }
+    if (!any_running && !period.empty()) flush_period();
+
+    // Fill idle subsets in ascending subset order. One replay after the
+    // fill pass refreshes every estimate: the pass itself only reads the
+    // plans and running[], never the replay output.
+    bool dispatched = false;
+    for (std::size_t s = 0; s < concurrency && !ready.empty(); ++s) {
+      if (running[s] != kNone) continue;
+      candidates.clear();
+      for (const std::size_t id : ready) {
+        Candidate candidate;
+        candidate.job = &records[id].job;
+        candidate.remaining_duration = plans[id]->remaining_duration();
+        candidate.total_duration = plans[id]->total_duration();
+        candidate.started = plans[id]->started();
+        // A job that can resume seamlessly at this very boundary is the
+        // "active" one for non-preemptive policies.
+        candidate.active = plans[id]->started() && last_end[id] == now;
+        candidates.push_back(candidate);
+      }
+      const std::size_t k = policy.pick(candidates, now);
+      NLDL_ASSERT(k < ready.size(), "policy picked outside the ready set");
+      const std::size_t id = ready[k];
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(k));
+
+      JobRecord& record = records[id];
+      if (!plans[id]->started()) record.dispatch = now;
+      // Any pending restart surcharge was flagged by the gap-rule pass
+      // above; next_load()/next_duration() include it.
+      const double load = plans[id]->next_load();
+      const double predicted = plans[id]->next_duration();
+      plans[id]->advance();
+      policy.on_service(candidates[k], predicted);
+
+      subset_owner[s] = period.dispatch(
+          now, records[id].job.alpha,
+          subset_schedule(s, load, records[id].job.alpha),
+          subset_workers[s]);
+      installments.push_back({id, now});
+      NLDL_ASSERT(subset_owner[s] + 1 == installments.size(),
+                  "period owners and installments fell out of step");
+      running[s] = id;
+      dispatched = true;
+    }
+    if (dispatched) {
+      period.replay();
+      for (std::size_t s = 0; s < concurrency; ++s) {
+        if (running[s] != kNone) {
+          busy_until[s] = period.finish(subset_owner[s]);
+        }
+      }
+    }
+
+    double next_event = kNever;
+    for (std::size_t s = 0; s < concurrency; ++s) {
+      if (running[s] != kNone && busy_until[s] > now) {
+        next_event = std::min(next_event, busy_until[s]);
+      }
+    }
+    if (next_arrival < jobs.size()) {
+      next_event = std::min(next_event, jobs[next_arrival].arrival);
+    }
+    if (next_event == kNever) break;
+    now = next_event;
+  }
+
+  flush_period();
+  NLDL_ASSERT(ready.empty() && next_arrival == jobs.size(),
+              "qos server stopped with unserved jobs");
+
+  // Plan-side accounting (preemptions, solver-estimated restart time).
+  for (std::size_t id = 0; id < jobs.size(); ++id) {
+    if (plans[id] == nullptr) continue;
+    NLDL_ASSERT(plans[id]->done(),
+                "qos server finished with an unfinished plan");
+    records[id].preemptions = plans[id]->preemptions();
+    records[id].restart_time = plans[id]->restart_time();
+  }
 }
 
 }  // namespace nldl::qos

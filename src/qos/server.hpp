@@ -9,11 +9,34 @@
 //   - arrivals pass through the AdmissionController: a job whose deadline
 //     provably cannot be met is rejected or degraded BEFORE it can clog
 //     the queue;
-//   - the platform serves one installment at a time (whole-platform
-//     service — the exclusive shape where SRPT/EDF theory applies);
-//     arrivals during an installment are only seen at its end: chunk
-//     boundaries are the only decision points, a running chunk is never
-//     abandoned;
+//   - with ServerOptions::concurrency == 1 (default) the platform serves
+//     one installment at a time (whole-platform service — the exclusive
+//     shape where SRPT/EDF theory applies); arrivals during an
+//     installment are only seen at its end: chunk boundaries are the only
+//     decision points, a running chunk is never abandoned;
+//   - with concurrency k > 1 the platform is carved into k disjoint
+//     interleaved worker subsets, and up to k installments of DIFFERENT
+//     jobs run concurrently — one per subset — as time-released chunks
+//     multiplexed through ONE sim::Engine run per busy period under the
+//     single configured CommModel. A bounded-multiport capacity is then
+//     genuinely shared: concurrent installments contend for the master's
+//     bandwidth instead of each enjoying a private port (honest
+//     contention, ROADMAP's dynamic-repartitioning step (b)). Policy
+//     priorities and WFQ's attained-service accounting still use the
+//     solver's contention-free whole-platform duration estimates (a
+//     consistent yardstick); actual timing comes from the shared replay.
+//     In this mode a started job that does not resume seamlessly at the
+//     boundary where its previous installment ended pays the restart
+//     surcharge (its state went cold while others used the platform) —
+//     the gap rule replacing the serial mode's switched-away rule.
+//     NOTE: admission keeps predicting against uninterrupted
+//     WHOLE-PLATFORM service — on a 1/k subset under contention real
+//     service is strictly longer (superlinearly so for alpha > 1), so
+//     concurrency makes the admission check MORE optimistic: rejections
+//     stay provably correct (whole-platform service is a lower bound on
+//     any subset's), but admitted/degraded jobs can miss deadlines the
+//     serial server would have met. Subset-aware admission is future
+//     work (ROADMAP, dynamic repartitioning (d));
 //   - switching away from a started job pauses its plan; the eventual
 //     resume pays the plan's nonlinear restart surcharge, so preemption
 //     is observable in both the latency metrics and the per-job restart
@@ -38,6 +61,11 @@ namespace nldl::qos {
 struct ServerOptions {
   ServiceModel service;
   AdmissionOptions admission;
+  /// Disjoint worker subsets serving installments of different jobs
+  /// concurrently (clamped to the worker count). 1 = the serial
+  /// whole-platform event loop, bit-identical to the pre-concurrency
+  /// server.
+  std::size_t concurrency = 1;
 };
 
 /// Outcome of one offered job.
@@ -53,11 +81,16 @@ struct JobRecord {
   double dispatch = 0.0;  ///< first installment start (admitted jobs)
   double finish = 0.0;    ///< last installment end; = arrival if rejected
   /// Σ wall time of the job's installments (incl. restart inflation).
+  /// Under concurrency > 1 this is measured from the shared engine
+  /// replay, so cross-subset contention shows up here.
   double service_time = 0.0;
   /// Σ compute busy time across workers (utilization accounting).
   double compute_time = 0.0;
   std::size_t preemptions = 0;
-  /// Extra wall time charged by restart inflation.
+  /// Extra wall time charged by restart inflation. Under concurrency > 1
+  /// this stays the solver's contention-free estimate (the re-dispatched
+  /// load itself is replayed honestly; only this attribution metric uses
+  /// the estimate).
   double restart_time = 0.0;
 
   [[nodiscard]] double wait() const noexcept {
@@ -94,6 +127,14 @@ class Server {
       const std::vector<online::Job>& jobs, Policy& policy) const;
 
  private:
+  /// The serial (concurrency == 1) and concurrent (k subsets, shared
+  /// master) event loops behind run(); both fill `records` in place.
+  void run_serial(const std::vector<online::Job>& jobs, Policy& policy,
+                  std::vector<JobRecord>& records) const;
+  void run_concurrent(const std::vector<online::Job>& jobs, Policy& policy,
+                      std::vector<JobRecord>& records,
+                      std::size_t concurrency) const;
+
   const platform::Platform& platform_;
   ServerOptions options_;
   std::unique_ptr<sim::CommModel> model_;

@@ -21,6 +21,17 @@ std::string to_string(CommModelKind kind) {
 
 std::vector<double> max_min_fair_rates(const std::vector<double>& caps,
                                        double capacity) {
+  // Water-filling garbage in, garbage out: a NaN or negative capacity
+  // would silently propagate NaN shares (NaN comparisons are all false,
+  // so no cap ever "saturates") and a NaN cap would poison the remaining
+  // budget. Reject both up front; +inf capacity and +inf caps are
+  // legitimate (uncapped master / uncapped link).
+  NLDL_REQUIRE(!std::isnan(capacity) && capacity >= 0.0,
+               "aggregate capacity must be >= 0 (NaN is not a capacity)");
+  for (const double cap : caps) {
+    NLDL_REQUIRE(!std::isnan(cap) && cap >= 0.0,
+                 "private link caps must be >= 0 (NaN is not a rate)");
+  }
   const std::size_t count = caps.size();
   std::vector<double> rates(count, 0.0);
   std::vector<bool> saturated(count, false);
@@ -69,6 +80,13 @@ void OnePortModel::assign_rates(const std::vector<TransferView>& eligible,
 BoundedMultiportModel::BoundedMultiportModel(double capacity,
                                              std::size_t max_concurrent)
     : capacity_(capacity), max_concurrent_(max_concurrent) {
+  // Degenerate knobs are rejected, not water-filled: capacity <= 0 would
+  // starve every transfer forever (the engine would assert on the first
+  // event), NaN would silently produce NaN rates, and max_concurrent == 0
+  // is a master that never serves anyone. +inf capacity with unlimited
+  // concurrency is the parallel-links limit and stays legal.
+  NLDL_REQUIRE(!std::isnan(capacity),
+               "master capacity must not be NaN");
   NLDL_REQUIRE(capacity > 0.0, "master capacity must be positive");
   NLDL_REQUIRE(max_concurrent >= 1,
                "master must serve at least one transfer at a time");

@@ -124,9 +124,12 @@ class BoundedMultiportModel final : public CommModel {
   static constexpr std::size_t kUnlimited =
       std::numeric_limits<std::size_t>::max();
 
-  /// capacity: aggregate outgoing bandwidth of the master (> 0; +inf for
-  /// an uncapped master). max_concurrent: how many transfers the master
-  /// serves at once (>= 1), admitted in schedule order.
+  /// capacity: aggregate outgoing bandwidth of the master (> 0 and not
+  /// NaN; +inf for an uncapped master). max_concurrent: how many
+  /// transfers the master serves at once (>= 1), admitted in schedule
+  /// order. Degenerate knobs (capacity <= 0 or NaN, max_concurrent == 0)
+  /// throw util::PreconditionError instead of silently water-filling
+  /// garbage.
   explicit BoundedMultiportModel(double capacity,
                                  std::size_t max_concurrent = kUnlimited);
 
@@ -163,7 +166,9 @@ class BoundedMultiportModel final : public CommModel {
 /// aggregate `capacity`: repeatedly grant every unsaturated transfer an
 /// equal share of the remaining capacity; transfers whose private cap is
 /// below their share saturate at the cap. Exposed for tests and for model
-/// implementations.
+/// implementations. `capacity` and every cap must be >= 0 and not NaN
+/// (+inf is legal on both sides); anything else throws
+/// util::PreconditionError rather than water-filling NaN shares.
 [[nodiscard]] std::vector<double> max_min_fair_rates(
     const std::vector<double>& caps, double capacity);
 

@@ -14,12 +14,41 @@ double SimResult::load_imbalance() const noexcept {
   // something: a worker the schedule never fed is a scheduling decision,
   // not an infinite imbalance, and returning +inf would poison any
   // statistic aggregated over trials. Callers that care about unused
-  // workers can count them via idle_workers().
+  // workers can count them via idle_workers(). Cancelled spans already
+  // contribute zero compute time, so a paused replay's statistic covers
+  // exactly the work that happened before the pause.
   return util::imbalance_over_busy(worker_compute_time);
 }
 
 std::size_t SimResult::idle_workers() const noexcept {
-  return util::count_idle(worker_compute_time);
+  // A worker whose only chunks a pause cancelled computed nothing, but it
+  // was not idle by scheduling decision — the pause cut it off and its
+  // load is coming back via PartialRun::remaining. Skip those workers so
+  // a paused run's statistic keeps the full run's meaning ("the schedule
+  // never fed this worker"). Only run_until produces cancelled spans, so
+  // the common full-run path stays the plain O(p) count; no allocation
+  // anywhere (noexcept must hold).
+  bool any_cancelled = false;
+  for (const ChunkSpan& span : spans) {
+    if (span.cancelled) {
+      any_cancelled = true;
+      break;
+    }
+  }
+  if (!any_cancelled) return util::count_idle(worker_compute_time);
+  std::size_t idle = 0;
+  for (std::size_t w = 0; w < worker_compute_time.size(); ++w) {
+    if (worker_compute_time[w] > 0.0) continue;
+    bool cancelled_here = false;
+    for (const ChunkSpan& span : spans) {
+      if (span.cancelled && span.worker == w) {
+        cancelled_here = true;
+        break;
+      }
+    }
+    if (!cancelled_here) ++idle;
+  }
+  return idle;
 }
 
 Engine::Engine(const platform::Platform& platform, EngineOptions options)
@@ -94,12 +123,17 @@ SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
   result.worker_comm_time.assign(p, 0.0);
 
   // Validate the schedule and build the per-worker link queues (chunks to
-  // one worker serialize in schedule order).
+  // one worker serialize in schedule order, release times notwithstanding:
+  // a released chunk never overtakes an earlier chunk to the same worker).
   std::vector<std::vector<std::size_t>> queue(p);
   for (std::size_t idx = 0; idx < schedule.size(); ++idx) {
     const ChunkAssignment& chunk = schedule[idx];
     NLDL_REQUIRE(chunk.worker < p, "chunk assigned to unknown worker");
     NLDL_REQUIRE(chunk.size >= 0.0, "chunk size must be >= 0");
+    NLDL_REQUIRE(std::isfinite(chunk.release) && chunk.release >= 0.0,
+                 "chunk release time must be finite and >= 0");
+    NLDL_REQUIRE(chunk.alpha == 0.0 || chunk.alpha >= 1.0,
+                 "per-chunk alpha must be 0 (engine default) or >= 1");
     queue[chunk.worker].push_back(idx);
   }
 
@@ -121,7 +155,8 @@ SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
         transfers[idx].started ? transfers[idx].comm_start : comm_end;
     span.comm_end = comm_end;
     const double compute_duration =
-        proc.w * std::pow(chunk.size, alpha);
+        proc.w *
+        std::pow(chunk.size, chunk.alpha > 0.0 ? chunk.alpha : alpha);
     span.compute_start = std::max(span.comm_end, cpu_free[chunk.worker]);
     span.compute_end = span.compute_start + compute_duration;
     cpu_free[chunk.worker] = span.compute_end;
@@ -133,14 +168,30 @@ SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
     if (on_chunk_complete) on_chunk_complete(idx, span);
   };
 
-  // Move worker w's next queued chunk to the head of its link at `now`.
+  // `ready_at[w]` is the instant worker w's head chunk may enter the link:
+  // its link is free but the chunk's release time has not come yet.
+  // +infinity when the worker has no pending head (link busy, queue
+  // drained, or head already eligible).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> ready_at(p, kInf);
+
+  // Move worker w's next queued chunk to the head of its link at `now`,
+  // or park it in ready_at when its release time is still in the future.
   // Zero-size chunks travel through the model like any other transfer
   // (so e.g. the one-port model still serializes them at the port in
   // schedule order, as the retired simulator did); they just take no time
   // once served.
   auto release_head = [&](std::size_t w, double now) {
-    if (head[w] >= queue[w].size()) return;
+    if (head[w] >= queue[w].size()) {
+      ready_at[w] = kInf;
+      return;
+    }
     const std::size_t idx = queue[w][head[w]];
+    if (schedule[idx].release > now) {
+      ready_at[w] = schedule[idx].release;
+      return;
+    }
+    ready_at[w] = kInf;
     Transfer& transfer = transfers[idx];
     transfer.remaining = schedule[idx].size;
     transfer.anchor_time = now;
@@ -156,7 +207,19 @@ SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
   std::vector<std::size_t> done;
   double now = 0.0;
 
-  while (!eligible.empty()) {
+  while (true) {
+    const double next_release =
+        *std::min_element(ready_at.begin(), ready_at.end());
+    if (eligible.empty()) {
+      // Nothing in flight. Jump to the next release (a quiet gap between
+      // releases) or finish the replay.
+      if (next_release == kInf) break;
+      now = std::max(now, next_release);
+      for (std::size_t w = 0; w < p; ++w) {
+        if (ready_at[w] <= now) release_head(w, now);
+      }
+      continue;
+    }
     // 1. Ask the model to rate the eligible transfers (sorted by schedule
     // position, at most one per worker).
     views.clear();
@@ -199,8 +262,10 @@ SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
     }
     NLDL_ASSERT(any_positive, "comm model starves every pending transfer");
 
-    // 3. Advance to the earliest transfer completion.
-    double next = std::numeric_limits<double>::infinity();
+    // 3. Advance to the earliest transfer completion — or to the next
+    // release, whose newcomer changes the rate assignment (water-filling
+    // must be recomputed the instant a transfer joins the master).
+    double next = next_release;
     for (const std::size_t idx : eligible) {
       const Transfer& transfer = transfers[idx];
       if (transfer.rate <= 0.0) continue;
@@ -211,6 +276,17 @@ SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
     }
     NLDL_ASSERT(std::isfinite(next), "no finite next event");
     now = std::max(now, next);
+
+    // 3b. Chunks whose release has come enter their link head at `now`.
+    // They were not part of the rate interval that just elapsed; the next
+    // iteration re-rates everyone with the newcomers included.
+    bool any_released = false;
+    for (std::size_t w = 0; w < p; ++w) {
+      if (ready_at[w] <= now) {
+        release_head(w, now);
+        any_released = true;
+      }
+    }
 
     // 4. Complete every transfer done at `now`. Transfers running below
     // their private link rate (fluid sharing) additionally snap within
@@ -236,7 +312,8 @@ SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
         done.push_back(idx);
       }
     }
-    NLDL_ASSERT(!done.empty(), "event advanced time without a completion");
+    NLDL_ASSERT(!done.empty() || any_released,
+                "event advanced time without a completion or a release");
     for (const std::size_t idx : done) {
       eligible.erase(
           std::find(eligible.begin(), eligible.end(), idx));
@@ -305,9 +382,12 @@ PartialRun Engine::run_until(const std::vector<ChunkAssignment>& schedule,
       partial.completed_load += schedule[idx].size;
     } else {
       // Cancelled: keep the identity for positional lookup, zero the
-      // timeline, and hand the chunk back at full size.
+      // timeline, flag the span (so SimResult statistics and callers can
+      // tell it from a completed zero-size chunk), and hand the chunk
+      // back at full size with its release/alpha intact.
       partial.result.spans[idx].worker = schedule[idx].worker;
       partial.result.spans[idx].size = schedule[idx].size;
+      partial.result.spans[idx].cancelled = true;
       partial.remaining.push_back(schedule[idx]);
     }
   }

@@ -6,6 +6,13 @@
 //
 //   - Chunks destined to the same worker serialize on that worker's
 //     incoming link, in schedule order (per-worker FIFO).
+//   - Every chunk carries an optional release time: it may not enter its
+//     link queue before that instant. Release times let one engine run
+//     multiplex the chunks of several concurrent jobs through one shared
+//     master (each job released at its dispatch time), which is how the
+//     online/qos shared-master modes obtain honest cross-job bandwidth
+//     contention. A chunk may also override the engine's compute
+//     exponent, so multiplexed jobs of different cost classes coexist.
 //   - The communication model assigns an instantaneous rate to every
 //     transfer currently at the head of its link queue; rates are
 //     piecewise-constant between events (a transfer completing, a link
@@ -35,9 +42,29 @@
 namespace nldl::sim {
 
 /// One master→worker transfer: `size` load units to `worker`.
+///
+/// `release` is the chunk's release time: the instant before which the
+/// chunk may not enter its worker's link queue. Chunks to one worker
+/// still serialize in schedule order (per-worker FIFO) — a released
+/// chunk never overtakes an earlier chunk to the same worker; it starts
+/// transferring at max(release, time the link frees). Release times are
+/// what lets ONE engine run multiplex the chunks of several concurrent
+/// jobs through one shared master: each job's chunks are released at its
+/// dispatch instant and contend with every other in-flight job's
+/// transfers under the run's CommModel (the online/qos shared-master
+/// modes ride on this). The default 0 is the classical schedule where
+/// everything is available up front.
+///
+/// `alpha` optionally overrides the engine's compute exponent for this
+/// chunk (cost = w_i · size^alpha): 0 means "use EngineOptions::alpha",
+/// any value >= 1 is the chunk's own exponent. Multiplexed runs need
+/// this because concurrent jobs can belong to different cost classes
+/// (linear next to quadratic) while sharing one engine run.
 struct ChunkAssignment {
   std::size_t worker = 0;
   double size = 0.0;
+  double release = 0.0;
+  double alpha = 0.0;
 };
 
 /// Build the single-round schedule sending amounts[w] to worker w, in
@@ -50,7 +77,11 @@ struct ChunkAssignment {
     const std::vector<double>& amounts,
     const std::vector<std::size_t>& send_order);
 
-/// Timeline of a single chunk.
+/// Timeline of a single chunk. `cancelled` marks a chunk a paused replay
+/// (Engine::run_until) cut: the span keeps its worker/size identity for
+/// positional lookup but its timeline is zeroed and it contributed no
+/// work — which is how a cancelled chunk is told apart from a zero-size
+/// chunk that genuinely completed at t = 0 (identical timelines).
 struct ChunkSpan {
   std::size_t worker = 0;
   double size = 0.0;
@@ -58,6 +89,7 @@ struct ChunkSpan {
   double comm_end = 0.0;
   double compute_start = 0.0;
   double compute_end = 0.0;
+  bool cancelled = false;
 };
 
 struct SimResult {
@@ -70,11 +102,17 @@ struct SimResult {
   /// Load imbalance e = (t_max - t_min) / t_min over per-worker computation
   /// times (paper Section 4.3), restricted to workers that computed
   /// something: workers the schedule never fed do not turn the statistic
-  /// into +infinity (use idle_workers() to count them). Returns 0 when
-  /// fewer than two workers computed.
+  /// into +infinity (use idle_workers() to count them). Cancelled spans
+  /// (a paused run_until replay) contribute no compute time, so the
+  /// statistic covers only the work that actually happened. Returns 0
+  /// when fewer than two workers computed.
   [[nodiscard]] double load_imbalance() const noexcept;
 
   /// Number of workers that computed nothing under this schedule.
+  /// Cancelled spans are ignored: a worker whose only chunks were cut by
+  /// a pause was scheduled to compute (its load comes back via
+  /// PartialRun::remaining), so a paused run does not misclassify it as
+  /// a worker the schedule never fed.
   [[nodiscard]] std::size_t idle_workers() const noexcept;
 };
 
@@ -93,11 +131,16 @@ struct EngineOptions {
 struct PartialRun {
   /// Spans and per-worker statistics of the chunks that completed by
   /// `pause_time`. Cancelled chunks keep their worker/size in
-  /// result.spans for positional lookup but have zeroed timelines and
-  /// contribute nothing to makespan/worker totals.
+  /// result.spans for positional lookup but are flagged
+  /// (ChunkSpan::cancelled), have zeroed timelines, and contribute
+  /// nothing to makespan/worker totals or to idle_workers() /
+  /// load_imbalance().
   SimResult result;
   /// The cancelled chunks at full size, in schedule order — feed them to
-  /// a fresh run() (or re-allocate their total) to resume.
+  /// a fresh run() (or re-allocate their total) to resume. Release times
+  /// and per-chunk alphas are preserved verbatim; releases are absolute
+  /// to the original run's clock, so shift them if the resume run starts
+  /// its own clock at 0.
   std::vector<ChunkAssignment> remaining;
   /// The chunk boundary actually honored: the earliest chunk
   /// compute-completion >= the requested stop time (the in-flight chunk
@@ -137,7 +180,11 @@ class Engine {
   /// >= 0; zero-size chunks are allowed and consume no time (they still
   /// queue like any transfer — e.g. the one-port model serializes them at
   /// the port in schedule order — but complete the instant they are
-  /// served).
+  /// served). Release times must be finite and >= 0: a chunk enters its
+  /// worker's link queue head no earlier than its release, and simulated
+  /// time simply advances to the next release when every in-flight
+  /// transfer has drained first. With all releases 0 (the default) the
+  /// replay is bit-identical to the pre-release engine.
   [[nodiscard]] SimResult run(const std::vector<ChunkAssignment>& schedule,
                               const CommModel& model) const;
 

@@ -1,0 +1,66 @@
+#include "sim/multiplex.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace nldl::sim {
+
+SharedMasterPeriod::SharedMasterPeriod(const Engine& engine,
+                                       const CommModel& model)
+    : engine_(engine), model_(model) {}
+
+std::size_t SharedMasterPeriod::dispatch(
+    double now, double alpha, const std::vector<ChunkAssignment>& chunks,
+    const std::vector<std::size_t>& worker_map) {
+  if (schedule_.empty()) start_ = now;
+  NLDL_REQUIRE(now >= start_,
+               "dispatches must not precede the period's first dispatch");
+  const double release = now - start_;
+  const std::size_t owner = finish_.size();
+  for (const ChunkAssignment& chunk : chunks) {
+    NLDL_REQUIRE(chunk.worker < worker_map.size(),
+                 "chunk outside the dispatch's worker map");
+    ChunkAssignment shared = chunk;
+    shared.worker = worker_map[chunk.worker];
+    shared.release = release;
+    shared.alpha = alpha;
+    schedule_.push_back(shared);
+    chunk_owner_.push_back(owner);
+  }
+  finish_.push_back(start_);
+  busy_.push_back(0.0);
+  return owner;
+}
+
+void SharedMasterPeriod::replay() {
+  std::fill(finish_.begin(), finish_.end(), start_);
+  std::fill(busy_.begin(), busy_.end(), 0.0);
+  (void)engine_.run(schedule_, model_,
+                    [&](std::size_t chunk, const ChunkSpan& span) {
+                      const std::size_t owner = chunk_owner_[chunk];
+                      finish_[owner] = std::max(
+                          finish_[owner], start_ + span.compute_end);
+                      busy_[owner] +=
+                          span.compute_end - span.compute_start;
+                    });
+}
+
+double SharedMasterPeriod::finish(std::size_t owner) const {
+  NLDL_REQUIRE(owner < finish_.size(), "unknown period owner");
+  return finish_[owner];
+}
+
+double SharedMasterPeriod::busy(std::size_t owner) const {
+  NLDL_REQUIRE(owner < busy_.size(), "unknown period owner");
+  return busy_[owner];
+}
+
+void SharedMasterPeriod::clear() {
+  schedule_.clear();
+  chunk_owner_.clear();
+  finish_.clear();
+  busy_.clear();
+}
+
+}  // namespace nldl::sim

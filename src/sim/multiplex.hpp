@@ -1,0 +1,89 @@
+// Busy-period multiplexing of time-released chunk schedules — the shared
+// machinery behind online::MasterMode::kSharedMaster and the qos
+// server's concurrent installment subsets.
+//
+// A SharedMasterPeriod accumulates the chunks of every unit of work
+// ("owner" — a whole job for the online server, one installment for the
+// qos server) dispatched during one busy period of a shared master, and
+// re-simulates the accumulated schedule through one sim::Engine run
+// under one CommModel after each dispatch:
+//
+//   - chunk times are PERIOD-RELATIVE: the period's first dispatch is
+//     the engine's t = 0, so a single-owner period reproduces a private
+//     replay of that owner's schedule bit for bit;
+//   - each owner's chunks are released at its dispatch instant and carry
+//     its own compute exponent, so concurrent owners of different cost
+//     classes contend honestly under the model;
+//   - re-simulating after a dispatch never rewrites history: chunks
+//     released at `now` are not eligible earlier, and rate sharing is
+//     monotone (a newcomer never speeds anyone up), so an owner's finish
+//     estimate only ever moves LATER — and is settled once simulated
+//     time passes it. The servers' event loops re-read finishes after
+//     every replay and advance on the current estimates, which is
+//     exactly causal under that invariant.
+//
+// Cost: replay() re-simulates the period from its anchor, so a busy
+// period of n dispatches costs O(n^2) chunk-events in total. Periods are
+// flushed whenever the platform drains, which bounds n by the burst
+// length in practice (the contention bench's worst cell simulates in
+// milliseconds). The settled prefix never changes, so an incremental
+// replay resuming from a checkpoint of engine state is possible if a
+// workload ever needs it — noted in ROADMAP under dynamic
+// repartitioning.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/comm_model.hpp"
+#include "sim/engine.hpp"
+
+namespace nldl::sim {
+
+/// One open busy period of a shared master. Holds references to the
+/// engine and model, which must outlive it.
+class SharedMasterPeriod {
+ public:
+  SharedMasterPeriod(const Engine& engine, const CommModel& model);
+
+  /// No dispatches accumulated (a replay would be empty).
+  [[nodiscard]] bool empty() const noexcept { return schedule_.empty(); }
+  [[nodiscard]] std::size_t owners() const noexcept {
+    return finish_.size();
+  }
+
+  /// Register one unit of work dispatched at absolute time `now` (>= the
+  /// period's first dispatch): `chunks` in their allocator's (subset-
+  /// local) worker indices, mapped to engine workers through
+  /// `worker_map`, released at `now` and computing at `alpha`. The first
+  /// dispatch anchors the period clock. Returns the owner index to
+  /// query finish()/busy() with after the next replay().
+  std::size_t dispatch(double now, double alpha,
+                       const std::vector<ChunkAssignment>& chunks,
+                       const std::vector<std::size_t>& worker_map);
+
+  /// Re-simulate the accumulated schedule, refreshing every owner's
+  /// finish and busy time.
+  void replay();
+
+  /// Latest compute end of the owner's chunks, absolute (>= its dispatch
+  /// instant). Valid after a replay(); settled once simulated time has
+  /// passed it.
+  [[nodiscard]] double finish(std::size_t owner) const;
+  /// Σ compute busy time of the owner's chunks.
+  [[nodiscard]] double busy(std::size_t owner) const;
+
+  /// Drop the drained period (call only once every owner has settled).
+  void clear();
+
+ private:
+  const Engine& engine_;
+  const CommModel& model_;
+  double start_ = 0.0;
+  std::vector<ChunkAssignment> schedule_;
+  std::vector<std::size_t> chunk_owner_;
+  std::vector<double> finish_;  ///< per owner, absolute
+  std::vector<double> busy_;    ///< per owner
+};
+
+}  // namespace nldl::sim

@@ -46,8 +46,8 @@ Platform random_platform(util::Rng& rng, bool uniform_c) {
   return Platform(std::move(workers));
 }
 
-std::vector<ChunkAssignment> random_schedule(util::Rng& rng,
-                                             std::size_t p) {
+std::vector<ChunkAssignment> random_schedule(util::Rng& rng, std::size_t p,
+                                             bool with_releases = false) {
   const std::size_t chunks = static_cast<std::size_t>(rng.uniform_int(0, 24));
   std::vector<ChunkAssignment> schedule;
   schedule.reserve(chunks);
@@ -57,6 +57,11 @@ std::vector<ChunkAssignment> random_schedule(util::Rng& rng,
         rng.uniform_int(0, static_cast<std::int64_t>(p) - 1));
     // A few zero-size chunks exercise the instant-completion path.
     chunk.size = rng.uniform() < 0.1 ? 0.0 : rng.uniform(0.1, 10.0);
+    if (with_releases) {
+      // A mix of immediately-available and time-released chunks,
+      // including releases that land mid-flight of earlier transfers.
+      chunk.release = rng.uniform() < 0.4 ? 0.0 : rng.uniform(0.0, 30.0);
+    }
     schedule.push_back(chunk);
   }
   return schedule;
@@ -230,6 +235,82 @@ TEST(CommModel, RejectsBadParameters) {
   EXPECT_THROW(BoundedMultiportModel(0.0), util::PreconditionError);
   EXPECT_THROW(BoundedMultiportModel(-1.0), util::PreconditionError);
   EXPECT_THROW(BoundedMultiportModel(1.0, 0), util::PreconditionError);
+  // Degenerate knobs are rejected, not silently water-filled.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)BoundedMultiportModel(nan), util::PreconditionError);
+  EXPECT_THROW((void)make_comm_model(CommModelKind::kBoundedMultiport, nan),
+               util::PreconditionError);
+  EXPECT_THROW(
+      (void)make_comm_model(CommModelKind::kBoundedMultiport, -2.0),
+      util::PreconditionError);
+  EXPECT_THROW(
+      (void)make_comm_model(CommModelKind::kBoundedMultiport, 1.0, 0),
+      util::PreconditionError);
+}
+
+TEST(CommModel, MaxMinFairRatesRejectsDegenerateInputs) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)max_min_fair_rates({1.0, 2.0}, nan),
+               util::PreconditionError);
+  EXPECT_THROW((void)max_min_fair_rates({1.0, 2.0}, -1.0),
+               util::PreconditionError);
+  EXPECT_THROW((void)max_min_fair_rates({1.0, nan}, 4.0),
+               util::PreconditionError);
+  EXPECT_THROW((void)max_min_fair_rates({-0.5, 1.0}, 4.0),
+               util::PreconditionError);
+  // Zero capacity is a defined (all-zero) answer, not garbage.
+  const auto zero = max_min_fair_rates({1.0, 2.0}, 0.0);
+  EXPECT_DOUBLE_EQ(zero[0], 0.0);
+  EXPECT_DOUBLE_EQ(zero[1], 0.0);
+}
+
+// --- degenerate limits on time-released schedules -------------------------
+
+TEST(CommModelEquivalence, InfiniteCapacityIsParallelLinksWithReleases) {
+  util::Rng rng(2026);
+  for (int rep = 0; rep < 50; ++rep) {
+    const Platform plat = random_platform(rng, /*uniform_c=*/false);
+    const auto schedule =
+        random_schedule(rng, plat.size(), /*with_releases=*/true);
+    const Engine engine(plat, EngineOptions{rep % 2 == 0 ? 1.0 : 2.0});
+    const SimResult links =
+        engine.run(schedule, CommModelKind::kParallelLinks);
+    const SimResult bounded =
+        engine.run(schedule, BoundedMultiportModel(kInf));
+    expect_identical(links, bounded);
+  }
+}
+
+TEST(CommModelEquivalence, SingleTransferAtATimeIsOnePortWithReleases) {
+  util::Rng rng(1729);
+  for (int rep = 0; rep < 50; ++rep) {
+    const Platform plat = random_platform(rng, /*uniform_c=*/false);
+    const auto schedule =
+        random_schedule(rng, plat.size(), /*with_releases=*/true);
+    const Engine engine(plat);
+    const SimResult one_port = engine.run(schedule, CommModelKind::kOnePort);
+    const SimResult bounded =
+        engine.run(schedule, BoundedMultiportModel::one_port());
+    expect_identical(one_port, bounded);
+  }
+}
+
+TEST(CommModelEquivalence, MakespanMonotoneInCapacityWithReleases) {
+  util::Rng rng(77);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Platform plat = random_platform(rng, /*uniform_c=*/false);
+    const auto schedule =
+        random_schedule(rng, plat.size(), /*with_releases=*/true);
+    const Engine engine(plat);
+    double previous = kInf;
+    for (const double capacity : {0.25, 1.0, 4.0, 16.0, kInf}) {
+      const double makespan =
+          engine.run(schedule, BoundedMultiportModel(capacity)).makespan;
+      EXPECT_LE(makespan, previous * (1.0 + 1e-9) + 1e-9)
+          << "capacity " << capacity;
+      previous = makespan;
+    }
+  }
 }
 
 }  // namespace

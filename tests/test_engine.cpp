@@ -418,5 +418,186 @@ TEST(Engine, RunUntilResumeReproducesTotalWorkWhenNothingInFlight) {
   EXPECT_DOUBLE_EQ(partial.completed_load, 6.0);
 }
 
+// --- time-released chunks -------------------------------------------------
+
+TEST(Engine, ReleaseTimeDelaysLinkEntry) {
+  // One worker, c = 1, w = 1: a chunk released at t = 5 starts its
+  // transfer exactly then, even though the link was free from t = 0.
+  const Platform plat = Platform::homogeneous(1, 1.0, 1.0);
+  const Engine engine(plat);
+  const SimResult result =
+      engine.run({{0, 2.0, 5.0}}, CommModelKind::kParallelLinks);
+  EXPECT_DOUBLE_EQ(result.spans[0].comm_start, 5.0);
+  EXPECT_DOUBLE_EQ(result.spans[0].comm_end, 7.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 9.0);
+}
+
+TEST(Engine, ReleasedChunkWaitsForTheLinkFifo) {
+  // The second chunk is released at t = 1 but the link is busy until
+  // t = 4: FIFO order holds and the transfer starts at the link-free
+  // instant, not the release.
+  const Platform plat = Platform::homogeneous(1, 1.0, 1.0);
+  const Engine engine(plat);
+  const SimResult result = engine.run({{0, 4.0}, {0, 2.0, 1.0}},
+                                      CommModelKind::kParallelLinks);
+  EXPECT_DOUBLE_EQ(result.spans[1].comm_start, 4.0);
+  EXPECT_DOUBLE_EQ(result.spans[1].comm_end, 6.0);
+}
+
+TEST(Engine, ZeroReleasesAreBitIdenticalToTheClassicSchedule) {
+  // Explicit release = 0 must reproduce the default-schedule replay bit
+  // for bit (the no-release path is the pre-release engine).
+  const Platform plat = Platform::from_speeds({1.0, 2.0, 4.0}, 0.5);
+  const Engine engine(plat, EngineOptions{2.0});
+  const std::vector<ChunkAssignment> classic{
+      {0, 2.0}, {1, 4.0}, {2, 1.0}, {0, 3.0}};
+  std::vector<ChunkAssignment> released = classic;
+  for (ChunkAssignment& chunk : released) chunk.release = 0.0;
+  for (const CommModelKind kind :
+       {CommModelKind::kParallelLinks, CommModelKind::kOnePort}) {
+    const SimResult a = engine.run(classic, kind);
+    const SimResult b = engine.run(released, kind);
+    ASSERT_EQ(a.spans.size(), b.spans.size());
+    for (std::size_t i = 0; i < a.spans.size(); ++i) {
+      EXPECT_EQ(a.spans[i].comm_start, b.spans[i].comm_start);
+      EXPECT_EQ(a.spans[i].comm_end, b.spans[i].comm_end);
+      EXPECT_EQ(a.spans[i].compute_end, b.spans[i].compute_end);
+    }
+    EXPECT_EQ(a.makespan, b.makespan);
+  }
+}
+
+TEST(Engine, ReleaseIntoASharedMasterRecomputesWaterFilling) {
+  // Capacity 1, private caps 10: transfer A (6 units) runs alone at rate
+  // 1 until t = 2, when B (2 units) is released and the master splits
+  // 0.5/0.5. B finishes at t = 6; A's remaining 2 units then run at rate
+  // 1 again, ending at t = 8.
+  const Platform plat = Platform::homogeneous(2, 0.1, 1.0);
+  const Engine engine(plat);
+  const SimResult result = engine.run({{0, 6.0}, {1, 2.0, 2.0}},
+                                      BoundedMultiportModel(1.0));
+  EXPECT_DOUBLE_EQ(result.spans[1].comm_start, 2.0);
+  EXPECT_NEAR(result.spans[1].comm_end, 6.0, 1e-9);
+  EXPECT_NEAR(result.spans[0].comm_end, 8.0, 1e-9);
+}
+
+TEST(Engine, QuietGapBetweenReleasesAdvancesTime) {
+  // Everything is released late: the engine must jump from an empty
+  // in-flight set to the first release, serve it, go quiet again, and
+  // jump to the second.
+  const Platform plat = Platform::homogeneous(2, 1.0, 1.0);
+  const Engine engine(plat);
+  const SimResult result = engine.run({{0, 1.0, 10.0}, {1, 1.0, 20.0}},
+                                      CommModelKind::kParallelLinks);
+  EXPECT_DOUBLE_EQ(result.spans[0].comm_start, 10.0);
+  EXPECT_DOUBLE_EQ(result.spans[1].comm_start, 20.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 22.0);
+}
+
+TEST(Engine, ZeroSizeChunkHonorsItsRelease) {
+  const Platform plat = Platform::homogeneous(1, 1.0, 1.0);
+  const Engine engine(plat);
+  const SimResult result =
+      engine.run({{0, 0.0, 3.0}}, CommModelKind::kParallelLinks);
+  EXPECT_DOUBLE_EQ(result.spans[0].comm_start, 3.0);
+  EXPECT_DOUBLE_EQ(result.spans[0].comm_end, 3.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 3.0);
+}
+
+TEST(Engine, PerChunkAlphaOverridesTheEngineDefault) {
+  // Engine alpha 1, chunk alpha 2: the chunk pays the quadratic cost; a
+  // sibling chunk with alpha 0 uses the engine default.
+  const Platform plat = Platform::homogeneous(2, 1.0, 1.0);
+  const Engine engine(plat);
+  const SimResult result =
+      engine.run({{0, 3.0, 0.0, 2.0}, {1, 3.0}},
+                 CommModelKind::kParallelLinks);
+  EXPECT_DOUBLE_EQ(result.spans[0].compute_end, 3.0 + 9.0);
+  EXPECT_DOUBLE_EQ(result.spans[1].compute_end, 3.0 + 3.0);
+}
+
+TEST(Engine, RejectsBadReleaseAndAlpha) {
+  const Platform plat = Platform::homogeneous(1);
+  const Engine engine(plat);
+  EXPECT_THROW(
+      (void)engine.run({{0, 1.0, -1.0}}, CommModelKind::kParallelLinks),
+      util::PreconditionError);
+  EXPECT_THROW((void)engine.run({{0, 1.0, kInf}},
+                                CommModelKind::kParallelLinks),
+               util::PreconditionError);
+  EXPECT_THROW(
+      (void)engine.run({{0, 1.0, 0.0, 0.5}}, CommModelKind::kParallelLinks),
+      util::PreconditionError);
+}
+
+TEST(Engine, RunUntilFlagsCancelledSpans) {
+  const Platform plat = Platform::homogeneous(1, 1.0, 2.0);
+  const Engine engine(plat);
+  const std::vector<ChunkAssignment> schedule{{0, 2.0}, {0, 2.0}};
+  const PartialRun partial =
+      engine.run_until(schedule, ParallelLinksModel(), 3.0);
+  EXPECT_FALSE(partial.result.spans[0].cancelled);
+  EXPECT_TRUE(partial.result.spans[1].cancelled);
+}
+
+TEST(Engine, PausedRunDoesNotMisclassifyCancelledWorkersAsIdle) {
+  // Two workers; worker 1's only chunk is still in flight at the pause
+  // boundary and gets cancelled. The paused statistics must not report
+  // worker 1 as a worker the schedule never fed, and the imbalance must
+  // cover only the completed work.
+  const Platform plat = Platform::homogeneous(2, 1.0, 1.0);
+  const Engine engine(plat);
+  const std::vector<ChunkAssignment> schedule{{0, 1.0}, {1, 20.0}};
+  const SimResult full = engine.run(schedule, ParallelLinksModel());
+  const PartialRun partial = engine.run_until(
+      schedule, ParallelLinksModel(), full.spans[0].compute_end);
+  ASSERT_EQ(partial.remaining.size(), 1u);
+  EXPECT_EQ(partial.remaining[0].worker, 1u);
+  EXPECT_EQ(partial.result.idle_workers(), 0u);
+  EXPECT_DOUBLE_EQ(partial.result.load_imbalance(), 0.0);
+}
+
+TEST(Engine, PausedRunStillCountsTrulyIdleWorkers) {
+  // Three workers, but the schedule only ever feeds two: the untouched
+  // worker stays idle in the paused statistics, while the cancelled one
+  // does not.
+  const Platform plat = Platform::homogeneous(3, 1.0, 1.0);
+  const Engine engine(plat);
+  const std::vector<ChunkAssignment> schedule{{0, 1.0}, {1, 20.0}};
+  const SimResult full = engine.run(schedule, ParallelLinksModel());
+  const PartialRun partial = engine.run_until(
+      schedule, ParallelLinksModel(), full.spans[0].compute_end);
+  EXPECT_EQ(partial.result.idle_workers(), 1u);
+}
+
+TEST(Engine, PausedZeroSizeChunkAtTheBoundaryIsNotCancelled) {
+  // A zero-size chunk that completed exactly at t = 0 must stay a
+  // completed chunk in the paused result (distinguishable from a
+  // cancelled chunk only via the flag — their timelines are identical).
+  const Platform plat = Platform::homogeneous(2, 1.0, 1.0);
+  const Engine engine(plat);
+  const std::vector<ChunkAssignment> schedule{{0, 0.0}, {1, 20.0}};
+  const PartialRun partial =
+      engine.run_until(schedule, ParallelLinksModel(), 0.0);
+  EXPECT_FALSE(partial.result.spans[0].cancelled);
+  EXPECT_TRUE(partial.result.spans[1].cancelled);
+  EXPECT_DOUBLE_EQ(partial.completed_load, 0.0);
+  // Worker 0 completed only a zero-size chunk — genuinely idle; worker 1
+  // was cancelled — not idle.
+  EXPECT_EQ(partial.result.idle_workers(), 1u);
+}
+
+TEST(Engine, RunUntilPreservesReleasesInRemaining) {
+  const Platform plat = Platform::homogeneous(1, 1.0, 1.0);
+  const Engine engine(plat);
+  const std::vector<ChunkAssignment> schedule{{0, 2.0},
+                                              {0, 2.0, 50.0, 2.0}};
+  const PartialRun partial =
+      engine.run_until(schedule, ParallelLinksModel(), 3.0);
+  ASSERT_EQ(partial.remaining.size(), 1u);
+  EXPECT_DOUBLE_EQ(partial.remaining[0].release, 50.0);
+  EXPECT_DOUBLE_EQ(partial.remaining[0].alpha, 2.0);
+}
+
 }  // namespace
 }  // namespace nldl::sim

@@ -398,7 +398,8 @@ TEST(Metrics, SummarizeMatchesHandComputation) {
   EXPECT_DOUBLE_EQ(metrics.p50_latency, util::quantile({3, 4, 5}, 0.5));
   EXPECT_DOUBLE_EQ(metrics.p99_latency, util::quantile({3, 4, 5}, 0.99));
   EXPECT_DOUBLE_EQ(metrics.mean_slowdown, 2.0);
-  EXPECT_EQ(metrics.signature().size(), 14u);
+  EXPECT_EQ(metrics.signature().size(), 15u);
+  EXPECT_EQ(metrics.degenerate_slowdowns, 0u);
 }
 
 TEST(Metrics, EmptyRunIsAllZeros) {
@@ -462,6 +463,58 @@ TEST(Metrics, RejectsMalformedRecords) {
   bad.finish = std::numeric_limits<double>::quiet_NaN();
   EXPECT_THROW(acc.push(bad), util::PreconditionError);
   EXPECT_EQ(acc.jobs(), 0u);  // nothing was half-accumulated
+}
+
+TEST(Metrics, DegenerateSlowdownSamplesAreExcludedNotPoisonous) {
+  // An epsilon isolated baseline overflows latency / baseline to +inf;
+  // the documented rule excludes the sample (counting it) so every
+  // slowdown statistic stays finite and the P² state never sees a
+  // non-finite push (which would throw mid-push and leave the
+  // accumulator inconsistent).
+  MetricsAccumulator acc(4);
+  JobStats sane;
+  sane.job = {0, 0.0, 10.0, 1.0};
+  sane.dispatch = 1.0;
+  sane.finish = 5.0;
+  sane.compute_time = 3.0;
+  sane.isolated_makespan = 2.0;
+  JobStats degenerate = sane;
+  degenerate.job.id = 1;
+  degenerate.isolated_makespan = 5e-324;  // denormal: latency / it = inf
+  ASSERT_TRUE(std::isinf(degenerate.slowdown()));
+  acc.push(sane);
+  acc.push(degenerate);
+  acc.push(sane);
+  const ServiceMetrics metrics = acc.finish();
+  EXPECT_EQ(metrics.jobs, 3u);
+  EXPECT_EQ(metrics.degenerate_slowdowns, 1u);
+  for (const double value : metrics.signature()) {
+    EXPECT_TRUE(std::isfinite(value));
+  }
+  // The excluded job still counts toward latency and throughput, and the
+  // surviving slowdown samples are unpolluted.
+  EXPECT_DOUBLE_EQ(metrics.mean_latency, 5.0);
+  EXPECT_DOUBLE_EQ(metrics.mean_slowdown, 2.5);
+  EXPECT_DOUBLE_EQ(metrics.p50_slowdown, 2.5);
+  EXPECT_DOUBLE_EQ(metrics.p95_slowdown, 2.5);
+  EXPECT_DOUBLE_EQ(metrics.p99_slowdown, 2.5);
+}
+
+TEST(Metrics, AllDegenerateSlowdownsReportZeroNotEmptyEstimators) {
+  MetricsAccumulator acc(2);
+  JobStats degenerate;
+  degenerate.job = {0, 0.0, 1.0, 1.0};
+  degenerate.dispatch = 0.0;
+  degenerate.finish = 4.0;
+  degenerate.isolated_makespan = 5e-324;
+  acc.push(degenerate);
+  const ServiceMetrics metrics = acc.finish();
+  EXPECT_EQ(metrics.degenerate_slowdowns, 1u);
+  EXPECT_DOUBLE_EQ(metrics.mean_slowdown, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.p99_slowdown, 0.0);
+  for (const double value : metrics.signature()) {
+    EXPECT_TRUE(std::isfinite(value));
+  }
 }
 
 // --- PredictionCache --------------------------------------------------------
