@@ -11,13 +11,18 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <numeric>
 
 #include "bench/harness.hpp"
 #include "linalg/matmul.hpp"
 #include "partition/block_homogeneous.hpp"
 #include "partition/layout.hpp"
 #include "partition/peri_sum.hpp"
+#include "platform/platform.hpp"
 #include "platform/speed_distributions.hpp"
+#include "sim/comm_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/multiplex.hpp"
 #include "sort/sample_sort.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -52,6 +57,10 @@ const std::vector<KernelCase> kCases{
     {"discretize", 10, 7},
     {"discretize", 100, 7},
     {"discretize", 1000, 7},
+    {"engine_event_loop", 1000, 8},
+    {"engine_event_loop", 10000, 8},
+    {"shared_master_replay", 100, 9},
+    {"shared_master_replay", 400, 9},
 };
 
 std::vector<double> random_speeds(std::size_t p, std::uint64_t seed) {
@@ -117,6 +126,47 @@ MicroResult run_kernel(const KernelCase& kernel, std::size_t reps) {
       checksum = static_cast<double>(dist.total_elements) +
                  dist.result(0, 0) +
                  dist.result(kernel.n - 1, kernel.n - 1);
+    } else if (name == "engine_event_loop") {
+      // n time-released chunks drained through one sim::EngineRun — the
+      // chunk-event hot path (link FIFOs, release heap, rate cache).
+      const auto plat = platform::Platform::two_class(8, 1.0, 4.0);
+      const sim::Engine engine(plat, {});
+      const sim::BoundedMultiportModel model(2.0, 4);
+      util::Rng rng(kernel.seed);
+      sim::EngineRun run(engine, model);
+      double release = 0.0;
+      for (std::size_t i = 0; i < kernel.n; ++i) {
+        if (rng.uniform() < 0.5) release += rng.uniform(0.0, 0.5);
+        (void)run.append(
+            {static_cast<std::size_t>(rng.uniform_int(0, 7)),
+             rng.uniform(0.5, 4.0), release,
+             rng.uniform() < 0.5 ? 1.0 : 2.0});
+      }
+      run.drain();
+      checksum = run.makespan() + static_cast<double>(run.chunks());
+    } else if (name == "shared_master_replay") {
+      // n dispatch+replay rounds of one incremental shared-master busy
+      // period — the servers' per-decision cost.
+      const auto plat = platform::Platform::two_class(8, 1.0, 4.0);
+      const sim::Engine engine(plat, {});
+      const sim::BoundedMultiportModel model(2.0, 4);
+      std::vector<std::size_t> worker_map(plat.size());
+      std::iota(worker_map.begin(), worker_map.end(), std::size_t{0});
+      util::Rng rng(kernel.seed);
+      sim::SharedMasterPeriod period(engine, model, {true});
+      double now = 0.0;
+      for (std::size_t i = 0; i < kernel.n; ++i) {
+        now += rng.uniform(0.0, 1.0);
+        const std::vector<sim::ChunkAssignment> chunks{
+            {static_cast<std::size_t>(rng.uniform_int(0, 7)),
+             rng.uniform(0.5, 4.0)},
+            {static_cast<std::size_t>(rng.uniform_int(0, 7)),
+             rng.uniform(0.5, 4.0)}};
+        const std::size_t owner = period.dispatch(
+            now, rng.uniform() < 0.5 ? 1.0 : 2.0, chunks, worker_map);
+        period.replay();
+        checksum += period.finish(owner);
+      }
     } else if (name == "discretize") {
       const auto part =
           partition::peri_sum_partition(random_speeds(kernel.n, kernel.seed));

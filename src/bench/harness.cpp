@@ -3,6 +3,10 @@
 #include <cstdio>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "util/sweep.hpp"
 
 namespace nldl::bench {
@@ -62,14 +66,51 @@ double Harness::speedup() const noexcept {
   return parallel_seconds_ > 0.0 ? serial_seconds_ / parallel_seconds_ : 0.0;
 }
 
+double Harness::items_per_sec_serial() const noexcept {
+  return serial_seconds_ > 0.0
+             ? static_cast<double>(items_) / serial_seconds_
+             : 0.0;
+}
+
+double Harness::items_per_sec_parallel() const noexcept {
+  return parallel_seconds_ > 0.0
+             ? static_cast<double>(items_) / parallel_seconds_
+             : 0.0;
+}
+
+std::size_t Harness::peak_rss_bytes() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024U;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
 int Harness::finish(
     const std::function<void(util::JsonWriter&)>& emit_points) {
   NLDL_REQUIRE(ran_, "Harness::finish() before run()");
 
+  const std::size_t peak_rss = peak_rss_bytes();
   std::printf("\nrunner[%s]: serial %.3fs | %zu threads %.3fs | speedup "
               "%.2fx | bit-identical: %s\n",
               name_.c_str(), serial_seconds_, threads_, parallel_seconds_,
               speedup(), bit_identical_ ? "yes" : "NO (runner bug!)");
+  if (items_ > 0) {
+    std::printf("runner[%s]: %zu items | %.0f items/s serial | %.0f "
+                "items/s parallel\n",
+                name_.c_str(), items_, items_per_sec_serial(),
+                items_per_sec_parallel());
+  }
+  if (peak_rss > 0) {
+    std::printf("runner[%s]: peak RSS %.1f MiB\n", name_.c_str(),
+                static_cast<double>(peak_rss) / (1024.0 * 1024.0));
+  }
 
   const std::string path =
       options_.json_path.empty() ? "BENCH_" + name_ + ".json"
@@ -91,6 +132,12 @@ int Harness::finish(
     json.key("wall_time_serial_s").value(serial_seconds_);
     json.key("wall_time_parallel_s").value(parallel_seconds_);
     json.key("speedup").value(speedup());
+    if (items_ > 0) {
+      json.key("items").value(items_);
+      json.key("items_per_sec_serial").value(items_per_sec_serial());
+      json.key("items_per_sec_parallel").value(items_per_sec_parallel());
+    }
+    json.key("peak_rss_bytes").value(peak_rss);
     json.key("parallel_bit_identical").value(bit_identical_);
     json.key("points").begin_array();
     emit_points(json);

@@ -11,8 +11,10 @@
 //      runtime proof that the util::Sweep contract (pre-split RNG
 //      sub-streams + ordered reduction) held,
 //   4. streams a machine-readable BENCH_<name>.json via util::JsonWriter:
-//      config metadata, serial/parallel wall times, the self-check
-//      verdict, and a caller-emitted per-point "points" array,
+//      config metadata, serial/parallel wall times, peak RSS, optional
+//      throughput (items/sec, when the driver declared its item count),
+//      the self-check verdict, and a caller-emitted per-point "points"
+//      array,
 //
 // and turns the self-check into the process exit code, so CI fails loudly
 // on any determinism regression.
@@ -63,6 +65,22 @@ class Harness {
   [[nodiscard]] std::size_t repetitions() const noexcept {
     return options_.repetitions;
   }
+
+  /// Declare how many work items one full pass processes (jobs, cells,
+  /// trials — the driver's unit of throughput). When set, finish()
+  /// reports items/sec for the serial and parallel passes. Call any time
+  /// before finish().
+  void items(std::size_t count) noexcept { items_ = count; }
+  [[nodiscard]] std::size_t items() const noexcept { return items_; }
+  /// Items per second of the best serial / parallel pass (0 until run()
+  /// with a non-zero item count).
+  [[nodiscard]] double items_per_sec_serial() const noexcept;
+  [[nodiscard]] double items_per_sec_parallel() const noexcept;
+
+  /// Peak resident set size of this process in bytes (getrusage), 0 where
+  /// unsupported. A process-wide high-water mark — sampled by finish()
+  /// after all passes, so it bounds the benches' working set.
+  [[nodiscard]] static std::size_t peak_rss_bytes() noexcept;
 
   /// Record a config key/value, emitted (in insertion order) into the
   /// JSON "config" object. Call before finish().
@@ -154,6 +172,7 @@ class Harness {
   std::string name_;
   HarnessOptions options_;
   std::size_t threads_ = 1;
+  std::size_t items_ = 0;
   std::vector<ConfigEntry> config_;
   bool ran_ = false;
   bool bit_identical_ = true;

@@ -56,7 +56,8 @@ double Server::simulate_service(const platform::Platform& slot_platform,
 }
 
 std::vector<JobStats> Server::run(const std::vector<Job>& jobs,
-                                  const Scheduler& scheduler) const {
+                                  const Scheduler& scheduler,
+                                  sim::ReplayTelemetry* telemetry) const {
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     NLDL_REQUIRE(jobs[i].id == i, "job ids must be 0..n-1 in order");
     NLDL_REQUIRE(jobs[i].arrival >= 0.0, "job arrivals must be >= 0");
@@ -84,7 +85,8 @@ std::vector<JobStats> Server::run(const std::vector<Job>& jobs,
   }
 
   if (options_.master == MasterMode::kSharedMaster) {
-    run_shared(jobs, scheduler, slot_platforms, slot_workers, stats);
+    run_shared(jobs, scheduler, slot_platforms, slot_workers, stats,
+               telemetry);
   } else {
     run_private(jobs, scheduler, slot_platforms, stats);
   }
@@ -150,7 +152,7 @@ void Server::run_shared(
     const std::vector<Job>& jobs, const Scheduler& scheduler,
     const std::vector<platform::Platform>& slot_platforms,
     const std::vector<std::vector<std::size_t>>& slot_workers,
-    std::vector<JobStats>& stats) const {
+    std::vector<JobStats>& stats, sim::ReplayTelemetry* telemetry) const {
   const std::size_t slots = slot_platforms.size();
   std::vector<double> slot_busy_until(slots, -kNever);
   std::vector<std::size_t> slot_owner(slots, kNoJob);
@@ -164,8 +166,28 @@ void Server::run_shared(
   // finishes-only-move-later invariant the event loop rides on). Each
   // job is one period owner.
   const sim::Engine engine(platform_, {});
-  sim::SharedMasterPeriod period(engine, *model_);
+  sim::SharedMasterPeriod period(engine, *model_,
+                                 {options_.incremental_replay});
   std::vector<std::size_t> owner_job;  // job id per period owner
+
+  // An owner's record only becomes final when its busy period drains, so
+  // per-job finish/compute land in `stats` once per period (amortized
+  // O(1) per job) instead of re-writing every owner after every replay
+  // (O(period) per dispatch — the same quadratic the incremental replay
+  // removes). Finish estimates only move later and the last replay of a
+  // period simulates its complete schedule, so the flushed values are
+  // exactly the per-replay values the historical loop wrote last.
+  const auto flush_period = [&]() {
+    for (std::size_t owner = 0; owner < owner_job.size(); ++owner) {
+      JobStats& record = stats[owner_job[owner]];
+      record.finish = period.finish(owner);
+      record.compute_time = period.busy(owner);
+    }
+    if (telemetry != nullptr) ++telemetry->busy_periods;
+    period.clear();
+    owner_job.clear();
+    std::fill(slot_owner.begin(), slot_owner.end(), kNoJob);
+  };
 
   while (true) {
     while (next_arrival < jobs.size() &&
@@ -180,11 +202,7 @@ void Server::run_shared(
     for (const double until : slot_busy_until) {
       if (until > now) any_busy = true;
     }
-    if (!any_busy && !period.empty()) {
-      period.clear();
-      owner_job.clear();
-      std::fill(slot_owner.begin(), slot_owner.end(), kNoJob);
-    }
+    if (!any_busy && !period.empty()) flush_period();
 
     // Fill idle slots in ascending slot order. One replay after the fill
     // pass refreshes every estimate: the pass itself only reads
@@ -213,11 +231,8 @@ void Server::run_shared(
     }
     if (dispatched) {
       period.replay();
-      for (std::size_t owner = 0; owner < owner_job.size(); ++owner) {
-        JobStats& record = stats[owner_job[owner]];
-        record.finish = period.finish(owner);
-        record.compute_time = period.busy(owner);
-      }
+      // Only the active slots' finish estimates drive the event loop;
+      // per-job records wait for the period flush.
       for (std::size_t s = 0; s < slots; ++s) {
         if (slot_owner[s] != kNoJob) {
           slot_busy_until[s] = period.finish(slot_owner[s]);
@@ -235,6 +250,14 @@ void Server::run_shared(
     if (next_event == kNever) break;
     now = next_event;
   }
+
+  // The loop exits with every slot idle; the final busy period has not
+  // seen the drain branch yet, so flush it here.
+  if (telemetry != nullptr) {
+    telemetry->engine_events += period.events();
+    telemetry->replays += period.replays();
+  }
+  if (!period.empty()) flush_period();
 
   NLDL_ASSERT(queue.empty() && next_arrival == jobs.size(),
               "online server stopped with unserved jobs");

@@ -47,6 +47,7 @@
 #include "platform/platform.hpp"
 #include "sim/comm_model.hpp"
 #include "sim/engine.hpp"
+#include "sim/multiplex.hpp"
 
 namespace nldl::online {
 
@@ -69,6 +70,11 @@ struct ServerOptions {
   /// JobStats::isolated_makespan (the slowdown baseline). Costs one extra
   /// engine run per job.
   bool record_isolated = true;
+  /// Shared-master busy periods resume each replay from a checkpoint of
+  /// the settled prefix (sim::SharedMasterOptions::incremental) instead
+  /// of re-simulating the whole period. Bit-identical results; off only
+  /// buys the O(period²) reference behavior.
+  bool incremental_replay = true;
 };
 
 class Server {
@@ -87,8 +93,12 @@ class Server {
   /// far past the last arrival that takes). `jobs` must be in
   /// non-decreasing arrival order with ids 0..n-1 — the shape every
   /// ArrivalProcess produces. Returns one JobStats per job, in id order.
-  [[nodiscard]] std::vector<JobStats> run(const std::vector<Job>& jobs,
-                                          const Scheduler& scheduler) const;
+  /// `telemetry`, when non-null, accumulates shared-master replay cost
+  /// (engine events, replays, busy periods; untouched under
+  /// kPrivatePort) — the soak bench's events/sec.
+  [[nodiscard]] std::vector<JobStats> run(
+      const std::vector<Job>& jobs, const Scheduler& scheduler,
+      sim::ReplayTelemetry* telemetry = nullptr) const;
 
  private:
   /// Service time of `job` run alone on `slot_platform`; also reports the
@@ -111,7 +121,8 @@ class Server {
   void run_shared(const std::vector<Job>& jobs, const Scheduler& scheduler,
                   const std::vector<platform::Platform>& slot_platforms,
                   const std::vector<std::vector<std::size_t>>& slot_workers,
-                  std::vector<JobStats>& stats) const;
+                  std::vector<JobStats>& stats,
+                  sim::ReplayTelemetry* telemetry) const;
 
   const platform::Platform& platform_;
   ServerOptions options_;

@@ -29,7 +29,8 @@ Server::Server(const platform::Platform& platform, ServerOptions options)
 }
 
 std::vector<JobRecord> Server::run(const std::vector<online::Job>& jobs,
-                                   Policy& policy) const {
+                                   Policy& policy,
+                                   sim::ReplayTelemetry* telemetry) const {
   std::size_t tenants = 1;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     NLDL_REQUIRE(jobs[i].id == i, "job ids must be 0..n-1 in order");
@@ -48,7 +49,7 @@ std::vector<JobRecord> Server::run(const std::vector<online::Job>& jobs,
   const std::size_t concurrency =
       std::clamp<std::size_t>(options_.concurrency, 1, platform_.size());
   if (concurrency > 1) {
-    run_concurrent(jobs, policy, records, concurrency);
+    run_concurrent(jobs, policy, records, concurrency, telemetry);
   } else {
     run_serial(jobs, policy, records);
   }
@@ -144,7 +145,8 @@ void Server::run_serial(const std::vector<online::Job>& jobs, Policy& policy,
 
 void Server::run_concurrent(const std::vector<online::Job>& jobs,
                             Policy& policy, std::vector<JobRecord>& records,
-                            std::size_t concurrency) const {
+                            std::size_t concurrency,
+                            sim::ReplayTelemetry* telemetry) const {
   // Carve the platform into `concurrency` disjoint interleaved subsets
   // (worker i serves subset i mod k, like the online server's slots).
   const platform::Platform::Partition carve =
@@ -184,7 +186,8 @@ void Server::run_concurrent(const std::vector<online::Job>& jobs,
   // configured model (see sim/multiplex.hpp). Each INSTALLMENT is one
   // period owner; installment timelines settle once `now` passes them.
   const sim::Engine engine(platform_, {});
-  sim::SharedMasterPeriod period(engine, *model_);
+  sim::SharedMasterPeriod period(engine, *model_,
+                                 {options_.incremental_replay});
   struct Installment {
     std::size_t job = 0;
     double start = 0.0;  ///< dispatch instant (absolute)
@@ -200,6 +203,9 @@ void Server::run_concurrent(const std::vector<online::Job>& jobs,
           period.finish(owner) - installments[owner].start;
       record.compute_time += period.busy(owner);
       record.finish = std::max(record.finish, period.finish(owner));
+    }
+    if (telemetry != nullptr && !installments.empty()) {
+      ++telemetry->busy_periods;
     }
     period.clear();
     installments.clear();
@@ -327,6 +333,10 @@ void Server::run_concurrent(const std::vector<online::Job>& jobs,
     now = next_event;
   }
 
+  if (telemetry != nullptr) {
+    telemetry->engine_events += period.events();
+    telemetry->replays += period.replays();
+  }
   flush_period();
   NLDL_ASSERT(ready.empty() && next_arrival == jobs.size(),
               "qos server stopped with unserved jobs");

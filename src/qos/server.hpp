@@ -55,6 +55,7 @@
 #include "qos/admission.hpp"
 #include "qos/plan.hpp"
 #include "qos/policy.hpp"
+#include "sim/multiplex.hpp"
 
 namespace nldl::qos {
 
@@ -66,6 +67,12 @@ struct ServerOptions {
   /// whole-platform event loop, bit-identical to the pre-concurrency
   /// server.
   std::size_t concurrency = 1;
+  /// Shared-master busy periods (concurrency > 1) resume each replay
+  /// from a checkpoint of the settled prefix
+  /// (sim::SharedMasterOptions::incremental) instead of re-simulating
+  /// the whole period. Bit-identical results; off only buys the
+  /// O(period²) reference behavior.
+  bool incremental_replay = true;
 };
 
 /// Outcome of one offered job.
@@ -122,9 +129,12 @@ class Server {
   /// arrival order with ids 0..n-1 (the shape generate_tenant_traffic and
   /// every ArrivalProcess produce). `policy` is reset() and then owned
   /// for the duration of the run (it accumulates run-local state).
-  /// Returns one JobRecord per offered job, in id order.
+  /// Returns one JobRecord per offered job, in id order. `telemetry`,
+  /// when non-null, accumulates shared-master replay cost (engine
+  /// events, replays, busy periods; untouched under concurrency == 1).
   [[nodiscard]] std::vector<JobRecord> run(
-      const std::vector<online::Job>& jobs, Policy& policy) const;
+      const std::vector<online::Job>& jobs, Policy& policy,
+      sim::ReplayTelemetry* telemetry = nullptr) const;
 
  private:
   /// The serial (concurrency == 1) and concurrent (k subsets, shared
@@ -133,7 +143,8 @@ class Server {
                   std::vector<JobRecord>& records) const;
   void run_concurrent(const std::vector<online::Job>& jobs, Policy& policy,
                       std::vector<JobRecord>& records,
-                      std::size_t concurrency) const;
+                      std::size_t concurrency,
+                      sim::ReplayTelemetry* telemetry) const;
 
   const platform::Platform& platform_;
   ServerOptions options_;

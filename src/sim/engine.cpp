@@ -9,6 +9,21 @@
 
 namespace nldl::sim {
 
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNoChunk = std::numeric_limits<std::size_t>::max();
+
+/// Remaining transfer time. Full-link-rate transfers use the exact c·size
+/// formula (the retired simulator's arithmetic); shared-rate transfers
+/// divide by the fluid rate.
+double time_left(double remaining, double rate, double link_rate, double c) {
+  if (rate == link_rate) return remaining * c;
+  return remaining / rate;
+}
+
+}  // namespace
+
 double SimResult::load_imbalance() const noexcept {
   // Imbalance is defined over the workers that actually computed
   // something: a worker the schedule never fed is a scheduling decision,
@@ -80,251 +95,425 @@ std::vector<ChunkAssignment> single_round_schedule(
   return schedule;
 }
 
-namespace {
+// ---------------------------------------------------------------------------
+// EngineRun
 
-/// Per-chunk transfer state. `remaining` is measured at `anchor_time`; the
-/// pair is only refreshed when the rate actually changes, so a transfer
-/// that runs at one rate its whole life (both discrete models) finishes at
-/// the exact closed-form instant with no integration drift.
-struct Transfer {
-  double remaining = 0.0;
-  double rate = 0.0;
-  double anchor_time = 0.0;
-  double released = 0.0;
-  double comm_start = 0.0;
-  bool started = false;
-};
-
-/// Remaining transfer time. Full-link-rate transfers use the exact c·size
-/// formula (the retired simulator's arithmetic); shared-rate transfers
-/// divide by the fluid rate.
-double time_left(const Transfer& transfer, double link_rate, double c) {
-  if (transfer.rate == link_rate) return transfer.remaining * c;
-  return transfer.remaining / transfer.rate;
+EngineRun::EngineRun(const Engine& engine, const CommModel& model)
+    : engine_(&engine), model_(&model) {
+  const std::size_t p = engine.platform().size();
+  q_head_.assign(p, kNoChunk);
+  q_tail_.assign(p, kNoChunk);
+  cpu_free_.assign(p, 0.0);
+  ready_at_.assign(p, kInf);
+  worker_finish_.assign(p, 0.0);
+  worker_compute_.assign(p, 0.0);
+  worker_comm_.assign(p, 0.0);
 }
 
-}  // namespace
+// Move worker w's next queued chunk to the head of its link at clock(),
+// or park it (ready_at_ + release heap) when its release time is still in
+// the future. Zero-size chunks travel through the model like any other
+// transfer (so e.g. the one-port model still serializes them at the port
+// in schedule order, as the retired simulator did); they just take no
+// time once served.
+void EngineRun::release_head(std::size_t worker) {
+  const std::size_t idx = q_head_[worker];
+  if (idx == kNoChunk) {
+    ready_at_[worker] = kInf;
+    return;
+  }
+  const ChunkAssignment& chunk = schedule_[idx];
+  if (chunk.release > now_) {
+    ready_at_[worker] = chunk.release;
+    release_heap_.push_back({chunk.release, worker});
+    std::push_heap(release_heap_.begin(), release_heap_.end(),
+                   [](const ParkedRelease& a, const ParkedRelease& b) {
+                     return a.time > b.time;
+                   });
+    return;
+  }
+  ready_at_[worker] = kInf;
+  Transfer& transfer = transfers_[idx];
+  transfer.remaining = chunk.size;
+  transfer.anchor_time = now_;
+  transfer.released = now_;
+  eligible_.insert(std::lower_bound(eligible_.begin(), eligible_.end(), idx),
+                   idx);
+  rates_valid_ = false;
+}
+
+// Earliest pending release, lazily discarding stale heap entries (a
+// worker's entry is stale once ready_at_ no longer matches it: its head
+// was released through another path, or the queue moved on). A worker has
+// at most one fresh entry, so the heap holds O(workers) fresh entries and
+// stale ones are dropped exactly once — O(log n) amortized against the
+// historical O(workers) min_element scan per event.
+double EngineRun::peek_release() {
+  const auto later = [](const ParkedRelease& a, const ParkedRelease& b) {
+    return a.time > b.time;
+  };
+  while (!release_heap_.empty()) {
+    const ParkedRelease& top = release_heap_.front();
+    if (ready_at_[top.worker] == top.time) return top.time;
+    std::pop_heap(release_heap_.begin(), release_heap_.end(), later);
+    release_heap_.pop_back();
+  }
+  return kInf;
+}
+
+// Release every parked head whose time has come (ready_at_ <= clock()).
+bool EngineRun::pop_due_releases() {
+  const auto later = [](const ParkedRelease& a, const ParkedRelease& b) {
+    return a.time > b.time;
+  };
+  bool any = false;
+  while (!release_heap_.empty() && release_heap_.front().time <= now_) {
+    const ParkedRelease top = release_heap_.front();
+    std::pop_heap(release_heap_.begin(), release_heap_.end(), later);
+    release_heap_.pop_back();
+    if (ready_at_[top.worker] == top.time) {
+      release_head(top.worker);
+      any = true;
+    }
+  }
+  return any;
+}
+
+// Ask the model to rate the eligible transfers (sorted by schedule
+// position, at most one per worker) and apply the rates, re-anchoring
+// only transfers whose rate changed. Cached while the eligible set is
+// unchanged: models are deterministic and stateless (the CommModel
+// contract), so re-asking with the same set is both wasted work and — at
+// a checkpoint barrier — a potential source of divergence from the
+// uninterrupted trajectory. The cache guarantees the model sees exactly
+// the same call sequence whether or not the run was paused.
+void EngineRun::assign_rates() {
+  const platform::Platform& plat = engine_->platform();
+  views_.clear();
+  for (const std::size_t idx : eligible_) {
+    const std::size_t w = schedule_[idx].worker;
+    TransferView view;
+    view.chunk = idx;
+    view.worker = w;
+    view.link_rate = plat.worker(w).bandwidth();
+    // Progress the view (not the anchor) to the clock, so models relying
+    // on remaining see current data.
+    view.remaining = std::max(
+        0.0, transfers_[idx].remaining -
+                 transfers_[idx].rate * (now_ - transfers_[idx].anchor_time));
+    view.released = transfers_[idx].released;
+    views_.push_back(view);
+  }
+  rates_.assign(views_.size(), 0.0);
+  model_->assign_rates(views_, rates_);
+
+  bool any_positive = false;
+  for (std::size_t j = 0; j < views_.size(); ++j) {
+    const std::size_t idx = views_[j].chunk;
+    Transfer& transfer = transfers_[idx];
+    NLDL_ASSERT(rates_[j] >= 0.0, "comm model assigned a negative rate");
+    const double rate = std::min(rates_[j], views_[j].link_rate);
+    if (rate > 0.0) any_positive = true;
+    if (rate != transfer.rate) {
+      transfer.remaining =
+          std::max(0.0, transfer.remaining -
+                            transfer.rate * (now_ - transfer.anchor_time));
+      transfer.anchor_time = now_;
+      transfer.rate = rate;
+    }
+    if (rate > 0.0 && !transfer.started) {
+      transfer.started = true;
+      transfer.comm_start = now_;
+    }
+  }
+  NLDL_ASSERT(any_positive, "comm model starves every pending transfer");
+  rates_valid_ = true;
+}
+
+// Record the chunk's span once its communication is over, queueing its
+// computation on the worker's CPU (receive/compute pipelining: compute of
+// chunk k overlaps the receive of chunk k+1).
+void EngineRun::finish_chunk(std::size_t idx, ChunkCompletionRef hook) {
+  const ChunkAssignment& chunk = schedule_[idx];
+  const auto& proc = engine_->platform().worker(chunk.worker);
+  const Transfer& transfer = transfers_[idx];
+  ChunkSpan& span = spans_[idx];
+  span.worker = chunk.worker;
+  span.size = chunk.size;
+  span.comm_start = transfer.started ? transfer.comm_start : now_;
+  span.comm_end = now_;
+  const double compute_duration =
+      proc.w * std::pow(chunk.size, chunk.alpha > 0.0 ? chunk.alpha
+                                                      : engine_->options().alpha);
+  span.compute_start = std::max(span.comm_end, cpu_free_[chunk.worker]);
+  span.compute_end = span.compute_start + compute_duration;
+  cpu_free_[chunk.worker] = span.compute_end;
+
+  worker_comm_[chunk.worker] += span.comm_end - span.comm_start;
+  worker_compute_[chunk.worker] += compute_duration;
+  worker_finish_[chunk.worker] = span.compute_end;
+  makespan_ = std::max(makespan_, span.compute_end);
+  if (hook) hook(idx, span);
+}
+
+std::size_t EngineRun::append(const ChunkAssignment& chunk) {
+  NLDL_REQUIRE(chunk.worker < engine_->platform().size(),
+               "chunk assigned to unknown worker");
+  NLDL_REQUIRE(chunk.size >= 0.0, "chunk size must be >= 0");
+  NLDL_REQUIRE(std::isfinite(chunk.release) && chunk.release >= 0.0,
+               "chunk release time must be finite and >= 0");
+  NLDL_REQUIRE(chunk.alpha == 0.0 || chunk.alpha >= 1.0,
+               "per-chunk alpha must be 0 (engine default) or >= 1");
+  NLDL_REQUIRE(chunk.release >= now_,
+               "appended chunk released in the simulated past");
+
+  const std::size_t idx = schedule_.size();
+  schedule_.push_back(chunk);
+  spans_.emplace_back();
+  transfers_.emplace_back();
+  fifo_next_.push_back(kNoChunk);
+
+  // Chunks to one worker serialize in schedule order, release times
+  // notwithstanding: a released chunk never overtakes an earlier chunk to
+  // the same worker.
+  const std::size_t w = chunk.worker;
+  const bool queue_was_empty = q_head_[w] == kNoChunk;
+  if (q_tail_[w] != kNoChunk) fifo_next_[q_tail_[w]] = idx;
+  q_tail_[w] = idx;
+  if (queue_was_empty) {
+    q_head_[w] = idx;
+    release_head(w);
+  }
+  return idx;
+}
+
+void EngineRun::advance_to(double barrier, ChunkCompletionRef hook) {
+  const platform::Platform& plat = engine_->platform();
+  while (true) {
+    const double next_release = peek_release();
+    if (eligible_.empty()) {
+      // Nothing in flight. Jump to the next release (a quiet gap between
+      // releases) — unless it lies beyond the barrier, or the schedule
+      // has drained.
+      if (next_release == kInf || next_release > barrier) break;
+      now_ = std::max(now_, next_release);
+      ++events_;
+      pop_due_releases();
+      continue;
+    }
+    if (!rates_valid_) assign_rates();
+
+    // Advance to the earliest transfer completion — or to the next
+    // release, whose newcomer changes the rate assignment (water-filling
+    // must be recomputed the instant a transfer joins the master).
+    double next = next_release;
+    for (const std::size_t idx : eligible_) {
+      const Transfer& transfer = transfers_[idx];
+      if (transfer.rate <= 0.0) continue;
+      const auto& proc = plat.worker(schedule_[idx].worker);
+      next = std::min(next, transfer.anchor_time +
+                                time_left(transfer.remaining, transfer.rate,
+                                          proc.bandwidth(), proc.c));
+    }
+    NLDL_ASSERT(std::isfinite(next), "no finite next event");
+    // Events strictly after the barrier belong to a later advance — stop
+    // with every transfer's anchor untouched so resuming is bit-identical
+    // to never having paused.
+    if (next > barrier) break;
+    now_ = std::max(now_, next);
+    ++events_;
+
+    // Chunks whose release has come enter their link head now. They were
+    // not part of the rate interval that just elapsed; the next rate
+    // assignment includes the newcomers.
+    const bool any_released = pop_due_releases();
+
+    // Complete every transfer done at the clock. Transfers running below
+    // their private link rate (fluid sharing) additionally snap within
+    // the retired water-filling simulator's tolerance: fair sharing
+    // leaves O(eps)-sized residues on transfers that tie in exact
+    // arithmetic. Full-link-rate transfers never snap, so the discrete
+    // models keep their exact closed-form finish times even in near-ties.
+    done_.clear();
+    for (const std::size_t idx : eligible_) {
+      const Transfer& transfer = transfers_[idx];
+      if (transfer.rate <= 0.0) continue;
+      const auto& proc = plat.worker(schedule_[idx].worker);
+      const double finish =
+          transfer.anchor_time + time_left(transfer.remaining, transfer.rate,
+                                           proc.bandwidth(), proc.c);
+      const bool shared_rate = transfer.rate != proc.bandwidth();
+      const double left =
+          transfer.remaining - transfer.rate * (now_ - transfer.anchor_time);
+      if (finish <= now_ ||
+          (shared_rate &&
+           left <= 1e-12 * std::max(1.0, schedule_[idx].size))) {
+        done_.push_back(idx);
+      }
+    }
+    NLDL_ASSERT(!done_.empty() || any_released,
+                "event advanced time without a completion or a release");
+    if (done_.empty()) continue;
+
+    for (const std::size_t idx : done_) {
+      const std::size_t w = schedule_[idx].worker;
+      q_head_[w] = fifo_next_[idx];
+      finish_chunk(idx, hook);
+      release_head(w);
+    }
+    // Batch-remove the completed chunks from the eligible set: both
+    // sequences are ascending (successors released above insert in
+    // sorted position past their finished predecessors), so one
+    // two-pointer sweep replaces the historical per-chunk erase+find.
+    std::size_t next_done = 0;
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < eligible_.size(); ++i) {
+      if (next_done < done_.size() && eligible_[i] == done_[next_done]) {
+        ++next_done;
+        continue;
+      }
+      eligible_[out++] = eligible_[i];
+    }
+    eligible_.resize(out);
+    finalized_ += done_.size();
+    rates_valid_ = false;
+  }
+  // All events up to the barrier are processed; the clock advances to the
+  // barrier itself (when finite) so appends at the barrier are legal and
+  // repeated advances are idempotent.
+  if (std::isfinite(barrier) && barrier > now_) now_ = barrier;
+}
+
+void EngineRun::drain(ChunkCompletionRef hook) { advance_to(kInf, hook); }
+
+void EngineRun::reset() {
+  const std::size_t p = engine_->platform().size();
+  schedule_.clear();
+  spans_.clear();
+  transfers_.clear();
+  fifo_next_.clear();
+  q_head_.assign(p, kNoChunk);
+  q_tail_.assign(p, kNoChunk);
+  cpu_free_.assign(p, 0.0);
+  ready_at_.assign(p, kInf);
+  worker_finish_.assign(p, 0.0);
+  worker_compute_.assign(p, 0.0);
+  worker_comm_.assign(p, 0.0);
+  release_heap_.clear();
+  eligible_.clear();
+  views_.clear();
+  rates_.clear();
+  done_.clear();
+  now_ = 0.0;
+  finalized_ = 0;
+  makespan_ = 0.0;
+  rates_valid_ = false;
+  // events_ deliberately survives: it counts over the run object's
+  // lifetime, so a server reusing one scratch run across busy periods
+  // keeps a cumulative event tally for telemetry.
+}
+
+void EngineRun::shrink() {
+  schedule_.shrink_to_fit();
+  spans_.shrink_to_fit();
+  transfers_.shrink_to_fit();
+  fifo_next_.shrink_to_fit();
+  release_heap_.shrink_to_fit();
+  eligible_.shrink_to_fit();
+  views_.shrink_to_fit();
+  rates_.shrink_to_fit();
+  done_.shrink_to_fit();
+}
+
+std::size_t EngineRun::compact(std::vector<std::size_t>& old_to_new) {
+  const std::size_t n = schedule_.size();
+  old_to_new.assign(n, kNoChunk);
+
+  // A chunk is live iff it is still on some worker's link FIFO: q_head_
+  // only advances past a chunk when finish_chunk finalizes it, and
+  // eligible (in-flight) chunks are their queues' heads. Everything not
+  // reachable from a head is finalized.
+  for (std::size_t w = 0; w < q_head_.size(); ++w) {
+    for (std::size_t idx = q_head_[w]; idx != kNoChunk;
+         idx = fifo_next_[idx]) {
+      old_to_new[idx] = 0;
+    }
+  }
+
+  // Renumber survivors in ascending old order and slide their state down
+  // in place (new <= old throughout, so the moves never clobber).
+  std::size_t next = 0;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    if (old_to_new[idx] == kNoChunk) continue;
+    old_to_new[idx] = next;
+    schedule_[next] = schedule_[idx];
+    spans_[next] = spans_[idx];
+    transfers_[next] = transfers_[idx];
+    fifo_next_[next] = fifo_next_[idx];  // old target; remapped below
+    ++next;
+  }
+  const std::size_t dropped = n - next;
+  schedule_.resize(next);
+  spans_.resize(next);
+  transfers_.resize(next);
+  fifo_next_.resize(next);
+
+  for (std::size_t i = 0; i < next; ++i) {
+    if (fifo_next_[i] != kNoChunk) fifo_next_[i] = old_to_new[fifo_next_[i]];
+  }
+  for (std::size_t w = 0; w < q_head_.size(); ++w) {
+    if (q_head_[w] == kNoChunk) {
+      // Empty queue: the stale tail (a dropped chunk, or soon-reused
+      // index) must not receive an append's fifo link.
+      q_tail_[w] = kNoChunk;
+    } else {
+      q_head_[w] = old_to_new[q_head_[w]];
+      q_tail_[w] = old_to_new[q_tail_[w]];
+    }
+  }
+  for (std::size_t& idx : eligible_) idx = old_to_new[idx];
+  done_.clear();  // last advance's completions: old indices, all dropped
+  // views_ may hold stale chunk indices, but they are only ever read by
+  // assign_rates, which rebuilds them; the rates_valid_ cache (and every
+  // Transfer's anchor/rate) is untouched, so the event trajectory
+  // continues exactly as if compaction had not happened.
+  finalized_ = 0;
+  return dropped;
+}
+
+SimResult EngineRun::take_result() {
+  NLDL_REQUIRE(drained(), "take_result requires a fully drained run");
+  SimResult result;
+  result.spans = std::move(spans_);
+  result.worker_finish = std::move(worker_finish_);
+  result.worker_compute_time = std::move(worker_compute_);
+  result.worker_comm_time = std::move(worker_comm_);
+  result.makespan = makespan_;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Engine batch API — one-shot conveniences over EngineRun.
 
 SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
                       const CommModel& model) const {
-  return run(schedule, model, ChunkCompletionHook{});
+  EngineRun run(*this, model);
+  for (const ChunkAssignment& chunk : schedule) (void)run.append(chunk);
+  run.drain();
+  return run.take_result();
 }
 
 SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
                       const CommModel& model,
                       const ChunkCompletionHook& on_chunk_complete) const {
-  const std::size_t p = platform_.size();
-  const double alpha = options_.alpha;
-
-  SimResult result;
-  result.spans.resize(schedule.size());
-  result.worker_finish.assign(p, 0.0);
-  result.worker_compute_time.assign(p, 0.0);
-  result.worker_comm_time.assign(p, 0.0);
-
-  // Validate the schedule and build the per-worker link queues (chunks to
-  // one worker serialize in schedule order, release times notwithstanding:
-  // a released chunk never overtakes an earlier chunk to the same worker).
-  std::vector<std::vector<std::size_t>> queue(p);
-  for (std::size_t idx = 0; idx < schedule.size(); ++idx) {
-    const ChunkAssignment& chunk = schedule[idx];
-    NLDL_REQUIRE(chunk.worker < p, "chunk assigned to unknown worker");
-    NLDL_REQUIRE(chunk.size >= 0.0, "chunk size must be >= 0");
-    NLDL_REQUIRE(std::isfinite(chunk.release) && chunk.release >= 0.0,
-                 "chunk release time must be finite and >= 0");
-    NLDL_REQUIRE(chunk.alpha == 0.0 || chunk.alpha >= 1.0,
-                 "per-chunk alpha must be 0 (engine default) or >= 1");
-    queue[chunk.worker].push_back(idx);
+  EngineRun run(*this, model);
+  for (const ChunkAssignment& chunk : schedule) (void)run.append(chunk);
+  if (on_chunk_complete) {
+    run.drain(ChunkCompletionRef(on_chunk_complete));
+  } else {
+    run.drain();
   }
-
-  std::vector<std::size_t> head(p, 0);
-  std::vector<Transfer> transfers(schedule.size());
-  std::vector<double> cpu_free(p, 0.0);
-  std::vector<std::size_t> eligible;  // chunk indices, ascending
-
-  // Record the chunk's span once its communication is over, queueing its
-  // computation on the worker's CPU (receive/compute pipelining: compute
-  // of chunk k overlaps the receive of chunk k+1).
-  auto finish_chunk = [&](std::size_t idx, double comm_end) {
-    const ChunkAssignment& chunk = schedule[idx];
-    const auto& proc = platform_.worker(chunk.worker);
-    ChunkSpan& span = result.spans[idx];
-    span.worker = chunk.worker;
-    span.size = chunk.size;
-    span.comm_start =
-        transfers[idx].started ? transfers[idx].comm_start : comm_end;
-    span.comm_end = comm_end;
-    const double compute_duration =
-        proc.w *
-        std::pow(chunk.size, chunk.alpha > 0.0 ? chunk.alpha : alpha);
-    span.compute_start = std::max(span.comm_end, cpu_free[chunk.worker]);
-    span.compute_end = span.compute_start + compute_duration;
-    cpu_free[chunk.worker] = span.compute_end;
-
-    result.worker_comm_time[chunk.worker] += span.comm_end - span.comm_start;
-    result.worker_compute_time[chunk.worker] += compute_duration;
-    result.worker_finish[chunk.worker] = span.compute_end;
-    result.makespan = std::max(result.makespan, span.compute_end);
-    if (on_chunk_complete) on_chunk_complete(idx, span);
-  };
-
-  // `ready_at[w]` is the instant worker w's head chunk may enter the link:
-  // its link is free but the chunk's release time has not come yet.
-  // +infinity when the worker has no pending head (link busy, queue
-  // drained, or head already eligible).
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::vector<double> ready_at(p, kInf);
-
-  // Move worker w's next queued chunk to the head of its link at `now`,
-  // or park it in ready_at when its release time is still in the future.
-  // Zero-size chunks travel through the model like any other transfer
-  // (so e.g. the one-port model still serializes them at the port in
-  // schedule order, as the retired simulator did); they just take no time
-  // once served.
-  auto release_head = [&](std::size_t w, double now) {
-    if (head[w] >= queue[w].size()) {
-      ready_at[w] = kInf;
-      return;
-    }
-    const std::size_t idx = queue[w][head[w]];
-    if (schedule[idx].release > now) {
-      ready_at[w] = schedule[idx].release;
-      return;
-    }
-    ready_at[w] = kInf;
-    Transfer& transfer = transfers[idx];
-    transfer.remaining = schedule[idx].size;
-    transfer.anchor_time = now;
-    transfer.released = now;
-    eligible.insert(
-        std::lower_bound(eligible.begin(), eligible.end(), idx), idx);
-  };
-
-  for (std::size_t w = 0; w < p; ++w) release_head(w, 0.0);
-
-  std::vector<TransferView> views;
-  std::vector<double> rates;
-  std::vector<std::size_t> done;
-  double now = 0.0;
-
-  while (true) {
-    const double next_release =
-        *std::min_element(ready_at.begin(), ready_at.end());
-    if (eligible.empty()) {
-      // Nothing in flight. Jump to the next release (a quiet gap between
-      // releases) or finish the replay.
-      if (next_release == kInf) break;
-      now = std::max(now, next_release);
-      for (std::size_t w = 0; w < p; ++w) {
-        if (ready_at[w] <= now) release_head(w, now);
-      }
-      continue;
-    }
-    // 1. Ask the model to rate the eligible transfers (sorted by schedule
-    // position, at most one per worker).
-    views.clear();
-    for (const std::size_t idx : eligible) {
-      const std::size_t w = schedule[idx].worker;
-      TransferView view;
-      view.chunk = idx;
-      view.worker = w;
-      view.link_rate = platform_.worker(w).bandwidth();
-      // Progress the view (not the anchor) to `now`, so models relying on
-      // remaining see current data.
-      view.remaining = std::max(
-          0.0, transfers[idx].remaining -
-                   transfers[idx].rate * (now - transfers[idx].anchor_time));
-      view.released = transfers[idx].released;
-      views.push_back(view);
-    }
-    rates.assign(views.size(), 0.0);
-    model.assign_rates(views, rates);
-
-    // 2. Apply the rates, re-anchoring only transfers whose rate changed.
-    bool any_positive = false;
-    for (std::size_t j = 0; j < views.size(); ++j) {
-      const std::size_t idx = views[j].chunk;
-      Transfer& transfer = transfers[idx];
-      NLDL_ASSERT(rates[j] >= 0.0, "comm model assigned a negative rate");
-      const double rate = std::min(rates[j], views[j].link_rate);
-      if (rate > 0.0) any_positive = true;
-      if (rate != transfer.rate) {
-        transfer.remaining = std::max(
-            0.0, transfer.remaining -
-                     transfer.rate * (now - transfer.anchor_time));
-        transfer.anchor_time = now;
-        transfer.rate = rate;
-      }
-      if (rate > 0.0 && !transfer.started) {
-        transfer.started = true;
-        transfer.comm_start = now;
-      }
-    }
-    NLDL_ASSERT(any_positive, "comm model starves every pending transfer");
-
-    // 3. Advance to the earliest transfer completion — or to the next
-    // release, whose newcomer changes the rate assignment (water-filling
-    // must be recomputed the instant a transfer joins the master).
-    double next = next_release;
-    for (const std::size_t idx : eligible) {
-      const Transfer& transfer = transfers[idx];
-      if (transfer.rate <= 0.0) continue;
-      const auto& proc = platform_.worker(schedule[idx].worker);
-      next = std::min(next, transfer.anchor_time +
-                                time_left(transfer, proc.bandwidth(),
-                                          proc.c));
-    }
-    NLDL_ASSERT(std::isfinite(next), "no finite next event");
-    now = std::max(now, next);
-
-    // 3b. Chunks whose release has come enter their link head at `now`.
-    // They were not part of the rate interval that just elapsed; the next
-    // iteration re-rates everyone with the newcomers included.
-    bool any_released = false;
-    for (std::size_t w = 0; w < p; ++w) {
-      if (ready_at[w] <= now) {
-        release_head(w, now);
-        any_released = true;
-      }
-    }
-
-    // 4. Complete every transfer done at `now`. Transfers running below
-    // their private link rate (fluid sharing) additionally snap within
-    // the retired water-filling simulator's tolerance: fair sharing
-    // leaves O(eps)-sized residues on transfers that tie in exact
-    // arithmetic. Full-link-rate transfers never snap, so the discrete
-    // models keep their exact closed-form finish times even in
-    // near-ties.
-    done.clear();
-    for (const std::size_t idx : eligible) {
-      const Transfer& transfer = transfers[idx];
-      if (transfer.rate <= 0.0) continue;
-      const auto& proc = platform_.worker(schedule[idx].worker);
-      const double finish =
-          transfer.anchor_time + time_left(transfer, proc.bandwidth(),
-                                           proc.c);
-      const bool shared_rate = transfer.rate != proc.bandwidth();
-      const double left =
-          transfer.remaining - transfer.rate * (now - transfer.anchor_time);
-      if (finish <= now ||
-          (shared_rate &&
-           left <= 1e-12 * std::max(1.0, schedule[idx].size))) {
-        done.push_back(idx);
-      }
-    }
-    NLDL_ASSERT(!done.empty() || any_released,
-                "event advanced time without a completion or a release");
-    for (const std::size_t idx : done) {
-      eligible.erase(
-          std::find(eligible.begin(), eligible.end(), idx));
-      const std::size_t w = schedule[idx].worker;
-      ++head[w];
-      finish_chunk(idx, now);
-      release_head(w, now);
-    }
-  }
-
-  return result;
+  return run.take_result();
 }
 
 SimResult Engine::run(const std::vector<ChunkAssignment>& schedule,
@@ -338,29 +527,32 @@ PartialRun Engine::run_until(const std::vector<ChunkAssignment>& schedule,
                              double stop_after) const {
   // The uninterrupted run IS the history up to any boundary: pausing only
   // stops future dispatches, so the completed chunks' spans can be read
-  // straight off the full replay.
-  const SimResult full = run(schedule, model);
+  // straight off the full replay. The honored boundary — the earliest
+  // compute completion at or after the requested stop — falls out of the
+  // completion hook, so the spans are walked exactly once below.
+  double boundary = kInf;
+  EngineRun staged(*this, model);
+  for (const ChunkAssignment& chunk : schedule) (void)staged.append(chunk);
+  const auto observe = [&](std::size_t, const ChunkSpan& span) {
+    if (span.compute_end >= stop_after && span.compute_end < boundary) {
+      boundary = span.compute_end;
+    }
+  };
+  staged.drain(ChunkCompletionRef(observe));
+  SimResult full = staged.take_result();
 
   PartialRun partial;
   if (stop_after >= full.makespan) {
-    partial.result = full;
     partial.pause_time = full.makespan;
     for (const ChunkAssignment& chunk : schedule) {
       partial.completed_load += chunk.size;
     }
+    partial.result = std::move(full);
     return partial;
   }
 
-  // The honored boundary: the earliest compute completion at or after the
-  // requested stop (the in-flight chunk finishes; it exists because
-  // stop_after < makespan = the latest compute completion).
-  double boundary = full.makespan;
-  for (const ChunkSpan& span : full.spans) {
-    if (span.compute_end >= stop_after) {
-      boundary = std::min(boundary, span.compute_end);
-    }
-  }
-
+  // stop_after < makespan, so the chunk achieving the makespan bounds
+  // `boundary` (the in-flight chunk finishes; nothing past it is kept).
   const std::size_t p = platform_.size();
   partial.pause_time = boundary;
   partial.result.spans.resize(schedule.size());

@@ -29,11 +29,24 @@
 // BoundedMultiportModel the rates follow max-min fair water-filling,
 // recomputed at every completion, generalizing the retired single-round
 // simulate_bounded_multiport() to arbitrary schedules.
+//
+// Run-state / checkpoint semantics: the whole event loop lives in the
+// copyable EngineRun object. A run can be advanced up to a time barrier,
+// have chunks appended at the barrier, and be resumed — and the resumed
+// trajectory is bit-identical to a from-scratch replay of the combined
+// schedule, because (a) a chunk released at time t cannot influence any
+// event before t, and (b) pausing never re-anchors an in-flight transfer
+// (rate assignments are cached while the eligible set is unchanged).
+// Copying an EngineRun checkpoints it: the incremental shared-master
+// replay (sim/multiplex.hpp) copies the settled prefix and drains only
+// the speculative tail of each busy period.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <limits>
+#include <type_traits>
 #include <vector>
 
 #include "platform/platform.hpp"
@@ -161,9 +174,209 @@ struct PartialRun {
 using ChunkCompletionHook =
     std::function<void(std::size_t chunk, const ChunkSpan& span)>;
 
+/// Non-owning, non-allocating reference to a chunk-completion observer —
+/// the hot-path replacement for passing a std::function into the event
+/// loop (a std::function costs a potential allocation at every call site
+/// and an opaque indirect call; the ref is two raw pointers). The callable
+/// bound must outlive every advance_to()/drain() call it is passed to.
+/// A default-constructed ref is empty and safely "no hook".
+class ChunkCompletionRef {
+ public:
+  ChunkCompletionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, ChunkCompletionRef>>>
+  ChunkCompletionRef(const F& fn)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&fn))),
+        fn_([](void* obj, std::size_t chunk, const ChunkSpan& span) {
+          (*static_cast<const F*>(obj))(chunk, span);
+        }) {}
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return fn_ != nullptr;
+  }
+  void operator()(std::size_t chunk, const ChunkSpan& span) const {
+    fn_(obj_, chunk, span);
+  }
+
+ private:
+  void* obj_ = nullptr;
+  void (*fn_)(void*, std::size_t, const ChunkSpan&) = nullptr;
+};
+
+class Engine;
+
+/// The engine's event loop as a first-class, resumable, copyable value.
+///
+/// An EngineRun owns a schedule plus every piece of mutable replay state:
+/// per-worker link-queue heads, in-flight transfer progress (anchored
+/// remaining/rate pairs), per-worker cpu_free, the pending-release heap,
+/// and the event clock. The lifecycle is
+///
+///     EngineRun run(engine, model);
+///     run.append(chunk);            // any number, releases >= clock()
+///     run.advance_to(t, hook);      // process every event at time <= t
+///     run.append(later_chunk);      // released at the barrier
+///     run.drain(hook);              // run the rest to completion
+///
+/// and the fundamental contract is bit-identity: interleaving
+/// advance_to()/append() in release order produces spans bitwise equal to
+/// appending everything up front and draining once — which is itself
+/// bitwise equal to the historical Engine::run() on the same schedule.
+/// Copy-assigning an EngineRun checkpoints it (plain value semantics; the
+/// copy reuses the destination's buffer capacity), which is what makes
+/// the shared-master busy-period replay incremental: keep a persistent
+/// run advanced to the last dispatch, copy it, and drain only the copy.
+///
+/// Scratch buffers (model views, rate arrays, completion batches) live in
+/// the run and are reused across events, appends, and reset() — a
+/// long-lived run allocates only when the schedule outgrows every
+/// previous high-water mark.
+///
+/// Engine and CommModel are referenced, not owned, and must outlive the
+/// run. Determinism notes: the rate assignment is cached while the
+/// eligible transfer set is unchanged (models are deterministic and
+/// stateless per the CommModel contract), so pausing at a barrier never
+/// inserts an extra, state-perturbing model call into the trajectory.
+class EngineRun {
+ public:
+  EngineRun(const Engine& engine, const CommModel& model);
+
+  /// Simulated clock: every event at time <= clock() has been processed.
+  [[nodiscard]] double clock() const noexcept { return now_; }
+  /// Engine events processed over this run object's lifetime (loop
+  /// iterations that advanced the clock) — the soak bench's events/sec.
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+  [[nodiscard]] std::size_t chunks() const noexcept {
+    return schedule_.size();
+  }
+  /// Every appended chunk has been finalized.
+  [[nodiscard]] bool drained() const noexcept {
+    return finalized_ == schedule_.size();
+  }
+  /// Chunks finalized and still occupying slots in the per-chunk arrays
+  /// (compact() drops them and resets this to 0).
+  [[nodiscard]] std::size_t finalized() const noexcept { return finalized_; }
+  /// Spans in schedule order; a span is meaningful once its chunk has
+  /// been finalized (reported to the completion hook).
+  [[nodiscard]] const std::vector<ChunkSpan>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] double makespan() const noexcept { return makespan_; }
+  [[nodiscard]] const std::vector<ChunkAssignment>& schedule()
+      const noexcept {
+    return schedule_;
+  }
+
+  /// Append one chunk at the schedule tail. The chunk's release must be
+  /// >= clock(): appending cannot rewrite the already-simulated past.
+  /// Returns the chunk's schedule index.
+  std::size_t append(const ChunkAssignment& chunk);
+
+  /// Process every event with time <= `barrier`, invoking the hook as
+  /// chunk timelines are finalized, then advance the clock to the barrier
+  /// (when finite). Events strictly after the barrier are untouched — in
+  /// particular no in-flight transfer is re-anchored, so resuming later
+  /// (with or without appends at the barrier) is bit-identical to never
+  /// having paused. A barrier <= clock() is a no-op.
+  void advance_to(double barrier, ChunkCompletionRef on_chunk_complete = {});
+
+  /// advance_to(+infinity): run the remaining schedule to completion.
+  void drain(ChunkCompletionRef on_chunk_complete = {});
+
+  /// Forget the schedule and every event, returning to an empty run at
+  /// clock 0. Buffer capacity is kept (the reuse path of a long-running
+  /// server); call shrink() to release it.
+  void reset();
+
+  /// Release excess buffer capacity (after reset(), frees everything).
+  void shrink();
+
+  /// Drop every finalized chunk from the per-chunk arrays, renumbering
+  /// the survivors (stable: relative schedule order is preserved, which
+  /// is what the comm models' schedule-order semantics key on — the
+  /// event trajectory is bit-identical with or without compaction).
+  /// `old_to_new` is resized to the pre-compaction chunk count and maps
+  /// each old index to its new one, or to SIZE_MAX for dropped chunks.
+  /// Returns the number of chunks dropped. Dropped chunks vanish from
+  /// spans()/schedule()/take_result(), so callers that keep chunk
+  /// indices (or want the batch result) must remap via `old_to_new` /
+  /// harvest spans through the completion hook instead. The checkpoint
+  /// copy of a long-lived run shrinks from O(all chunks ever) to O(live
+  /// chunks) — what keeps an open-ended busy period's replay cost flat.
+  std::size_t compact(std::vector<std::size_t>& old_to_new);
+
+  /// Move the accumulated spans / per-worker statistics out as a
+  /// SimResult (the historical batch-API shape). The run must be fully
+  /// drained; afterwards the run is only good for reset().
+  [[nodiscard]] SimResult take_result();
+
+ private:
+  /// Per-chunk transfer state. `remaining` is measured at `anchor_time`;
+  /// the pair is only refreshed when the rate actually changes, so a
+  /// transfer that runs at one rate its whole life (both discrete models)
+  /// finishes at the exact closed-form instant with no integration drift.
+  struct Transfer {
+    double remaining = 0.0;
+    double rate = 0.0;
+    double anchor_time = 0.0;
+    double released = 0.0;
+    double comm_start = 0.0;
+    bool started = false;
+  };
+
+  /// Pending-release heap entry (min-heap on `time`, lazy deletion: an
+  /// entry is stale once ready_at_[worker] != time).
+  struct ParkedRelease {
+    double time = 0.0;
+    std::size_t worker = 0;
+  };
+
+  void release_head(std::size_t worker);
+  [[nodiscard]] double peek_release();
+  bool pop_due_releases();
+  void assign_rates();
+  void finish_chunk(std::size_t idx, ChunkCompletionRef hook);
+
+  const Engine* engine_ = nullptr;
+  const CommModel* model_ = nullptr;
+
+  double now_ = 0.0;
+  std::uint64_t events_ = 0;
+  std::size_t finalized_ = 0;
+  double makespan_ = 0.0;
+  /// rates_/transfers_ reflect a model call on the current eligible set.
+  bool rates_valid_ = false;
+
+  // Per chunk, indexed by schedule position.
+  std::vector<ChunkAssignment> schedule_;
+  std::vector<ChunkSpan> spans_;
+  std::vector<Transfer> transfers_;
+  std::vector<std::size_t> fifo_next_;  ///< next chunk to the same worker
+
+  // Per worker.
+  std::vector<std::size_t> q_head_;  ///< front of the link queue (kNoChunk)
+  std::vector<std::size_t> q_tail_;
+  std::vector<double> cpu_free_;
+  std::vector<double> ready_at_;  ///< parked head's release, +inf otherwise
+  std::vector<double> worker_finish_;
+  std::vector<double> worker_compute_;
+  std::vector<double> worker_comm_;
+
+  // Event machinery (flat, reused across events and resets).
+  std::vector<ParkedRelease> release_heap_;
+  std::vector<std::size_t> eligible_;  ///< chunk indices, ascending
+  std::vector<TransferView> views_;
+  std::vector<double> rates_;
+  std::vector<std::size_t> done_;
+};
+
 /// The single simulation entry point. Holds a reference to the platform
 /// (which must outlive the engine) and replays schedules under any
-/// communication model.
+/// communication model. The batch run() APIs are one-shot conveniences
+/// over EngineRun (append everything, drain, harvest); use EngineRun
+/// directly to checkpoint, resume, or append mid-run.
 class Engine {
  public:
   explicit Engine(const platform::Platform& platform,

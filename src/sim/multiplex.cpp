@@ -1,23 +1,90 @@
 #include "sim/multiplex.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/assert.hpp"
 
 namespace nldl::sim {
 
 SharedMasterPeriod::SharedMasterPeriod(const Engine& engine,
-                                       const CommModel& model)
-    : engine_(engine), model_(model) {}
+                                       const CommModel& model,
+                                       SharedMasterOptions options)
+    : engine_(engine),
+      model_(model),
+      options_(options),
+      settled_(engine, model),
+      scratch_(engine, model) {}
+
+// A chunk finalized by the settled (persistent) run is final forever: its
+// contribution lands in the settled totals once. The served totals mirror
+// it unless the owner is currently speculatively estimated — the same
+// chunk was then already simulated (identically) by the last speculative
+// drain, so the served totals already include it.
+void SharedMasterPeriod::on_settled(std::size_t chunk,
+                                    const ChunkSpan& span) {
+  const std::size_t owner = chunk_owner_[chunk];
+  settled_finish_[owner] =
+      std::max(settled_finish_[owner], start_ + span.compute_end);
+  settled_busy_[owner] += span.compute_end - span.compute_start;
+  if (!touched_flag_[owner]) {
+    finish_[owner] = settled_finish_[owner];
+    busy_[owner] = settled_busy_[owner];
+  }
+}
+
+void SharedMasterPeriod::on_speculative(std::size_t chunk,
+                                        const ChunkSpan& span) {
+  const std::size_t owner = chunk_owner_[chunk];
+  if (!touched_flag_[owner]) {
+    touched_flag_[owner] = 1;
+    touched_.push_back(owner);
+  }
+  finish_[owner] = std::max(finish_[owner], start_ + span.compute_end);
+  busy_[owner] += span.compute_end - span.compute_start;
+}
 
 std::size_t SharedMasterPeriod::dispatch(
     double now, double alpha, const std::vector<ChunkAssignment>& chunks,
     const std::vector<std::size_t>& worker_map) {
-  if (schedule_.empty()) start_ = now;
+  if (finish_.empty()) start_ = now;
   NLDL_REQUIRE(now >= start_,
                "dispatches must not precede the period's first dispatch");
   const double release = now - start_;
   const std::size_t owner = finish_.size();
+
+  if (options_.incremental) {
+    // Everything simulated before the new release barrier is final (a
+    // chunk released at `release` cannot influence any earlier event):
+    // advance the persistent run to the barrier, folding the chunks it
+    // finalizes into the settled totals.
+    const std::uint64_t before = settled_.events();
+    const auto hook = [this](std::size_t chunk, const ChunkSpan& span) {
+      on_settled(chunk, span);
+    };
+    settled_.advance_to(release, ChunkCompletionRef(hook));
+    events_ += settled_.events() - before;
+
+    // Once finalized chunks dominate the settled run, drop them and
+    // renumber chunk_owner_ to match — the per-replay checkpoint copy
+    // stays O(live chunks) even when one busy period spans the whole
+    // stream (a saturated open system never drains).
+    if (settled_.finalized() >= options_.compact_threshold &&
+        settled_.finalized() * 2 >= settled_.chunks()) {
+      if (settled_.compact(compact_remap_) > 0) {
+        constexpr std::size_t kDropped =
+            std::numeric_limits<std::size_t>::max();
+        std::size_t out = 0;
+        for (std::size_t old = 0; old < chunk_owner_.size(); ++old) {
+          if (compact_remap_[old] == kDropped) continue;
+          chunk_owner_[compact_remap_[old]] = chunk_owner_[old];
+          ++out;
+        }
+        chunk_owner_.resize(out);
+      }
+    }
+  }
+
   for (const ChunkAssignment& chunk : chunks) {
     NLDL_REQUIRE(chunk.worker < worker_map.size(),
                  "chunk outside the dispatch's worker map");
@@ -25,25 +92,66 @@ std::size_t SharedMasterPeriod::dispatch(
     shared.worker = worker_map[chunk.worker];
     shared.release = release;
     shared.alpha = alpha;
-    schedule_.push_back(shared);
+    if (options_.incremental) {
+      (void)settled_.append(shared);
+    } else {
+      schedule_.push_back(shared);
+    }
     chunk_owner_.push_back(owner);
   }
   finish_.push_back(start_);
   busy_.push_back(0.0);
+  settled_finish_.push_back(start_);
+  settled_busy_.push_back(0.0);
+  touched_flag_.push_back(0);
   return owner;
 }
 
 void SharedMasterPeriod::replay() {
+  ++replays_;
+  if (options_.incremental) {
+    replay_incremental();
+  } else {
+    replay_full();
+  }
+}
+
+// The reference semantics: wipe every owner and re-simulate the whole
+// accumulated schedule from scratch. Reuses the scratch run's buffers so
+// even the O(n²) mode stops re-allocating per replay.
+void SharedMasterPeriod::replay_full() {
   std::fill(finish_.begin(), finish_.end(), start_);
   std::fill(busy_.begin(), busy_.end(), 0.0);
-  (void)engine_.run(schedule_, model_,
-                    [&](std::size_t chunk, const ChunkSpan& span) {
-                      const std::size_t owner = chunk_owner_[chunk];
-                      finish_[owner] = std::max(
-                          finish_[owner], start_ + span.compute_end);
-                      busy_[owner] +=
-                          span.compute_end - span.compute_start;
-                    });
+  const std::uint64_t before = scratch_.events();
+  scratch_.reset();
+  for (const ChunkAssignment& chunk : schedule_) (void)scratch_.append(chunk);
+  const auto hook = [this](std::size_t chunk, const ChunkSpan& span) {
+    const std::size_t owner = chunk_owner_[chunk];
+    finish_[owner] = std::max(finish_[owner], start_ + span.compute_end);
+    busy_[owner] += span.compute_end - span.compute_start;
+  };
+  scratch_.drain(ChunkCompletionRef(hook));
+  events_ += scratch_.events() - before;
+}
+
+// Incremental: roll the owners the previous speculative drain touched
+// back to their settled totals (O(touched), not O(owners) — settled
+// owners keep their totals untouched), checkpoint the settled run, and
+// drain only the speculative tail.
+void SharedMasterPeriod::replay_incremental() {
+  for (const std::size_t owner : touched_) {
+    finish_[owner] = settled_finish_[owner];
+    busy_[owner] = settled_busy_[owner];
+    touched_flag_[owner] = 0;
+  }
+  touched_.clear();
+
+  scratch_ = settled_;
+  const auto hook = [this](std::size_t chunk, const ChunkSpan& span) {
+    on_speculative(chunk, span);
+  };
+  scratch_.drain(ChunkCompletionRef(hook));
+  events_ += scratch_.events() - settled_.events();
 }
 
 double SharedMasterPeriod::finish(std::size_t owner) const {
@@ -57,10 +165,34 @@ double SharedMasterPeriod::busy(std::size_t owner) const {
 }
 
 void SharedMasterPeriod::clear() {
+  // Decaying high-water mark of period sizes: remembers the recent burst
+  // scale, forgets one-off spikes within a few periods.
+  high_water_ = std::max(chunk_owner_.size(), high_water_ - high_water_ / 4);
   schedule_.clear();
   chunk_owner_.clear();
   finish_.clear();
   busy_.clear();
+  settled_finish_.clear();
+  settled_busy_.clear();
+  touched_flag_.clear();
+  touched_.clear();
+  settled_.reset();
+  scratch_.reset();
+  start_ = 0.0;
+  if (chunk_owner_.capacity() > 4 * high_water_ + 64) shrink();
+}
+
+void SharedMasterPeriod::shrink() {
+  schedule_.shrink_to_fit();
+  chunk_owner_.shrink_to_fit();
+  finish_.shrink_to_fit();
+  busy_.shrink_to_fit();
+  settled_finish_.shrink_to_fit();
+  settled_busy_.shrink_to_fit();
+  touched_flag_.shrink_to_fit();
+  touched_.shrink_to_fit();
+  settled_.shrink();
+  scratch_.shrink();
 }
 
 }  // namespace nldl::sim

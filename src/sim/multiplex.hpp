@@ -5,8 +5,8 @@
 // A SharedMasterPeriod accumulates the chunks of every unit of work
 // ("owner" — a whole job for the online server, one installment for the
 // qos server) dispatched during one busy period of a shared master, and
-// re-simulates the accumulated schedule through one sim::Engine run
-// under one CommModel after each dispatch:
+// simulates the accumulated schedule through sim::EngineRun state under
+// one CommModel after each dispatch:
 //
 //   - chunk times are PERIOD-RELATIVE: the period's first dispatch is
 //     the engine's t = 0, so a single-owner period reproduces a private
@@ -22,17 +22,27 @@
 //     every replay and advance on the current estimates, which is
 //     exactly causal under that invariant.
 //
-// Cost: replay() re-simulates the period from its anchor, so a busy
-// period of n dispatches costs O(n^2) chunk-events in total. Periods are
-// flushed whenever the platform drains, which bounds n by the burst
-// length in practice (the contention bench's worst cell simulates in
-// milliseconds). The settled prefix never changes, so an incremental
-// replay resuming from a checkpoint of engine state is possible if a
-// workload ever needs it — noted in ROADMAP under dynamic
-// repartitioning.
+// Incremental replay (the default): the settled prefix of a busy period
+// never changes, so the period keeps a persistent EngineRun advanced
+// exactly to the latest dispatch's release — every event before that
+// barrier is final — and each replay() checkpoints that run (a capacity-
+// reusing copy) and drains only the speculative tail. Each replay is
+// amortized O(new + in-flight chunk events) instead of O(period), which
+// is the difference between O(n) and O(n²) total work for an n-dispatch
+// busy period. Owner totals split the same way: settled contributions
+// accumulate once, forever; only owners the speculative tail touched are
+// re-estimated (and rolled back to settled before the next drain).
+//
+// Full replay (SharedMasterOptions::incremental = false) re-simulates
+// the whole period from scratch on every call — the original semantics,
+// kept as the bit-identity reference: the incremental path must and does
+// produce bitwise equal finish()/busy() sequences, which
+// tests/test_incremental_replay.cpp pins on randomized schedules under
+// all three CommModels.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sim/comm_model.hpp"
@@ -40,30 +50,68 @@
 
 namespace nldl::sim {
 
+struct SharedMasterOptions {
+  /// Resume each replay from a checkpoint of the settled prefix instead
+  /// of re-simulating the whole busy period. Bit-identical to full
+  /// replay; off only buys the O(n²) reference behavior.
+  bool incremental = true;
+  /// Compact the settled run (drop finalized chunks, EngineRun::compact)
+  /// once it holds at least this many finalized chunks and they are the
+  /// majority — keeps the per-replay checkpoint copy O(live chunks) even
+  /// for a busy period that never drains (a saturated open system), at
+  /// amortized O(1) per chunk. Identical results either way.
+  std::size_t compact_threshold = 1024;
+};
+
+/// Replay-cost telemetry a server accumulates across its run — how many
+/// chunk-level engine events were simulated (including speculative
+/// re-estimation), how many replays, how many busy periods. The soak
+/// bench reports events/sec from this.
+struct ReplayTelemetry {
+  std::uint64_t engine_events = 0;
+  std::uint64_t replays = 0;
+  std::uint64_t busy_periods = 0;
+};
+
 /// One open busy period of a shared master. Holds references to the
 /// engine and model, which must outlive it.
 class SharedMasterPeriod {
  public:
-  SharedMasterPeriod(const Engine& engine, const CommModel& model);
+  SharedMasterPeriod(const Engine& engine, const CommModel& model,
+                     SharedMasterOptions options = {});
 
-  /// No dispatches accumulated (a replay would be empty).
-  [[nodiscard]] bool empty() const noexcept { return schedule_.empty(); }
+  /// No dispatches accumulated (a replay would be empty). Owner-based:
+  /// compaction may drop every chunk of a fully drained period while its
+  /// owners still await a flush.
+  [[nodiscard]] bool empty() const noexcept { return finish_.empty(); }
   [[nodiscard]] std::size_t owners() const noexcept {
     return finish_.size();
   }
+  [[nodiscard]] bool incremental() const noexcept {
+    return options_.incremental;
+  }
+  /// Chunk-level engine events simulated by this period so far, across
+  /// clears (speculative drains included — this is the work actually
+  /// done, which is what makes incremental vs full comparable).
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+  /// replay() calls so far, across clears.
+  [[nodiscard]] std::uint64_t replays() const noexcept { return replays_; }
 
   /// Register one unit of work dispatched at absolute time `now` (>= the
   /// period's first dispatch): `chunks` in their allocator's (subset-
   /// local) worker indices, mapped to engine workers through
   /// `worker_map`, released at `now` and computing at `alpha`. The first
-  /// dispatch anchors the period clock. Returns the owner index to
+  /// dispatch anchors the period clock. Under incremental replay this
+  /// also advances the settled prefix to the new release barrier —
+  /// everything simulated before it is final. Returns the owner index to
   /// query finish()/busy() with after the next replay().
   std::size_t dispatch(double now, double alpha,
                        const std::vector<ChunkAssignment>& chunks,
                        const std::vector<std::size_t>& worker_map);
 
-  /// Re-simulate the accumulated schedule, refreshing every owner's
-  /// finish and busy time.
+  /// Refresh every owner's finish and busy time: full mode re-simulates
+  /// the accumulated schedule, incremental mode drains a checkpoint of
+  /// the settled prefix. Identical results either way.
   void replay();
 
   /// Latest compute end of the owner's chunks, absolute (>= its dispatch
@@ -74,16 +122,54 @@ class SharedMasterPeriod {
   [[nodiscard]] double busy(std::size_t owner) const;
 
   /// Drop the drained period (call only once every owner has settled).
+  /// Keeps buffer capacity for the next burst, but shrinks automatically
+  /// when capacity dwarfs a decaying high-water mark of recent period
+  /// sizes — a long-running server's buffers track its bursts instead of
+  /// growing monotonically toward the largest burst ever seen.
   void clear();
 
+  /// Release excess buffer capacity now (clear() calls this through the
+  /// high-water heuristic; exposed for explicit memory ceilings).
+  void shrink();
+
  private:
+  void on_settled(std::size_t chunk, const ChunkSpan& span);
+  void on_speculative(std::size_t chunk, const ChunkSpan& span);
+  void replay_full();
+  void replay_incremental();
+
   const Engine& engine_;
   const CommModel& model_;
+  SharedMasterOptions options_;
   double start_ = 0.0;
+
+  /// Full mode: the accumulated period-relative schedule to re-simulate.
+  /// Incremental mode keeps the schedule inside settled_ instead.
   std::vector<ChunkAssignment> schedule_;
   std::vector<std::size_t> chunk_owner_;
-  std::vector<double> finish_;  ///< per owner, absolute
-  std::vector<double> busy_;    ///< per owner
+
+  /// Per owner: current (served) totals — settled plus the latest
+  /// speculative drain's contributions.
+  std::vector<double> finish_;  ///< absolute
+  std::vector<double> busy_;
+
+  // Incremental state. settled_ is the persistent run advanced to the
+  // latest release barrier; scratch_ is the reusable checkpoint it is
+  // copied into and drained speculatively. settled_finish_/settled_busy_
+  // hold only contributions of chunks the settled run finalized; owners
+  // in touched_ diverge from settled in finish_/busy_ and are rolled
+  // back before the next speculative drain.
+  EngineRun settled_;
+  EngineRun scratch_;
+  std::vector<double> settled_finish_;
+  std::vector<double> settled_busy_;
+  std::vector<std::uint8_t> touched_flag_;
+  std::vector<std::size_t> touched_;
+  std::vector<std::size_t> compact_remap_;  ///< EngineRun::compact scratch
+
+  std::uint64_t events_ = 0;
+  std::uint64_t replays_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace nldl::sim
