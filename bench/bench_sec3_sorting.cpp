@@ -251,23 +251,23 @@ std::vector<SortRaceRow> sample_vs_merge(std::uint64_t seed) {
     using Clock = std::chrono::steady_clock;
 
     auto copy = data;
-    const auto t0 = Clock::now();
+    const auto t0 = Clock::now();  // nldl-lint: allow(nondet-source): sort wall timer — reported only
     std::sort(copy.begin(), copy.end());
-    const auto t1 = Clock::now();
+    const auto t1 = Clock::now();  // nldl-lint: allow(nondet-source): sort wall timer — reported only
 
     auto merge_in = data;
-    const auto t2 = Clock::now();
+    const auto t2 = Clock::now();  // nldl-lint: allow(nondet-source): sort wall timer — reported only
     const auto merged =
         sort::parallel_merge_sort(std::move(merge_in), 4, &pool);
-    const auto t3 = Clock::now();
+    const auto t3 = Clock::now();  // nldl-lint: allow(nondet-source): sort wall timer — reported only
 
     sort::SampleSortConfig config;
     config.num_buckets = 4;
     config.pool = &pool;
     auto sample_in = data;
-    const auto t4 = Clock::now();
+    const auto t4 = Clock::now();  // nldl-lint: allow(nondet-source): sort wall timer — reported only
     const auto sampled = sort::sample_sort(std::move(sample_in), config);
-    const auto t5 = Clock::now();
+    const auto t5 = Clock::now();  // nldl-lint: allow(nondet-source): sort wall timer — reported only
 
     NLDL_ASSERT(merged == copy && sampled == copy,
                 "parallel sorts disagree with std::sort");

@@ -182,14 +182,14 @@ Sec42Results compute_all(std::size_t threads, std::uint64_t seed) {
               const auto [pr, pc] = kCyclicGrids[row.grid_index];
               const auto n = static_cast<std::size_t>(row.n);
               for (const double block : kCyclicBlocks) {
-                row.volume_per_block.push_back(
+                row.volume_per_block.push_back(static_cast<double>(
                     linalg::block_cyclic_matmul_comm(
                         linalg::make_block_cyclic(
-                            n, static_cast<std::size_t>(block), pr, pc)));
+                            n, static_cast<std::size_t>(block), pr, pc))));
               }
-              row.closed_form =
+              row.closed_form = static_cast<double>(
                   linalg::block_cyclic_matmul_comm_closed_form(
-                      linalg::make_block_cyclic(n, 1, pr, pc));
+                      linalg::make_block_cyclic(n, 1, pr, pc)));
               return row;
             });
   }

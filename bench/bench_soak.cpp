@@ -201,12 +201,12 @@ SoakResults compute_all(std::size_t threads,
       util::Sweep(std::move(grid), options)
           .map<CellResult>([&](const util::SweepPoint& point, util::Rng&) {
             const CellSpec& spec = specs[point.index_of("cell")];
-            const auto start = std::chrono::steady_clock::now();
+            const auto start = std::chrono::steady_clock::now();  // nldl-lint: allow(nondet-source): cell wall timer — reported only
             CellResult cell =
                 spec.qos ? run_qos_cell(plat, spec, qos_rate)
                          : run_online_cell(plat, spec, online_rate);
             cell.wall_seconds = std::chrono::duration<double>(
-                                    std::chrono::steady_clock::now() - start)
+                                    std::chrono::steady_clock::now() - start)  // nldl-lint: allow(nondet-source): cell wall timer — reported only
                                     .count();
             return cell;
           });

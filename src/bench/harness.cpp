@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -78,14 +79,25 @@ double Harness::items_per_sec_parallel() const noexcept {
              : 0.0;
 }
 
+std::size_t Harness::ru_maxrss_to_bytes(long ru_maxrss,
+                                        RssUnit unit) noexcept {
+  if (ru_maxrss <= 0) return 0;  // failed/absurd reading, not a real RSS
+  const auto raw = static_cast<std::size_t>(ru_maxrss);
+  if (unit == RssUnit::kBytes) return raw;
+  // KiB -> bytes; clamp instead of wrapping on a (pathological) overflow.
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  if (raw > kMax / 1024U) return 0;
+  return raw * 1024U;
+}
+
 std::size_t Harness::peak_rss_bytes() noexcept {
 #if defined(__unix__) || defined(__APPLE__)
   struct rusage usage {};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
 #if defined(__APPLE__)
-  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+  return ru_maxrss_to_bytes(usage.ru_maxrss, RssUnit::kBytes);
 #else
-  return static_cast<std::size_t>(usage.ru_maxrss) * 1024U;  // KiB on Linux
+  return ru_maxrss_to_bytes(usage.ru_maxrss, RssUnit::kKibibytes);
 #endif
 #else
   return 0;

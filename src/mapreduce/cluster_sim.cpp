@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
-#include <unordered_set>
+#include <set>
 
 #include "util/assert.hpp"
 #include "util/stats.hpp"
@@ -23,8 +23,11 @@ ClusterOutcome run_cluster(const std::vector<SimTask>& tasks,
   out.worker_time.assign(p, 0.0);
   out.bytes_per_worker.assign(p, 0.0);
 
-  // Per-worker block cache.
-  std::vector<std::unordered_set<BlockId>> cache(p);
+  // Per-worker block cache. Ordered set: only membership is queried
+  // today, but an ordered container keeps any future iteration (cache
+  // eviction, debugging dumps) deterministic by construction —
+  // tests/test_determinism_order.cpp pins insertion-order independence.
+  std::vector<std::set<BlockId>> cache(p);
 
   // Event queue of (time worker becomes idle, worker).
   using Event = std::pair<double, std::size_t>;

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <queue>
-#include <unordered_set>
+#include <set>
 
 #include "util/assert.hpp"
 
@@ -45,7 +45,9 @@ SpeculationOutcome run_with_stragglers(const std::vector<SimTask>& tasks,
   out.worker_busy.assign(p, 0.0);
   if (tasks.empty()) return out;
 
-  std::vector<std::unordered_set<BlockId>> cache(p);
+  // Ordered set for the same reason as cluster_sim.cpp: membership-only
+  // today, deterministic iteration if anyone ever walks it.
+  std::vector<std::set<BlockId>> cache(p);
   auto fetch_inputs = [&](std::size_t task, std::size_t worker) {
     for (const BlockId block : tasks[task].inputs) {
       if (cache[worker].insert(block).second) {

@@ -28,9 +28,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "online/arrivals.hpp"
@@ -101,7 +101,11 @@ class PredictionCache {
     bool operator==(const PlatformSignature&) const = default;
   };
 
-  std::unordered_map<std::size_t, Entry> cache_;
+  /// Ordered map (nldl-lint unordered-container rule): lookups are by
+  /// exact job id so ordering is irrelevant today, but an ordered memo
+  /// guarantees any future walk (eviction stats, serialization) visits
+  /// entries in id order on every run.
+  std::map<std::size_t, Entry> cache_;
   PlatformSignature platform_signature_;
   bool bound_ = false;  ///< platform_signature_ is meaningful
   std::size_t hits_ = 0;

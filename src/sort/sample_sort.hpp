@@ -141,13 +141,13 @@ std::vector<T> sample_sort_impl(std::vector<T> data,
     stats->num_buckets = num_buckets;
   }
   if (data.size() < 2 || num_buckets < 2) {
-    const auto t0 = Clock::now();
+    const auto t0 = Clock::now();  // nldl-lint: allow(nondet-source): step wall-time instrumentation reported in SampleSortStats — never feeds the sort
     std::sort(data.begin(), data.end());
     if (stats != nullptr) {
       stats->bucket_sizes.assign(1, data.size());
       stats->max_bucket = data.size();
       stats->max_over_expected = 1.0;
-      stats->step3_seconds = seconds_between(t0, Clock::now());
+      stats->step3_seconds = seconds_between(t0, Clock::now());  // nldl-lint: allow(nondet-source): step wall-time instrumentation reported in SampleSortStats — never feeds the sort
     }
     return data;
   }
@@ -155,10 +155,10 @@ std::vector<T> sample_sort_impl(std::vector<T> data,
   util::Rng rng(config.seed);
 
   // Step 1: splitters.
-  const auto t0 = Clock::now();
+  const auto t0 = Clock::now();  // nldl-lint: allow(nondet-source): step wall-time instrumentation reported in SampleSortStats — never feeds the sort
   const std::vector<T> splitters =
       select_splitters(data, sample_size, ranks, rng);
-  const auto t1 = Clock::now();
+  const auto t1 = Clock::now();  // nldl-lint: allow(nondet-source): step wall-time instrumentation reported in SampleSortStats — never feeds the sort
 
   // Step 2: classify and scatter (stable counting scatter).
   const std::vector<std::uint32_t> bucket_of = classify(data, splitters);
@@ -175,7 +175,7 @@ std::vector<T> sample_sort_impl(std::vector<T> data,
       scattered[cursor[bucket_of[i]]++] = data[i];
     }
   }
-  const auto t2 = Clock::now();
+  const auto t2 = Clock::now();  // nldl-lint: allow(nondet-source): step wall-time instrumentation reported in SampleSortStats — never feeds the sort
 
   // Step 3: local sorts, one bucket per (virtual) worker.
   if (config.pool != nullptr) {
@@ -195,7 +195,7 @@ std::vector<T> sample_sort_impl(std::vector<T> data,
                 scattered.begin() + static_cast<std::ptrdiff_t>(offsets[b + 1]));
     }
   }
-  const auto t3 = Clock::now();
+  const auto t3 = Clock::now();  // nldl-lint: allow(nondet-source): step wall-time instrumentation reported in SampleSortStats — never feeds the sort
 
   if (stats != nullptr) {
     stats->oversampling = sample_size / num_buckets;

@@ -1,6 +1,8 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <charconv>
 #include <cstdlib>
 
 #include "util/assert.hpp"
@@ -44,7 +46,15 @@ long long Args::get_int(const std::string& key, long long fallback) const {
 double Args::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end() || it->second.empty()) return fallback;
-  return std::stod(it->second);
+  // Locale-independent parse: std::stod honors LC_NUMERIC, so a
+  // comma-decimal locale would silently misread "--load=1.5".
+  const std::string& text = it->second;
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  NLDL_REQUIRE(ec == std::errc() && ptr == text.data() + text.size(),
+               "unparseable number for --" + key + ": " + text);
+  return value;
 }
 
 bool Args::get_bool(const std::string& key, bool fallback) const {

@@ -1,0 +1,15 @@
+// Fixture: locale must fire on locale-dependent float parsing/formatting.
+#include <clocale>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+double parse_all(const std::string& text) {
+  double a = std::stod(text);                       // line 8: stod
+  double b = atof(text.c_str());                    // line 9: atof
+  double c = strtod(text.c_str(), nullptr);         // line 10: strtod
+  double d = 0.0;
+  sscanf(text.c_str(), "%lf", &d);                  // line 12: sscanf
+  std::setlocale(LC_ALL, "de_DE.UTF-8");            // line 13: setlocale
+  return a + b + c + d;
+}

@@ -1,0 +1,15 @@
+// Fixture: nondet-source must fire on C PRNGs, entropy, and clocks.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned noisy_seed() {
+  std::srand(42);                                   // line 8: srand
+  std::random_device entropy;                       // line 9: entropy
+  const auto stamp = std::time(nullptr);            // line 10: time()
+  const auto tick = std::chrono::steady_clock::now();  // line 11: now()
+  (void)stamp;
+  (void)tick;
+  return entropy() + static_cast<unsigned>(std::rand());  // line 14: rand
+}

@@ -1,0 +1,29 @@
+// Fixture: parallel-accum must fire on float atomics, parallel execution
+// policies, OpenMP pragmas, and compound updates inside an inline
+// parallel_for lambda.
+#include <atomic>
+#include <cstddef>
+#include <execution>
+#include <numeric>
+#include <vector>
+
+std::atomic<double> global_sum{0.0};  // line 10: float atomic
+
+double reduce_fast(const std::vector<double>& values) {
+  return std::reduce(std::execution::par, values.begin(),
+                     values.end());  // line 13: par policy
+}
+
+void omp_reduce(const std::vector<double>& values, double& out) {
+#pragma omp parallel for reduction(+ : out)
+  for (std::size_t i = 0; i < values.size(); ++i) out += values[i];
+}
+
+template <typename Pool>
+double pool_reduce(Pool& pool, const std::vector<double>& values) {
+  double sum = 0.0;
+  parallel_for(pool, 0, values.size(), 64, [&](std::size_t i) {
+    sum += values[i];  // line 26: racing compound update
+  });
+  return sum;
+}

@@ -1,0 +1,13 @@
+// Fixture: pointer-order must fire on pointer-keyed ordered containers
+// and std::less over raw pointers.
+#include <functional>
+#include <map>
+#include <set>
+
+struct Worker {
+  int id = 0;
+};
+
+std::map<const Worker*, double> busy_by_worker;     // line 11: pointer key
+std::set<Worker*> ready;                            // line 12: pointer key
+std::less<const Worker*> by_address;                // line 13: address order

@@ -1,0 +1,16 @@
+// Fixture: unordered-container must fire on declarations and members.
+#include <unordered_map>
+#include <unordered_set>
+
+struct ResultCache {
+  std::unordered_map<int, double> totals;  // line 6: member
+};
+
+double sum_all(const ResultCache& cache) {
+  double sum = 0.0;
+  std::unordered_set<int> seen;  // line 11: local
+  for (const auto& [id, value] : cache.totals) {
+    if (seen.insert(id).second) sum += value;
+  }
+  return sum;
+}

@@ -1,0 +1,17 @@
+// Fixture: std::from_chars / std::to_chars pass (locale-independent by
+// specification); so do identifiers containing the banned tokens
+// (custom_stod is someone's wrapper, method(...) is not atof).
+#include <charconv>
+#include <string>
+
+double custom_stod(const std::string& text) {
+  double value = 0.0;
+  std::from_chars(text.data(), text.data() + text.size(), value);
+  return value;
+}
+
+std::string format(double value) {
+  char buffer[64];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof buffer, value);
+  return ec == std::errc() ? std::string(buffer, end) : std::string();
+}

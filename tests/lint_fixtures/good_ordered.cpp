@@ -1,0 +1,19 @@
+// Fixture: ordered containers pass; prose about std::unordered_map in a
+// comment or a string must NOT fire (the scanner strips both).
+#include <map>
+#include <set>
+
+struct ResultCache {
+  std::map<int, double> totals;
+};
+
+double sum_all(const ResultCache& cache) {
+  const char* docs = "never use std::unordered_map here";
+  (void)docs;
+  double sum = 0.0;
+  std::set<int> seen;
+  for (const auto& [id, value] : cache.totals) {
+    if (seen.insert(id).second) sum += value;
+  }
+  return sum;
+}

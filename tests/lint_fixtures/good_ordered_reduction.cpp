@@ -1,0 +1,20 @@
+// Fixture: map-then-ordered-fold passes — per-item results are collected
+// and reduced serially in index order (the util::Sweep contract), and a
+// compound update OUTSIDE any parallel_for extent is ordinary code.
+#include <cstddef>
+#include <vector>
+
+template <typename Pool, typename Fn>
+std::vector<double> ordered_map(Pool& pool, std::size_t n, Fn fn) {
+  std::vector<double> results(n);
+  parallel_for(pool, 0, n, 64, [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+template <typename Pool, typename Fn>
+double ordered_reduce(Pool& pool, std::size_t n, Fn fn) {
+  const std::vector<double> results = ordered_map(pool, n, fn);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) sum += results[i];
+  return sum;
+}

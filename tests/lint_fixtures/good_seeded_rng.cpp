@@ -1,0 +1,17 @@
+// Fixture: explicit seeding passes; identifiers that merely CONTAIN the
+// banned tokens (wait_time, runtime, run.clock()) must not fire.
+#include <cstddef>
+
+struct Run {
+  double clock() const { return now; }
+  double now = 0.0;
+};
+
+double wait_time(std::size_t ticks) {
+  Run run;
+  double runtime = run.clock();
+  for (std::size_t i = 0; i < ticks; ++i) runtime += 1.0;
+  return runtime;
+}
+
+std::size_t seeded(std::size_t seed) { return seed * 6364136223846793005ULL; }

@@ -1,0 +1,12 @@
+// Fixture: stable-id keys pass; `*` in VALUE position is fine.
+#include <cstddef>
+#include <map>
+#include <set>
+
+struct Worker {
+  std::size_t id = 0;
+};
+
+std::map<std::size_t, double> busy_by_worker;
+std::set<std::size_t> ready;
+std::map<std::size_t, Worker*> worker_by_id;  // pointer value, stable key

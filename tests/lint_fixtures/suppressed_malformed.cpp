@@ -1,0 +1,11 @@
+// Fixture: broken suppressions are themselves findings, and a suppression
+// never silences a rule it does not name.
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, int> a;  // nldl-lint: allow(unordered-container)
+std::unordered_set<int> b;       // nldl-lint: allow(no-such-rule): typo'd rule id
+std::unordered_set<int> c;       // nldl-lint: allow(unordered-container):
+std::unordered_set<int> d;       // nldl-lint: suppress this please
+int clean = 0;                   // nldl-lint: allow(locale): unused — nothing to allow here
+std::unordered_set<int> e;       // nldl-lint: allow(locale): wrong rule, finding must survive

@@ -1,0 +1,16 @@
+// Fixture: well-formed, USED suppressions silence findings entirely —
+// including a multi-rule allow() — so this file must scan clean.
+#include <chrono>
+#include <string>
+#include <unordered_set>  // nldl-lint: allow(unordered-container): fixture needs the header for the suppressed probe set below
+
+double wall_seconds() {
+  const auto t = std::chrono::steady_clock::now();  // nldl-lint: allow(nondet-source): reported wall time only, never feeds a result
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+std::unordered_set<int> scratch;  // nldl-lint: allow(unordered-container): membership-only probe set, never iterated
+
+double parse_legacy(const std::string& s) {
+  return std::stod(s) + static_cast<double>(std::rand());  // nldl-lint: allow(locale, nondet-source): exercising a legacy API for comparison in this fixture
+}

@@ -93,8 +93,8 @@ TEST(CapacitySweep, InfiniteCapacityMatchesParallelLinksEngine) {
   const auto plat = platform::Platform::homogeneous(config.p, config.c,
                                                     config.w);
   const sim::Engine engine(plat, sim::EngineOptions{config.alpha});
-  const std::vector<double> amounts(config.p,
-                                    config.total_load / config.p);
+  const std::vector<double> amounts(
+      config.p, config.total_load / static_cast<double>(config.p));
   const auto direct = engine.run_single_round(
       amounts, sim::ParallelLinksModel{});
   EXPECT_EQ(rows[0].makespan, direct.makespan);

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "util/assert.hpp"
@@ -136,6 +137,42 @@ TEST(Harness, RepetitionsCatchRunToRunNondeterminism) {
   });
   EXPECT_FALSE(harness.bit_identical());
   EXPECT_EQ(harness.finish([](util::JsonWriter&) {}), 1);
+}
+
+TEST(PeakRss, RuMaxrssNormalizesBothPlatformConventions) {
+  using RssUnit = Harness::RssUnit;
+  // Linux reports KiB, macOS reports bytes for the SAME resident size —
+  // the raw field differs by 1024x and must converge after conversion.
+  EXPECT_EQ(Harness::ru_maxrss_to_bytes(204800, RssUnit::kKibibytes),
+            static_cast<std::size_t>(204800) * 1024U);  // 200 MiB, Linux
+  EXPECT_EQ(Harness::ru_maxrss_to_bytes(209715200, RssUnit::kBytes),
+            static_cast<std::size_t>(209715200));       // 200 MiB, macOS
+  EXPECT_EQ(Harness::ru_maxrss_to_bytes(204800, RssUnit::kKibibytes),
+            Harness::ru_maxrss_to_bytes(204800L * 1024L, RssUnit::kBytes));
+  EXPECT_EQ(Harness::ru_maxrss_to_bytes(1, RssUnit::kKibibytes), 1024u);
+  EXPECT_EQ(Harness::ru_maxrss_to_bytes(1, RssUnit::kBytes), 1u);
+}
+
+TEST(PeakRss, RuMaxrssRejectsDegenerateReadings) {
+  using RssUnit = Harness::RssUnit;
+  // A failed getrusage leaves the field 0/garbage; negative and
+  // overflowing readings must clamp to "unknown" (0), never wrap.
+  EXPECT_EQ(Harness::ru_maxrss_to_bytes(0, RssUnit::kKibibytes), 0u);
+  EXPECT_EQ(Harness::ru_maxrss_to_bytes(-1, RssUnit::kKibibytes), 0u);
+  EXPECT_EQ(Harness::ru_maxrss_to_bytes(-1, RssUnit::kBytes), 0u);
+  EXPECT_EQ(Harness::ru_maxrss_to_bytes(std::numeric_limits<long>::max(),
+                                        RssUnit::kKibibytes),
+            0u);
+}
+
+TEST(PeakRss, ProcessPeakIsPlausible) {
+  const std::size_t rss = Harness::peak_rss_bytes();
+  // On Linux/macOS this must be a real reading: at least 1 MiB (a running
+  // gtest binary) and under 1 TiB (catches unit mix-ups in either
+  // direction — reporting KiB as bytes shrinks it 1024x, bytes scaled as
+  // KiB would inflate a ~100 MiB process past a TiB quickly).
+  EXPECT_GE(rss, 1024u * 1024u);
+  EXPECT_LT(rss, static_cast<std::size_t>(1) << 40);
 }
 
 TEST(Harness, RejectsMisuse) {

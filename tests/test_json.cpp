@@ -22,7 +22,7 @@ TEST(JsonNumber, RoundTripsAndTrims) {
   EXPECT_EQ(json_number(-3.25), "-3.25");
   // Round-trip: parsing the emitted text recovers the exact double.
   const double awkward = 0.1 + 0.2;
-  EXPECT_EQ(std::stod(json_number(awkward)), awkward);
+  EXPECT_EQ(std::stod(json_number(awkward)), awkward);  // nldl-lint: allow(locale): round-trip oracle under the default C locale of the test runner
 }
 
 TEST(JsonNumber, NonFiniteBecomesNull) {
@@ -49,12 +49,12 @@ TEST(JsonNumber, RoundTripsViaFromChars) {
 // file contained "3,25", which is invalid JSON. std::to_chars is
 // locale-independent by specification.
 TEST(JsonNumber, IgnoresCommaDecimalLocale) {
-  const char* previous = std::setlocale(LC_ALL, nullptr);
+  const char* previous = std::setlocale(LC_ALL, nullptr);  // nldl-lint: allow(locale): this IS the locale regression test — forces a comma locale to prove json_number ignores it
   const std::string saved = previous ? previous : "C";
   const char* comma_locale = nullptr;
   for (const char* candidate :
        {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR"}) {
-    if (std::setlocale(LC_ALL, candidate) != nullptr) {
+    if (std::setlocale(LC_ALL, candidate) != nullptr) {  // nldl-lint: allow(locale): this IS the locale regression test — forces a comma locale to prove json_number ignores it
       comma_locale = candidate;
       break;
     }
@@ -63,7 +63,7 @@ TEST(JsonNumber, IgnoresCommaDecimalLocale) {
     GTEST_SKIP() << "no comma-decimal locale available on this system";
   }
   const std::string text = json_number(3.25);
-  std::setlocale(LC_ALL, saved.c_str());
+  std::setlocale(LC_ALL, saved.c_str());  // nldl-lint: allow(locale): this IS the locale regression test — forces a comma locale to prove json_number ignores it
   EXPECT_EQ(text, "3.25");
   EXPECT_EQ(text.find(','), std::string::npos);
 }

@@ -1,0 +1,207 @@
+// Tests for tools/nldl_lint: every rule fires on its positive fixture at
+// the expected lines, stays silent on the matched negative fixture,
+// suppressions silence exactly what they name (and rot loudly when
+// malformed or unused), and the scanner's comment/string stripping keeps
+// prose from triggering rules. The fixture corpus lives in
+// tests/lint_fixtures/ (see its README); NLDL_LINT_FIXTURE_DIR is
+// injected by CMake so the suite runs from any working directory.
+#include "lint.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nldl::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(NLDL_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<Finding> scan_fixture(const std::string& name) {
+  return scan_source(name, read_fixture(name));
+}
+
+std::vector<std::size_t> lines_of(const std::vector<Finding>& findings,
+                                  const std::string& rule) {
+  std::vector<std::size_t> lines;
+  for (const Finding& finding : findings) {
+    if (finding.rule == rule) lines.push_back(finding.line);
+  }
+  return lines;
+}
+
+// --- rule table -------------------------------------------------------------
+
+TEST(LintRules, TableIsCompleteAndUnique) {
+  const std::vector<Rule>& table = rules();
+  ASSERT_EQ(table.size(), 5u);
+  std::set<std::string_view> ids;
+  for (const Rule& rule : table) {
+    EXPECT_FALSE(rule.id.empty());
+    EXPECT_FALSE(rule.summary.empty());
+    EXPECT_FALSE(rule.rationale.empty());
+    EXPECT_TRUE(ids.insert(rule.id).second) << "duplicate id " << rule.id;
+    EXPECT_TRUE(is_rule(rule.id));
+  }
+  EXPECT_TRUE(ids.count("unordered-container") == 1);
+  EXPECT_TRUE(ids.count("pointer-order") == 1);
+  EXPECT_TRUE(ids.count("nondet-source") == 1);
+  EXPECT_TRUE(ids.count("locale") == 1);
+  EXPECT_TRUE(ids.count("parallel-accum") == 1);
+  EXPECT_FALSE(is_rule("no-such-rule"));
+  EXPECT_FALSE(is_rule(""));
+  // "suppression" is a reserved reporting category, not an allowable rule.
+  EXPECT_FALSE(is_rule("suppression"));
+}
+
+// --- comment/string stripping ----------------------------------------------
+
+TEST(LintStrip, BlanksCommentsAndStringsPreservingLayout) {
+  const std::string src =
+      "int a; // std::rand()\n"
+      "const char* s = \"std::unordered_map\";\n"
+      "/* std::stod */ int b;\n";
+  const std::string stripped = strip_comments_and_strings(src);
+  ASSERT_EQ(stripped.size(), src.size());
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 3);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("unordered"), std::string::npos);
+  EXPECT_EQ(stripped.find("stod"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+  EXPECT_NE(stripped.find("const char* s ="), std::string::npos);
+}
+
+TEST(LintStrip, HandlesRawStringsAndEscapes) {
+  const std::string src =
+      "auto r = R\"(std::rand() \" quote)\";\n"
+      "char c = '\\\"'; int keep = 1; // trailing\n";
+  const std::string stripped = strip_comments_and_strings(src);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("trailing"), std::string::npos);
+  EXPECT_NE(stripped.find("int keep = 1;"), std::string::npos);
+}
+
+TEST(LintStrip, ProseNeverTriggersRules) {
+  const std::string src =
+      "// This comment discusses std::rand and std::unordered_map.\n"
+      "const char* help = \"never call srand() or std::stod here\";\n";
+  EXPECT_TRUE(scan_source("prose.cpp", src).empty());
+}
+
+TEST(LintStrip, DirectiveInsideStringLiteralIsInert) {
+  // A quoted directive (as in THIS test file) must not count as a
+  // suppression — otherwise it would be reported as unused.
+  const std::string src =
+      "const char* doc = \"// nldl-lint: allow(locale): quoted\";\n";
+  EXPECT_TRUE(scan_source("quoted.cpp", src).empty());
+}
+
+// --- one positive and one negative fixture per rule -------------------------
+
+TEST(LintFixtures, UnorderedContainerFiresAndOrderedPasses) {
+  const auto findings = scan_fixture("bad_unordered.cpp");
+  EXPECT_EQ(lines_of(findings, "unordered-container"),
+            (std::vector<std::size_t>{2, 3, 6, 11}));
+  EXPECT_EQ(findings.size(), 4u);
+  EXPECT_TRUE(scan_fixture("good_ordered.cpp").empty());
+}
+
+TEST(LintFixtures, PointerOrderFiresAndStableKeysPass) {
+  const auto findings = scan_fixture("bad_pointer_order.cpp");
+  EXPECT_EQ(lines_of(findings, "pointer-order"),
+            (std::vector<std::size_t>{11, 12, 13}));
+  EXPECT_EQ(findings.size(), 3u);
+  EXPECT_TRUE(scan_fixture("good_stable_keys.cpp").empty());
+}
+
+TEST(LintFixtures, NondetSourceFiresAndSeededRngPasses) {
+  const auto findings = scan_fixture("bad_nondet_source.cpp");
+  EXPECT_EQ(lines_of(findings, "nondet-source"),
+            (std::vector<std::size_t>{8, 9, 10, 11, 14}));
+  EXPECT_EQ(findings.size(), 5u);
+  EXPECT_TRUE(scan_fixture("good_seeded_rng.cpp").empty());
+}
+
+TEST(LintFixtures, LocaleFiresAndCharconvPasses) {
+  const auto findings = scan_fixture("bad_locale.cpp");
+  EXPECT_EQ(lines_of(findings, "locale"),
+            (std::vector<std::size_t>{8, 9, 10, 12, 13}));
+  EXPECT_EQ(findings.size(), 5u);
+  EXPECT_TRUE(scan_fixture("good_charconv.cpp").empty());
+}
+
+TEST(LintFixtures, ParallelAccumFiresAndOrderedReductionPasses) {
+  const auto findings = scan_fixture("bad_parallel_accum.cpp");
+  EXPECT_EQ(lines_of(findings, "parallel-accum"),
+            (std::vector<std::size_t>{10, 13, 18, 26}));
+  EXPECT_EQ(findings.size(), 4u);
+  EXPECT_TRUE(scan_fixture("good_ordered_reduction.cpp").empty());
+}
+
+// --- suppressions -----------------------------------------------------------
+
+TEST(LintSuppressions, WellFormedUsedSuppressionsScanClean) {
+  const auto findings = scan_fixture("suppressed_ok.cpp");
+  EXPECT_TRUE(findings.empty())
+      << "unexpected: " << (findings.empty() ? "" : to_string(findings[0]));
+}
+
+TEST(LintSuppressions, MalformedAndUnusedSuppressionsAreFindings) {
+  const auto findings = scan_fixture("suppressed_malformed.cpp");
+  // Malformed directives (no justification, unknown rule, empty
+  // justification, not allow() at all) each report once...
+  EXPECT_EQ(lines_of(findings, "suppression"),
+            (std::vector<std::size_t>{6, 7, 8, 9, 10, 11}));
+  // ...and never silence the underlying finding; a suppression naming the
+  // WRONG rule (line 11) leaves the finding alive too. The raw includes
+  // on lines 3-4 fire like any other use of the banned headers.
+  EXPECT_EQ(lines_of(findings, "unordered-container"),
+            (std::vector<std::size_t>{3, 4, 6, 7, 8, 9, 11}));
+  EXPECT_EQ(findings.size(), 13u);
+}
+
+TEST(LintSuppressions, MultiRuleAllowCoversEachNamedRule) {
+  const std::string src =
+      "double x = std::stod(s) + std::rand();  "
+      "// nldl-lint: allow(locale, nondet-source): both exercised here\n";
+  EXPECT_TRUE(scan_source("multi.cpp", src).empty());
+}
+
+TEST(LintSuppressions, JustificationIsMandatory) {
+  const std::string bare =
+      "std::unordered_set<int> s;  "
+      "// nldl-lint: allow(unordered-container)\n";
+  const auto findings = scan_source("bare.cpp", bare);
+  ASSERT_EQ(findings.size(), 2u);  // malformed + surviving finding
+  EXPECT_EQ(findings[0].rule, "suppression");
+  EXPECT_EQ(findings[1].rule, "unordered-container");
+}
+
+// --- reporting --------------------------------------------------------------
+
+TEST(LintReport, GccStyleRendering) {
+  const Finding finding{"src/a.cpp", 12, "locale", "msg"};
+  EXPECT_EQ(to_string(finding), "src/a.cpp:12: error: [locale] msg");
+}
+
+TEST(LintReport, FindingsAreSortedByLine) {
+  const auto findings = scan_fixture("bad_nondet_source.cpp");
+  EXPECT_TRUE(std::is_sorted(
+      findings.begin(), findings.end(),
+      [](const Finding& a, const Finding& b) { return a.line < b.line; }));
+}
+
+}  // namespace
+}  // namespace nldl::lint

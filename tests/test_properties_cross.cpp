@@ -110,7 +110,8 @@ TEST(CrossChecks, StrategyVolumeMatchesGeometry) {
   const auto layout =
       partition::discretize(part, static_cast<long long>(n));
   EXPECT_NEAR(static_cast<double>(layout.total_half_perimeter),
-              eval.comm_volume, 2.0 * speeds.size() + 4.0);
+              eval.comm_volume,
+              2.0 * static_cast<double>(speeds.size()) + 4.0);
 }
 
 // --- Nonlinear DLT degenerates continuously: alpha → 1⁺ approaches the

@@ -186,7 +186,7 @@ TEST(ServicePlan, ValidatesItsInputs) {
   InstallmentSolver solver(plat, *model, make_service(2, 0.0));
   EXPECT_THROW(ServicePlan(solver, job, 0.0), util::PreconditionError);
   EXPECT_THROW(ServicePlan(solver, job, 20.0), util::PreconditionError);
-  EXPECT_THROW(predicted_service(make_service(2, 0.0), plat, -1.0, 1.0),
+  EXPECT_THROW((void)predicted_service(make_service(2, 0.0), plat, -1.0, 1.0),
                util::PreconditionError);
 }
 
@@ -617,7 +617,9 @@ TEST(TenantTraffic, GeneratesTaggedSortedDeadlinedStreams) {
   bool saw_both = false;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     EXPECT_EQ(jobs[i].id, i);
-    if (i > 0) EXPECT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+    if (i > 0) {
+      EXPECT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+    }
     ASSERT_LT(jobs[i].tenant, 2u);
     if (jobs[i].tenant == 0) {
       EXPECT_FALSE(jobs[i].has_deadline());

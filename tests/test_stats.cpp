@@ -128,8 +128,8 @@ TEST(JainIndex, DegenerateInputsAreFairNotNaN) {
   EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
   EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 1.0);
   EXPECT_DOUBLE_EQ(jain_index({5.0}), 1.0);
-  EXPECT_THROW(jain_index({-1.0, 2.0}), PreconditionError);
-  EXPECT_THROW(jain_index({std::numeric_limits<double>::infinity()}),
+  EXPECT_THROW((void)jain_index({-1.0, 2.0}), PreconditionError);
+  EXPECT_THROW((void)jain_index({std::numeric_limits<double>::infinity()}),
                PreconditionError);
 }
 

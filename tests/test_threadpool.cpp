@@ -146,7 +146,7 @@ TEST(ParallelFor, SumMatchesSerial) {
   std::iota(values.begin(), values.end(), 0.0);
   std::atomic<long long> sum{0};
   parallel_for(pool, 0, values.size(), 64, [&](std::size_t i) {
-    sum += static_cast<long long>(values[i]);
+    sum += static_cast<long long>(values[i]);  // nldl-lint: allow(parallel-accum): integer atomic sum is order-independent; exercises parallel_for itself
   });
   EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
 }

@@ -1,0 +1,537 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace nldl::lint {
+
+namespace {
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Byte-aligned views of one source: `code` has comments/literals blanked,
+/// `comments` has everything BUT comment text blanked. Suppression
+/// directives are honored only in `comments`, so a directive quoted inside
+/// a string literal (the lint's own tests do this) is inert.
+struct Channels {
+  std::string code;
+  std::string comments;
+};
+
+Channels split_channels(std::string_view src) {
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  Channels out;
+  out.code.assign(src.begin(), src.end());
+  out.comments.assign(src.size(), ' ');
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i] == '\n') out.comments[i] = '\n';
+  }
+
+  State state = State::kCode;
+  std::string raw_delim;  // d-char-seq of an active raw string
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out.code[i] = out.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out.code[i] = out.code[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' && (i == 0 || !is_ident(src[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t j = i + 2;
+          while (j < src.size() && src[j] != '(') ++j;
+          raw_delim.assign(src.substr(i + 2, j - (i + 2)));
+          for (std::size_t k = i; k < std::min(j + 1, src.size()); ++k) {
+            if (src[k] != '\n') out.code[k] = ' ';
+          }
+          i = j;
+          state = State::kRawString;
+        } else if (c == '"') {
+          out.code[i] = ' ';
+          state = State::kString;
+        } else if (c == '\'') {
+          out.code[i] = ' ';
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out.code[i] = ' ';
+          out.comments[i] = c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out.code[i] = out.code[i + 1] = ' ';
+          state = State::kCode;
+          ++i;
+        } else if (c != '\n') {
+          out.code[i] = ' ';
+          out.comments[i] = c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out.code[i] = ' ';
+          if (next != '\n') out.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          out.code[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out.code[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out.code[i] = ' ';
+          if (next != '\n') out.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          out.code[i] = ' ';
+          state = State::kCode;
+        } else if (c != '\n') {
+          out.code[i] = ' ';
+        }
+        break;
+      case State::kRawString: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (src.compare(i, close.size(), close) == 0) {
+          for (std::size_t k = i; k < i + close.size(); ++k) {
+            out.code[k] = ' ';
+          }
+          i += close.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out.code[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Token occurrence check with configurable identifier boundaries.
+/// `left_strict` additionally rejects '.', ':', '>' before the token
+/// (member access / qualification — e.g. `run.clock()` is not ::clock()).
+bool has_token(std::string_view line, std::string_view token,
+               bool left_strict, bool right_boundary) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string_view::npos) {
+    const char before = pos > 0 ? line[pos - 1] : '\0';
+    const char after =
+        pos + token.size() < line.size() ? line[pos + token.size()] : '\0';
+    bool ok = before == '\0' || !is_ident(before);
+    if (ok && left_strict &&
+        (before == '.' || before == ':' || before == '>')) {
+      ok = false;
+    }
+    if (ok && right_boundary && after != '\0' && is_ident(after)) ok = false;
+    if (ok) return true;
+    pos += token.size();
+  }
+  return false;
+}
+
+bool has_token_ci(std::string_view line, std::string_view token) {
+  if (token.size() > line.size()) return false;
+  for (std::size_t i = 0; i + token.size() <= line.size(); ++i) {
+    std::size_t j = 0;
+    while (j < token.size() &&
+           std::tolower(static_cast<unsigned char>(line[i + j])) ==
+               std::tolower(static_cast<unsigned char>(token[j]))) {
+      ++j;
+    }
+    if (j == token.size()) return true;
+  }
+  return false;
+}
+
+const std::regex& pointer_key_regex() {
+  static const std::regex re(
+      R"(std\s*::\s*(multi)?(map|set)\s*<[^<>,;()]*\*)");
+  return re;
+}
+
+const std::regex& pointer_less_regex() {
+  static const std::regex re(R"(std\s*::\s*less\s*<[^<>]*\*\s*>)");
+  return re;
+}
+
+const std::regex& atomic_float_regex() {
+  static const std::regex re(
+      R"(std\s*::\s*atomic\s*<\s*(float|double|long\s+double)\b)");
+  return re;
+}
+
+/// Line indices (0-based) inside the parenthesized argument extent of a
+/// parallel_for(...) call. Compound float-style updates in an inline
+/// lambda there race the reduction order.
+std::vector<bool> parallel_for_extent(std::string_view code,
+                                      std::size_t line_count) {
+  std::vector<bool> in_extent(line_count, false);
+  std::size_t line = 0;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == '\n') {
+      ++line;
+      continue;
+    }
+    static constexpr std::string_view kToken = "parallel_for";
+    if (code.compare(i, kToken.size(), kToken) != 0) continue;
+    const char before = i > 0 ? code[i - 1] : '\0';
+    const char after = i + kToken.size() < code.size()
+                           ? code[i + kToken.size()]
+                           : '\0';
+    if ((before != '\0' && is_ident(before)) || is_ident(after)) continue;
+    // Find the opening paren, then its match.
+    std::size_t j = i + kToken.size();
+    std::size_t extent_line = line;
+    while (j < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[j])) != 0) {
+      if (code[j] == '\n') ++extent_line;
+      ++j;
+    }
+    if (j >= code.size() || code[j] != '(') continue;
+    int depth = 0;
+    for (; j < code.size(); ++j) {
+      if (code[j] == '\n') {
+        ++extent_line;
+        continue;
+      }
+      if (code[j] == '(') ++depth;
+      if (code[j] == ')' && --depth == 0) break;
+      if (extent_line < line_count) in_extent[extent_line] = true;
+    }
+    i = j;
+    line = extent_line;
+  }
+  return in_extent;
+}
+
+bool has_compound_float_update(std::string_view line) {
+  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+    if (line[i + 1] != '=') continue;
+    if (line[i] != '+' && line[i] != '-') continue;
+    // Exclude ++/-- pre-adjacent (e.g. `x++ ==`) and `operator+=` decls.
+    if (i > 0 && (line[i - 1] == '+' || line[i - 1] == '-')) continue;
+    return true;
+  }
+  return false;
+}
+
+struct Suppression {
+  std::vector<std::string> rules;
+  bool used = false;
+};
+
+/// Parse `nldl-lint: allow(rule[, rule...]): justification` from one
+/// line's comment text. Returns true if a directive is present at all;
+/// fills `out` on success or `error` on malformation.
+bool parse_suppression(std::string_view comment, Suppression& out,
+                       std::string& error) {
+  static constexpr std::string_view kMarker = "nldl-lint:";
+  const std::size_t marker = comment.find(kMarker);
+  if (marker == std::string_view::npos) return false;
+  std::string_view rest = trim(comment.substr(marker + kMarker.size()));
+  static constexpr std::string_view kAllow = "allow(";
+  if (rest.compare(0, kAllow.size(), kAllow) != 0) {
+    error = "malformed suppression: expected 'allow(<rule>): <justification>'";
+    return true;
+  }
+  rest.remove_prefix(kAllow.size());
+  const std::size_t close = rest.find(')');
+  if (close == std::string_view::npos) {
+    error = "malformed suppression: unterminated allow(...)";
+    return true;
+  }
+  std::string_view rule_list = rest.substr(0, close);
+  rest = trim(rest.substr(close + 1));
+  while (!rule_list.empty()) {
+    const std::size_t comma = rule_list.find(',');
+    const std::string_view rule = trim(rule_list.substr(0, comma));
+    if (rule.empty() || !is_rule(rule)) {
+      error = "malformed suppression: unknown rule '" + std::string(rule) +
+              "' (see nldl_lint --list-rules)";
+      return true;
+    }
+    out.rules.emplace_back(rule);
+    if (comma == std::string_view::npos) break;
+    rule_list.remove_prefix(comma + 1);
+  }
+  if (out.rules.empty()) {
+    error = "malformed suppression: empty rule list";
+    return true;
+  }
+  if (rest.empty() || rest.front() != ':') {
+    error =
+        "malformed suppression: missing ': <justification>' after allow()";
+    return true;
+  }
+  rest = trim(rest.substr(1));
+  if (rest.empty()) {
+    error = "malformed suppression: justification must not be empty";
+    return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"unordered-container",
+       "std::unordered_{map,set,multimap,multiset} in checked code",
+       "hash-container iteration order is unspecified and seed-dependent; "
+       "any loop over one feeds platform-dependent order into results — "
+       "use std::map/std::set or a sorted vector"},
+      {"pointer-order",
+       "ordered container or comparator keyed on raw pointer values",
+       "pointer order depends on the allocator and ASLR, so sorted-by-"
+       "pointer output changes run to run — key on a stable id instead"},
+      {"nondet-source",
+       "banned nondeterminism source (rand/random_device/time/clock::now)",
+       "wall clocks, C PRNGs, and entropy sources must never feed a "
+       "result, seed, or scheduling decision; reported wall times in the "
+       "bench harness carry justified suppressions"},
+      {"locale",
+       "locale-dependent float formatting/parsing (stod/atof/strtod/"
+       "sscanf/setlocale)",
+       "a comma-decimal locale silently corrupts JSON artifacts and CLI "
+       "parsing — use std::to_chars/std::from_chars (util::json_number)"},
+      {"parallel-accum",
+       "scheduling-order-dependent floating accumulation "
+       "(atomic<double>, std::execution::par, omp, += in a parallel_for "
+       "lambda)",
+       "float addition does not commute in rounding; parallel reductions "
+       "must go through util::Sweep's strictly ordered fold to stay "
+       "bit-identical across thread counts"},
+  };
+  return kRules;
+}
+
+bool is_rule(std::string_view id) {
+  const auto& table = rules();
+  return std::any_of(table.begin(), table.end(),
+                     [id](const Rule& rule) { return rule.id == id; });
+}
+
+std::string strip_comments_and_strings(std::string_view source) {
+  return split_channels(source).code;
+}
+
+std::vector<Finding> scan_source(std::string_view path_label,
+                                 std::string_view source) {
+  const Channels channels = split_channels(source);
+  const std::vector<std::string_view> code = split_lines(channels.code);
+  const std::vector<std::string_view> comments =
+      split_lines(channels.comments);
+  const std::vector<bool> in_parallel_for =
+      parallel_for_extent(channels.code, code.size());
+
+  std::vector<Finding> findings;
+  std::vector<Suppression> suppressions(code.size());
+  const std::string file(path_label);
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    std::string error;
+    if (parse_suppression(comments[i], suppressions[i], error) &&
+        !error.empty()) {
+      findings.push_back({file, i + 1, "suppression", error});
+      suppressions[i].rules.clear();
+    }
+  }
+
+  auto report = [&](std::size_t line_index, const char* rule,
+                    std::string message) {
+    Suppression& sup = suppressions[line_index];
+    if (std::find(sup.rules.begin(), sup.rules.end(), rule) !=
+        sup.rules.end()) {
+      sup.used = true;
+      return;
+    }
+    findings.push_back({file, line_index + 1, rule, std::move(message)});
+  };
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string_view line = code[i];
+    if (line.find_first_not_of(' ') == std::string_view::npos) continue;
+
+    // unordered-container
+    for (const std::string_view token :
+         {std::string_view("unordered_map"), std::string_view("unordered_set"),
+          std::string_view("unordered_multimap"),
+          std::string_view("unordered_multiset")}) {
+      if (has_token(line, token, /*left_strict=*/false,
+                    /*right_boundary=*/true)) {
+        report(i, "unordered-container",
+               "hash container '" + std::string(token) +
+                   "': iteration order is unspecified — use an ordered "
+                   "container or a sorted vector");
+        break;
+      }
+    }
+
+    // pointer-order
+    {
+      const std::string text(line);
+      if (std::regex_search(text, pointer_key_regex())) {
+        report(i, "pointer-order",
+               "ordered container keyed on a raw pointer: pointer order "
+               "is allocator/ASLR-dependent — key on a stable id");
+      } else if (std::regex_search(text, pointer_less_regex())) {
+        report(i, "pointer-order",
+               "std::less over raw pointers orders by address — key on a "
+               "stable id");
+      }
+    }
+
+    // nondet-source
+    {
+      const char* hit = nullptr;
+      if (has_token(line, "std::rand", false, true) ||
+          has_token(line, "srand", false, true)) {
+        hit = "C PRNG (rand/srand)";
+      } else if (has_token(line, "random_device", false, true)) {
+        hit = "std::random_device (nondeterministic entropy)";
+      } else if (has_token(line, "std::time", false, true) ||
+                 has_token(line, "time(", true, false)) {
+        hit = "wall-clock time()";
+      } else if (has_token(line, "std::clock", false, true)) {
+        hit = "processor clock()";
+      } else if (has_token_ci(line, "clock::now")) {
+        hit = "chrono clock ::now()";
+      }
+      if (hit != nullptr) {
+        report(i, "nondet-source",
+               std::string(hit) +
+                   ": must not feed results, seeds, or scheduling — seed "
+                   "util::Rng explicitly; timers need a justified "
+                   "suppression");
+      }
+    }
+
+    // locale
+    {
+      const char* hit = nullptr;
+      if (has_token(line, "std::stod", false, true) ||
+          has_token(line, "std::stof", false, true) ||
+          has_token(line, "std::stold", false, true) ||
+          has_token(line, "stod(", true, false) ||
+          has_token(line, "stof(", true, false) ||
+          has_token(line, "stold(", true, false)) {
+        hit = "std::stod/stof family is locale-dependent";
+      } else if (has_token(line, "atof(", false, false) ||
+                 has_token(line, "strtod(", false, false) ||
+                 has_token(line, "strtof(", false, false) ||
+                 has_token(line, "strtold(", false, false)) {
+        hit = "C float parsing (atof/strtod) is locale-dependent";
+      } else if (has_token(line, "sscanf(", false, false) ||
+                 has_token(line, "fscanf(", false, false) ||
+                 has_token(line, "scanf(", false, false)) {
+        hit = "scanf-family float conversions are locale-dependent";
+      } else if (has_token(line, "setlocale", false, true) ||
+                 has_token(line, "std::locale", false, true) ||
+                 line.find(".imbue(") != std::string_view::npos) {
+        hit = "locale mutation changes float formatting globally";
+      }
+      if (hit != nullptr) {
+        report(i, "locale",
+               std::string(hit) +
+                   " — use std::from_chars/std::to_chars "
+                   "(util::json_number)");
+      }
+    }
+
+    // parallel-accum
+    {
+      const std::string text(line);
+      if (std::regex_search(text, atomic_float_regex())) {
+        report(i, "parallel-accum",
+               "std::atomic over a floating type: fetch-add order follows "
+               "thread scheduling — use util::Sweep's ordered reduction");
+      } else if (has_token(line, "std::execution::par", false, false)) {
+        report(i, "parallel-accum",
+               "parallel execution policy reduces in unspecified order — "
+               "use util::Sweep's ordered reduction");
+      } else if (line.find("#pragma") != std::string_view::npos &&
+                 has_token(line, "omp", false, true)) {
+        report(i, "parallel-accum",
+               "OpenMP pragmas schedule reductions nondeterministically — "
+               "use util::ThreadPool + util::Sweep");
+      } else if (in_parallel_for[i] && has_compound_float_update(line)) {
+        report(i, "parallel-accum",
+               "compound update inside a parallel_for lambda: if the "
+               "target is shared, accumulation order follows thread "
+               "scheduling — reduce through util::Sweep's ordered fold");
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Suppression& sup = suppressions[i];
+    if (!sup.rules.empty() && !sup.used) {
+      findings.push_back(
+          {file, i + 1, "suppression",
+           "unused suppression (no finding of the allowed rule on this "
+           "line) — delete it"});
+    }
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::string to_string(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": error: [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace nldl::lint

@@ -1,0 +1,98 @@
+// nldl-lint — project-specific determinism/correctness static analysis.
+//
+// The repo's claims rest on machine-checked bitwise reproducibility
+// (bench::Harness serial-vs-parallel self-checks, incremental-vs-full
+// replay digests). Those checks catch a regression only after it ships a
+// nondeterministic code path; this lint rejects the coding patterns that
+// create such paths in the first place:
+//
+//   unordered-container  std::unordered_{map,set} anywhere in checked
+//                        code. Iteration order is unspecified, differs
+//                        across standard libraries and hash seeds, and a
+//                        membership-only use tends to grow an innocent-
+//                        looking loop later. Use std::map/std::set (or a
+//                        sorted vector) — or suppress with a
+//                        justification for a genuinely order-free use.
+//   pointer-order        ordered containers/comparators keyed on raw
+//                        pointer values (std::map<T*, ...>, std::set<T*>,
+//                        std::less<T*>). Pointer order depends on the
+//                        allocator and ASLR: results change run to run.
+//   nondet-source        banned nondeterminism sources: std::rand/srand,
+//                        std::random_device, time()/std::time, std::clock,
+//                        and *_clock::now() — wall clocks are fine for
+//                        REPORTED wall times (bench::Harness's timer) but
+//                        must never feed a result, a seed, or a scheduling
+//                        decision; every allowed site carries a written
+//                        justification.
+//   locale               locale-dependent float formatting/parsing
+//                        (std::stod/stof/stold, atof, strtod/strtof,
+//                        sscanf, setlocale, std::locale, imbue). A
+//                        comma-decimal locale silently corrupts JSON
+//                        artifacts; use std::to_chars/std::from_chars
+//                        (util::json_number) instead.
+//   parallel-accum       floating-point accumulation whose order depends
+//                        on thread scheduling: std::atomic<float/double/
+//                        long double>, std::execution::par policies,
+//                        #pragma omp, and compound float-style updates
+//                        (`+=`/`-=`) inside an inline lambda passed to
+//                        util::parallel_for. Parallel reductions must go
+//                        through util::Sweep's strictly ordered fold.
+//
+// Suppressions are per line and must carry a justification:
+//
+//   ... code ...  // nldl-lint: allow(nondet-source): harness wall timer
+//
+// Multiple rules: allow(rule-a, rule-b): why. A suppression that is
+// malformed (unknown rule, missing justification) or unused (no finding
+// of that rule on its line) is itself a finding — stale suppressions rot.
+//
+// The scanner strips comments and string/character literals before
+// matching, so prose mentioning std::rand never fires; suppression
+// comments are read from the raw line.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nldl::lint {
+
+/// One lint rule: stable id (used in suppressions), one-line summary,
+/// and the reproducibility rationale (surfaced by --list-rules).
+struct Rule {
+  std::string_view id;
+  std::string_view summary;
+  std::string_view rationale;
+};
+
+/// The rule table, in reporting order.
+[[nodiscard]] const std::vector<Rule>& rules();
+
+/// True if `id` names a rule in rules().
+[[nodiscard]] bool is_rule(std::string_view id);
+
+/// One reported violation. `rule` is a Rule::id, or "suppression" for
+/// malformed/unused suppression comments.
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+/// Blank comments and string/character literals to spaces, preserving
+/// byte offsets and line structure, so patterns never match prose.
+/// Handles //, /* */, "..." with escapes, '...', and raw strings R"(...)".
+[[nodiscard]] std::string strip_comments_and_strings(std::string_view source);
+
+/// Scan one translation unit. `path_label` is echoed into findings.
+[[nodiscard]] std::vector<Finding> scan_source(std::string_view path_label,
+                                               std::string_view source);
+
+/// gcc-style one-line rendering: "file:line: error: [rule] message".
+[[nodiscard]] std::string to_string(const Finding& finding);
+
+}  // namespace nldl::lint

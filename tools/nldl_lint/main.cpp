@@ -1,0 +1,114 @@
+// nldl_lint CLI — scan the repo's checked trees (src/ tests/ bench/
+// examples/) for determinism/correctness violations; see lint.hpp for the
+// rule catalogue and suppression syntax.
+//
+// Usage:
+//   nldl_lint [--root=DIR] [paths...]   scan (default: the four trees)
+//   nldl_lint --list-rules              print the rule catalogue
+//
+// Exit codes: 0 clean, 1 findings reported, 2 usage/IO error. The
+// report-only contract is deliberate: there is no --fix, so CI's gate and
+// a developer's terminal always see the same findings.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_source_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+bool is_fixture(const fs::path& path) {
+  for (const fs::path& part : path) {
+    if (part == "lint_fixtures") return true;
+  }
+  return false;
+}
+
+void collect(const fs::path& root, std::vector<fs::path>& files) {
+  if (fs::is_regular_file(root)) {
+    if (is_source_file(root) && !is_fixture(root)) files.push_back(root);
+    return;
+  }
+  if (!fs::is_directory(root)) return;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && is_source_file(entry.path()) &&
+        !is_fixture(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const nldl::util::Args args(argc, argv);
+
+  if (args.has("list-rules")) {
+    for (const nldl::lint::Rule& rule : nldl::lint::rules()) {
+      std::printf("%-20s %s\n", std::string(rule.id).c_str(),
+                  std::string(rule.summary).c_str());
+      std::printf("%-20s   why: %s\n", "",
+                  std::string(rule.rationale).c_str());
+    }
+    std::printf("\nsuppress with: "
+                "// nldl-lint: allow(<rule>[, <rule>]): <justification>\n");
+    return 0;
+  }
+
+  const fs::path root = args.get_string("root", ".");
+  std::vector<fs::path> files;
+  if (!args.positional().empty()) {
+    for (const std::string& path : args.positional()) collect(path, files);
+  } else {
+    bool any_tree = false;
+    for (const char* tree : {"src", "tests", "bench", "examples"}) {
+      const fs::path dir = root / tree;
+      if (fs::is_directory(dir)) {
+        any_tree = true;
+        collect(dir, files);
+      }
+    }
+    if (!any_tree) {
+      std::fprintf(stderr,
+                   "nldl_lint: no src/tests/bench/examples under '%s' "
+                   "(pass --root=<repo> or explicit paths)\n",
+                   root.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t total_findings = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "nldl_lint: cannot read %s\n",
+                   file.string().c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::vector<nldl::lint::Finding> findings =
+        nldl::lint::scan_source(file.string(), buffer.str());
+    for (const nldl::lint::Finding& finding : findings) {
+      std::printf("%s\n", nldl::lint::to_string(finding).c_str());
+    }
+    total_findings += findings.size();
+  }
+
+  std::printf("nldl_lint: %zu file(s) scanned, %zu finding(s)\n",
+              files.size(), total_findings);
+  return total_findings == 0 ? 0 : 1;
+}
