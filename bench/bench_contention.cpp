@@ -21,11 +21,20 @@
 // gets measurably worse once its slots stop enjoying private ports: no
 // free lunch, again. Results stream to BENCH_contention.json under the
 // bench::Harness serial-vs-parallel bitwise self-check.
+//
+// --trace=FILE re-runs the headline cell (quadratic traffic, fair share,
+// shared master) with an obs::TraceRecorder attached, proves the traced
+// metrics bit-identical to the sweep's own cell (part of the exit code),
+// exports the timeline as Chrome trace-event JSON to FILE, and prints
+// the ASCII time-attribution summary.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "online/arrivals.hpp"
 #include "online/metrics.hpp"
 #include "online/scheduler.hpp"
@@ -228,7 +237,72 @@ int main(int argc, char** argv) {
   std::printf("(exclusive schedulers are bit-identical across master "
               "modes: single-job busy periods cannot contend)\n");
 
-  return harness.finish([&](util::JsonWriter& json) {
+  // --trace=FILE: re-run the headline cell (quadratic, fair share,
+  // shared master) with a recorder attached, prove it bit-identical to
+  // the sweep's own point, and export the Perfetto-loadable timeline.
+  bool trace_identical = true;
+  const std::string trace_path = args.get_string("trace", "");
+  if (!trace_path.empty()) {
+    const std::size_t alpha_index = 1;      // quadratic
+    const std::size_t scheduler_index = 1;  // fair share
+    const std::size_t master_index = 1;     // shared master
+
+    // Regenerate the quadratic stream exactly as compute_all does.
+    const double t_ref = online::mean_predicted_makespan(
+        job_mix(kAlphas[alpha_index]), plat);
+    const double rate = kLoadFactor / t_ref;
+    util::Rng stream_rng(seed + alpha_index);
+    const std::vector<online::Job> jobs =
+        online::PoissonArrivals(rate, job_mix(kAlphas[alpha_index]))
+            .generate(jobs_target / rate, stream_rng);
+
+    obs::TraceRecorder recorder;
+    online::ServerOptions server_options;
+    server_options.comm = sim::CommModelKind::kBoundedMultiport;
+    server_options.capacity = kBoundedCapacity;
+    server_options.master = kMasterModes[master_index];
+    server_options.trace = &recorder;
+    const online::Server server(plat, server_options);
+    const auto scheduler = online::make_scheduler(
+        kSchedulers[scheduler_index], kFairShareSlots, server_options.comm);
+    const online::ServiceMetrics traced =
+        online::summarize(server.run(jobs, *scheduler), plat.size());
+
+    for (const PointResult& point : results.points) {
+      if (point.alpha == alpha_index &&
+          point.scheduler == scheduler_index &&
+          point.master == master_index) {
+        trace_identical = bench::identical_doubles(
+            traced.signature(), point.metrics.signature());
+      }
+    }
+    std::printf("\ntraced quadratic fair-share shared-master: %zu jobs, "
+                "%zu events | vs sweep cell: %s\n",
+                jobs.size(), recorder.size(),
+                trace_identical ? "bit-identical"
+                                : "DIFFER (tracing changed results!)");
+    std::ofstream out(trace_path);
+    obs::ChromeTraceOptions trace_options;
+    trace_options.workers = p;
+    trace_options.label = "contention fair-share shared-master alpha=2";
+    obs::write_chrome_trace(out, recorder.events(), trace_options);
+    out.flush();
+    if (out) {
+      std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                  recorder.size());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   trace_path.c_str());
+      trace_identical = false;
+    }
+    std::fputs(obs::render_attribution(
+                   obs::attribute_time(recorder.events(), p),
+                   "contention fair-share shared-master alpha=2")
+                   .c_str(),
+               stdout);
+  }
+
+  const int harness_code = harness.finish([&](util::JsonWriter& json) {
     for (const PointResult& point : results.points) {
       json.begin_object();
       json.key("alpha").value(kAlphas[point.alpha]);
@@ -241,4 +315,5 @@ int main(int argc, char** argv) {
       json.end_object();
     }
   });
+  return trace_identical ? harness_code : 1;
 }

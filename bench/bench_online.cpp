@@ -14,11 +14,20 @@
 // stream from its own pre-split RNG sub-stream, so the whole bench is a
 // util::Sweep under bench::Harness: serial and parallel passes must agree
 // bit for bit, and the metrics land in BENCH_online.json.
+//
+// --trace=FILE runs one extra high-load fair-share bounded-multiport
+// cell twice on a fresh deterministic stream — once bare, once with an
+// obs::TraceRecorder attached — proves the two runs bit-identical (part
+// of the exit code), exports the traced timeline as Chrome trace-event
+// JSON to FILE, and prints the ASCII time-attribution summary.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "online/arrivals.hpp"
 #include "online/metrics.hpp"
 #include "online/scheduler.hpp"
@@ -183,7 +192,64 @@ int main(int argc, char** argv) {
   std::printf("\n(slowdown = latency / isolated whole-platform makespan; "
               "SPMF ranks by predicted nonlinear makespan, not size)\n");
 
-  return harness.finish([&](util::JsonWriter& json) {
+  // --trace=FILE: one extra high-load fair-share bounded-multiport cell,
+  // run untraced then traced on the same fresh stream; the pair must be
+  // bit-identical, and the traced timeline is exported.
+  bool trace_identical = true;
+  const std::string trace_path = args.get_string("trace", "");
+  if (!trace_path.empty()) {
+    const double load = kLoadFactors.back();
+    const double rate = load / online::mean_predicted_makespan(job_mix(),
+                                                               plat);
+    util::Rng stream_rng(seed ^ 0x7472616365ULL);  // independent stream
+    const std::vector<online::Job> jobs =
+        online::PoissonArrivals(rate, job_mix())
+            .generate(jobs_target / rate, stream_rng);
+
+    online::ServerOptions server_options;
+    server_options.comm = sim::CommModelKind::kBoundedMultiport;
+    server_options.capacity = kBoundedCapacity;
+    const auto run_cell = [&](obs::TraceSink* trace) {
+      online::ServerOptions cell_options = server_options;
+      cell_options.trace = trace;
+      const online::Server server(plat, cell_options);
+      const auto scheduler = online::make_scheduler(
+          online::SchedulerKind::kFairShare, kFairShareSlots,
+          cell_options.comm);
+      return online::summarize(server.run(jobs, *scheduler), plat.size());
+    };
+    obs::TraceRecorder recorder;
+    const online::ServiceMetrics bare = run_cell(nullptr);
+    const online::ServiceMetrics traced = run_cell(&recorder);
+    trace_identical =
+        bench::identical_doubles(bare.signature(), traced.signature());
+    std::printf("\ntraced load=%.1f fair-share bounded: %zu jobs, "
+                "%zu events | vs untraced: %s\n",
+                load, jobs.size(), recorder.size(),
+                trace_identical ? "bit-identical"
+                                : "DIFFER (tracing changed results!)");
+    std::ofstream out(trace_path);
+    obs::ChromeTraceOptions trace_options;
+    trace_options.workers = p;
+    trace_options.label = "online fair-share bounded";
+    obs::write_chrome_trace(out, recorder.events(), trace_options);
+    out.flush();
+    if (out) {
+      std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                  recorder.size());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   trace_path.c_str());
+      trace_identical = false;
+    }
+    std::fputs(obs::render_attribution(
+                   obs::attribute_time(recorder.events(), p),
+                   "online fair-share bounded")
+                   .c_str(),
+               stdout);
+  }
+
+  const int harness_code = harness.finish([&](util::JsonWriter& json) {
     for (const PointResult& point : results.points) {
       json.begin_object();
       json.key("load_factor").value(point.load_factor);
@@ -195,4 +261,5 @@ int main(int argc, char** argv) {
       json.end_object();
     }
   });
+  return trace_identical ? harness_code : 1;
 }

@@ -25,11 +25,20 @@
 // re-matched per comm model). The whole bench is a util::Sweep under
 // bench::Harness: serial and parallel passes must agree bit for bit, and
 // the metrics land in BENCH_qos.json.
+//
+// --trace=FILE re-runs the headline flip cell (overload, SRPT,
+// bounded-multiport, rho = 2) with an obs::TraceRecorder attached, proves
+// the traced metrics bit-identical to the sweep's own cell (part of the
+// exit code), exports the timeline as Chrome trace-event JSON to FILE,
+// and prints the ASCII time-attribution summary.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "online/arrivals.hpp"
 #include "qos/metrics.hpp"
 #include "qos/policy.hpp"
@@ -221,7 +230,80 @@ int main(int argc, char** argv) {
               "share of service time burned re-dispatching preempted "
               "state — preemption's nonlinear price)\n");
 
-  return harness.finish([&](util::JsonWriter& json) {
+  // --trace=FILE: re-run the headline flip cell with a recorder attached,
+  // prove it bit-identical to the sweep's own point, and export the
+  // Perfetto-loadable timeline.
+  bool trace_identical = true;
+  const std::string trace_path = args.get_string("trace", "");
+  if (!trace_path.empty()) {
+    const std::size_t load_index = kLoadFactors.size() - 1;    // 1.1
+    const std::size_t policy_index = 2;                        // SRPT
+    const std::size_t comm_index = 2;                          // bounded
+    const double restart = kRestartFractions.back();           // rho = 2
+
+    // Regenerate the cell's job stream exactly as compute_all does:
+    // stream seed from the load axis, deadlines comm-matched.
+    const std::vector<qos::TenantSpec> base = qos::reference_tenants();
+    const double t_ref = qos::mean_predicted_service(
+        base, plat, make_service(sim::CommModelKind::kParallelLinks, 0.0));
+    const double rate_total = kLoadFactors[load_index] / t_ref;
+    std::vector<qos::TenantSpec> tenants = base;
+    for (qos::TenantSpec& tenant : tenants) tenant.rate *= rate_total;
+    util::Rng stream_rng(seed + 1000003 * (load_index + 1));
+    const std::vector<online::Job> jobs = qos::generate_tenant_traffic(
+        tenants, plat, make_service(kCommModels[comm_index], 0.0),
+        jobs_target / rate_total, stream_rng);
+
+    // Concurrency 4 so the installments multiplex through one shared
+    // engine run per busy period: the trace then carries real per-worker
+    // transfer/compute spans (the serial whole-platform mode only knows
+    // aggregate installment durations). Run the cell bare, then traced —
+    // the pair must be bit-identical.
+    const auto run_cell = [&](obs::TraceSink* trace) {
+      qos::ServerOptions server_options;
+      server_options.service =
+          make_service(kCommModels[comm_index], restart);
+      server_options.concurrency = 4;
+      server_options.trace = trace;
+      const qos::Server server(plat, server_options);
+      const auto policy = qos::make_policy(kPolicies[policy_index],
+                                           qos::tenant_weights(base));
+      return qos::summarize(server.run(jobs, *policy), plat.size(),
+                            qos::tenant_weights(base));
+    };
+    obs::TraceRecorder recorder;
+    const qos::QosMetrics bare = run_cell(nullptr);
+    const qos::QosMetrics traced = run_cell(&recorder);
+    trace_identical =
+        bench::identical_doubles(bare.signature(), traced.signature());
+    std::printf("\ntraced load=%.1f srpt bounded rho=%.0f conc=4: "
+                "%zu jobs, %zu events | vs untraced: %s\n",
+                kLoadFactors[load_index], restart, jobs.size(),
+                recorder.size(),
+                trace_identical ? "bit-identical"
+                                : "DIFFER (tracing changed results!)");
+    std::ofstream out(trace_path);
+    obs::ChromeTraceOptions trace_options;
+    trace_options.workers = p;
+    trace_options.label = "qos srpt bounded rho=2";
+    obs::write_chrome_trace(out, recorder.events(), trace_options);
+    out.flush();
+    if (out) {
+      std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                  recorder.size());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   trace_path.c_str());
+      trace_identical = false;
+    }
+    std::fputs(obs::render_attribution(
+                   obs::attribute_time(recorder.events(), p),
+                   "qos srpt bounded rho=2")
+                   .c_str(),
+               stdout);
+  }
+
+  const int harness_code = harness.finish([&](util::JsonWriter& json) {
     for (const PointResult& point : results.points) {
       json.begin_object();
       json.key("load_factor").value(point.load_factor);
@@ -252,4 +334,5 @@ int main(int argc, char** argv) {
       json.end_object();
     }
   });
+  return trace_identical ? harness_code : 1;
 }

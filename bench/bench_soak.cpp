@@ -19,15 +19,25 @@
 // Every cell derives its job stream from a fixed seed (comparison pairs
 // share one), so the whole bench is a util::Sweep under bench::Harness:
 // parallel and serial passes must agree bit for bit. Per-cell wall times
-// are measured inside the pass but excluded from the bitwise signature.
-#include <chrono>
+// are measured inside the pass but excluded from the bitwise signature
+// (they land in the measured sidecar, not the deterministic payload).
+//
+// --trace=FILE additionally re-runs the qos/incremental2 cell with an
+// obs::TraceRecorder attached, proves the traced digest bit-identical to
+// the untraced cell (part of the exit code), exports the timeline as
+// Chrome trace-event JSON to FILE, and prints the ASCII time-attribution
+// summary.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "online/arrivals.hpp"
 #include "online/scheduler.hpp"
 #include "online/server.hpp"
@@ -124,7 +134,8 @@ double arrival_horizon(std::size_t target, double rate) {
 }
 
 CellResult run_online_cell(const platform::Platform& plat,
-                           const CellSpec& spec, double rate) {
+                           const CellSpec& spec, double rate,
+                           obs::TraceSink* trace = nullptr) {
   util::Rng rng(spec.stream_seed);
   const auto jobs = online::PoissonArrivals(rate, job_mix())
                         .generate(arrival_horizon(spec.jobs_target, rate), rng);
@@ -135,11 +146,12 @@ CellResult run_online_cell(const platform::Platform& plat,
   options.master = online::MasterMode::kSharedMaster;
   options.record_isolated = false;
   options.incremental_replay = spec.incremental;
+  options.trace = trace;
   const online::FairShareScheduler fair(kFairShareSlots);
 
-  sim::ReplayTelemetry cost;
+  obs::MetricsRegistry metrics;
   const auto stats =
-      online::Server(plat, options).run(jobs, fair, &cost);
+      online::Server(plat, options).run(jobs, fair, &metrics);
 
   CellResult result;
   result.jobs = stats.size();
@@ -148,14 +160,15 @@ CellResult run_online_cell(const platform::Platform& plat,
     digest.add(job.dispatch, job.finish);
   }
   result.digest = digest.value();
-  result.engine_events = cost.engine_events;
-  result.replays = cost.replays;
-  result.busy_periods = cost.busy_periods;
+  result.engine_events = metrics.counter_value("replay.engine_events");
+  result.replays = metrics.counter_value("replay.replays");
+  result.busy_periods = metrics.counter_value("replay.busy_periods");
   return result;
 }
 
 CellResult run_qos_cell(const platform::Platform& plat,
-                        const CellSpec& spec, double rate) {
+                        const CellSpec& spec, double rate,
+                        obs::TraceSink* trace = nullptr) {
   util::Rng rng(spec.stream_seed);
   const auto jobs = online::PoissonArrivals(rate, job_mix())
                         .generate(arrival_horizon(spec.jobs_target, rate), rng);
@@ -168,11 +181,12 @@ CellResult run_qos_cell(const platform::Platform& plat,
   options.admission.mode = qos::AdmissionMode::kAdmitAll;
   options.concurrency = 2;
   options.incremental_replay = spec.incremental;
+  options.trace = trace;
   qos::SrptPolicy policy;
 
-  sim::ReplayTelemetry cost;
+  obs::MetricsRegistry metrics;
   const auto records =
-      qos::Server(plat, options).run(jobs, policy, &cost);
+      qos::Server(plat, options).run(jobs, policy, &metrics);
 
   CellResult result;
   result.jobs = records.size();
@@ -181,9 +195,9 @@ CellResult run_qos_cell(const platform::Platform& plat,
     digest.add(record.dispatch, record.finish);
   }
   result.digest = digest.value();
-  result.engine_events = cost.engine_events;
-  result.replays = cost.replays;
-  result.busy_periods = cost.busy_periods;
+  result.engine_events = metrics.counter_value("replay.engine_events");
+  result.replays = metrics.counter_value("replay.replays");
+  result.busy_periods = metrics.counter_value("replay.busy_periods");
   return result;
 }
 
@@ -201,13 +215,12 @@ SoakResults compute_all(std::size_t threads,
       util::Sweep(std::move(grid), options)
           .map<CellResult>([&](const util::SweepPoint& point, util::Rng&) {
             const CellSpec& spec = specs[point.index_of("cell")];
-            const auto start = std::chrono::steady_clock::now();  // nldl-lint: allow(nondet-source): cell wall timer — reported only
-            CellResult cell =
-                spec.qos ? run_qos_cell(plat, spec, qos_rate)
-                         : run_online_cell(plat, spec, online_rate);
-            cell.wall_seconds = std::chrono::duration<double>(
-                                    std::chrono::steady_clock::now() - start)  // nldl-lint: allow(nondet-source): cell wall timer — reported only
-                                    .count();
+            CellResult cell;
+            {
+              const bench::ProfileScope timer(cell.wall_seconds);
+              cell = spec.qos ? run_qos_cell(plat, spec, qos_rate)
+                              : run_online_cell(plat, spec, online_rate);
+            }
             return cell;
           });
   return results;
@@ -321,27 +334,79 @@ int main(int argc, char** argv) {
                 static_cast<double>(incremental.engine_events));
   }
 
-  const int harness_code = harness.finish([&](util::JsonWriter& json) {
-    for (std::size_t i = 0; i < results.cells.size(); ++i) {
-      const CellResult& cell = results.cells[i];
-      const double wall = cell.wall_seconds > 0.0 ? cell.wall_seconds : 1e-9;
-      json.begin_object();
-      json.key("cell").value(specs[i].name);
-      json.key("incremental").value(specs[i].incremental);
-      json.key("jobs").value(cell.jobs);
-      json.key("digest").value(cell.digest);
-      json.key("busy_periods")
-          .value(static_cast<std::size_t>(cell.busy_periods));
-      json.key("replays").value(static_cast<std::size_t>(cell.replays));
-      json.key("engine_events")
-          .value(static_cast<std::size_t>(cell.engine_events));
-      json.key("wall_seconds").value(cell.wall_seconds);
-      json.key("jobs_per_sec")
-          .value(static_cast<double>(cell.jobs) / wall);
-      json.key("events_per_sec")
-          .value(static_cast<double>(cell.engine_events) / wall);
-      json.end_object();
+  // --trace=FILE: re-run the small traced qos cell, prove traced ==
+  // untraced bit for bit, export the Perfetto-loadable timeline, and
+  // print where the worker-seconds went.
+  bool trace_identical = true;
+  const std::string trace_path = args.get_string("trace", "");
+  if (!trace_path.empty()) {
+    const std::size_t traced_cell = specs.size() - 1;  // qos/incremental2
+    obs::TraceRecorder recorder;
+    const CellResult traced =
+        run_qos_cell(plat, specs[traced_cell], qos_rate, &recorder);
+    const CellResult& untraced = results.cells[traced_cell];
+    trace_identical = traced.jobs == untraced.jobs &&
+                      traced.digest == untraced.digest &&
+                      traced.engine_events == untraced.engine_events;
+    std::printf("\ntraced %s: %zu jobs, %zu events | vs untraced: %s\n",
+                specs[traced_cell].name, traced.jobs,
+                static_cast<std::size_t>(traced.engine_events),
+                trace_identical ? "bit-identical"
+                                : "DIFFER (tracing changed results!)");
+    std::ofstream out(trace_path);
+    obs::ChromeTraceOptions trace_options;
+    trace_options.workers = p;
+    trace_options.label = "soak " + std::string(specs[traced_cell].name);
+    obs::write_chrome_trace(out, recorder.events(), trace_options);
+    out.flush();
+    if (out) {
+      std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                  recorder.size());
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   trace_path.c_str());
+      trace_identical = false;
     }
-  });
-  return replay_identical ? harness_code : 1;
+    std::fputs(
+        obs::render_attribution(obs::attribute_time(recorder.events(), p),
+                                specs[traced_cell].name)
+            .c_str(),
+        stdout);
+  }
+
+  const int harness_code = harness.finish(
+      [&](util::JsonWriter& json) {
+        for (std::size_t i = 0; i < results.cells.size(); ++i) {
+          const CellResult& cell = results.cells[i];
+          json.begin_object();
+          json.key("cell").value(specs[i].name);
+          json.key("incremental").value(specs[i].incremental);
+          json.key("jobs").value(cell.jobs);
+          json.key("digest").value(cell.digest);
+          json.key("busy_periods")
+              .value(static_cast<std::size_t>(cell.busy_periods));
+          json.key("replays").value(static_cast<std::size_t>(cell.replays));
+          json.key("engine_events")
+              .value(static_cast<std::size_t>(cell.engine_events));
+          json.end_object();
+        }
+      },
+      [&](util::JsonWriter& json) {
+        json.key("cells").begin_array();
+        for (std::size_t i = 0; i < results.cells.size(); ++i) {
+          const CellResult& cell = results.cells[i];
+          const double wall =
+              cell.wall_seconds > 0.0 ? cell.wall_seconds : 1e-9;
+          json.begin_object();
+          json.key("cell").value(specs[i].name);
+          json.key("wall_seconds").value(cell.wall_seconds);
+          json.key("jobs_per_sec")
+              .value(static_cast<double>(cell.jobs) / wall);
+          json.key("events_per_sec")
+              .value(static_cast<double>(cell.engine_events) / wall);
+          json.end_object();
+        }
+        json.end_array();
+      });
+  return replay_identical && trace_identical ? harness_code : 1;
 }

@@ -16,10 +16,19 @@
 // same time, contending under the same shared capacity.
 //
 //   ./contention_demo [--p=8] [--rho=0.7] [--jobs=80] [--seed=N]
+//                     [--trace=FILE]
+//
+// --trace=FILE attaches an obs::TraceRecorder to Part 2's concurrency = 2
+// run, writes the timeline as Chrome trace-event JSON (load it in
+// ui.perfetto.dev), and prints the multi-job ASCII gantt plus the
+// time-attribution summary.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "online/arrivals.hpp"
 #include "online/metrics.hpp"
 #include "online/scheduler.hpp"
@@ -27,6 +36,7 @@
 #include "platform/platform.hpp"
 #include "qos/policy.hpp"
 #include "qos/server.hpp"
+#include "sim/trace.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -106,6 +116,8 @@ int main(int argc, char** argv) {
       {0, 0.0, 120.0, 2.0}, {1, 0.0, 120.0, 2.0}, {2, 5.0, 40.0, 1.0}};
   util::Table qos_table({"concurrency", "job", "dispatch", "finish",
                          "service", "preemptions"});
+  obs::TraceRecorder recorder;
+  const std::string trace_path = args.get_string("trace", "");
   for (const std::size_t concurrency : {std::size_t{1}, std::size_t{2}}) {
     qos::ServerOptions options;
     options.service.comm = sim::CommModelKind::kBoundedMultiport;
@@ -114,6 +126,7 @@ int main(int argc, char** argv) {
     options.service.plan.restart_load_fraction = 0.25;
     options.admission.mode = qos::AdmissionMode::kAdmitAll;
     options.concurrency = concurrency;
+    if (concurrency == 2 && !trace_path.empty()) options.trace = &recorder;
     const qos::Server server(plat, options);
     qos::SrptPolicy srpt;
     const auto records = server.run(qos_jobs, srpt);
@@ -133,5 +146,21 @@ int main(int argc, char** argv) {
               "half-platform subsets and the short\nlinear job slots in at "
               "a chunk boundary — all under one honestly shared master "
               "capacity.\n");
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    obs::ChromeTraceOptions trace_options;
+    trace_options.workers = p;
+    trace_options.label = "contention demo qos conc=2";
+    obs::write_chrome_trace(out, recorder.events(), trace_options);
+    std::printf("\ntrace written to %s (%zu events) — load it in "
+                "ui.perfetto.dev\n\n",
+                trace_path.c_str(), recorder.size());
+    std::fputs(sim::ascii_gantt(recorder.events(), p).c_str(), stdout);
+    std::fputs(obs::render_attribution(
+                   obs::attribute_time(recorder.events(), p), "qos conc=2")
+                   .c_str(),
+               stdout);
+  }
   return 0;
 }

@@ -105,7 +105,8 @@ std::size_t Harness::peak_rss_bytes() noexcept {
 }
 
 int Harness::finish(
-    const std::function<void(util::JsonWriter&)>& emit_points) {
+    const std::function<void(util::JsonWriter&)>& emit_points,
+    const std::function<void(util::JsonWriter&)>& emit_measured) {
   NLDL_REQUIRE(ran_, "Harness::finish() before run()");
 
   const std::size_t peak_rss = peak_rss_bytes();
@@ -133,27 +134,47 @@ int Harness::finish(
     util::JsonWriter json(out);
     json.begin_object();
     json.key("bench").value(name_);
+
+    // The deterministic payload: a pure function of the experiment.
+    // Reproduction checks (tools/trace_check --bench-diff, CI) compare
+    // exactly this subtree between runs.
+    json.key("deterministic").begin_object();
     json.key("config").begin_object();
     for (const ConfigEntry& entry : config_) {
       json.key(entry.key);
       entry.emit(json);
     }
     json.end_object();
+    if (items_ > 0) json.key("items").value(items_);
+    json.key("parallel_bit_identical").value(bit_identical_);
+    if (!metrics_.empty()) {
+      json.key("metrics");
+      metrics_.write_json(json);
+    }
+    json.key("points").begin_array();
+    emit_points(json);
+    json.end_array();
+    json.end_object();
+
+    // The measured sidecar: wall clock and memory — differs run to run.
+    json.key("measured").begin_object();
     json.key("threads").value(threads_);
     json.key("repetitions").value(options_.repetitions);
     json.key("wall_time_serial_s").value(serial_seconds_);
     json.key("wall_time_parallel_s").value(parallel_seconds_);
     json.key("speedup").value(speedup());
     if (items_ > 0) {
-      json.key("items").value(items_);
       json.key("items_per_sec_serial").value(items_per_sec_serial());
       json.key("items_per_sec_parallel").value(items_per_sec_parallel());
     }
     json.key("peak_rss_bytes").value(peak_rss);
-    json.key("parallel_bit_identical").value(bit_identical_);
-    json.key("points").begin_array();
-    emit_points(json);
-    json.end_array();
+    if (!profiler_.empty()) {
+      json.key("profile");
+      profiler_.write_json(json);
+    }
+    if (emit_measured) emit_measured(json);
+    json.end_object();
+
     json.end_object();
     NLDL_ASSERT(json.complete(), "bench JSON left scopes open");
     out.flush();

@@ -10,23 +10,34 @@
 //      checks every one bit-identical to the serial reference — the
 //      runtime proof that the util::Sweep contract (pre-split RNG
 //      sub-streams + ordered reduction) held,
-//   4. streams a machine-readable BENCH_<name>.json via util::JsonWriter:
-//      config metadata, serial/parallel wall times, peak RSS, optional
-//      throughput (items/sec, when the driver declared its item count),
-//      the self-check verdict, and a caller-emitted per-point "points"
-//      array,
+//   4. streams a machine-readable BENCH_<name>.json via util::JsonWriter,
+//      split into two top-level objects:
+//
+//        "deterministic": a pure function of the experiment — config
+//            metadata, the item count, the self-check verdict, the
+//            driver's obs::MetricsRegistry snapshot, and the per-point
+//            "points" array. Running the same bench twice must reproduce
+//            this subtree BITWISE (tools/trace_check --bench-diff checks
+//            exactly it, and CI runs that comparison);
+//        "measured": the wall-clock sidecar — thread count, serial /
+//            parallel wall times, speedup, items/sec, peak RSS, and the
+//            driver's WallProfiler breakdown. Expected to differ between
+//            runs; never compared.
 //
 // and turns the self-check into the process exit code, so CI fails loudly
-// on any determinism regression.
+// on any determinism regression. All wall-clock reads go through
+// bench::WallClock (bench/profile.hpp) — the sim domain never touches a
+// real clock.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "bench/profile.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -114,7 +125,6 @@ class Harness {
   Result run(const std::function<Result(std::size_t)>& run_sweep,
              const std::function<bool(const Result&, const Result&)>&
                  identical) {
-    using Clock = std::chrono::steady_clock;
     for (std::size_t i = 0; i < options_.warmup; ++i) {
       (void)run_sweep(1);
     }
@@ -122,10 +132,9 @@ class Harness {
     Result reference{};
     serial_seconds_ = -1.0;
     for (std::size_t rep = 0; rep < options_.repetitions; ++rep) {
-      const auto start = Clock::now();  // nldl-lint: allow(nondet-source): the harness wall timer — reported only, never feeds results
+      const double start = WallClock::now();
       Result result = run_sweep(1);
-      const double elapsed =
-          std::chrono::duration<double>(Clock::now() - start).count();  // nldl-lint: allow(nondet-source): the harness wall timer — reported only, never feeds results
+      const double elapsed = WallClock::now() - start;
       if (rep == 0) {
         reference = std::move(result);
       } else if (!identical(reference, result)) {
@@ -138,10 +147,9 @@ class Harness {
 
     parallel_seconds_ = -1.0;
     for (std::size_t rep = 0; rep < options_.repetitions; ++rep) {
-      const auto start = Clock::now();  // nldl-lint: allow(nondet-source): the harness wall timer — reported only, never feeds results
+      const double start = WallClock::now();
       const Result result = run_sweep(threads_);
-      const double elapsed =
-          std::chrono::duration<double>(Clock::now() - start).count();  // nldl-lint: allow(nondet-source): the harness wall timer — reported only, never feeds results
+      const double elapsed = WallClock::now() - start;
       if (!identical(reference, result)) bit_identical_ = false;
       if (parallel_seconds_ < 0.0 || elapsed < parallel_seconds_) {
         parallel_seconds_ = elapsed;
@@ -168,11 +176,32 @@ class Harness {
   }
   [[nodiscard]] double speedup() const noexcept;
 
-  /// Print the runner summary line, write BENCH_<name>.json (config,
-  /// wall times, self-check, plus the caller-emitted "points" array), and
-  /// return the process exit code: 0 iff the self-check passed and the
-  /// JSON landed on disk.
-  int finish(const std::function<void(util::JsonWriter&)>& emit_points);
+  /// Deterministic run metrics (obs/metrics.hpp): the driver folds its
+  /// reference pass's counters/gauges/quantiles in here and finish()
+  /// snapshots them into the deterministic payload's "metrics" object
+  /// (omitted while empty).
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// Wall-clock attribution (bench/profile.hpp): finish() snapshots it
+  /// into the measured sidecar's "profile" object (omitted while empty).
+  [[nodiscard]] WallProfiler& profiler() noexcept { return profiler_; }
+  [[nodiscard]] const WallProfiler& profiler() const noexcept {
+    return profiler_;
+  }
+
+  /// Print the runner summary line, write BENCH_<name>.json (the
+  /// deterministic payload + measured sidecar described in the file
+  /// comment), and return the process exit code: 0 iff the self-check
+  /// passed and the JSON landed on disk. `emit_points` fills the
+  /// deterministic "points" array; `emit_measured`, when given, appends
+  /// extra keys to the measured sidecar (wall times the driver gathered
+  /// itself — it must not emit deterministic data there).
+  int finish(const std::function<void(util::JsonWriter&)>& emit_points,
+             const std::function<void(util::JsonWriter&)>& emit_measured =
+                 {});
 
  private:
   struct ConfigEntry {
@@ -185,6 +214,8 @@ class Harness {
   std::size_t threads_ = 1;
   std::size_t items_ = 0;
   std::vector<ConfigEntry> config_;
+  obs::MetricsRegistry metrics_;
+  WallProfiler profiler_;
   bool ran_ = false;
   bool bit_identical_ = true;
   double serial_seconds_ = 0.0;

@@ -1,0 +1,83 @@
+// Trace exporters: Perfetto-loadable Chrome trace-event JSON and an
+// ASCII time-attribution summary.
+//
+// The Chrome export follows the trace-event format's JSON Object Format
+// ({"traceEvents": [...]}): complete spans are "X" events with ts/dur in
+// microseconds (simulated seconds × 1e6), job lifetimes are balanced
+// "B"/"E" pairs, scheduler moments are "i" instants, and "M" metadata
+// events name the tracks. Track layout: pid 1 "workers" with two lanes
+// per worker (link + cpu), pid 2 "jobs" with one lane per job (named
+// with its tenant), pid 3 "scheduler" for re-rates, dispatch barriers,
+// and the replay machinery. Load the file in https://ui.perfetto.dev or
+// chrome://tracing.
+//
+// The attribution summary answers the paper's accounting question in a
+// terminal: over the traced horizon, how many worker-seconds went to
+// communication, (net) compute, restart re-work, and idling. The four
+// buckets form an exact partition of workers × horizon, so the total
+// always accounts for 100% of worker-seconds (the acceptance bar is
+// ≥99%; see tests/test_obs.cpp).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace nldl::obs {
+
+struct ChromeTraceOptions {
+  /// Worker-track count; 0 infers max worker index + 1 from the events.
+  std::size_t workers = 0;
+  /// Process-name prefix shown in the Perfetto track list.
+  std::string label = "nldl";
+};
+
+/// Write the events as Chrome trace-event JSON. Events are stably sorted
+/// by start time (emission order breaks ties), so the output is
+/// deterministic for a deterministic recording.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events,
+                        const ChromeTraceOptions& options = {});
+
+/// Time-attribution accounting over a recorded trace.
+struct Attribution {
+  std::size_t workers = 0;   ///< attributed worker tracks
+  double horizon = 0.0;      ///< [0, horizon] simulated seconds
+  double comm = 0.0;         ///< worker-s receiving with no compute overlap
+  double compute = 0.0;      ///< worker-s computing, net of restart re-work
+  double restart = 0.0;      ///< worker-s of restart surcharge (estimate)
+  double idle = 0.0;         ///< worker-s neither receiving nor computing
+  std::size_t span_events = 0;
+
+  [[nodiscard]] double total() const noexcept {
+    return static_cast<double>(workers) * horizon;
+  }
+  /// Fraction of total worker-seconds the four buckets account for
+  /// (exactly 1 by construction, modulo rounding).
+  [[nodiscard]] double coverage() const noexcept {
+    const double t = total();
+    return t > 0.0 ? (comm + compute + restart + idle) / t : 1.0;
+  }
+};
+
+/// Partition workers × [0, horizon] into comm / compute / restart / idle.
+/// Per worker: compute = union length of its compute spans, comm = union
+/// length of its transfer spans minus the part overlapped by compute
+/// (overlap is charged to compute — that lane is doing useful work),
+/// idle = the remainder. The global restart estimate (sum of kRestart
+/// span durations, capped by total compute) is then carved out of the
+/// compute bucket, keeping the partition exact. horizon 0 means "max
+/// event end time".
+[[nodiscard]] Attribution attribute_time(const std::vector<TraceEvent>& events,
+                                         std::size_t workers = 0,
+                                         double horizon = 0.0);
+
+/// Render the attribution as a small ASCII table; `label` names the
+/// policy/scenario in the header line.
+[[nodiscard]] std::string render_attribution(const Attribution& attribution,
+                                             const std::string& label = "");
+
+}  // namespace nldl::obs

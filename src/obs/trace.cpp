@@ -1,0 +1,62 @@
+#include "obs/trace.hpp"
+
+namespace nldl::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTransfer:
+      return "transfer";
+    case EventKind::kCompute:
+      return "compute";
+    case EventKind::kJob:
+      return "job";
+    case EventKind::kInstallment:
+      return "installment";
+    case EventKind::kRestart:
+      return "restart";
+    case EventKind::kRerate:
+      return "rerate";
+    case EventKind::kDispatch:
+      return "dispatch";
+    case EventKind::kAdmit:
+      return "admit";
+    case EventKind::kDegrade:
+      return "degrade";
+    case EventKind::kReject:
+      return "reject";
+    case EventKind::kPreempt:
+      return "preempt";
+    case EventKind::kDeadlineMiss:
+      return "deadline_miss";
+    case EventKind::kCheckpoint:
+      return "checkpoint";
+    case EventKind::kCompact:
+      return "compact";
+    case EventKind::kReplay:
+      return "replay";
+  }
+  return "unknown";
+}
+
+bool is_span(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kTransfer:
+    case EventKind::kCompute:
+    case EventKind::kJob:
+    case EventKind::kInstallment:
+    case EventKind::kRestart:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::of_kind(EventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& event : events_) {
+    if (event.kind == kind) out.push_back(event);
+  }
+  return out;
+}
+
+}  // namespace nldl::obs

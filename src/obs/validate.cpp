@@ -1,0 +1,143 @@
+#include "obs/validate.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace nldl::obs {
+
+namespace {
+
+ValidationResult fail(std::size_t index, const std::string& what) {
+  ValidationResult result;
+  result.ok = false;
+  result.error = "traceEvents[" + std::to_string(index) + "]: " + what;
+  return result;
+}
+
+}  // namespace
+
+ValidationResult validate_chrome_trace(const util::JsonValue& document) {
+  ValidationResult result;
+  if (!document.is_object()) {
+    result.ok = false;
+    result.error = "document root is not an object";
+    return result;
+  }
+  const util::JsonValue* events = document.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    result.ok = false;
+    result.error = "missing \"traceEvents\" array";
+    return result;
+  }
+
+  // Open B/E nesting depth per (pid, tid) track, insertion-ordered.
+  std::vector<std::pair<std::pair<double, double>, std::size_t>> depth;
+  const auto track_depth = [&depth](double pid,
+                                    double tid) -> std::size_t& {
+    for (auto& [key, open] : depth) {
+      if (key.first == pid && key.second == tid) return open;
+    }
+    depth.push_back({{pid, tid}, 0});
+    return depth.back().second;
+  };
+
+  double last_ts = 0.0;
+  bool saw_timed = false;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const util::JsonValue& event = events->array[i];
+    if (!event.is_object()) return fail(i, "not an object");
+
+    const util::JsonValue* name = event.find("name");
+    if (name == nullptr || !name->is_string()) {
+      return fail(i, "missing string \"name\"");
+    }
+    const util::JsonValue* ph = event.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->string.size() != 1) {
+      return fail(i, "missing one-character \"ph\"");
+    }
+    const char phase = ph->string[0];
+    if (phase != 'M' && phase != 'X' && phase != 'B' && phase != 'E' &&
+        phase != 'i' && phase != 'C') {
+      return fail(i, std::string("unsupported phase '") + phase + "'");
+    }
+    const util::JsonValue* pid = event.find("pid");
+    const util::JsonValue* tid = event.find("tid");
+    if (pid == nullptr || !pid->is_number()) {
+      return fail(i, "missing numeric \"pid\"");
+    }
+    if (tid == nullptr || !tid->is_number()) {
+      return fail(i, "missing numeric \"tid\"");
+    }
+    ++result.events;
+    if (phase == 'M') continue;  // metadata carries no timeline position
+
+    const util::JsonValue* ts = event.find("ts");
+    if (ts == nullptr || !ts->is_number()) {
+      return fail(i, "missing numeric \"ts\"");
+    }
+    if (saw_timed && ts->number < last_ts) {
+      return fail(i, "timestamp " + util::json_number(ts->number) +
+                         " decreases below " + util::json_number(last_ts));
+    }
+    last_ts = ts->number;
+    saw_timed = true;
+
+    if (phase == 'X') {
+      const util::JsonValue* dur = event.find("dur");
+      if (dur == nullptr || !dur->is_number() || dur->number < 0.0) {
+        return fail(i, "\"X\" event without non-negative \"dur\"");
+      }
+    } else if (phase == 'B') {
+      ++track_depth(pid->number, tid->number);
+    } else if (phase == 'E') {
+      std::size_t& open = track_depth(pid->number, tid->number);
+      if (open == 0) return fail(i, "\"E\" without matching \"B\" on track");
+      --open;
+    }
+  }
+  for (const auto& [key, open] : depth) {
+    if (open != 0) {
+      result.ok = false;
+      result.error = "track pid=" + util::json_number(key.first) +
+                     " tid=" + util::json_number(key.second) + " has " +
+                     std::to_string(open) + " unclosed \"B\" event(s)";
+      return result;
+    }
+  }
+  return result;
+}
+
+ValidationResult validate_chrome_trace_text(std::string_view text) {
+  try {
+    return validate_chrome_trace(util::parse_json(text));
+  } catch (const util::PreconditionError& error) {
+    ValidationResult result;
+    result.ok = false;
+    result.error = error.what();
+    return result;
+  }
+}
+
+ValidationResult compare_deterministic_payload(const util::JsonValue& a,
+                                               const util::JsonValue& b) {
+  ValidationResult result;
+  const util::JsonValue* payload_a = a.find("deterministic");
+  const util::JsonValue* payload_b = b.find("deterministic");
+  if (payload_a == nullptr || payload_b == nullptr) {
+    result.ok = false;
+    result.error = "document without a \"deterministic\" payload";
+    return result;
+  }
+  if (!(*payload_a == *payload_b)) {
+    result.ok = false;
+    result.error = "deterministic payloads differ";
+    return result;
+  }
+  result.events = 1;
+  return result;
+}
+
+}  // namespace nldl::obs

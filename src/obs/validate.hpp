@@ -1,0 +1,46 @@
+// Validation for exported observability artifacts.
+//
+// Two checkers, shared by tests/test_obs.cpp, the tools/trace_check CLI,
+// and CI: a Chrome trace-event schema validator (every event well-formed,
+// timestamps monotone across the stream, begin/end balanced per track)
+// and a deterministic-payload comparison for the split bench JSON
+// (bench::Harness writes {"deterministic": ..., "measured": ...}; only
+// the former must reproduce bitwise across machines and runs).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/json_parse.hpp"
+
+namespace nldl::obs {
+
+struct ValidationResult {
+  bool ok = true;
+  std::string error;     ///< first failure, empty when ok
+  std::size_t events = 0;  ///< trace events checked (metadata included)
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Validate a parsed Chrome trace-event document (JSON Object Format):
+/// a "traceEvents" array whose entries carry name/ph/pid/tid, a numeric
+/// ts (metadata "M" events excepted), ph one of M/X/B/E/i/C, a
+/// non-negative dur on "X" events, non-decreasing ts over non-metadata
+/// events, and balanced B/E nesting per (pid, tid) track.
+[[nodiscard]] ValidationResult validate_chrome_trace(
+    const util::JsonValue& document);
+
+/// Convenience: parse `text` then validate. Parse errors come back as a
+/// failed result rather than an exception.
+[[nodiscard]] ValidationResult validate_chrome_trace_text(
+    std::string_view text);
+
+/// Compare the deterministic payloads of two bench JSON documents: the
+/// value under "deterministic" must be structurally identical (doubles
+/// bitwise-equal as printed). Documents missing the key fail.
+[[nodiscard]] ValidationResult compare_deterministic_payload(
+    const util::JsonValue& a, const util::JsonValue& b);
+
+}  // namespace nldl::obs

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "dlt/nonlinear_dlt.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/multiplex.hpp"
 #include "util/assert.hpp"
@@ -39,17 +40,43 @@ std::vector<sim::ChunkAssignment> Server::job_schedule(
 }
 
 double Server::simulate_service(const platform::Platform& slot_platform,
-                                const Job& job, double* compute_time) const {
+                                const Job& job, double* compute_time,
+                                const std::vector<std::size_t>* trace_workers,
+                                double trace_offset) const {
   const sim::Engine engine(slot_platform, {job.alpha});
+  sim::EngineRun run(engine, *model_);
+  obs::TraceSink* sink = trace_workers != nullptr ? options_.trace : nullptr;
+  if (sink != nullptr) run.set_trace(sink, trace_offset);
   double finish = 0.0;
   double busy = 0.0;
-  const sim::SimResult result = engine.run(
-      job_schedule(slot_platform, job), *model_,
-      [&](std::size_t, const sim::ChunkSpan& span) {
-        finish = std::max(finish, span.compute_end);
-        busy += span.compute_end - span.compute_start;
-      });
-  NLDL_ASSERT(finish == result.makespan,
+  const auto hook = [&](std::size_t, const sim::ChunkSpan& span) {
+    finish = std::max(finish, span.compute_end);
+    busy += span.compute_end - span.compute_start;
+    if (sink != nullptr) {
+      // Private-port replays run on the slot's carved platform: remap the
+      // slot-local worker to its platform index so the trace's worker
+      // tracks line up with the shared-master mode's.
+      obs::TraceEvent event;
+      event.worker = (*trace_workers)[span.worker];
+      event.job = job.id;
+      event.tenant = job.tenant;
+      event.size = span.size;
+      event.alpha = job.alpha;
+      event.kind = obs::EventKind::kTransfer;
+      event.start = trace_offset + span.comm_start;
+      event.end = trace_offset + span.comm_end;
+      sink->record(event);
+      event.kind = obs::EventKind::kCompute;
+      event.start = trace_offset + span.compute_start;
+      event.end = trace_offset + span.compute_end;
+      sink->record(event);
+    }
+  };
+  for (const sim::ChunkAssignment& chunk : job_schedule(slot_platform, job)) {
+    (void)run.append(chunk);
+  }
+  run.drain(sim::ChunkCompletionRef(hook));
+  NLDL_ASSERT(finish == run.makespan(),
               "completion hook disagrees with the simulated makespan");
   if (compute_time != nullptr) *compute_time = busy;
   return finish;
@@ -57,7 +84,7 @@ double Server::simulate_service(const platform::Platform& slot_platform,
 
 std::vector<JobStats> Server::run(const std::vector<Job>& jobs,
                                   const Scheduler& scheduler,
-                                  sim::ReplayTelemetry* telemetry) const {
+                                  obs::MetricsRegistry* metrics) const {
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     NLDL_REQUIRE(jobs[i].id == i, "job ids must be 0..n-1 in order");
     NLDL_REQUIRE(jobs[i].arrival >= 0.0, "job arrivals must be >= 0");
@@ -76,6 +103,14 @@ std::vector<JobStats> Server::run(const std::vector<Job>& jobs,
   const std::vector<platform::Platform>& slot_platforms = carve.subsets;
   const std::vector<std::vector<std::size_t>>& slot_workers = carve.workers;
 
+  // Pre-register the replay counters so a snapshot has them (at zero) even
+  // for modes/streams that never open a shared busy period.
+  if (metrics != nullptr) {
+    (void)metrics->counter("replay.engine_events");
+    (void)metrics->counter("replay.replays");
+    (void)metrics->counter("replay.busy_periods");
+  }
+
   std::vector<JobStats> stats(jobs.size());
   if (options_.record_isolated) {
     for (const Job& job : jobs) {
@@ -85,18 +120,36 @@ std::vector<JobStats> Server::run(const std::vector<Job>& jobs,
   }
 
   if (options_.master == MasterMode::kSharedMaster) {
-    run_shared(jobs, scheduler, slot_platforms, slot_workers, stats,
-               telemetry);
+    run_shared(jobs, scheduler, slot_platforms, slot_workers, stats, metrics);
   } else {
-    run_private(jobs, scheduler, slot_platforms, stats);
+    run_private(jobs, scheduler, slot_platforms, slot_workers, stats);
+  }
+
+  // One kJob span per served job, in id order — the per-job track of the
+  // exported timeline (span emission for chunks happened inside the mode
+  // loops, where worker attribution lives).
+  if (options_.trace != nullptr) {
+    for (const JobStats& record : stats) {
+      obs::TraceEvent event;
+      event.kind = obs::EventKind::kJob;
+      event.start = record.dispatch;
+      event.end = record.finish;
+      event.job = record.job.id;
+      event.tenant = record.job.tenant;
+      event.size = record.job.load;
+      event.alpha = record.job.alpha;
+      event.value = record.compute_time;
+      options_.trace->record(event);
+    }
   }
   return stats;
 }
 
-void Server::run_private(const std::vector<Job>& jobs,
-                         const Scheduler& scheduler,
-                         const std::vector<platform::Platform>& slot_platforms,
-                         std::vector<JobStats>& stats) const {
+void Server::run_private(
+    const std::vector<Job>& jobs, const Scheduler& scheduler,
+    const std::vector<platform::Platform>& slot_platforms,
+    const std::vector<std::vector<std::size_t>>& slot_workers,
+    std::vector<JobStats>& stats) const {
   const std::size_t slots = slot_platforms.size();
   std::vector<double> slot_busy_until(slots, -kNever);  // idle when <= now
   std::vector<Job> queue;  // waiting jobs, in arrival order
@@ -124,8 +177,20 @@ void Server::run_private(const std::vector<Job>& jobs,
       record.dispatch = now;
       record.slot = s;
       record.workers = slot_platforms[s].size();
+      if (options_.trace != nullptr) {
+        obs::TraceEvent event;
+        event.kind = obs::EventKind::kDispatch;
+        event.start = now;
+        event.end = now;
+        event.job = job.id;
+        event.tenant = job.tenant;
+        event.alpha = job.alpha;
+        event.value = static_cast<double>(record.workers);
+        options_.trace->record(event);
+      }
       const double service =
-          simulate_service(slot_platforms[s], job, &record.compute_time);
+          simulate_service(slot_platforms[s], job, &record.compute_time,
+                           &slot_workers[s], now);
       record.finish = now + service;
       slot_busy_until[s] = record.finish;
     }
@@ -152,7 +217,7 @@ void Server::run_shared(
     const std::vector<Job>& jobs, const Scheduler& scheduler,
     const std::vector<platform::Platform>& slot_platforms,
     const std::vector<std::vector<std::size_t>>& slot_workers,
-    std::vector<JobStats>& stats, sim::ReplayTelemetry* telemetry) const {
+    std::vector<JobStats>& stats, obs::MetricsRegistry* metrics) const {
   const std::size_t slots = slot_platforms.size();
   std::vector<double> slot_busy_until(slots, -kNever);
   std::vector<std::size_t> slot_owner(slots, kNoJob);
@@ -168,6 +233,7 @@ void Server::run_shared(
   const sim::Engine engine(platform_, {});
   sim::SharedMasterPeriod period(engine, *model_,
                                  {options_.incremental_replay});
+  if (options_.trace != nullptr) period.set_trace(options_.trace);
   std::vector<std::size_t> owner_job;  // job id per period owner
 
   // An owner's record only becomes final when its busy period drains, so
@@ -183,7 +249,7 @@ void Server::run_shared(
       record.finish = period.finish(owner);
       record.compute_time = period.busy(owner);
     }
-    if (telemetry != nullptr) ++telemetry->busy_periods;
+    if (metrics != nullptr) ++metrics->counter("replay.busy_periods");
     period.clear();
     owner_job.clear();
     std::fill(slot_owner.begin(), slot_owner.end(), kNoJob);
@@ -225,7 +291,7 @@ void Server::run_shared(
 
       slot_owner[s] = period.dispatch(now, job.alpha,
                                       job_schedule(slot_platforms[s], job),
-                                      slot_workers[s]);
+                                      slot_workers[s], job.id, job.tenant);
       owner_job.push_back(job.id);
       dispatched = true;
     }
@@ -253,9 +319,9 @@ void Server::run_shared(
 
   // The loop exits with every slot idle; the final busy period has not
   // seen the drain branch yet, so flush it here.
-  if (telemetry != nullptr) {
-    telemetry->engine_events += period.events();
-    telemetry->replays += period.replays();
+  if (metrics != nullptr) {
+    metrics->counter("replay.engine_events") += period.events();
+    metrics->counter("replay.replays") += period.replays();
   }
   if (!period.empty()) flush_period();
 

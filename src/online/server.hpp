@@ -42,12 +42,17 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "online/job.hpp"
 #include "online/scheduler.hpp"
 #include "platform/platform.hpp"
 #include "sim/comm_model.hpp"
 #include "sim/engine.hpp"
 #include "sim/multiplex.hpp"
+
+namespace nldl::obs {
+class MetricsRegistry;
+}  // namespace nldl::obs
 
 namespace nldl::online {
 
@@ -75,6 +80,15 @@ struct ServerOptions {
   /// of re-simulating the whole period. Bit-identical results; off only
   /// buys the O(period²) reference behavior.
   bool incremental_replay = true;
+  /// Optional trace sink (obs/trace.hpp, non-owning, must outlive the
+  /// server's run). When set, the served timeline is emitted as typed
+  /// events on the simulated clock: chunk transfer/compute spans with
+  /// job/tenant/worker/alpha attribution, dispatch instants, whole-job
+  /// spans, and (shared-master mode) the replay machinery's bookkeeping.
+  /// The isolated-baseline runs (record_isolated) stay untraced — they
+  /// are counterfactuals, not the served timeline. Tracing never changes
+  /// results: JobStats are bit-identical with or without a sink.
+  obs::TraceSink* trace = nullptr;
 };
 
 class Server {
@@ -93,19 +107,25 @@ class Server {
   /// far past the last arrival that takes). `jobs` must be in
   /// non-decreasing arrival order with ids 0..n-1 — the shape every
   /// ArrivalProcess produces. Returns one JobStats per job, in id order.
-  /// `telemetry`, when non-null, accumulates shared-master replay cost
-  /// (engine events, replays, busy periods; untouched under
-  /// kPrivatePort) — the soak bench's events/sec.
+  /// `metrics`, when non-null, accumulates shared-master replay cost as
+  /// counters (replay.engine_events / replay.replays /
+  /// replay.busy_periods; untouched under kPrivatePort) — the soak
+  /// bench's events/sec.
   [[nodiscard]] std::vector<JobStats> run(
       const std::vector<Job>& jobs, const Scheduler& scheduler,
-      sim::ReplayTelemetry* telemetry = nullptr) const;
+      obs::MetricsRegistry* metrics = nullptr) const;
 
  private:
   /// Service time of `job` run alone on `slot_platform`; also reports the
-  /// total compute busy time across the slot's workers.
+  /// total compute busy time across the slot's workers. When
+  /// `trace_workers` is non-null and the server has a sink, the replay's
+  /// spans are emitted at `trace_offset` with slot-local workers mapped
+  /// to platform indices through it (null = untraced, the baseline runs).
   [[nodiscard]] double simulate_service(
       const platform::Platform& slot_platform, const Job& job,
-      double* compute_time) const;
+      double* compute_time,
+      const std::vector<std::size_t>* trace_workers = nullptr,
+      double trace_offset = 0.0) const;
 
   /// The job's optimal single-round allocation on `slot_platform`
   /// (matched to the configured comm model), as an engine schedule.
@@ -117,12 +137,13 @@ class Server {
   /// worker. Both fill `stats` in place.
   void run_private(const std::vector<Job>& jobs, const Scheduler& scheduler,
                    const std::vector<platform::Platform>& slot_platforms,
+                   const std::vector<std::vector<std::size_t>>& slot_workers,
                    std::vector<JobStats>& stats) const;
   void run_shared(const std::vector<Job>& jobs, const Scheduler& scheduler,
                   const std::vector<platform::Platform>& slot_platforms,
                   const std::vector<std::vector<std::size_t>>& slot_workers,
                   std::vector<JobStats>& stats,
-                  sim::ReplayTelemetry* telemetry) const;
+                  obs::MetricsRegistry* metrics) const;
 
   const platform::Platform& platform_;
   ServerOptions options_;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "dlt/nonlinear_dlt.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/multiplex.hpp"
 #include "util/assert.hpp"
@@ -16,6 +17,34 @@ namespace nldl::qos {
 namespace {
 constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/// Record one event attributed to `job` (instant when start == end).
+void emit(obs::TraceSink* sink, obs::EventKind kind, double start, double end,
+          const online::Job& job, double size, double value) {
+  obs::TraceEvent event;
+  event.kind = kind;
+  event.start = start;
+  event.end = end;
+  event.job = job.id;
+  event.tenant = job.tenant;
+  event.alpha = job.alpha;
+  event.size = size;
+  event.value = value;
+  sink->record(event);
+}
+
+/// The admission verdict at an arrival, as a trace instant. `value` is
+/// the predicted service, `size` the load actually accepted.
+void emit_verdict(obs::TraceSink* sink, const online::Job& job,
+                  const AdmissionDecision& decision) {
+  const obs::EventKind verdict = !decision.admitted
+                                     ? obs::EventKind::kReject
+                                 : decision.degraded
+                                     ? obs::EventKind::kDegrade
+                                     : obs::EventKind::kAdmit;
+  emit(sink, verdict, job.arrival, job.arrival, job, decision.served_load,
+       decision.predicted_service);
+}
 }  // namespace
 
 Server::Server(const platform::Platform& platform, ServerOptions options)
@@ -30,7 +59,7 @@ Server::Server(const platform::Platform& platform, ServerOptions options)
 
 std::vector<JobRecord> Server::run(const std::vector<online::Job>& jobs,
                                    Policy& policy,
-                                   sim::ReplayTelemetry* telemetry) const {
+                                   obs::MetricsRegistry* metrics) const {
   std::size_t tenants = 1;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     NLDL_REQUIRE(jobs[i].id == i, "job ids must be 0..n-1 in order");
@@ -48,16 +77,59 @@ std::vector<JobRecord> Server::run(const std::vector<online::Job>& jobs,
   std::vector<JobRecord> records(jobs.size());
   const std::size_t concurrency =
       std::clamp<std::size_t>(options_.concurrency, 1, platform_.size());
+  if (metrics != nullptr) {
+    // First-touch order fixes the registry (and its JSON) layout up
+    // front, independent of which outcome happens first in the stream.
+    (void)metrics->counter("qos.admitted");
+    (void)metrics->counter("qos.degraded");
+    (void)metrics->counter("qos.rejected");
+    (void)metrics->counter("qos.deadline_misses");
+    (void)metrics->counter("qos.preemptions");
+    (void)metrics->gauge("qos.restart_time_s");
+    if (concurrency > 1) {
+      (void)metrics->counter("replay.engine_events");
+      (void)metrics->counter("replay.replays");
+      (void)metrics->counter("replay.busy_periods");
+    }
+  }
   if (concurrency > 1) {
-    run_concurrent(jobs, policy, records, concurrency, telemetry);
+    run_concurrent(jobs, policy, records, concurrency, metrics);
   } else {
     run_serial(jobs, policy, records);
+  }
+
+  // Whole-job spans, deadline misses, and outcome metrics — mode
+  // independent, so both event loops stay span-for-span comparable.
+  for (const JobRecord& record : records) {
+    const bool miss = record.admitted && record.finish > record.job.deadline;
+    if (options_.trace != nullptr && record.admitted) {
+      emit(options_.trace, obs::EventKind::kJob, record.dispatch,
+           record.finish, record.job, record.served_load,
+           record.compute_time);
+      if (miss) {
+        emit(options_.trace, obs::EventKind::kDeadlineMiss, record.finish,
+             record.finish, record.job, 0.0,
+             record.finish - record.job.deadline);
+      }
+    }
+    if (metrics != nullptr) {
+      if (record.admitted) {
+        ++metrics->counter("qos.admitted");
+        if (record.degraded) ++metrics->counter("qos.degraded");
+      } else {
+        ++metrics->counter("qos.rejected");
+      }
+      if (miss) ++metrics->counter("qos.deadline_misses");
+      metrics->counter("qos.preemptions") += record.preemptions;
+      metrics->gauge("qos.restart_time_s") += record.restart_time;
+    }
   }
   return records;
 }
 
 void Server::run_serial(const std::vector<online::Job>& jobs, Policy& policy,
                         std::vector<JobRecord>& records) const {
+  obs::TraceSink* const trace = options_.trace;
   std::vector<std::unique_ptr<ServicePlan>> plans(jobs.size());
   std::vector<std::size_t> ready;  // admitted unfinished job ids, ascending
   std::size_t next_arrival = 0;
@@ -75,6 +147,7 @@ void Server::run_serial(const std::vector<online::Job>& jobs, Policy& policy,
       record.degraded = decision.degraded;
       record.served_load = decision.served_load;
       record.predicted_service = decision.predicted_service;
+      if (trace != nullptr) emit_verdict(trace, job, decision);
       if (decision.admitted) {
         plans[job.id] = std::make_unique<ServicePlan>(
             solver_, job, decision.served_load);
@@ -114,12 +187,30 @@ void Server::run_serial(const std::vector<online::Job>& jobs, Policy& policy,
     // plan flags the restart surcharge for the eventual resume.
     if (last != kNone && last != id && plans[last] != nullptr &&
         !plans[last]->done()) {
+      const bool flags =
+          plans[last]->started() && !plans[last]->restart_pending();
       plans[last]->pause();
+      if (trace != nullptr && flags) {
+        // next_duration() forces the (memoized) restart solve the resume
+        // would trigger anyway — deterministic and result-neutral.
+        emit(trace, obs::EventKind::kPreempt, now, now, records[last].job,
+             0.0,
+             plans[last]->next_duration() - plans[last]->clean_duration());
+      }
     }
 
     JobRecord& record = records[id];
     if (!plans[id]->started()) record.dispatch = now;
     const double duration = plans[id]->next_duration();
+    if (trace != nullptr) {
+      if (plans[id]->restart_pending()) {
+        emit(trace, obs::EventKind::kRestart, now,
+             now + duration - plans[id]->clean_duration(), record.job, 0.0,
+             0.0);
+      }
+      emit(trace, obs::EventKind::kInstallment, now, now + duration,
+           record.job, plans[id]->next_load(), 0.0);
+    }
     plans[id]->advance();
     policy.on_service(candidates[k], duration);
     now += duration;
@@ -146,7 +237,8 @@ void Server::run_serial(const std::vector<online::Job>& jobs, Policy& policy,
 void Server::run_concurrent(const std::vector<online::Job>& jobs,
                             Policy& policy, std::vector<JobRecord>& records,
                             std::size_t concurrency,
-                            sim::ReplayTelemetry* telemetry) const {
+                            obs::MetricsRegistry* metrics) const {
+  obs::TraceSink* const trace = options_.trace;
   // Carve the platform into `concurrency` disjoint interleaved subsets
   // (worker i serves subset i mod k, like the online server's slots).
   const platform::Platform::Partition carve =
@@ -188,9 +280,11 @@ void Server::run_concurrent(const std::vector<online::Job>& jobs,
   const sim::Engine engine(platform_, {});
   sim::SharedMasterPeriod period(engine, *model_,
                                  {options_.incremental_replay});
+  if (trace != nullptr) period.set_trace(trace);
   struct Installment {
     std::size_t job = 0;
     double start = 0.0;  ///< dispatch instant (absolute)
+    double load = 0.0;   ///< dispatched load (restart-inflated on resume)
   };
   std::vector<Installment> installments;  ///< per period owner
   std::vector<std::size_t> subset_owner(concurrency, kNone);
@@ -203,9 +297,14 @@ void Server::run_concurrent(const std::vector<online::Job>& jobs,
           period.finish(owner) - installments[owner].start;
       record.compute_time += period.busy(owner);
       record.finish = std::max(record.finish, period.finish(owner));
+      if (trace != nullptr) {
+        emit(trace, obs::EventKind::kInstallment, installments[owner].start,
+             period.finish(owner), record.job, installments[owner].load,
+             0.0);
+      }
     }
-    if (telemetry != nullptr && !installments.empty()) {
-      ++telemetry->busy_periods;
+    if (metrics != nullptr && !installments.empty()) {
+      ++metrics->counter("replay.busy_periods");
     }
     period.clear();
     installments.clear();
@@ -223,6 +322,7 @@ void Server::run_concurrent(const std::vector<online::Job>& jobs,
       record.degraded = decision.degraded;
       record.served_load = decision.served_load;
       record.predicted_service = decision.predicted_service;
+      if (trace != nullptr) emit_verdict(trace, job, decision);
       if (decision.admitted) {
         plans[job.id] = std::make_unique<ServicePlan>(
             solver_, job, decision.served_load);
@@ -259,7 +359,15 @@ void Server::run_concurrent(const std::vector<online::Job>& jobs,
     // server, which pauses at switch-away. pause() is idempotent, so
     // re-flagging on later boundaries charges nothing twice.
     for (const std::size_t id : ready) {
-      if (plans[id]->started() && last_end[id] < now) plans[id]->pause();
+      if (plans[id]->started() && last_end[id] < now) {
+        const bool flags = !plans[id]->restart_pending();
+        plans[id]->pause();
+        if (trace != nullptr && flags) {
+          emit(trace, obs::EventKind::kPreempt, now, now, records[id].job,
+               0.0,
+               plans[id]->next_duration() - plans[id]->clean_duration());
+        }
+      }
     }
 
     // Platform drained: every installment of the period has settled.
@@ -298,14 +406,19 @@ void Server::run_concurrent(const std::vector<online::Job>& jobs,
       // above; next_load()/next_duration() include it.
       const double load = plans[id]->next_load();
       const double predicted = plans[id]->next_duration();
+      if (trace != nullptr && plans[id]->restart_pending()) {
+        emit(trace, obs::EventKind::kRestart, now,
+             now + predicted - plans[id]->clean_duration(), record.job, 0.0,
+             0.0);
+      }
       plans[id]->advance();
       policy.on_service(candidates[k], predicted);
 
       subset_owner[s] = period.dispatch(
           now, records[id].job.alpha,
           subset_schedule(s, load, records[id].job.alpha),
-          subset_workers[s]);
-      installments.push_back({id, now});
+          subset_workers[s], records[id].job.id, records[id].job.tenant);
+      installments.push_back({id, now, load});
       NLDL_ASSERT(subset_owner[s] + 1 == installments.size(),
                   "period owners and installments fell out of step");
       running[s] = id;
@@ -333,9 +446,9 @@ void Server::run_concurrent(const std::vector<online::Job>& jobs,
     now = next_event;
   }
 
-  if (telemetry != nullptr) {
-    telemetry->engine_events += period.events();
-    telemetry->replays += period.replays();
+  if (metrics != nullptr) {
+    metrics->counter("replay.engine_events") += period.events();
+    metrics->counter("replay.replays") += period.replays();
   }
   flush_period();
   NLDL_ASSERT(ready.empty() && next_arrival == jobs.size(),

@@ -50,12 +50,17 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "online/job.hpp"
 #include "platform/platform.hpp"
 #include "qos/admission.hpp"
 #include "qos/plan.hpp"
 #include "qos/policy.hpp"
 #include "sim/multiplex.hpp"
+
+namespace nldl::obs {
+class MetricsRegistry;
+}  // namespace nldl::obs
 
 namespace nldl::qos {
 
@@ -73,6 +78,15 @@ struct ServerOptions {
   /// the whole period. Bit-identical results; off only buys the
   /// O(period²) reference behavior.
   bool incremental_replay = true;
+  /// Optional trace sink (obs/trace.hpp, non-owning, must outlive the
+  /// server's run). When set, the served timeline is emitted as typed
+  /// events on the simulated clock: admission verdicts at every arrival,
+  /// preemptions with their restart surcharge, restart re-work spans,
+  /// per-installment spans, whole-job spans, deadline misses, and (under
+  /// concurrency > 1) the shared replay's chunk spans and bookkeeping.
+  /// Tracing never changes results: JobRecords are bit-identical with or
+  /// without a sink.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Outcome of one offered job.
@@ -129,12 +143,14 @@ class Server {
   /// arrival order with ids 0..n-1 (the shape generate_tenant_traffic and
   /// every ArrivalProcess produce). `policy` is reset() and then owned
   /// for the duration of the run (it accumulates run-local state).
-  /// Returns one JobRecord per offered job, in id order. `telemetry`,
-  /// when non-null, accumulates shared-master replay cost (engine
-  /// events, replays, busy periods; untouched under concurrency == 1).
+  /// Returns one JobRecord per offered job, in id order. `metrics`, when
+  /// non-null, accumulates qos.* outcome counters (admitted / degraded /
+  /// rejected / deadline_misses / preemptions, plus the qos.restart_time_s
+  /// gauge) and — under concurrency > 1 — shared-master replay cost as
+  /// replay.engine_events / replay.replays / replay.busy_periods.
   [[nodiscard]] std::vector<JobRecord> run(
       const std::vector<online::Job>& jobs, Policy& policy,
-      sim::ReplayTelemetry* telemetry = nullptr) const;
+      obs::MetricsRegistry* metrics = nullptr) const;
 
  private:
   /// The serial (concurrency == 1) and concurrent (k subsets, shared
@@ -144,7 +160,7 @@ class Server {
   void run_concurrent(const std::vector<online::Job>& jobs, Policy& policy,
                       std::vector<JobRecord>& records,
                       std::size_t concurrency,
-                      sim::ReplayTelemetry* telemetry) const;
+                      obs::MetricsRegistry* metrics) const;
 
   const platform::Platform& platform_;
   ServerOptions options_;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
 
@@ -228,6 +229,15 @@ void EngineRun::assign_rates() {
   }
   NLDL_ASSERT(any_positive, "comm model starves every pending transfer");
   rates_valid_ = true;
+
+  if (trace_ != nullptr) {
+    obs::TraceEvent event;
+    event.kind = obs::EventKind::kRerate;
+    event.start = trace_offset_ + now_;
+    event.end = event.start;
+    event.value = static_cast<double>(eligible_.size());
+    trace_->record(event);
+  }
 }
 
 // Record the chunk's span once its communication is over, queueing its

@@ -52,6 +52,10 @@
 #include "platform/platform.hpp"
 #include "sim/comm_model.hpp"
 
+namespace nldl::obs {
+class TraceSink;
+}  // namespace nldl::obs
+
 namespace nldl::sim {
 
 /// One master→worker transfer: `size` load units to `worker`.
@@ -312,6 +316,22 @@ class EngineRun {
   /// drained; afterwards the run is only good for reset().
   [[nodiscard]] SimResult take_result();
 
+  /// Attach a trace sink (obs/trace.hpp): every rate (re)assignment emits
+  /// a kRerate instant at `offset` + clock() — the water-fill re-rate
+  /// instants of the bounded-multiport model, and the discrete models'
+  /// queue-head changes. Chunk spans are deliberately NOT emitted here:
+  /// span emission is owned by the layer that can attribute chunks to
+  /// jobs/tenants (sim::SharedMasterPeriod, online::Server), via the
+  /// completion hook. Null (the default) is the zero-cost fast path and
+  /// never changes the trajectory. NOTE: copying a run copies the sink
+  /// pointer — speculative copies that must stay silent (the incremental
+  /// replay's scratch drains) detach it immediately after the copy.
+  void set_trace(obs::TraceSink* sink, double offset = 0.0) noexcept {
+    trace_ = sink;
+    trace_offset_ = offset;
+  }
+  [[nodiscard]] obs::TraceSink* trace() const noexcept { return trace_; }
+
  private:
   /// Per-chunk transfer state. `remaining` is measured at `anchor_time`;
   /// the pair is only refreshed when the rate actually changes, so a
@@ -348,6 +368,9 @@ class EngineRun {
   double makespan_ = 0.0;
   /// rates_/transfers_ reflect a model call on the current eligible set.
   bool rates_valid_ = false;
+  /// Optional re-rate instant sink; survives reset() like events_ does.
+  obs::TraceSink* trace_ = nullptr;
+  double trace_offset_ = 0.0;
 
   // Per chunk, indexed by schedule position.
   std::vector<ChunkAssignment> schedule_;

@@ -45,6 +45,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/comm_model.hpp"
 #include "sim/engine.hpp"
 
@@ -63,18 +64,13 @@ struct SharedMasterOptions {
   std::size_t compact_threshold = 1024;
 };
 
-/// Replay-cost telemetry a server accumulates across its run — how many
-/// chunk-level engine events were simulated (including speculative
-/// re-estimation), how many replays, how many busy periods. The soak
-/// bench reports events/sec from this.
-struct ReplayTelemetry {
-  std::uint64_t engine_events = 0;
-  std::uint64_t replays = 0;
-  std::uint64_t busy_periods = 0;
-};
-
 /// One open busy period of a shared master. Holds references to the
 /// engine and model, which must outlive it.
+///
+/// Replay-cost accounting (events()/replays()) is what the servers fold
+/// into an obs::MetricsRegistry as replay.engine_events / replay.replays
+/// / replay.busy_periods — the successor of the removed ad-hoc
+/// ReplayTelemetry struct.
 class SharedMasterPeriod {
  public:
   SharedMasterPeriod(const Engine& engine, const CommModel& model,
@@ -97,6 +93,18 @@ class SharedMasterPeriod {
   /// replay() calls so far, across clears.
   [[nodiscard]] std::uint64_t replays() const noexcept { return replays_; }
 
+  /// Attach a trace sink (obs/trace.hpp) for the NEXT busy period; must
+  /// be called while the period is empty. When attached, the period owns
+  /// span emission for its chunks: every transfer/compute span is
+  /// emitted exactly once, in absolute time, attributed to the
+  /// dispatching owner's job/tenant/alpha — as the chunk settles under
+  /// incremental replay, or in one final replay at clear() under full
+  /// replay. Dispatch barriers, checkpoints, compactions, and replays
+  /// emit instants. Tracing never changes finish()/busy()/events()
+  /// accounting: results are bit-identical with or without a sink.
+  void set_trace(obs::TraceSink* sink);
+  [[nodiscard]] obs::TraceSink* trace() const noexcept { return trace_; }
+
   /// Register one unit of work dispatched at absolute time `now` (>= the
   /// period's first dispatch): `chunks` in their allocator's (subset-
   /// local) worker indices, mapped to engine workers through
@@ -104,10 +112,13 @@ class SharedMasterPeriod {
   /// dispatch anchors the period clock. Under incremental replay this
   /// also advances the settled prefix to the new release barrier —
   /// everything simulated before it is final. Returns the owner index to
-  /// query finish()/busy() with after the next replay().
+  /// query finish()/busy() with after the next replay(). `job`/`tenant`
+  /// attribute the owner's trace spans (ignored untraced).
   std::size_t dispatch(double now, double alpha,
                        const std::vector<ChunkAssignment>& chunks,
-                       const std::vector<std::size_t>& worker_map);
+                       const std::vector<std::size_t>& worker_map,
+                       std::size_t job = obs::kNoIndex,
+                       std::size_t tenant = obs::kNoIndex);
 
   /// Refresh every owner's finish and busy time: full mode re-simulates
   /// the accumulated schedule, incremental mode drains a checkpoint of
@@ -137,6 +148,10 @@ class SharedMasterPeriod {
   void on_speculative(std::size_t chunk, const ChunkSpan& span);
   void replay_full();
   void replay_incremental();
+  void emit_chunk_spans(std::size_t chunk, const ChunkSpan& span);
+  void emit_instant(obs::EventKind kind, double at, double value,
+                    std::size_t job, std::size_t tenant, double alpha);
+  void flush_trace();
 
   const Engine& engine_;
   const CommModel& model_;
@@ -170,6 +185,15 @@ class SharedMasterPeriod {
   std::uint64_t events_ = 0;
   std::uint64_t replays_ = 0;
   std::size_t high_water_ = 0;
+
+  // Tracing (null = fast path). Per-owner attribution for span emission;
+  // last_barrier_ is the latest dispatch's absolute time, stamping the
+  // replay/checkpoint bookkeeping instants.
+  obs::TraceSink* trace_ = nullptr;
+  double last_barrier_ = 0.0;
+  std::vector<std::size_t> owner_job_;
+  std::vector<std::size_t> owner_tenant_;
+  std::vector<double> owner_alpha_;
 };
 
 }  // namespace nldl::sim

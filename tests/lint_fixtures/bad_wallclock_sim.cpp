@@ -1,0 +1,12 @@
+// Fixture: wall-clock confinement. bench::WallClock::now() is the one
+// sanctioned wall-clock funnel, and only the bench layer may call it;
+// this fixture's path has no "bench" in it, so the funnel calls fire
+// alongside the raw chrono read.
+#include <chrono>
+
+double simulate_with_a_real_clock() {
+  const double start = bench::WallClock::now();       // line 8: funnel
+  const auto raw = std::chrono::steady_clock::now();  // line 9: raw read
+  (void)raw;
+  return bench::WallClock::now() - start;             // line 11: funnel
+}

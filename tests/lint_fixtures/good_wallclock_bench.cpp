@@ -1,0 +1,19 @@
+// Fixture: wall-clock confinement, good side — in the bench layer (any
+// path containing "bench") the sanctioned WallClock::now() funnel
+// passes, and the raw steady_clock read inside it carries a justified
+// suppression, mirroring src/bench/profile.cpp.
+#include <chrono>
+
+namespace bench {
+struct WallClock {
+  static double now() {
+    const auto tick = std::chrono::steady_clock::now();  // nldl-lint: allow(nondet-source): the harness wall clock — measured sidecar only
+    return std::chrono::duration<double>(tick.time_since_epoch()).count();
+  }
+};
+}  // namespace bench
+
+double harness_timer() {
+  const double start = bench::WallClock::now();
+  return bench::WallClock::now() - start;
+}

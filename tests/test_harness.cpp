@@ -10,7 +10,9 @@
 #include <limits>
 #include <sstream>
 
+#include "bench/profile.hpp"
 #include "util/assert.hpp"
+#include "util/json_parse.hpp"
 #include "util/sweep.hpp"
 
 namespace nldl::bench {
@@ -105,6 +107,113 @@ TEST(Harness, SelfCheckPassesForDeterministicSweep) {
             std::count(text.begin(), text.end(), '}'));
   EXPECT_EQ(std::count(text.begin(), text.end(), '['),
             std::count(text.begin(), text.end(), ']'));
+}
+
+TEST(Harness, SplitSchemaSeparatesDeterministicFromMeasured) {
+  TempJson json("test_harness_split.json");
+  Harness harness("test_split", options_with_json(json.path, 2));
+  harness.config("alpha", 2.0);
+  harness.items(4);
+  harness.metrics().counter("unit.events") += 7;
+  harness.metrics().gauge("unit.seconds") = 1.5;
+  harness.profiler().add("emit", 0.25);
+  harness.profiler().add("emit", 0.25);
+
+  (void)harness.run<std::vector<double>>(
+      [](std::size_t) { return std::vector<double>{1.0, 2.0, 3.0, 4.0}; });
+  const int exit_code = harness.finish(
+      [](util::JsonWriter& writer) {
+        writer.begin_object();
+        writer.key("value").value(1.0);
+        writer.end_object();
+      },
+      [](util::JsonWriter& writer) {
+        writer.key("driver_wall_s").value(0.125);
+      });
+  EXPECT_EQ(exit_code, 0);
+
+  const util::JsonValue doc = util::parse_json(json.read());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_NE(doc.find("bench"), nullptr);  // name stays top-level
+
+  // Everything reproducible lives under "deterministic": config, items,
+  // the self-check verdict, the metrics registry, and the points.
+  const util::JsonValue* det = doc.find("deterministic");
+  ASSERT_NE(det, nullptr);
+  ASSERT_TRUE(det->is_object());
+  ASSERT_NE(det->find("config"), nullptr);
+  EXPECT_NE(det->find("config")->find("alpha"), nullptr);
+  ASSERT_NE(det->find("items"), nullptr);
+  EXPECT_EQ(det->find("items")->number, 4.0);
+  ASSERT_NE(det->find("parallel_bit_identical"), nullptr);
+  EXPECT_TRUE(det->find("parallel_bit_identical")->boolean);
+  const util::JsonValue* metrics = det->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->find("unit.events"), nullptr);
+  EXPECT_EQ(metrics->find("unit.events")->number, 7.0);
+  ASSERT_NE(det->find("points"), nullptr);
+  EXPECT_TRUE(det->find("points")->is_array());
+
+  // Wall-clock facts live under "measured" and ONLY there.
+  const util::JsonValue* measured = doc.find("measured");
+  ASSERT_NE(measured, nullptr);
+  ASSERT_TRUE(measured->is_object());
+  EXPECT_NE(measured->find("threads"), nullptr);
+  EXPECT_NE(measured->find("wall_time_serial_s"), nullptr);
+  EXPECT_NE(measured->find("wall_time_parallel_s"), nullptr);
+  EXPECT_NE(measured->find("speedup"), nullptr);
+  EXPECT_NE(measured->find("peak_rss_bytes"), nullptr);
+  const util::JsonValue* profile = measured->find("profile");
+  ASSERT_NE(profile, nullptr);
+  const util::JsonValue* emit = profile->find("emit");
+  ASSERT_NE(emit, nullptr);
+  EXPECT_EQ(emit->find("seconds")->number, 0.5);
+  EXPECT_EQ(emit->find("count")->number, 2.0);
+  EXPECT_NE(measured->find("driver_wall_s"), nullptr);
+
+  EXPECT_EQ(det->find("wall_time_serial_s"), nullptr);
+  EXPECT_EQ(det->find("profile"), nullptr);
+  EXPECT_EQ(measured->find("points"), nullptr);
+  EXPECT_EQ(measured->find("metrics"), nullptr);
+}
+
+TEST(WallProfiler, AccumulatesInFirstTouchOrder) {
+  WallProfiler profiler;
+  EXPECT_TRUE(profiler.empty());
+  profiler.add("solve", 1.0);
+  profiler.add("emit", 0.5);
+  profiler.add("solve", 0.25);
+  EXPECT_EQ(profiler.size(), 2u);
+  EXPECT_EQ(profiler.seconds("solve"), 1.25);
+  EXPECT_EQ(profiler.count("solve"), 2u);
+  EXPECT_EQ(profiler.seconds("emit"), 0.5);
+  EXPECT_EQ(profiler.seconds("absent"), 0.0);
+  EXPECT_EQ(profiler.count("absent"), 0u);
+
+  std::ostringstream out;
+  {
+    util::JsonWriter json(out);
+    json.begin_object();
+    json.key("profile");
+    profiler.write_json(json);
+    json.end_object();
+  }
+  const std::string text = out.str();
+  EXPECT_LT(text.find("\"solve\""), text.find("\"emit\""));
+  EXPECT_NE(text.find("\"count\": 2"), std::string::npos);
+}
+
+TEST(WallProfiler, ProfileScopeAttributesElapsedTime) {
+  WallProfiler profiler;
+  double sink = 0.0;
+  {
+    ProfileScope named(profiler, "scope");
+    ProfileScope plain(sink);
+    EXPECT_GE(named.elapsed(), 0.0);
+  }
+  EXPECT_EQ(profiler.count("scope"), 1u);
+  EXPECT_GE(profiler.seconds("scope"), 0.0);
+  EXPECT_GE(sink, 0.0);
 }
 
 TEST(Harness, SelfCheckFailsForThreadDependentSweep) {

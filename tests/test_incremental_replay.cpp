@@ -14,6 +14,7 @@
 #include <numeric>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "online/arrivals.hpp"
 #include "online/scheduler.hpp"
 #include "online/server.hpp"
@@ -203,23 +204,26 @@ TEST(IncrementalReplay, OnlineServerMetricsIdentity) {
     options.master = online::MasterMode::kSharedMaster;
     options.record_isolated = false;
     options.incremental_replay = true;
-    sim::ReplayTelemetry fast_cost;
+    obs::MetricsRegistry fast_cost;
     const auto fast =
         online::Server(plat, options).run(jobs, fair, &fast_cost);
 
     options.incremental_replay = false;
-    sim::ReplayTelemetry slow_cost;
+    obs::MetricsRegistry slow_cost;
     const auto slow =
         online::Server(plat, options).run(jobs, fair, &slow_cost);
 
     expect_identical_stats(fast, slow);
     // Same decision sequence on both sides...
-    EXPECT_EQ(fast_cost.replays, slow_cost.replays);
-    EXPECT_EQ(fast_cost.busy_periods, slow_cost.busy_periods);
-    EXPECT_GT(fast_cost.busy_periods, 0U);
+    EXPECT_EQ(fast_cost.counter_value("replay.replays"),
+              slow_cost.counter_value("replay.replays"));
+    EXPECT_EQ(fast_cost.counter_value("replay.busy_periods"),
+              slow_cost.counter_value("replay.busy_periods"));
+    EXPECT_GT(fast_cost.counter_value("replay.busy_periods"), 0U);
     // ...but the incremental side simulated strictly fewer chunk events
     // (the contended stream has multi-dispatch busy periods).
-    EXPECT_LT(fast_cost.engine_events, slow_cost.engine_events);
+    EXPECT_LT(fast_cost.counter_value("replay.engine_events"),
+              slow_cost.counter_value("replay.engine_events"));
   }
 }
 
@@ -239,13 +243,13 @@ TEST(IncrementalReplay, QosServerMetricsIdentity) {
     options.incremental_replay = true;
 
     qos::SrptPolicy fast_policy;
-    sim::ReplayTelemetry fast_cost;
+    obs::MetricsRegistry fast_cost;
     const auto fast =
         qos::Server(plat, options).run(jobs, fast_policy, &fast_cost);
 
     options.incremental_replay = false;
     qos::SrptPolicy slow_policy;
-    sim::ReplayTelemetry slow_cost;
+    obs::MetricsRegistry slow_cost;
     const auto slow =
         qos::Server(plat, options).run(jobs, slow_policy, &slow_cost);
 
@@ -259,8 +263,10 @@ TEST(IncrementalReplay, QosServerMetricsIdentity) {
       EXPECT_EQ(fast[i].restart_time, slow[i].restart_time) << "job " << i;
       EXPECT_EQ(fast[i].preemptions, slow[i].preemptions) << "job " << i;
     }
-    EXPECT_EQ(fast_cost.replays, slow_cost.replays);
-    EXPECT_LE(fast_cost.engine_events, slow_cost.engine_events);
+    EXPECT_EQ(fast_cost.counter_value("replay.replays"),
+              slow_cost.counter_value("replay.replays"));
+    EXPECT_LE(fast_cost.counter_value("replay.engine_events"),
+              slow_cost.counter_value("replay.engine_events"));
   }
 }
 

@@ -1,0 +1,97 @@
+// Tests for util/json_parse.hpp — the read side of the JSON stack. The
+// parser backs trace validation and bench-payload diffing, so the pins
+// here are about strictness (malformed input throws), order
+// preservation, and exact structural equality.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/json_parse.hpp"
+
+namespace nldl {
+namespace {
+
+using util::JsonValue;
+using util::parse_json;
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").boolean);
+  EXPECT_FALSE(parse_json("false").boolean);
+  EXPECT_EQ(parse_json("42").number, 42.0);
+  EXPECT_EQ(parse_json("-1.5e3").number, -1500.0);
+  EXPECT_EQ(parse_json("0.0078125").number, 0.0078125);  // exact binary
+  EXPECT_EQ(parse_json("\"hi\"").string, "hi");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d")").string, "a\"b\\c/d");
+  EXPECT_EQ(parse_json(R"("line\nfeed\ttab")").string, "line\nfeed\ttab");
+  EXPECT_EQ(parse_json(R"("Aé")").string, "A\xc3\xa9");
+}
+
+TEST(JsonParse, ArraysAndObjectsPreserveOrder) {
+  const JsonValue doc = parse_json(
+      R"({"z": [1, 2, 3], "a": {"nested": true}, "z": "dup"})");
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.object.size(), 3u);  // duplicate keys are both kept
+  EXPECT_EQ(doc.object[0].first, "z");
+  EXPECT_EQ(doc.object[1].first, "a");
+  EXPECT_EQ(doc.object[2].first, "z");
+
+  const JsonValue* z = doc.find("z");
+  ASSERT_NE(z, nullptr);  // find returns the FIRST member
+  ASSERT_TRUE(z->is_array());
+  ASSERT_EQ(z->array.size(), 3u);
+  EXPECT_EQ(z->array[2].number, 3.0);
+
+  const JsonValue* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  const JsonValue* nested = a->find("nested");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_TRUE(nested->boolean);
+
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(z->find("z"), nullptr);  // non-objects have no members
+}
+
+TEST(JsonParse, StructuralEqualityIsExact) {
+  EXPECT_EQ(parse_json(R"({"a": [1, 2], "b": "x"})"),
+            parse_json(R"({ "a" : [ 1 , 2 ] , "b" : "x" })"));
+  // Member order matters.
+  EXPECT_FALSE(parse_json(R"({"a": 1, "b": 2})") ==
+               parse_json(R"({"b": 2, "a": 1})"));
+  // Doubles compare exactly — bitwise reproduction is the point.
+  EXPECT_FALSE(parse_json("0.1") == parse_json("0.10000000000000002"));
+  EXPECT_FALSE(parse_json("1") == parse_json("true"));
+  EXPECT_FALSE(parse_json("[1]") == parse_json("[1, 1]"));
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  EXPECT_THROW((void)parse_json(""), util::PreconditionError);
+  EXPECT_THROW((void)parse_json("{"), util::PreconditionError);
+  EXPECT_THROW((void)parse_json("[1,]"), util::PreconditionError);
+  EXPECT_THROW((void)parse_json("{\"a\" 1}"), util::PreconditionError);
+  EXPECT_THROW((void)parse_json("'single'"), util::PreconditionError);
+  EXPECT_THROW((void)parse_json("nul"), util::PreconditionError);
+  EXPECT_THROW((void)parse_json("1 2"), util::PreconditionError);  // garbage
+  EXPECT_THROW((void)parse_json("\"unterminated"), util::PreconditionError);
+  EXPECT_THROW((void)parse_json("\"bad \\q escape\""),
+               util::PreconditionError);
+}
+
+TEST(JsonParse, NestingDepthIsBounded) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_THROW((void)parse_json(deep), util::PreconditionError);
+
+  std::string ok;
+  for (int i = 0; i < 64; ++i) ok += '[';
+  for (int i = 0; i < 64; ++i) ok += ']';
+  EXPECT_TRUE(parse_json(ok).is_array());
+}
+
+}  // namespace
+}  // namespace nldl

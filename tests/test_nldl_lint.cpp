@@ -134,6 +134,17 @@ TEST(LintFixtures, NondetSourceFiresAndSeededRngPasses) {
   EXPECT_TRUE(scan_fixture("good_seeded_rng.cpp").empty());
 }
 
+TEST(LintFixtures, WallClockConfinedToBenchLayer) {
+  // WallClock::now() is sanctioned only where the path contains "bench";
+  // elsewhere it fires like any other wall-clock read (and the raw
+  // steady_clock read on line 9 fires regardless of layer).
+  const auto findings = scan_fixture("bad_wallclock_sim.cpp");
+  EXPECT_EQ(lines_of(findings, "nondet-source"),
+            (std::vector<std::size_t>{8, 9, 11}));
+  EXPECT_EQ(findings.size(), 3u);
+  EXPECT_TRUE(scan_fixture("good_wallclock_bench.cpp").empty());
+}
+
 TEST(LintFixtures, LocaleFiresAndCharconvPasses) {
   const auto findings = scan_fixture("bad_locale.cpp");
   EXPECT_EQ(lines_of(findings, "locale"),

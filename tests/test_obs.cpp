@@ -1,0 +1,472 @@
+// Tests for src/obs/: the tracing contract (attaching a sink never
+// changes results, recording is deterministic), the metrics registry's
+// ordering/type/merge rules, Chrome trace-event export validating
+// against the schema checker, the time-attribution partition, and the
+// event-stream ASCII gantt.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/validate.hpp"
+#include "online/scheduler.hpp"
+#include "online/server.hpp"
+#include "platform/platform.hpp"
+#include "qos/policy.hpp"
+#include "qos/server.hpp"
+#include "sim/trace.hpp"
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace nldl {
+namespace {
+
+platform::Platform test_platform() {
+  return platform::Platform::two_class(6, 1.0, 3.0);
+}
+
+/// Overlapping arrivals (multi-job busy periods), mixed alphas, finite
+/// deadlines so the qos admission path exercises every verdict.
+std::vector<online::Job> burst_jobs() {
+  return {{0, 0.0, 60.0, 2.0, 400.0, 0},  {1, 1.0, 30.0, 1.0, 150.0, 1},
+          {2, 2.0, 45.0, 2.0, 500.0, 0},  {3, 15.0, 20.0, 1.0, 90.0, 2},
+          {4, 16.0, 80.0, 2.0, 900.0, 1}, {5, 40.0, 25.0, 1.0, 200.0, 2}};
+}
+
+const std::vector<sim::CommModelKind> kCommKinds{
+    sim::CommModelKind::kParallelLinks, sim::CommModelKind::kOnePort,
+    sim::CommModelKind::kBoundedMultiport};
+
+online::ServerOptions online_options(sim::CommModelKind comm,
+                                     online::MasterMode master) {
+  online::ServerOptions options;
+  options.comm = comm;
+  if (comm == sim::CommModelKind::kBoundedMultiport) {
+    options.capacity = 2.0;
+  }
+  options.master = master;
+  return options;
+}
+
+qos::ServerOptions qos_options(sim::CommModelKind comm,
+                               std::size_t concurrency) {
+  qos::ServerOptions options;
+  options.service.comm = comm;
+  if (comm == sim::CommModelKind::kBoundedMultiport) {
+    options.service.capacity = 2.0;
+  }
+  options.service.plan.rounds = 3;
+  options.service.plan.restart_load_fraction = 1.0;
+  options.concurrency = concurrency;
+  return options;
+}
+
+void expect_identical(const std::vector<online::JobStats>& a,
+                      const std::vector<online::JobStats>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dispatch, b[i].dispatch) << "job " << i;
+    EXPECT_EQ(a[i].finish, b[i].finish) << "job " << i;
+    EXPECT_EQ(a[i].slot, b[i].slot) << "job " << i;
+    EXPECT_EQ(a[i].workers, b[i].workers) << "job " << i;
+    EXPECT_EQ(a[i].compute_time, b[i].compute_time) << "job " << i;
+    EXPECT_EQ(a[i].isolated_makespan, b[i].isolated_makespan) << "job " << i;
+  }
+}
+
+void expect_identical(const std::vector<qos::JobRecord>& a,
+                      const std::vector<qos::JobRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].admitted, b[i].admitted) << "job " << i;
+    EXPECT_EQ(a[i].degraded, b[i].degraded) << "job " << i;
+    EXPECT_EQ(a[i].served_load, b[i].served_load) << "job " << i;
+    EXPECT_EQ(a[i].predicted_service, b[i].predicted_service) << "job " << i;
+    EXPECT_EQ(a[i].dispatch, b[i].dispatch) << "job " << i;
+    EXPECT_EQ(a[i].finish, b[i].finish) << "job " << i;
+    EXPECT_EQ(a[i].service_time, b[i].service_time) << "job " << i;
+    EXPECT_EQ(a[i].compute_time, b[i].compute_time) << "job " << i;
+    EXPECT_EQ(a[i].preemptions, b[i].preemptions) << "job " << i;
+    EXPECT_EQ(a[i].restart_time, b[i].restart_time) << "job " << i;
+  }
+}
+
+// --- tracing never changes results ------------------------------------------
+
+TEST(TraceNeutrality, OnlineServerAcrossCommModelsAndMasterModes) {
+  const platform::Platform plat = test_platform();
+  const std::vector<online::Job> jobs = burst_jobs();
+  for (const sim::CommModelKind comm : kCommKinds) {
+    for (const online::MasterMode master :
+         {online::MasterMode::kPrivatePort,
+          online::MasterMode::kSharedMaster}) {
+      online::ServerOptions bare_options = online_options(comm, master);
+      const online::Server bare(plat, bare_options);
+      const online::FairShareScheduler fair_a(2);
+      const auto untraced = bare.run(jobs, fair_a);
+
+      obs::TraceRecorder recorder;
+      online::ServerOptions traced_options = online_options(comm, master);
+      traced_options.trace = &recorder;
+      const online::Server traced(plat, traced_options);
+      const online::FairShareScheduler fair_b(2);
+      const auto with_trace = traced.run(jobs, fair_b);
+
+      SCOPED_TRACE(sim::to_string(comm) + " / " +
+                   online::to_string(master));
+      expect_identical(untraced, with_trace);
+      EXPECT_FALSE(recorder.empty());
+
+      // Recording is deterministic: a second traced run emits the same
+      // event sequence bit for bit.
+      obs::TraceRecorder again;
+      online::ServerOptions repeat_options = online_options(comm, master);
+      repeat_options.trace = &again;
+      const online::Server repeat(plat, repeat_options);
+      const online::FairShareScheduler fair_c(2);
+      (void)repeat.run(jobs, fair_c);
+      EXPECT_EQ(recorder.events(), again.events());
+    }
+  }
+}
+
+TEST(TraceNeutrality, QosServerAcrossCommModelsAndConcurrency) {
+  const platform::Platform plat = test_platform();
+  const std::vector<online::Job> jobs = burst_jobs();
+  for (const sim::CommModelKind comm : kCommKinds) {
+    for (const std::size_t concurrency : {std::size_t{1}, std::size_t{2}}) {
+      const qos::Server bare(plat, qos_options(comm, concurrency));
+      qos::SrptPolicy srpt_a;
+      const auto untraced = bare.run(jobs, srpt_a);
+
+      obs::TraceRecorder recorder;
+      qos::ServerOptions traced_options = qos_options(comm, concurrency);
+      traced_options.trace = &recorder;
+      const qos::Server traced(plat, traced_options);
+      qos::SrptPolicy srpt_b;
+      const auto with_trace = traced.run(jobs, srpt_b);
+
+      SCOPED_TRACE(sim::to_string(comm) + " / concurrency " +
+                   std::to_string(concurrency));
+      expect_identical(untraced, with_trace);
+      EXPECT_FALSE(recorder.empty());
+
+      obs::TraceRecorder again;
+      qos::ServerOptions repeat_options = qos_options(comm, concurrency);
+      repeat_options.trace = &again;
+      const qos::Server repeat(plat, repeat_options);
+      qos::SrptPolicy srpt_c;
+      (void)repeat.run(jobs, srpt_c);
+      EXPECT_EQ(recorder.events(), again.events());
+    }
+  }
+}
+
+// --- event content -----------------------------------------------------------
+
+TEST(TraceContent, QosSerialEmitsVerdictsInstallmentsAndPreemptions) {
+  const platform::Platform plat = test_platform();
+  obs::TraceRecorder recorder;
+  qos::ServerOptions options =
+      qos_options(sim::CommModelKind::kParallelLinks, 1);
+  options.trace = &recorder;
+  const qos::Server server(plat, options);
+  qos::SrptPolicy srpt;
+  const auto records = server.run(burst_jobs(), srpt);
+
+  std::size_t admitted = 0;
+  std::size_t preemptions = 0;
+  for (const qos::JobRecord& record : records) {
+    if (record.admitted) ++admitted;
+    preemptions += record.preemptions;
+  }
+  ASSERT_GT(admitted, 0u);
+  ASSERT_GT(preemptions, 0u) << "scenario must exercise preemption";
+
+  // One admission verdict per offered job, stamped at its arrival.
+  const auto admits = recorder.of_kind(obs::EventKind::kAdmit);
+  const auto degrades = recorder.of_kind(obs::EventKind::kDegrade);
+  const auto rejects = recorder.of_kind(obs::EventKind::kReject);
+  EXPECT_EQ(admits.size() + degrades.size() + rejects.size(),
+            records.size());
+
+  // One whole-job span per admitted job, [dispatch, finish].
+  const auto job_spans = recorder.of_kind(obs::EventKind::kJob);
+  EXPECT_EQ(job_spans.size(), admitted);
+  for (const obs::TraceEvent& span : job_spans) {
+    EXPECT_LT(span.start, span.end);
+    EXPECT_NE(span.job, obs::kNoIndex);
+  }
+
+  // Preemption instants match the per-record tallies and carry the
+  // positive restart-surcharge estimate; each pays a restart span later.
+  const auto preempts = recorder.of_kind(obs::EventKind::kPreempt);
+  EXPECT_EQ(preempts.size(), preemptions);
+  for (const obs::TraceEvent& event : preempts) {
+    EXPECT_GT(event.value, 0.0);
+  }
+  EXPECT_EQ(recorder.of_kind(obs::EventKind::kRestart).size(), preemptions);
+  EXPECT_FALSE(recorder.of_kind(obs::EventKind::kInstallment).empty());
+}
+
+TEST(TraceContent, SharedMasterRunsCarryWorkerSpans) {
+  const platform::Platform plat = test_platform();
+  obs::TraceRecorder recorder;
+  qos::ServerOptions options =
+      qos_options(sim::CommModelKind::kBoundedMultiport, 2);
+  options.trace = &recorder;
+  const qos::Server server(plat, options);
+  qos::SrptPolicy srpt;
+  (void)server.run(burst_jobs(), srpt);
+
+  const auto transfers = recorder.of_kind(obs::EventKind::kTransfer);
+  const auto computes = recorder.of_kind(obs::EventKind::kCompute);
+  ASSERT_FALSE(transfers.empty());
+  ASSERT_FALSE(computes.empty());
+  for (const obs::TraceEvent& span : transfers) {
+    EXPECT_NE(span.worker, obs::kNoIndex);
+    EXPECT_LT(span.worker, plat.size());
+    EXPECT_LE(span.start, span.end);
+  }
+  for (const obs::TraceEvent& span : computes) {
+    EXPECT_NE(span.worker, obs::kNoIndex);
+    EXPECT_NE(span.job, obs::kNoIndex);  // compute is job-attributed
+    EXPECT_LT(span.start, span.end);
+  }
+  EXPECT_FALSE(recorder.of_kind(obs::EventKind::kDispatch).empty());
+}
+
+TEST(TraceContent, KindNamesAndSpanPredicate) {
+  EXPECT_STREQ(obs::to_string(obs::EventKind::kTransfer), "transfer");
+  EXPECT_STREQ(obs::to_string(obs::EventKind::kDeadlineMiss),
+               "deadline_miss");
+  EXPECT_TRUE(obs::is_span(obs::EventKind::kCompute));
+  EXPECT_TRUE(obs::is_span(obs::EventKind::kRestart));
+  EXPECT_FALSE(obs::is_span(obs::EventKind::kRerate));
+  EXPECT_FALSE(obs::is_span(obs::EventKind::kPreempt));
+}
+
+// --- export + validation -----------------------------------------------------
+
+TEST(ChromeExport, SharedMasterQosTraceValidates) {
+  const platform::Platform plat = test_platform();
+  obs::TraceRecorder recorder;
+  qos::ServerOptions options =
+      qos_options(sim::CommModelKind::kBoundedMultiport, 2);
+  options.trace = &recorder;
+  const qos::Server server(plat, options);
+  qos::SrptPolicy srpt;
+  (void)server.run(burst_jobs(), srpt);
+
+  std::ostringstream out;
+  obs::ChromeTraceOptions trace_options;
+  trace_options.workers = plat.size();
+  trace_options.label = "test qos";
+  obs::write_chrome_trace(out, recorder.events(), trace_options);
+
+  const obs::ValidationResult result =
+      obs::validate_chrome_trace_text(out.str());
+  EXPECT_TRUE(result) << result.error;
+  EXPECT_GT(result.events, recorder.size());  // metadata rows on top
+  EXPECT_NE(out.str().find("\"displayTimeUnit\": \"ms\""),
+            std::string::npos);
+}
+
+TEST(ChromeExport, ValidatorRejectsBrokenDocuments) {
+  EXPECT_FALSE(obs::validate_chrome_trace_text("not json"));
+  EXPECT_FALSE(obs::validate_chrome_trace_text("{}"));
+  // Decreasing timestamps.
+  EXPECT_FALSE(obs::validate_chrome_trace_text(
+      R"({"traceEvents":[
+        {"name":"a","ph":"i","ts":5,"pid":1,"tid":1,"s":"t"},
+        {"name":"b","ph":"i","ts":4,"pid":1,"tid":1,"s":"t"}]})"));
+  // Unbalanced B/E.
+  EXPECT_FALSE(obs::validate_chrome_trace_text(
+      R"({"traceEvents":[
+        {"name":"a","ph":"B","ts":1,"pid":1,"tid":1}]})"));
+  EXPECT_FALSE(obs::validate_chrome_trace_text(
+      R"({"traceEvents":[
+        {"name":"a","ph":"E","ts":1,"pid":1,"tid":1}]})"));
+  // Well-formed minimal document passes.
+  EXPECT_TRUE(obs::validate_chrome_trace_text(
+      R"({"traceEvents":[
+        {"name":"a","ph":"B","ts":1,"pid":1,"tid":1},
+        {"name":"a","ph":"E","ts":2,"pid":1,"tid":1}]})"));
+}
+
+// --- attribution -------------------------------------------------------------
+
+TEST(Attribution, PartitionCoversWorkerSeconds) {
+  const platform::Platform plat = test_platform();
+  obs::TraceRecorder recorder;
+  qos::ServerOptions options =
+      qos_options(sim::CommModelKind::kBoundedMultiport, 2);
+  options.trace = &recorder;
+  const qos::Server server(plat, options);
+  qos::SrptPolicy srpt;
+  (void)server.run(burst_jobs(), srpt);
+
+  const obs::Attribution attribution =
+      obs::attribute_time(recorder.events(), plat.size());
+  ASSERT_GT(attribution.span_events, 0u);
+  EXPECT_GT(attribution.comm, 0.0);
+  EXPECT_GT(attribution.compute, 0.0);
+  EXPECT_GE(attribution.idle, 0.0);
+  // comm + compute + restart + idle partitions workers × horizon.
+  const double accounted = attribution.comm + attribution.compute +
+                           attribution.restart + attribution.idle;
+  EXPECT_NEAR(accounted, attribution.total(),
+              1e-9 * attribution.total());
+  EXPECT_GE(attribution.coverage(), 0.99);
+
+  const std::string summary =
+      obs::render_attribution(attribution, "unit");
+  EXPECT_NE(summary.find("comm (exclusive)"), std::string::npos);
+  EXPECT_NE(summary.find("restart re-work"), std::string::npos);
+}
+
+TEST(Attribution, EmptyStreamIsAllIdle) {
+  const obs::Attribution attribution = obs::attribute_time({}, 4, 10.0);
+  EXPECT_EQ(attribution.comm, 0.0);
+  EXPECT_EQ(attribution.compute, 0.0);
+  EXPECT_EQ(attribution.idle, 40.0);
+  EXPECT_EQ(attribution.total(), 40.0);
+}
+
+// --- metrics registry --------------------------------------------------------
+
+TEST(MetricsRegistry, FirstTouchOrderAndTypes) {
+  obs::MetricsRegistry registry;
+  registry.counter("b.count") += 2;
+  registry.gauge("a.gauge") = 1.5;
+  registry.quantile("c.q95", 0.95).push(10.0);
+  registry.counter("b.count") += 3;
+
+  EXPECT_EQ(registry.names(),
+            (std::vector<std::string>{"b.count", "a.gauge", "c.q95"}));
+  EXPECT_EQ(registry.counter_value("b.count"), 5u);
+  EXPECT_EQ(registry.gauge_value("a.gauge"), 1.5);
+  EXPECT_TRUE(registry.contains("c.q95"));
+  EXPECT_FALSE(registry.contains("missing"));
+  EXPECT_THROW((void)registry.counter_value("missing"),
+               util::PreconditionError);
+  EXPECT_THROW((void)registry.counter_value("a.gauge"),
+               util::PreconditionError);
+  EXPECT_THROW((void)registry.gauge_value("b.count"),
+               util::PreconditionError);
+  // The probability is fixed on first use.
+  EXPECT_THROW((void)registry.quantile("c.q95", 0.5),
+               util::PreconditionError);
+}
+
+TEST(MetricsRegistry, MergeSumsAndWriteJsonIsOrdered) {
+  obs::MetricsRegistry a;
+  a.counter("events") += 10;
+  a.gauge("seconds") = 1.25;
+  obs::MetricsRegistry b;
+  b.counter("events") += 5;
+  b.gauge("seconds") = 0.75;
+  b.counter("extra") += 1;
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("events"), 15u);
+  EXPECT_EQ(a.gauge_value("seconds"), 2.0);
+  EXPECT_EQ(a.counter_value("extra"), 1u);
+
+  std::ostringstream out;
+  {
+    util::JsonWriter json(out);
+    a.write_json(json);
+  }
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"events\": 15"), std::string::npos);
+  EXPECT_NE(text.find("\"seconds\": 2"), std::string::npos);
+  EXPECT_LT(text.find("\"events\""), text.find("\"seconds\""));
+
+  // Quantile slots cannot merge into an existing estimator.
+  obs::MetricsRegistry with_quantile;
+  with_quantile.quantile("lat.p95", 0.95).push(1.0);
+  obs::MetricsRegistry other;
+  other.quantile("lat.p95", 0.95).push(2.0);
+  EXPECT_THROW(with_quantile.merge(other), util::PreconditionError);
+}
+
+TEST(MetricsRegistry, ServersAccountIntoRegistry) {
+  const platform::Platform plat = test_platform();
+  const std::vector<online::Job> jobs = burst_jobs();
+
+  obs::MetricsRegistry online_metrics;
+  const online::Server server(
+      plat, online_options(sim::CommModelKind::kBoundedMultiport,
+                           online::MasterMode::kSharedMaster));
+  const online::FairShareScheduler fair(2);
+  (void)server.run(jobs, fair, &online_metrics);
+  EXPECT_GT(online_metrics.counter_value("replay.engine_events"), 0u);
+  EXPECT_GT(online_metrics.counter_value("replay.busy_periods"), 0u);
+
+  obs::MetricsRegistry qos_metrics;
+  const qos::Server qos_server(
+      plat, qos_options(sim::CommModelKind::kParallelLinks, 1));
+  qos::SrptPolicy srpt;
+  const auto records = qos_server.run(jobs, srpt, &qos_metrics);
+  std::size_t preemptions = 0;
+  for (const qos::JobRecord& record : records) {
+    preemptions += record.preemptions;
+  }
+  EXPECT_EQ(qos_metrics.counter_value("qos.admitted") +
+                qos_metrics.counter_value("qos.rejected"),
+            records.size());
+  EXPECT_EQ(qos_metrics.counter_value("qos.preemptions"), preemptions);
+  EXPECT_GE(qos_metrics.gauge_value("qos.restart_time_s"), 0.0);
+}
+
+// --- event-stream ascii gantt ------------------------------------------------
+
+TEST(EventGantt, MultiJobGlyphsAndReleaseMarkers) {
+  std::vector<obs::TraceEvent> events;
+  const auto span = [&](obs::EventKind kind, double start, double end,
+                        std::size_t worker, std::size_t job) {
+    obs::TraceEvent event;
+    event.kind = kind;
+    event.start = start;
+    event.end = end;
+    event.worker = worker;
+    event.job = job;
+    events.push_back(event);
+  };
+  // Job 0 ('A') on worker 0, job 1 ('B') on worker 1, receive spans,
+  // overlapping compute of both jobs on worker 0 (the '*' mixed cell),
+  // and two dispatch instants for the release markers.
+  span(obs::EventKind::kTransfer, 0.0, 2.0, 0, 0);
+  span(obs::EventKind::kCompute, 2.0, 10.0, 0, 0);
+  span(obs::EventKind::kCompute, 8.0, 10.0, 0, 1);  // overlap → '*'
+  span(obs::EventKind::kTransfer, 5.0, 6.0, 1, 1);
+  span(obs::EventKind::kCompute, 6.0, 14.0, 1, 1);
+  obs::TraceEvent dispatch;
+  dispatch.kind = obs::EventKind::kDispatch;
+  dispatch.start = dispatch.end = 0.0;
+  events.push_back(dispatch);
+  dispatch.start = dispatch.end = 5.0;
+  events.push_back(dispatch);
+
+  const std::string gantt = sim::ascii_gantt(events, 2, 40);
+  EXPECT_NE(gantt.find("releases"), std::string::npos);
+  EXPECT_NE(gantt.find('v'), std::string::npos);
+  EXPECT_NE(gantt.find('A'), std::string::npos);
+  EXPECT_NE(gantt.find('B'), std::string::npos);
+  EXPECT_NE(gantt.find('*'), std::string::npos);
+  EXPECT_NE(gantt.find('-'), std::string::npos);
+  EXPECT_NE(gantt.find("w0"), std::string::npos);
+  EXPECT_NE(gantt.find("w1"), std::string::npos);
+
+  // Without dispatch events there is no releases header row.
+  events.resize(events.size() - 2);
+  const std::string bare = sim::ascii_gantt(events, 2, 40);
+  EXPECT_EQ(bare.find("releases"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nldl

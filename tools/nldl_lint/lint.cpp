@@ -178,16 +178,37 @@ bool has_token(std::string_view line, std::string_view token,
   return false;
 }
 
+bool matches_ci(std::string_view line, std::size_t at, std::string_view token) {
+  if (at + token.size() > line.size()) return false;
+  for (std::size_t j = 0; j < token.size(); ++j) {
+    if (std::tolower(static_cast<unsigned char>(line[at + j])) !=
+        std::tolower(static_cast<unsigned char>(token[j]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool has_token_ci(std::string_view line, std::string_view token) {
   if (token.size() > line.size()) return false;
   for (std::size_t i = 0; i + token.size() <= line.size(); ++i) {
-    std::size_t j = 0;
-    while (j < token.size() &&
-           std::tolower(static_cast<unsigned char>(line[i + j])) ==
-               std::tolower(static_cast<unsigned char>(token[j]))) {
-      ++j;
+    if (matches_ci(line, i, token)) return true;
+  }
+  return false;
+}
+
+/// Any case-insensitive `clock::now` occurrence that is NOT part of
+/// `WallClock::now` — bench::WallClock is the one sanctioned wall-clock
+/// funnel (its own steady_clock read carries a justified suppression).
+bool has_raw_clock_now(std::string_view line) {
+  static constexpr std::string_view kToken = "clock::now";
+  static constexpr std::string_view kWall = "wall";
+  for (std::size_t i = 0; i + kToken.size() <= line.size(); ++i) {
+    if (!matches_ci(line, i, kToken)) continue;
+    if (i >= kWall.size() && matches_ci(line, i - kWall.size(), kWall)) {
+      continue;
     }
-    if (j == token.size()) return true;
+    return true;
   }
   return false;
 }
@@ -376,6 +397,9 @@ std::vector<Finding> scan_source(std::string_view path_label,
   std::vector<Finding> findings;
   std::vector<Suppression> suppressions(code.size());
   const std::string file(path_label);
+  // The bench layer (src/bench/, bench/) is where wall time is honest:
+  // the sanctioned bench::WallClock::now() funnel may only appear there.
+  const bool bench_layer = file.find("bench") != std::string::npos;
 
   for (std::size_t i = 0; i < code.size(); ++i) {
     std::string error;
@@ -443,8 +467,11 @@ std::vector<Finding> scan_source(std::string_view path_label,
         hit = "wall-clock time()";
       } else if (has_token(line, "std::clock", false, true)) {
         hit = "processor clock()";
-      } else if (has_token_ci(line, "clock::now")) {
+      } else if (has_raw_clock_now(line)) {
         hit = "chrono clock ::now()";
+      } else if (!bench_layer && has_token_ci(line, "clock::now")) {
+        hit = "bench::WallClock::now() outside the bench layer (the sim "
+              "domain never reads a real clock)";
       }
       if (hit != nullptr) {
         report(i, "nondet-source",

@@ -1,0 +1,103 @@
+// nldl_trace_check — CLI over obs/validate.hpp, for ctest and CI.
+//
+//   nldl_trace_check <trace.json> [more.json ...]
+//       Validate each exported Chrome trace-event file against the
+//       schema (well-formed events, monotone timestamps, balanced B/E
+//       nesting per track). Exit 0 iff every file validates.
+//
+//   nldl_trace_check --bench-diff <a.json> <b.json>
+//       Compare the "deterministic" payloads of two bench JSON
+//       artifacts; the "measured" sidecars (wall times, RSS, profiles)
+//       are ignored by design. Exit 0 iff the payloads are identical.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/validate.hpp"
+#include "util/assert.hpp"
+#include "util/json_parse.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int validate_traces(const std::vector<std::string>& paths) {
+  int failures = 0;
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "%s: cannot read\n", path.c_str());
+      ++failures;
+      continue;
+    }
+    const nldl::obs::ValidationResult result =
+        nldl::obs::validate_chrome_trace_text(text);
+    if (result) {
+      std::printf("%s: OK (%zu events)\n", path.c_str(), result.events);
+    } else {
+      std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
+                   result.error.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int bench_diff(const std::string& path_a, const std::string& path_b) {
+  std::string text_a;
+  std::string text_b;
+  if (!read_file(path_a, text_a)) {
+    std::fprintf(stderr, "%s: cannot read\n", path_a.c_str());
+    return 1;
+  }
+  if (!read_file(path_b, text_b)) {
+    std::fprintf(stderr, "%s: cannot read\n", path_b.c_str());
+    return 1;
+  }
+  try {
+    const nldl::util::JsonValue a = nldl::util::parse_json(text_a);
+    const nldl::util::JsonValue b = nldl::util::parse_json(text_b);
+    const nldl::obs::ValidationResult result =
+        nldl::obs::compare_deterministic_payload(a, b);
+    if (result) {
+      std::printf("deterministic payloads identical: %s == %s\n",
+                  path_a.c_str(), path_b.c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "MISMATCH: %s\n", result.error.c_str());
+    return 1;
+  } catch (const nldl::util::PreconditionError& error) {
+    std::fprintf(stderr, "parse error: %s\n", error.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "--bench-diff") {
+    if (args.size() != 3) {
+      std::fprintf(stderr,
+                   "usage: nldl_trace_check --bench-diff <a.json> <b.json>\n");
+      return 2;
+    }
+    return bench_diff(args[1], args[2]);
+  }
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: nldl_trace_check <trace.json> [more.json ...]\n"
+                 "       nldl_trace_check --bench-diff <a.json> <b.json>\n");
+    return 2;
+  }
+  return validate_traces(args);
+}
