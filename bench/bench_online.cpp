@@ -26,7 +26,9 @@
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "online/arrivals.hpp"
 #include "online/metrics.hpp"
@@ -194,10 +196,15 @@ int main(int argc, char** argv) {
 
   // --trace=FILE: one extra high-load fair-share bounded-multiport cell,
   // run untraced then traced on the same fresh stream; the pair must be
-  // bit-identical, and the traced timeline is exported.
+  // bit-identical, and the traced timeline is exported. --blame adds the
+  // critical-path blame table (and the pid-4 path overlay in the trace);
+  // --metrics=FILE dumps the cell's MetricsRegistry as JSON. Either flag
+  // runs the cell even without --trace.
   bool trace_identical = true;
   const std::string trace_path = args.get_string("trace", "");
-  if (!trace_path.empty()) {
+  const std::string metrics_path = args.get_string("metrics", "");
+  const bool blame = args.get_bool("blame", false);
+  if (!trace_path.empty() || !metrics_path.empty() || blame) {
     const double load = kLoadFactors.back();
     const double rate = load / online::mean_predicted_makespan(job_mix(),
                                                                plat);
@@ -209,18 +216,21 @@ int main(int argc, char** argv) {
     online::ServerOptions server_options;
     server_options.comm = sim::CommModelKind::kBoundedMultiport;
     server_options.capacity = kBoundedCapacity;
-    const auto run_cell = [&](obs::TraceSink* trace) {
+    const auto run_cell = [&](obs::TraceSink* trace,
+                              obs::MetricsRegistry* metrics) {
       online::ServerOptions cell_options = server_options;
       cell_options.trace = trace;
       const online::Server server(plat, cell_options);
       const auto scheduler = online::make_scheduler(
           online::SchedulerKind::kFairShare, kFairShareSlots,
           cell_options.comm);
-      return online::summarize(server.run(jobs, *scheduler), plat.size());
+      return online::summarize(server.run(jobs, *scheduler, metrics),
+                               plat.size());
     };
     obs::TraceRecorder recorder;
-    const online::ServiceMetrics bare = run_cell(nullptr);
-    const online::ServiceMetrics traced = run_cell(&recorder);
+    obs::MetricsRegistry registry;
+    const online::ServiceMetrics bare = run_cell(nullptr, nullptr);
+    const online::ServiceMetrics traced = run_cell(&recorder, &registry);
     trace_identical =
         bench::identical_doubles(bare.signature(), traced.signature());
     std::printf("\ntraced load=%.1f fair-share bounded: %zu jobs, "
@@ -228,19 +238,55 @@ int main(int argc, char** argv) {
                 load, jobs.size(), recorder.size(),
                 trace_identical ? "bit-identical"
                                 : "DIFFER (tracing changed results!)");
-    std::ofstream out(trace_path);
-    obs::ChromeTraceOptions trace_options;
-    trace_options.workers = p;
-    trace_options.label = "online fair-share bounded";
-    obs::write_chrome_trace(out, recorder.events(), trace_options);
-    out.flush();
-    if (out) {
-      std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
-                  recorder.size());
-    } else {
-      std::fprintf(stderr, "warning: could not write %s\n",
-                   trace_path.c_str());
-      trace_identical = false;
+
+    // The blame decomposition must close bit-exactly on every job; the
+    // check rides the exit code like the on/off identity above.
+    const obs::CriticalPath analysis(recorder.events());
+    for (const obs::JobBlame& job : analysis.jobs()) {
+      if (job.total() != job.latency) {
+        std::fprintf(stderr, "blame components do not sum to latency "
+                             "for job %zu\n", job.job);
+        trace_identical = false;
+      }
+    }
+    if (blame) {
+      std::fputs(obs::render_blame(analysis, 10, "online fair-share bounded")
+                     .c_str(),
+                 stdout);
+    }
+
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      obs::ChromeTraceOptions trace_options;
+      trace_options.workers = p;
+      trace_options.label = "online fair-share bounded";
+      trace_options.critical_path = &analysis;
+      obs::write_chrome_trace(out, recorder.events(), trace_options);
+      out.flush();
+      if (out) {
+        std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                    recorder.size());
+      } else {
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     trace_path.c_str());
+        trace_identical = false;
+      }
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      util::JsonWriter json(out);
+      registry.write_json(json);
+      const bool complete = json.complete();
+      out << '\n';
+      out.flush();
+      if (out && complete) {
+        std::printf("metrics written to %s (%zu entries)\n",
+                    metrics_path.c_str(), registry.size());
+      } else {
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     metrics_path.c_str());
+        trace_identical = false;
+      }
     }
     std::fputs(obs::render_attribution(
                    obs::attribute_time(recorder.events(), p),

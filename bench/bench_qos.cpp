@@ -31,13 +31,18 @@
 // the traced metrics bit-identical to the sweep's own cell (part of the
 // exit code), exports the timeline as Chrome trace-event JSON to FILE,
 // and prints the ASCII time-attribution summary.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "online/arrivals.hpp"
 #include "qos/metrics.hpp"
@@ -232,10 +237,16 @@ int main(int argc, char** argv) {
 
   // --trace=FILE: re-run the headline flip cell with a recorder attached,
   // prove it bit-identical to the sweep's own point, and export the
-  // Perfetto-loadable timeline.
+  // Perfetto-loadable timeline. --blame adds the critical-path blame
+  // table (and the pid-4 path overlay); --metrics=FILE dumps the cell's
+  // MetricsRegistry as JSON; --slo sets the burn-rate objective (the
+  // monitor always runs on the traced cell, its alerts land in the trace
+  // as kAlert instants). Any of the flags runs the cell.
   bool trace_identical = true;
   const std::string trace_path = args.get_string("trace", "");
-  if (!trace_path.empty()) {
+  const std::string metrics_path = args.get_string("metrics", "");
+  const bool blame = args.get_bool("blame", false);
+  if (!trace_path.empty() || !metrics_path.empty() || blame) {
     const std::size_t load_index = kLoadFactors.size() - 1;    // 1.1
     const std::size_t policy_index = 2;                        // SRPT
     const std::size_t comm_index = 2;                          // bounded
@@ -259,7 +270,10 @@ int main(int argc, char** argv) {
     // transfer/compute spans (the serial whole-platform mode only knows
     // aggregate installment durations). Run the cell bare, then traced —
     // the pair must be bit-identical.
-    const auto run_cell = [&](obs::TraceSink* trace) {
+    std::vector<qos::JobRecord> cell_records;
+    const auto run_cell = [&](obs::TraceSink* trace,
+                              obs::MetricsRegistry* metrics,
+                              std::vector<qos::JobRecord>* records_out) {
       qos::ServerOptions server_options;
       server_options.service =
           make_service(kCommModels[comm_index], restart);
@@ -268,12 +282,18 @@ int main(int argc, char** argv) {
       const qos::Server server(plat, server_options);
       const auto policy = qos::make_policy(kPolicies[policy_index],
                                            qos::tenant_weights(base));
-      return qos::summarize(server.run(jobs, *policy), plat.size(),
-                            qos::tenant_weights(base));
+      std::vector<qos::JobRecord> records =
+          server.run(jobs, *policy, metrics);
+      const qos::QosMetrics metrics_out = qos::summarize(
+          records, plat.size(), qos::tenant_weights(base));
+      if (records_out != nullptr) *records_out = std::move(records);
+      return metrics_out;
     };
     obs::TraceRecorder recorder;
-    const qos::QosMetrics bare = run_cell(nullptr);
-    const qos::QosMetrics traced = run_cell(&recorder);
+    obs::MetricsRegistry registry;
+    const qos::QosMetrics bare = run_cell(nullptr, nullptr, nullptr);
+    const qos::QosMetrics traced =
+        run_cell(&recorder, &registry, &cell_records);
     trace_identical =
         bench::identical_doubles(bare.signature(), traced.signature());
     std::printf("\ntraced load=%.1f srpt bounded rho=%.0f conc=4: "
@@ -282,19 +302,75 @@ int main(int argc, char** argv) {
                 recorder.size(),
                 trace_identical ? "bit-identical"
                                 : "DIFFER (tracing changed results!)");
-    std::ofstream out(trace_path);
-    obs::ChromeTraceOptions trace_options;
-    trace_options.workers = p;
-    trace_options.label = "qos srpt bounded rho=2";
-    obs::write_chrome_trace(out, recorder.events(), trace_options);
-    out.flush();
-    if (out) {
-      std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
-                  recorder.size());
-    } else {
-      std::fprintf(stderr, "warning: could not write %s\n",
-                   trace_path.c_str());
-      trace_identical = false;
+
+    // Burn-rate monitoring over the cell's deadline-miss budget: base
+    // window = horizon/72 so the standard paging pair's slow windows
+    // (12 and 72 base widths) both fit inside the run. Alerts land in
+    // the recorder as kAlert instants and in the registry.
+    const double slo_objective = args.get_double("slo", 0.95);
+    double cell_horizon = 0.0;
+    for (const qos::JobRecord& record : cell_records) {
+      cell_horizon = std::max(cell_horizon, record.finish);
+    }
+    if (cell_horizon <= 0.0) cell_horizon = 72.0;
+    obs::BurnRateMonitor monitor(
+        obs::SloPolicy::paging(slo_objective, cell_horizon / 72.0),
+        cell_horizon);
+    for (const qos::JobRecord& record : cell_records) {
+      if (!record.admitted) continue;
+      monitor.observe(record.finish, record.finish > record.job.deadline);
+    }
+    monitor.finalize(&recorder, &registry);
+    std::fputs(monitor.render().c_str(), stdout);
+
+    // The blame decomposition must close bit-exactly on every job; the
+    // check rides the exit code like the on/off identity above.
+    const obs::CriticalPath analysis(recorder.events());
+    for (const obs::JobBlame& job : analysis.jobs()) {
+      if (job.total() != job.latency) {
+        std::fprintf(stderr, "blame components do not sum to latency "
+                             "for job %zu\n", job.job);
+        trace_identical = false;
+      }
+    }
+    if (blame) {
+      std::fputs(
+          obs::render_blame(analysis, 10, "qos srpt bounded rho=2").c_str(),
+          stdout);
+    }
+
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      obs::ChromeTraceOptions trace_options;
+      trace_options.workers = p;
+      trace_options.label = "qos srpt bounded rho=2";
+      trace_options.critical_path = &analysis;
+      obs::write_chrome_trace(out, recorder.events(), trace_options);
+      out.flush();
+      if (out) {
+        std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                    recorder.size());
+      } else {
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     trace_path.c_str());
+        trace_identical = false;
+      }
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      util::JsonWriter json(out);
+      registry.write_json(json);
+      const bool complete = json.complete();
+      out << '\n';
+      out.flush();
+      if (out && complete) {
+        std::printf("metrics written to %s (%zu entries)\n",
+                    metrics_path.c_str(), registry.size());
+      } else {
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     metrics_path.c_str());
+        trace_identical = false;
+      }
     }
     std::fputs(obs::render_attribution(
                    obs::attribute_time(recorder.events(), p),

@@ -27,17 +27,22 @@
 // the untraced cell (part of the exit code), exports the timeline as
 // Chrome trace-event JSON to FILE, and prints the ASCII time-attribution
 // summary.
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <utility>
 #include <vector>
 
 #include "bench/harness.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
+#include "sim/trace.hpp"
 #include "online/arrivals.hpp"
 #include "online/scheduler.hpp"
 #include "online/server.hpp"
@@ -168,7 +173,9 @@ CellResult run_online_cell(const platform::Platform& plat,
 
 CellResult run_qos_cell(const platform::Platform& plat,
                         const CellSpec& spec, double rate,
-                        obs::TraceSink* trace = nullptr) {
+                        obs::TraceSink* trace = nullptr,
+                        obs::MetricsRegistry* registry_out = nullptr,
+                        std::vector<qos::JobRecord>* records_out = nullptr) {
   util::Rng rng(spec.stream_seed);
   const auto jobs = online::PoissonArrivals(rate, job_mix())
                         .generate(arrival_horizon(spec.jobs_target, rate), rng);
@@ -184,9 +191,10 @@ CellResult run_qos_cell(const platform::Platform& plat,
   options.trace = trace;
   qos::SrptPolicy policy;
 
-  obs::MetricsRegistry metrics;
-  const auto records =
-      qos::Server(plat, options).run(jobs, policy, &metrics);
+  obs::MetricsRegistry local;
+  obs::MetricsRegistry& metrics =
+      registry_out != nullptr ? *registry_out : local;
+  auto records = qos::Server(plat, options).run(jobs, policy, &metrics);
 
   CellResult result;
   result.jobs = records.size();
@@ -198,6 +206,7 @@ CellResult run_qos_cell(const platform::Platform& plat,
   result.engine_events = metrics.counter_value("replay.engine_events");
   result.replays = metrics.counter_value("replay.replays");
   result.busy_periods = metrics.counter_value("replay.busy_periods");
+  if (records_out != nullptr) *records_out = std::move(records);
   return result;
 }
 
@@ -339,11 +348,16 @@ int main(int argc, char** argv) {
   // print where the worker-seconds went.
   bool trace_identical = true;
   const std::string trace_path = args.get_string("trace", "");
-  if (!trace_path.empty()) {
+  const std::string metrics_path = args.get_string("metrics", "");
+  const bool blame = args.get_bool("blame", false);
+  if (!trace_path.empty() || !metrics_path.empty() || blame) {
     const std::size_t traced_cell = specs.size() - 1;  // qos/incremental2
     obs::TraceRecorder recorder;
-    const CellResult traced =
-        run_qos_cell(plat, specs[traced_cell], qos_rate, &recorder);
+    obs::MetricsRegistry registry;
+    std::vector<qos::JobRecord> cell_records;
+    const CellResult traced = run_qos_cell(
+        plat, specs[traced_cell], qos_rate, &recorder, &registry,
+        &cell_records);
     const CellResult& untraced = results.cells[traced_cell];
     trace_identical = traced.jobs == untraced.jobs &&
                       traced.digest == untraced.digest &&
@@ -353,25 +367,85 @@ int main(int argc, char** argv) {
                 static_cast<std::size_t>(traced.engine_events),
                 trace_identical ? "bit-identical"
                                 : "DIFFER (tracing changed results!)");
-    std::ofstream out(trace_path);
-    obs::ChromeTraceOptions trace_options;
-    trace_options.workers = p;
-    trace_options.label = "soak " + std::string(specs[traced_cell].name);
-    obs::write_chrome_trace(out, recorder.events(), trace_options);
-    out.flush();
-    if (out) {
-      std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
-                  recorder.size());
-    } else {
-      std::fprintf(stderr, "warning: could not write %s\n",
-                   trace_path.c_str());
-      trace_identical = false;
+
+    // Burn-rate over the soak's deadline budget (this stream is
+    // best-effort — deadlines at infinity — so any alert is a bug worth
+    // failing CI over; the monitor's accounting still exercises the full
+    // path). Alerts land in the recorder before export.
+    double cell_horizon = 0.0;
+    for (const qos::JobRecord& record : cell_records) {
+      cell_horizon = std::max(cell_horizon, record.finish);
+    }
+    if (cell_horizon <= 0.0) cell_horizon = 72.0;
+    obs::BurnRateMonitor monitor(
+        obs::SloPolicy::paging(args.get_double("slo", 0.95),
+                               cell_horizon / 72.0),
+        cell_horizon);
+    for (const qos::JobRecord& record : cell_records) {
+      if (!record.admitted) continue;
+      monitor.observe(record.finish, record.finish > record.job.deadline);
+    }
+    monitor.finalize(&recorder, &registry);
+    std::fputs(monitor.render().c_str(), stdout);
+
+    // The blame decomposition must close bit-exactly on every job; the
+    // check rides the exit code like the on/off identity above.
+    const obs::CriticalPath analysis(recorder.events());
+    for (const obs::JobBlame& job : analysis.jobs()) {
+      if (job.total() != job.latency) {
+        std::fprintf(stderr, "blame components do not sum to latency "
+                             "for job %zu\n", job.job);
+        trace_identical = false;
+      }
+    }
+    if (blame) {
+      std::fputs(
+          obs::render_blame(analysis, 10, specs[traced_cell].name).c_str(),
+          stdout);
+    }
+
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      obs::ChromeTraceOptions trace_options;
+      trace_options.workers = p;
+      trace_options.label = "soak " + std::string(specs[traced_cell].name);
+      trace_options.critical_path = &analysis;
+      obs::write_chrome_trace(out, recorder.events(), trace_options);
+      out.flush();
+      if (out) {
+        std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                    recorder.size());
+      } else {
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     trace_path.c_str());
+        trace_identical = false;
+      }
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      util::JsonWriter json(out);
+      registry.write_json(json);
+      const bool complete = json.complete();
+      out << '\n';
+      out.flush();
+      if (out && complete) {
+        std::printf("metrics written to %s (%zu entries)\n",
+                    metrics_path.c_str(), registry.size());
+      } else {
+        std::fprintf(stderr, "warning: could not write %s\n",
+                     metrics_path.c_str());
+        trace_identical = false;
+      }
     }
     std::fputs(
         obs::render_attribution(obs::attribute_time(recorder.events(), p),
                                 specs[traced_cell].name)
             .c_str(),
         stdout);
+    // Downsampled gantt: a soak-scale stream renders at terminal width
+    // instead of a column per chunk (sim::ascii_gantt max_cols).
+    std::fputs(sim::ascii_gantt(recorder.events(), p, 4096, 96).c_str(),
+               stdout);
   }
 
   const int harness_code = harness.finish(

@@ -1,0 +1,493 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace nldl::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One worker-attributed chunk span, in per-worker emission order. Per
+/// worker both the transfer and the compute list are time-ordered (FIFO
+/// link queues and cpu serialization both finalize in order), so gating
+/// edges are found by binary search on the end time.
+struct ChunkEvt {
+  double start = 0.0;
+  double end = 0.0;
+  std::size_t job = kNoIndex;
+};
+
+struct WorkerLists {
+  std::vector<ChunkEvt> transfers;
+  std::vector<ChunkEvt> computes;
+};
+
+/// A node of the backward causal walk.
+struct Node {
+  bool is_transfer = false;
+  std::size_t worker = 0;
+  std::size_t index = 0;
+};
+
+/// Last index in `list` whose end matches `t` within `tol`, with a start
+/// strictly before `t` (zero-length nodes cannot gate anything and would
+/// let the walk cycle); kNoIndex when none. `limit` bounds the searched
+/// prefix (exclusive); pass list.size() for "anywhere".
+std::size_t last_ending_at(const std::vector<ChunkEvt>& list,
+                           std::size_t limit, double t, double tol) {
+  const double lo = t - tol;
+  const double hi = t + tol;
+  const auto begin = list.begin();
+  const auto end = begin + static_cast<std::ptrdiff_t>(limit);
+  auto it = std::upper_bound(begin, end, hi,
+                             [](double value, const ChunkEvt& evt) {
+                               return value < evt.end;
+                             });
+  while (it != begin) {
+    --it;
+    if (it->end < lo) break;
+    if (it->start < t) {
+      return static_cast<std::size_t>(it - begin);
+    }
+  }
+  return kNoIndex;
+}
+
+/// Merge (possibly overlapping) intervals in place, ascending.
+void merge_intervals(std::vector<std::pair<double, double>>& intervals) {
+  if (intervals.empty()) return;
+  std::sort(intervals.begin(), intervals.end());
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].first <= intervals[out].second) {
+      intervals[out].second =
+          std::max(intervals[out].second, intervals[i].second);
+    } else {
+      intervals[++out] = intervals[i];
+    }
+  }
+  intervals.resize(out + 1);
+}
+
+}  // namespace
+
+const char* to_string(BlameKind kind) {
+  switch (kind) {
+    case BlameKind::kWait:
+      return "wait";
+    case BlameKind::kComm:
+      return "comm";
+    case BlameKind::kCompute:
+      return "compute";
+    case BlameKind::kRestart:
+      return "restart";
+    case BlameKind::kStall:
+      return "stall";
+  }
+  return "unknown";
+}
+
+BlameKind JobBlame::dominant() const noexcept {
+  BlameKind best = BlameKind::kWait;
+  double best_value = wait;
+  const auto consider = [&](BlameKind kind, double value) {
+    if (value > best_value) {
+      best = kind;
+      best_value = value;
+    }
+  };
+  consider(BlameKind::kComm, comm);
+  consider(BlameKind::kCompute, compute);
+  consider(BlameKind::kRestart, restart);
+  consider(BlameKind::kStall, stall);
+  return best;
+}
+
+CriticalPath::CriticalPath(const std::vector<TraceEvent>& events,
+                           double match_tolerance) {
+  NLDL_REQUIRE(match_tolerance >= 0.0 && std::isfinite(match_tolerance),
+               "match tolerance must be finite and >= 0");
+
+  // ---- index the stream -------------------------------------------------
+  // Jobs (kJob spans), arrivals, restart and installment spans per job,
+  // and per-worker chunk lists. std::map keeps every pass ordered.
+  std::map<std::size_t, JobBlame> jobs;
+  std::map<std::size_t, double> arrivals;        // kArrival (preferred)
+  std::map<std::size_t, double> verdict_times;   // admit/degrade fallback
+  std::map<std::size_t, std::vector<std::pair<double, double>>> restarts;
+  std::map<std::size_t, std::vector<ChunkEvt>> installments;
+  std::size_t workers = 0;
+  for (const TraceEvent& event : events) {
+    if (event.worker != kNoIndex) workers = std::max(workers, event.worker + 1);
+  }
+  std::vector<WorkerLists> lists(workers);
+
+  for (const TraceEvent& event : events) {
+    switch (event.kind) {
+      case EventKind::kJob: {
+        JobBlame& blame = jobs[event.job];
+        blame.job = event.job;
+        blame.tenant = event.tenant;
+        blame.dispatch = event.start;
+        blame.finish = event.end;
+        break;
+      }
+      case EventKind::kArrival: {
+        arrivals[event.job] = event.start;
+        jobs[event.job].queue_depth = event.value;
+        jobs[event.job].job = event.job;
+        break;
+      }
+      case EventKind::kAdmit:
+      case EventKind::kDegrade:
+        verdict_times.emplace(event.job, event.start);
+        break;
+      case EventKind::kRestart:
+        restarts[event.job].emplace_back(event.start, event.end);
+        break;
+      case EventKind::kInstallment:
+        installments[event.job].push_back(
+            {event.start, event.end, event.job});
+        break;
+      case EventKind::kTransfer:
+        if (event.worker != kNoIndex) {
+          lists[event.worker].transfers.push_back(
+              {event.start, event.end, event.job});
+        }
+        break;
+      case EventKind::kCompute:
+        if (event.worker != kNoIndex) {
+          lists[event.worker].computes.push_back(
+              {event.start, event.end, event.job});
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  for (auto& [job, spans] : restarts) merge_intervals(spans);
+  for (auto& [job, spans] : installments) {
+    std::sort(spans.begin(), spans.end(),
+              [](const ChunkEvt& a, const ChunkEvt& b) {
+                return a.start < b.start;
+              });
+  }
+  // Per-job compute refs (worker, index), for gating-span selection.
+  std::map<std::size_t, std::vector<Node>> job_computes;
+  for (std::size_t w = 0; w < workers; ++w) {
+    for (std::size_t i = 0; i < lists[w].computes.size(); ++i) {
+      job_computes[lists[w].computes[i].job].push_back({false, w, i});
+    }
+  }
+
+  const auto tol_at = [match_tolerance](double t) {
+    return match_tolerance * std::max(1.0, std::fabs(t));
+  };
+
+  // ---- walk every served job's causal chain backwards --------------------
+  for (auto& [id, blame] : jobs) {
+    if (blame.finish < blame.dispatch) continue;  // no kJob span recorded
+    const auto arrival_it = arrivals.find(id);
+    if (arrival_it != arrivals.end()) {
+      blame.arrival = arrival_it->second;
+    } else {
+      const auto verdict_it = verdict_times.find(id);
+      blame.arrival = verdict_it != verdict_times.end() ? verdict_it->second
+                                                        : blame.dispatch;
+    }
+
+    const double dispatch = blame.dispatch;
+    const double finish = blame.finish;
+    std::vector<PathSegment> reversed;  // collected finish -> dispatch
+
+    const auto push_segment = [&](BlameKind kind, double start, double end,
+                                  std::size_t worker, std::size_t via) {
+      start = std::max(start, dispatch);
+      if (end <= start) return;
+      reversed.push_back({kind, start, end, worker, via});
+    };
+
+    // Gating span: the job's own compute span ending at its finish (any
+    // comm model, both servers); serial qos has no worker spans, so fall
+    // back to the job's installment timeline; a stream with neither gets
+    // one honest stall segment.
+    Node node;
+    bool have_node = false;
+    {
+      const auto refs_it = job_computes.find(id);
+      double best_start = -kInf;
+      if (refs_it != job_computes.end()) {
+        for (const Node& ref : refs_it->second) {
+          const ChunkEvt& evt = lists[ref.worker].computes[ref.index];
+          if (std::fabs(evt.end - finish) <= tol_at(finish) &&
+              evt.start > best_start) {
+            best_start = evt.start;
+            node = ref;
+            have_node = true;
+          }
+        }
+      }
+    }
+
+    double t = finish;
+    if (have_node) {
+      // Worker-span walk. Termination: every edge requires the
+      // predecessor to START strictly before `t`, so `t` strictly
+      // decreases each iteration; the step cap is defensive only.
+      std::size_t steps = 0;
+      std::size_t max_steps = 64;
+      for (std::size_t w = 0; w < workers; ++w) {
+        max_steps += 2 * (lists[w].transfers.size() + lists[w].computes.size());
+      }
+      while (t > dispatch && steps++ < max_steps) {
+        const std::vector<ChunkEvt>& own = node.is_transfer
+                                               ? lists[node.worker].transfers
+                                               : lists[node.worker].computes;
+        const ChunkEvt& evt = own[node.index];
+        const BlameKind kind =
+            evt.job == id
+                ? (node.is_transfer ? BlameKind::kComm : BlameKind::kCompute)
+                : BlameKind::kStall;
+        push_segment(kind, evt.start, t, node.worker, evt.job);
+        t = std::max(evt.start, dispatch);
+        if (evt.start <= dispatch) break;
+
+        const double tol = tol_at(t);
+        if (!node.is_transfer) {
+          // compute_start = max(comm_end, cpu_free): gated by this
+          // chunk's own transfer, else by the worker's previous compute.
+          const std::vector<ChunkEvt>& transfers =
+              lists[node.worker].transfers;
+          if (node.index < transfers.size() &&
+              std::fabs(transfers[node.index].end - t) <= tol &&
+              transfers[node.index].start < t) {
+            node.is_transfer = true;
+            continue;
+          }
+          const std::size_t prev = last_ending_at(
+              lists[node.worker].computes, node.index, t, tol);
+          if (prev != kNoIndex) {
+            node.index = prev;
+            continue;
+          }
+        } else {
+          // A transfer starts at max(release, FIFO predecessor's end) —
+          // or, under one-port / a bounded-multiport concurrency cap,
+          // when another worker's transfer frees the master port/slot.
+          const std::size_t prev = last_ending_at(
+              lists[node.worker].transfers, node.index, t, tol);
+          if (prev != kNoIndex) {
+            node.index = prev;
+            continue;
+          }
+          bool found = false;
+          for (std::size_t w = 0; w < workers && !found; ++w) {
+            if (w == node.worker) continue;
+            const std::size_t other = last_ending_at(
+                lists[w].transfers, lists[w].transfers.size(), t, tol);
+            if (other != kNoIndex) {
+              node.worker = w;
+              node.index = other;
+              found = true;
+            }
+          }
+          if (found) continue;
+        }
+        // No gating event: the span started at its release barrier
+        // (dispatch, modulo the period clock's shift noise).
+        break;
+      }
+      push_segment(BlameKind::kStall, dispatch, t, kNoIndex, kNoIndex);
+    } else if (const auto inst_it = installments.find(id);
+               inst_it != installments.end() && !inst_it->second.empty()) {
+      // Serial-qos granularity: the path is the job's own installment
+      // spans; the gaps between them are time the processor served other
+      // jobs. comm is folded into the solver-timed installments, so the
+      // comm bucket is honestly zero here.
+      const std::vector<ChunkEvt>& spans = inst_it->second;
+      for (std::size_t i = spans.size(); i-- > 0;) {
+        if (spans[i].start >= t) continue;
+        push_segment(BlameKind::kCompute, spans[i].start, std::min(t, spans[i].end),
+                     kNoIndex, id);
+        push_segment(BlameKind::kStall,
+                     i > 0 ? spans[i - 1].end : dispatch, spans[i].start,
+                     kNoIndex, kNoIndex);
+        t = i > 0 ? spans[i - 1].end : dispatch;
+      }
+      push_segment(BlameKind::kStall, dispatch, t, kNoIndex, kNoIndex);
+    } else {
+      push_segment(BlameKind::kStall, dispatch, finish, kNoIndex, kNoIndex);
+    }
+
+    std::reverse(reversed.begin(), reversed.end());
+    blame.path = std::move(reversed);
+
+    // Re-bill the job's own compute path time that overlaps its restart
+    // spans: split the segments at the restart boundaries (exact interval
+    // arithmetic — no subtraction), so re-work is a bucket of its own.
+    const auto restart_it = restarts.find(id);
+    if (restart_it != restarts.end()) {
+      const std::vector<std::pair<double, double>>& rework =
+          restart_it->second;
+      std::vector<PathSegment> split;
+      split.reserve(blame.path.size());
+      for (const PathSegment& segment : blame.path) {
+        if (segment.kind != BlameKind::kCompute || segment.via_job != id) {
+          split.push_back(segment);
+          continue;
+        }
+        double cursor = segment.start;
+        for (const auto& [lo, hi] : rework) {
+          if (hi <= segment.start) continue;
+          if (lo >= segment.end) break;
+          const double a = std::max(lo, cursor);
+          const double b = std::min(hi, segment.end);
+          if (b <= a) continue;
+          if (a > cursor) {
+            split.push_back({BlameKind::kCompute, cursor, a, segment.worker,
+                             segment.via_job});
+          }
+          split.push_back(
+              {BlameKind::kRestart, a, b, segment.worker, segment.via_job});
+          cursor = b;
+        }
+        if (cursor < segment.end) {
+          split.push_back({BlameKind::kCompute, cursor, segment.end,
+                           segment.worker, segment.via_job});
+        }
+      }
+      blame.path = std::move(split);
+    }
+
+    // ---- close the decomposition bit-exactly ----------------------------
+    // Sum the own-span buckets along the path (time order, fixed fl
+    // order), then construct stall as the remainder of the canonical sum
+    // and nudge it by ulps until total() reproduces the observed latency
+    // EXACTLY. fl(base + stall) is monotone in stall and stall's ulp at
+    // the solution is no larger than latency's, so the loop converges in
+    // a handful of steps for any input.
+    blame.wait = blame.dispatch - blame.arrival;
+    blame.comm = 0.0;
+    blame.compute = 0.0;
+    blame.restart = 0.0;
+    for (const PathSegment& segment : blame.path) {
+      const double length = segment.end - segment.start;
+      switch (segment.kind) {
+        case BlameKind::kComm:
+          blame.comm += length;
+          break;
+        case BlameKind::kCompute:
+          blame.compute += length;
+          break;
+        case BlameKind::kRestart:
+          blame.restart += length;
+          break;
+        default:
+          break;
+      }
+    }
+    blame.latency = blame.finish - blame.arrival;
+    const double base =
+        ((blame.wait + blame.comm) + blame.compute) + blame.restart;
+    blame.stall = blame.latency - base;
+    for (int step = 0; step < 128 && blame.total() != blame.latency; ++step) {
+      blame.stall = std::nextafter(
+          blame.stall, blame.total() < blame.latency ? kInf : -kInf);
+    }
+    NLDL_ASSERT(blame.total() == blame.latency,
+                "blame components failed to close on the observed latency");
+  }
+
+  jobs_.reserve(jobs.size());
+  for (auto& [id, blame] : jobs) {
+    if (blame.finish < blame.dispatch) continue;
+    jobs_.push_back(std::move(blame));
+  }
+}
+
+const JobBlame* CriticalPath::find(std::size_t job) const {
+  const auto it = std::lower_bound(
+      jobs_.begin(), jobs_.end(), job,
+      [](const JobBlame& blame, std::size_t id) { return blame.job < id; });
+  if (it == jobs_.end() || it->job != job) return nullptr;
+  return &*it;
+}
+
+CriticalPath::Totals CriticalPath::totals() const {
+  Totals totals;
+  totals.jobs = jobs_.size();
+  for (const JobBlame& blame : jobs_) {
+    totals.wait += blame.wait;
+    totals.comm += blame.comm;
+    totals.compute += blame.compute;
+    totals.restart += blame.restart;
+    totals.stall += blame.stall;
+    totals.latency += blame.latency;
+  }
+  return totals;
+}
+
+std::string render_blame(const CriticalPath& analysis, std::size_t top_k,
+                         const std::string& label) {
+  const std::vector<JobBlame>& jobs = analysis.jobs();
+  char line[200];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "critical-path blame%s%s: %zu jobs analyzed\n",
+                label.empty() ? "" : " — ", label.c_str(), jobs.size());
+  out += line;
+  if (jobs.empty()) return out;
+
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&jobs](std::size_t a, std::size_t b) {
+    if (jobs[a].latency != jobs[b].latency) {
+      return jobs[a].latency > jobs[b].latency;
+    }
+    return jobs[a].job < jobs[b].job;
+  });
+  if (order.size() > top_k) order.resize(top_k);
+
+  std::snprintf(line, sizeof(line),
+                "  %6s %6s %5s %10s %10s %10s %10s %10s %10s  %s\n", "job",
+                "tenant", "queue", "latency", "wait", "comm", "compute",
+                "restart", "stall", "cause");
+  out += line;
+  for (const std::size_t i : order) {
+    const JobBlame& blame = jobs[i];
+    char tenant[24];
+    if (blame.tenant == kNoIndex) {
+      std::snprintf(tenant, sizeof(tenant), "-");
+    } else {
+      std::snprintf(tenant, sizeof(tenant), "%zu", blame.tenant);
+    }
+    std::snprintf(line, sizeof(line),
+                  "  %6zu %6s %5.0f %10.3f %10.3f %10.3f %10.3f %10.3f "
+                  "%10.3f  %s\n",
+                  blame.job, tenant, blame.queue_depth, blame.latency,
+                  blame.wait, blame.comm, blame.compute, blame.restart,
+                  blame.stall, to_string(blame.dominant()));
+    out += line;
+  }
+
+  const CriticalPath::Totals totals = analysis.totals();
+  const double pct =
+      totals.latency > 0.0 ? 100.0 / totals.latency : 0.0;
+  std::snprintf(line, sizeof(line),
+                "  aggregate: wait %.1f%% | comm %.1f%% | compute %.1f%% | "
+                "restart %.1f%% | stall %.1f%% of %.4g job-seconds\n",
+                totals.wait * pct, totals.comm * pct, totals.compute * pct,
+                totals.restart * pct, totals.stall * pct, totals.latency);
+  out += line;
+  return out;
+}
+
+}  // namespace nldl::obs

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/critical_path.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
 
@@ -15,8 +16,11 @@ constexpr double kMicrosPerSecond = 1e6;
 constexpr std::int64_t kWorkersPid = 1;
 constexpr std::int64_t kJobsPid = 2;
 constexpr std::int64_t kSchedulerPid = 3;
+constexpr std::int64_t kPathPid = 4;
 
-// One line of the traceEvents array, pre-routed to its track.
+// One line of the traceEvents array, pre-routed to its track. `event`
+// is null for synthesized critical-path slices and flow arrows, which
+// carry their own name/args fields instead.
 struct Emit {
   double ts = 0.0;  // microseconds
   char phase = 'X';
@@ -24,6 +28,10 @@ struct Emit {
   std::int64_t pid = kSchedulerPid;
   std::int64_t tid = 0;
   const TraceEvent* event = nullptr;
+  const char* name = nullptr;         // overrides to_string(event->kind)
+  std::int64_t flow_id = -1;          // s/t/f flow binding id (the job)
+  std::size_t arg_worker = kNoIndex;  // synthesized-slice args
+  std::size_t arg_via = kNoIndex;
 };
 
 std::size_t infer_workers(const std::vector<TraceEvent>& events) {
@@ -169,6 +177,7 @@ void write_chrome_trace(std::ostream& out,
         emits.push_back(emit);
         break;
       }
+      case EventKind::kArrival:
       case EventKind::kAdmit:
       case EventKind::kDegrade:
       case EventKind::kReject:
@@ -184,7 +193,8 @@ void write_chrome_trace(std::ostream& out,
       case EventKind::kDispatch:
       case EventKind::kCheckpoint:
       case EventKind::kCompact:
-      case EventKind::kReplay: {
+      case EventKind::kReplay:
+      case EventKind::kAlert: {
         emit.phase = 'i';
         emit.pid = kSchedulerPid;
         emit.tid = 0;
@@ -193,6 +203,38 @@ void write_chrome_trace(std::ostream& out,
       }
     }
   }
+  // Critical-path overlay: one pid-4 thread per analyzed job, X slices
+  // per path segment named by blame bucket, stitched by s/t/f flow
+  // arrows so Perfetto highlights the causal chain. Merged into `emits`
+  // BEFORE the global sort, keeping the timestamp-monotonicity the
+  // validator checks.
+  if (options.critical_path != nullptr) {
+    for (const JobBlame& blame : options.critical_path->jobs()) {
+      const std::vector<PathSegment>& path = blame.path;
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        const PathSegment& segment = path[i];
+        Emit slice;
+        slice.ts = segment.start * kMicrosPerSecond;
+        slice.phase = 'X';
+        slice.dur =
+            std::max(0.0, segment.end - segment.start) * kMicrosPerSecond;
+        slice.pid = kPathPid;
+        slice.tid = static_cast<std::int64_t>(blame.job);
+        slice.name = to_string(segment.kind);
+        slice.arg_worker = segment.worker;
+        slice.arg_via = segment.via_job;
+        emits.push_back(slice);
+        if (path.size() < 2) continue;
+        Emit flow = slice;
+        flow.phase = i == 0 ? 's' : (i + 1 == path.size() ? 'f' : 't');
+        flow.dur = 0.0;
+        flow.name = "critical path";
+        flow.flow_id = static_cast<std::int64_t>(blame.job);
+        emits.push_back(flow);
+      }
+    }
+  }
+
   // The B/E expansion can put an E after a later-starting event's record;
   // restore global timestamp order (stable: emission order breaks ties).
   std::stable_sort(emits.begin(), emits.end(),
@@ -224,19 +266,42 @@ void write_chrome_trace(std::ostream& out,
                    "thread_name", name);
   }
   write_metadata(json, kSchedulerPid, 0, "thread_name", "master");
+  if (options.critical_path != nullptr) {
+    write_metadata(json, kPathPid, 0, "process_name",
+                   options.label + " critical path");
+    for (const JobBlame& blame : options.critical_path->jobs()) {
+      write_metadata(json, kPathPid, static_cast<std::int64_t>(blame.job),
+                     "thread_name",
+                     "job " + std::to_string(blame.job) + " path");
+    }
+  }
 
   for (const Emit& emit : emits) {
-    const TraceEvent& event = *emit.event;
     json.begin_object();
-    json.key("name").value(to_string(event.kind));
+    json.key("name").value(emit.name != nullptr
+                               ? emit.name
+                               : to_string(emit.event->kind));
     json.key("cat").value("nldl");
     json.key("ph").value(std::string(1, emit.phase));
     json.key("ts").value(emit.ts);
     if (emit.phase == 'X') json.key("dur").value(emit.dur);
     if (emit.phase == 'i') json.key("s").value("t");
+    if (emit.flow_id >= 0) {
+      json.key("id").value(emit.flow_id);
+      if (emit.phase == 'f') json.key("bp").value("e");
+    }
     json.key("pid").value(emit.pid);
     json.key("tid").value(emit.tid);
-    write_args(json, event);
+    if (emit.event != nullptr) {
+      write_args(json, *emit.event);
+    } else {
+      json.key("args").begin_object();
+      if (emit.arg_worker != kNoIndex) {
+        json.key("worker").value(emit.arg_worker);
+      }
+      if (emit.arg_via != kNoIndex) json.key("via_job").value(emit.arg_via);
+      json.end_object();
+    }
     json.end_object();
   }
 

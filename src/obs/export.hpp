@@ -28,11 +28,19 @@
 
 namespace nldl::obs {
 
+class CriticalPath;
+
 struct ChromeTraceOptions {
   /// Worker-track count; 0 infers max worker index + 1 from the events.
   std::size_t workers = 0;
   /// Process-name prefix shown in the Perfetto track list.
   std::string label = "nldl";
+  /// When set, each analyzed job's critical path is exported as a
+  /// highlighted pid-4 track: one X slice per path segment (named by its
+  /// blame bucket) stitched together with s/t/f flow arrows (id = job),
+  /// so Perfetto draws the causal chain. Borrowed pointer; must outlive
+  /// the call.
+  const CriticalPath* critical_path = nullptr;
 };
 
 /// Write the events as Chrome trace-event JSON. Events are stably sorted

@@ -1,0 +1,103 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace nldl::obs {
+
+TimeSeries::TimeSeries(double window, double horizon) : window_(window) {
+  NLDL_REQUIRE(std::isfinite(window) && window > 0.0,
+               "time-series window width must be finite and > 0");
+  NLDL_REQUIRE(std::isfinite(horizon) && horizon >= 0.0,
+               "time-series horizon must be finite and >= 0");
+  windows_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(horizon / window)));
+}
+
+TimeSeries::Channel& TimeSeries::slot(std::string_view name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return channels_[it->second];
+  Channel channel;
+  channel.name = std::string(name);
+  channel.stats.resize(windows_);
+  channels_.push_back(std::move(channel));
+  index_.emplace(channels_.back().name, channels_.size() - 1);
+  return channels_.back();
+}
+
+std::size_t TimeSeries::index_of(double t) const noexcept {
+  if (!(t > 0.0)) return 0;
+  const double raw = std::floor(t / window_);
+  if (raw >= static_cast<double>(windows_)) return windows_ - 1;
+  return static_cast<std::size_t>(raw);
+}
+
+void TimeSeries::observe(std::string_view name, double t, double value) {
+  NLDL_REQUIRE(std::isfinite(t) && t >= 0.0,
+               "time-series observation time must be finite and >= 0");
+  WindowStats& stats = slot(name).stats[index_of(t)];
+  if (stats.count == 0) {
+    stats.min = value;
+    stats.max = value;
+  } else {
+    stats.min = std::min(stats.min, value);
+    stats.max = std::max(stats.max, value);
+  }
+  ++stats.count;
+  stats.sum += value;
+  stats.last = value;
+}
+
+std::vector<std::string> TimeSeries::channels() const {
+  std::vector<std::string> out;
+  out.reserve(channels_.size());
+  for (const Channel& channel : channels_) out.push_back(channel.name);
+  return out;
+}
+
+const std::vector<TimeSeries::WindowStats>& TimeSeries::at(
+    std::string_view name) const {
+  const auto it = index_.find(name);
+  NLDL_REQUIRE(it != index_.end(),
+               "no time-series channel named '" + std::string(name) + "'");
+  return channels_[it->second].stats;
+}
+
+void TimeSeries::fold(const MetricsRegistry& registry, double t,
+                      std::string_view prefix) {
+  for (const MetricsRegistry::Sample& sample : registry.samples()) {
+    observe(std::string(prefix) + sample.name, t, sample.value);
+  }
+}
+
+void TimeSeries::write_json(util::JsonWriter& json) const {
+  json.begin_object();
+  json.key("window").value(window_);
+  json.key("windows").value(windows_);
+  json.key("channels");
+  json.begin_object();
+  for (const Channel& channel : channels_) {
+    json.key(channel.name);
+    json.begin_array();
+    for (std::size_t i = 0; i < channel.stats.size(); ++i) {
+      const WindowStats& stats = channel.stats[i];
+      if (stats.count == 0) continue;
+      json.begin_array();
+      json.value(i);
+      json.value(stats.count);
+      json.value(stats.sum);
+      json.value(stats.min);
+      json.value(stats.max);
+      json.value(stats.last);
+      json.end_array();
+    }
+    json.end_array();
+  }
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace nldl::obs

@@ -1,0 +1,95 @@
+// Fixed-width windowed aggregation on the simulated clock — the temporal
+// side of observability.
+//
+// MetricsRegistry answers "how much, over the whole run"; TimeSeries
+// answers "how much, WHEN": named channels of (t, value) observations
+// folded into fixed-width windows of the simulated timeline, each window
+// keeping count/sum/min/max/last. Observations may arrive in any time
+// order (span finalize order is not time order) — windows are addressed
+// by index, not by a cursor — and the fold is deterministic: the same
+// observations in the same order produce the same windows, bit for bit.
+//
+// obs::BurnRateMonitor (obs/slo.hpp) builds its fast/slow burn windows
+// on top of this, and the serving benches dump per-window occupancy next
+// to their registry snapshots. `fold` imports a MetricsRegistry snapshot
+// as point observations at a given time, so end-of-run registries can be
+// placed on the shared timeline.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace nldl::util {
+class JsonWriter;
+}  // namespace nldl::util
+
+namespace nldl::obs {
+
+/// Insertion-ordered set of windowed channels over [0, horizon). All
+/// channels share the window width; observations past the horizon are
+/// clamped into the last window (a soak's final events land at the
+/// horizon itself), observations before 0 are rejected.
+class TimeSeries {
+ public:
+  /// `window` is the width in simulated seconds; `horizon` the total
+  /// span covered (rounded up to a whole number of windows, at least 1).
+  TimeSeries(double window, double horizon);
+
+  /// Per-window aggregate of one channel.
+  struct WindowStats {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double last = 0.0;  ///< last-observed value, in observation order
+  };
+
+  /// Record `value` at simulated time `t` into channel `name` (created
+  /// on first use, first-touch order).
+  void observe(std::string_view name, double t, double value);
+
+  [[nodiscard]] double window() const noexcept { return window_; }
+  [[nodiscard]] std::size_t windows() const noexcept { return windows_; }
+
+  /// Channel names in first-touch order.
+  [[nodiscard]] std::vector<std::string> channels() const;
+
+  /// The window row of one channel (throws when the channel is missing).
+  [[nodiscard]] const std::vector<WindowStats>& at(
+      std::string_view name) const;
+
+  /// Window index covering simulated time `t` (clamped into range).
+  [[nodiscard]] std::size_t index_of(double t) const noexcept;
+
+  /// Import a registry snapshot taken at simulated time `t`: every entry
+  /// becomes one observation on channel "<prefix><name>".
+  void fold(const MetricsRegistry& registry, double t,
+            std::string_view prefix = "");
+
+  /// Emit {"window":, "windows":, "channels": {name: [[count,sum,min,
+  /// max,last], ...]}} — channels in first-touch order, only non-empty
+  /// windows' indices listed per channel as [index, count, sum, min,
+  /// max, last] rows.
+  void write_json(util::JsonWriter& json) const;
+
+ private:
+  struct Channel {
+    std::string name;
+    std::vector<WindowStats> stats;
+  };
+
+  Channel& slot(std::string_view name);
+
+  double window_ = 1.0;
+  std::size_t windows_ = 1;
+  std::vector<Channel> channels_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+}  // namespace nldl::obs

@@ -18,6 +18,8 @@ const char* to_string(EventKind kind) {
       return "rerate";
     case EventKind::kDispatch:
       return "dispatch";
+    case EventKind::kArrival:
+      return "arrival";
     case EventKind::kAdmit:
       return "admit";
     case EventKind::kDegrade:
@@ -34,8 +36,28 @@ const char* to_string(EventKind kind) {
       return "compact";
     case EventKind::kReplay:
       return "replay";
+    case EventKind::kAlert:
+      return "alert";
   }
   return "unknown";
+}
+
+bool event_kind_from_string(const std::string& name, EventKind& kind) {
+  static constexpr EventKind kAll[] = {
+      EventKind::kTransfer,   EventKind::kCompute,  EventKind::kJob,
+      EventKind::kInstallment, EventKind::kRestart, EventKind::kRerate,
+      EventKind::kDispatch,   EventKind::kArrival,  EventKind::kAdmit,
+      EventKind::kDegrade,    EventKind::kReject,   EventKind::kPreempt,
+      EventKind::kDeadlineMiss, EventKind::kCheckpoint, EventKind::kCompact,
+      EventKind::kReplay,     EventKind::kAlert,
+  };
+  for (const EventKind candidate : kAll) {
+    if (name == to_string(candidate)) {
+      kind = candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
 bool is_span(EventKind kind) noexcept {

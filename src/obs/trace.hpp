@@ -47,6 +47,8 @@ enum class EventKind : std::uint8_t {
   kRerate,       ///< comm model re-rated the eligible transfer set
                  ///< (water-filling under bounded multiport)
   kDispatch,     ///< an owner's chunks released into a shared period / slot
+  kArrival,      ///< a job joined the wait queue; value = jobs ahead of it
+                 ///< (the queue-position cause of its admission wait)
   kAdmit,        ///< admission verdicts at arrival
   kDegrade,
   kReject,
@@ -55,10 +57,15 @@ enum class EventKind : std::uint8_t {
   kCheckpoint,    ///< incremental replay checkpointed the settled prefix
   kCompact,       ///< settled run dropped finalized chunks
   kReplay,        ///< a speculative replay refreshed finish estimates
+  kAlert,         ///< SLO burn-rate alert fired; value = fast-window burn
 };
 
 /// Stable lower-case name of the kind (trace-event "name" field).
 [[nodiscard]] const char* to_string(EventKind kind);
+
+/// Inverse of to_string; returns false when `name` is not a kind.
+[[nodiscard]] bool event_kind_from_string(const std::string& name,
+                                          EventKind& kind);
 
 /// True for the span kinds (end > start is meaningful).
 [[nodiscard]] bool is_span(EventKind kind) noexcept;

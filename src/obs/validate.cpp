@@ -60,7 +60,8 @@ ValidationResult validate_chrome_trace(const util::JsonValue& document) {
     }
     const char phase = ph->string[0];
     if (phase != 'M' && phase != 'X' && phase != 'B' && phase != 'E' &&
-        phase != 'i' && phase != 'C') {
+        phase != 'i' && phase != 'C' && phase != 's' && phase != 't' &&
+        phase != 'f') {
       return fail(i, std::string("unsupported phase '") + phase + "'");
     }
     const util::JsonValue* pid = event.find("pid");
@@ -119,6 +120,129 @@ ValidationResult validate_chrome_trace_text(std::string_view text) {
     result.error = error.what();
     return result;
   }
+}
+
+std::vector<TraceEvent> events_from_chrome_trace(
+    const util::JsonValue& document) {
+  NLDL_REQUIRE(document.is_object(), "trace document root is not an object");
+  const util::JsonValue* entries = document.find("traceEvents");
+  NLDL_REQUIRE(entries != nullptr && entries->is_array(),
+               "trace document has no \"traceEvents\" array");
+
+  constexpr double kSecondsPerMicro = 1e-6;
+  constexpr double kPathPid = 4.0;
+  const auto number_or = [](const util::JsonValue* node, double fallback) {
+    return node != nullptr && node->is_number() ? node->number : fallback;
+  };
+  const auto index_arg = [&](const util::JsonValue& args, const char* key) {
+    const util::JsonValue* node = args.find(key);
+    if (node == nullptr || !node->is_number()) return kNoIndex;
+    return static_cast<std::size_t>(node->number);
+  };
+
+  std::vector<TraceEvent> out;
+  // Open kJob B events per jobs-track tid, in first-open order.
+  std::vector<std::pair<double, TraceEvent>> open_jobs;
+  for (const util::JsonValue& entry : entries->array) {
+    NLDL_REQUIRE(entry.is_object(), "trace event is not an object");
+    const util::JsonValue* ph = entry.find("ph");
+    NLDL_REQUIRE(ph != nullptr && ph->is_string() && ph->string.size() == 1,
+                 "trace event without a one-character \"ph\"");
+    const char phase = ph->string[0];
+    if (phase == 'M' || phase == 's' || phase == 't' || phase == 'f') {
+      continue;
+    }
+    if (number_or(entry.find("pid"), 0.0) == kPathPid) continue;
+
+    const util::JsonValue* name = entry.find("name");
+    NLDL_REQUIRE(name != nullptr && name->is_string(),
+                 "trace event without a string \"name\"");
+    EventKind kind = EventKind::kTransfer;
+    NLDL_REQUIRE(event_kind_from_string(name->string, kind),
+                 "trace event with unknown name '" + name->string + "'");
+
+    TraceEvent event;
+    event.kind = kind;
+    event.start = number_or(entry.find("ts"), 0.0) * kSecondsPerMicro;
+    event.end = event.start;
+    if (phase == 'X') {
+      event.end =
+          event.start + number_or(entry.find("dur"), 0.0) * kSecondsPerMicro;
+    }
+    const util::JsonValue* args = entry.find("args");
+    if (args != nullptr && args->is_object()) {
+      event.worker = index_arg(*args, "worker");
+      event.job = index_arg(*args, "job");
+      event.tenant = index_arg(*args, "tenant");
+      event.size = number_or(args->find("size"), 0.0);
+      event.alpha = number_or(args->find("alpha"), 0.0);
+      event.value = number_or(args->find("value"), 0.0);
+    }
+
+    if (phase == 'B') {
+      NLDL_REQUIRE(kind == EventKind::kJob, "non-job \"B\" event");
+      open_jobs.emplace_back(number_or(entry.find("tid"), 0.0), event);
+    } else if (phase == 'E') {
+      const double tid = number_or(entry.find("tid"), 0.0);
+      bool matched = false;
+      for (std::size_t i = open_jobs.size(); i-- > 0;) {
+        if (open_jobs[i].first == tid) {
+          TraceEvent job = open_jobs[i].second;
+          job.end = event.start;
+          out.push_back(job);
+          open_jobs.erase(open_jobs.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+          matched = true;
+          break;
+        }
+      }
+      NLDL_REQUIRE(matched, "\"E\" event without a matching \"B\"");
+    } else {
+      out.push_back(event);
+    }
+  }
+  NLDL_REQUIRE(open_jobs.empty(), "unclosed \"B\" event in trace");
+  return out;
+}
+
+ValidationResult validate_metrics_json(const util::JsonValue& document) {
+  ValidationResult result;
+  if (!document.is_object()) {
+    result.ok = false;
+    result.error = "metrics document root is not an object";
+    return result;
+  }
+  for (const auto& [key, value] : document.object) {
+    const auto bad = [&result, &key](const std::string& what) {
+      result.ok = false;
+      result.error = "metric '" + key + "': " + what;
+      return result;
+    };
+    if (value.is_number()) {
+      ++result.events;
+      continue;
+    }
+    if (!value.is_object()) return bad("neither a number nor a quantile");
+    const util::JsonValue* q = value.find("q");
+    if (q == nullptr || !q->is_number() || !(q->number > 0.0) ||
+        !(q->number < 1.0)) {
+      return bad("quantile without a \"q\" in (0, 1)");
+    }
+    const util::JsonValue* count = value.find("count");
+    if (count == nullptr || !count->is_number() || count->number < 0.0) {
+      return bad("quantile without a non-negative \"count\"");
+    }
+    const util::JsonValue* estimate = value.find("value");
+    if (count->number > 0.0) {
+      if (estimate == nullptr || !estimate->is_number()) {
+        return bad("non-empty quantile without a numeric \"value\"");
+      }
+    } else if (estimate != nullptr) {
+      return bad("empty quantile carries a \"value\"");
+    }
+    ++result.events;
+  }
+  return result;
 }
 
 ValidationResult compare_deterministic_payload(const util::JsonValue& a,

@@ -11,7 +11,9 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "obs/trace.hpp"
 #include "util/json_parse.hpp"
 
 namespace nldl::obs {
@@ -26,7 +28,7 @@ struct ValidationResult {
 
 /// Validate a parsed Chrome trace-event document (JSON Object Format):
 /// a "traceEvents" array whose entries carry name/ph/pid/tid, a numeric
-/// ts (metadata "M" events excepted), ph one of M/X/B/E/i/C, a
+/// ts (metadata "M" events excepted), ph one of M/X/B/E/i/C/s/t/f, a
 /// non-negative dur on "X" events, non-decreasing ts over non-metadata
 /// events, and balanced B/E nesting per (pid, tid) track.
 [[nodiscard]] ValidationResult validate_chrome_trace(
@@ -42,5 +44,23 @@ struct ValidationResult {
 /// bitwise-equal as printed). Documents missing the key fail.
 [[nodiscard]] ValidationResult compare_deterministic_payload(
     const util::JsonValue& a, const util::JsonValue& b);
+
+/// Reconstruct the TraceEvent stream from an exported Chrome trace
+/// (`write_chrome_trace`'s inverse, up to the lossy microsecond
+/// encoding: times come back as ts/1e6, so span ends may differ from
+/// the original by an ulp — CriticalPath takes a match tolerance for
+/// exactly this). Metadata, flow arrows, and the pid-4 critical-path
+/// overlay are skipped; kJob events are rebuilt from their B/E pairs.
+/// Throws util::PreconditionError on events the exporter cannot have
+/// written (unknown name, unbalanced B/E).
+[[nodiscard]] std::vector<TraceEvent> events_from_chrome_trace(
+    const util::JsonValue& document);
+
+/// Validate a `MetricsRegistry::write_json` dump: one flat object whose
+/// members are numbers (counters/gauges) or quantile objects with a
+/// numeric "q" in (0,1), a non-negative "count", and — iff count > 0 —
+/// a numeric "value". `events` reports the entry count.
+[[nodiscard]] ValidationResult validate_metrics_json(
+    const util::JsonValue& document);
 
 }  // namespace nldl::obs

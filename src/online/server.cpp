@@ -16,6 +16,20 @@ constexpr double kNever = std::numeric_limits<double>::infinity();
 constexpr std::size_t kNoJob = static_cast<std::size_t>(-1);
 }  // namespace
 
+void Server::emit_arrival(const Job& job, std::size_t ahead) const {
+  if (options_.trace == nullptr) return;
+  obs::TraceEvent event;
+  event.kind = obs::EventKind::kArrival;
+  event.start = job.arrival;
+  event.end = job.arrival;
+  event.job = job.id;
+  event.tenant = job.tenant;
+  event.size = job.load;
+  event.alpha = job.alpha;
+  event.value = static_cast<double>(ahead);
+  options_.trace->record(event);
+}
+
 std::string to_string(MasterMode mode) {
   switch (mode) {
     case MasterMode::kPrivatePort:
@@ -161,6 +175,7 @@ void Server::run_private(
     // order because `jobs` is sorted).
     while (next_arrival < jobs.size() &&
            jobs[next_arrival].arrival <= now) {
+      emit_arrival(jobs[next_arrival], queue.size());
       queue.push_back(jobs[next_arrival++]);
     }
 
@@ -258,6 +273,7 @@ void Server::run_shared(
   while (true) {
     while (next_arrival < jobs.size() &&
            jobs[next_arrival].arrival <= now) {
+      emit_arrival(jobs[next_arrival], queue.size());
       queue.push_back(jobs[next_arrival++]);
     }
 

@@ -132,6 +132,10 @@ class Server {
   [[nodiscard]] std::vector<sim::ChunkAssignment> job_schedule(
       const platform::Platform& slot_platform, const Job& job) const;
 
+  /// kArrival instant when tracing: the job joined the wait queue with
+  /// `ahead` jobs in front of it (the queue-position cause of its wait).
+  void emit_arrival(const Job& job, std::size_t ahead) const;
+
   /// The two event loops behind run(); `slot_platforms` are the carved
   /// partitions, `slot_workers[s][j]` the global index of slot s's j-th
   /// worker. Both fill `stats` in place.

@@ -142,6 +142,11 @@ void Server::run_serial(const std::vector<online::Job>& jobs, Policy& policy,
       const online::Job& job = jobs[next_arrival];
       JobRecord& record = records[job.id];
       record.job = job;
+      if (trace != nullptr) {
+        // Queue-position cause of the admission wait: jobs already ready.
+        emit(trace, obs::EventKind::kArrival, job.arrival, job.arrival, job,
+             job.load, static_cast<double>(ready.size()));
+      }
       const AdmissionDecision decision = admission_.decide(job);
       record.admitted = decision.admitted;
       record.degraded = decision.degraded;
@@ -317,6 +322,11 @@ void Server::run_concurrent(const std::vector<online::Job>& jobs,
       const online::Job& job = jobs[next_arrival];
       JobRecord& record = records[job.id];
       record.job = job;
+      if (trace != nullptr) {
+        // Queue-position cause of the admission wait: jobs already ready.
+        emit(trace, obs::EventKind::kArrival, job.arrival, job.arrival, job,
+             job.load, static_cast<double>(ready.size()));
+      }
       const AdmissionDecision decision = admission_.decide(job);
       record.admitted = decision.admitted;
       record.degraded = decision.degraded;

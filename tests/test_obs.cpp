@@ -21,6 +21,7 @@
 #include "sim/trace.hpp"
 #include "util/assert.hpp"
 #include "util/json.hpp"
+#include "util/json_parse.hpp"
 
 namespace nldl {
 namespace {
@@ -337,6 +338,49 @@ TEST(Attribution, EmptyStreamIsAllIdle) {
   EXPECT_EQ(attribution.total(), 40.0);
 }
 
+TEST(Attribution, ZeroHorizonAndZeroLengthSpans) {
+  // No events and no horizon: nothing to attribute, coverage is vacuously
+  // full (no division by the zero total).
+  const obs::Attribution empty = obs::attribute_time({}, 3, 0.0);
+  EXPECT_EQ(empty.horizon, 0.0);
+  EXPECT_EQ(empty.total(), 0.0);
+  EXPECT_EQ(empty.coverage(), 1.0);
+
+  // Cancelled (zero-length) spans contribute no worker-seconds; the
+  // inferred horizon still extends to their timestamp, so the lane is
+  // pure idle.
+  std::vector<obs::TraceEvent> events;
+  obs::TraceEvent cancelled;
+  cancelled.kind = obs::EventKind::kCompute;
+  cancelled.start = 5.0;
+  cancelled.end = 5.0;
+  cancelled.worker = 0;
+  cancelled.job = 0;
+  events.push_back(cancelled);
+  const obs::Attribution degenerate = obs::attribute_time(events, 1);
+  EXPECT_EQ(degenerate.horizon, 5.0);
+  EXPECT_EQ(degenerate.compute, 0.0);
+  EXPECT_EQ(degenerate.idle, 5.0);
+  EXPECT_EQ(degenerate.coverage(), 1.0);
+}
+
+TEST(Attribution, AllIdleWorkersWithInstantOnlyStream) {
+  // A stream of scheduler instants carries no worker spans: every lane
+  // is idle across the horizon they imply.
+  std::vector<obs::TraceEvent> events;
+  obs::TraceEvent instant;
+  instant.kind = obs::EventKind::kRerate;
+  instant.start = instant.end = 8.0;
+  events.push_back(instant);
+  const obs::Attribution attribution = obs::attribute_time(events, 2);
+  EXPECT_EQ(attribution.span_events, 0u);
+  EXPECT_EQ(attribution.comm, 0.0);
+  EXPECT_EQ(attribution.compute, 0.0);
+  EXPECT_EQ(attribution.restart, 0.0);
+  EXPECT_EQ(attribution.idle, 16.0);
+  EXPECT_EQ(attribution.coverage(), 1.0);
+}
+
 // --- metrics registry --------------------------------------------------------
 
 TEST(MetricsRegistry, FirstTouchOrderAndTypes) {
@@ -423,6 +467,81 @@ TEST(MetricsRegistry, ServersAccountIntoRegistry) {
   EXPECT_GE(qos_metrics.gauge_value("qos.restart_time_s"), 0.0);
 }
 
+TEST(MetricsRegistry, SamplesSnapshotInFirstTouchOrder) {
+  obs::MetricsRegistry registry;
+  registry.counter("jobs") += 4;
+  registry.gauge("rho") = 2.5;
+  registry.quantile("lat.p95", 0.95).push(10.0);
+  (void)registry.quantile("empty.p50", 0.5);
+
+  const std::vector<obs::MetricsRegistry::Sample> samples =
+      registry.samples();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples[0].name, "jobs");
+  EXPECT_EQ(samples[0].kind, obs::MetricsRegistry::SampleKind::kCounter);
+  EXPECT_EQ(samples[0].value, 4.0);
+  EXPECT_EQ(samples[0].count, 4u);
+  EXPECT_EQ(samples[1].name, "rho");
+  EXPECT_EQ(samples[1].kind, obs::MetricsRegistry::SampleKind::kGauge);
+  EXPECT_EQ(samples[1].value, 2.5);
+  EXPECT_EQ(samples[2].kind, obs::MetricsRegistry::SampleKind::kQuantile);
+  EXPECT_EQ(samples[2].value, 10.0);
+  EXPECT_EQ(samples[2].count, 1u);
+  EXPECT_EQ(samples[3].count, 0u);  // empty estimator reports value 0
+  EXPECT_EQ(samples[3].value, 0.0);
+}
+
+// --- metrics JSON validation -------------------------------------------------
+
+TEST(MetricsValidation, AcceptsRegistryDumpsRejectsMalformed) {
+  obs::MetricsRegistry registry;
+  registry.counter("events") += 3;
+  registry.gauge("seconds") = 1.5;
+  registry.quantile("lat.p95", 0.95).push(2.0);
+  std::ostringstream out;
+  {
+    util::JsonWriter json(out);
+    registry.write_json(json);
+    EXPECT_TRUE(json.complete());
+  }
+  const obs::ValidationResult ok =
+      obs::validate_metrics_json(util::parse_json(out.str()));
+  EXPECT_TRUE(ok) << ok.error;
+  EXPECT_EQ(ok.events, 3u);
+
+  // Root must be an object.
+  EXPECT_FALSE(obs::validate_metrics_json(util::parse_json("[]")));
+  // Non-numeric scalar entries are rejected.
+  EXPECT_FALSE(obs::validate_metrics_json(
+      util::parse_json(R"({"name": "oops"})")));
+  // Quantile objects need q in (0, 1)...
+  EXPECT_FALSE(obs::validate_metrics_json(
+      util::parse_json(R"({"lat": {"q": 1.5, "count": 1, "value": 2}})")));
+  // ...a value exactly when count > 0...
+  EXPECT_FALSE(obs::validate_metrics_json(
+      util::parse_json(R"({"lat": {"q": 0.95, "count": 1}})")));
+  EXPECT_FALSE(obs::validate_metrics_json(
+      util::parse_json(R"({"lat": {"q": 0.95, "count": 0, "value": 2}})")));
+  // ...and an empty estimator without a value is fine.
+  EXPECT_TRUE(obs::validate_metrics_json(
+      util::parse_json(R"({"lat": {"q": 0.95, "count": 0}})")));
+}
+
+// --- event-kind round trip ---------------------------------------------------
+
+TEST(TraceContent, KindNamesRoundTripThroughStrings) {
+  for (const obs::EventKind kind :
+       {obs::EventKind::kTransfer, obs::EventKind::kArrival,
+        obs::EventKind::kAlert, obs::EventKind::kDeadlineMiss,
+        obs::EventKind::kCheckpoint}) {
+    obs::EventKind parsed = obs::EventKind::kTransfer;
+    EXPECT_TRUE(obs::event_kind_from_string(obs::to_string(kind), parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  obs::EventKind parsed = obs::EventKind::kTransfer;
+  EXPECT_FALSE(obs::event_kind_from_string("no_such_kind", parsed));
+}
+
 // --- event-stream ascii gantt ------------------------------------------------
 
 TEST(EventGantt, MultiJobGlyphsAndReleaseMarkers) {
@@ -466,6 +585,101 @@ TEST(EventGantt, MultiJobGlyphsAndReleaseMarkers) {
   events.resize(events.size() - 2);
   const std::string bare = sim::ascii_gantt(events, 2, 40);
   EXPECT_EQ(bare.find("releases"), std::string::npos);
+}
+
+TEST(EventGantt, MaxColsDownsamplesWideCharts) {
+  std::vector<obs::TraceEvent> events;
+  obs::TraceEvent span;
+  span.kind = obs::EventKind::kCompute;
+  span.start = 0.0;
+  span.end = 100.0;
+  span.worker = 0;
+  span.job = 0;
+  events.push_back(span);
+
+  const std::string wide = sim::ascii_gantt(events, 1, 72);
+  const std::string narrow = sim::ascii_gantt(events, 1, 72, 24);
+  EXPECT_GT(wide.find('\n'), narrow.find('\n'));  // shorter rows
+  EXPECT_NE(narrow.find('A'), std::string::npos);
+  // max_cols only ever shrinks: a cap above the width is a no-op, and
+  // tiny caps clamp to a usable minimum instead of degenerating.
+  EXPECT_EQ(sim::ascii_gantt(events, 1, 24, 72),
+            sim::ascii_gantt(events, 1, 24));
+  EXPECT_EQ(sim::ascii_gantt(events, 1, 72, 1),
+            sim::ascii_gantt(events, 1, 72, 8));
+}
+
+// --- arrival / alert instants ------------------------------------------------
+
+TEST(ChromeExport, ArrivalAndAlertInstantsRouteToTheirTracks) {
+  std::vector<obs::TraceEvent> events;
+  obs::TraceEvent arrival;
+  arrival.kind = obs::EventKind::kArrival;
+  arrival.start = arrival.end = 1.0;
+  arrival.job = 3;
+  arrival.tenant = 1;
+  arrival.value = 2.0;  // two jobs ahead in the queue
+  events.push_back(arrival);
+  obs::TraceEvent alert;
+  alert.kind = obs::EventKind::kAlert;
+  alert.start = alert.end = 4.0;
+  alert.value = 15.0;
+  events.push_back(alert);
+
+  std::ostringstream out;
+  obs::write_chrome_trace(out, events, {});
+  const std::string text = out.str();
+  const obs::ValidationResult result = obs::validate_chrome_trace_text(text);
+  EXPECT_TRUE(result) << result.error;
+  EXPECT_NE(text.find("\"arrival\""), std::string::npos);
+  EXPECT_NE(text.find("\"alert\""), std::string::npos);
+  // kArrival is a job-track instant (pid 2), kAlert a scheduler-track
+  // instant (pid 3).
+  EXPECT_LT(text.find("\"arrival\""), text.find("\"alert\""));
+  EXPECT_NE(text.find("\"pid\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"pid\": 3"), std::string::npos);
+
+  // Server arrivals survive the export→parse round trip.
+  const std::vector<obs::TraceEvent> decoded =
+      obs::events_from_chrome_trace(util::parse_json(text));
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].kind, obs::EventKind::kArrival);
+  EXPECT_EQ(decoded[0].job, 3u);
+  EXPECT_EQ(decoded[0].value, 2.0);
+  EXPECT_EQ(decoded[1].kind, obs::EventKind::kAlert);
+  EXPECT_EQ(decoded[1].value, 15.0);
+}
+
+TEST(TraceContent, ServersEmitOneArrivalPerOfferedJob) {
+  const platform::Platform plat = test_platform();
+  const std::vector<online::Job> jobs = burst_jobs();
+
+  obs::TraceRecorder online_recorder;
+  online::ServerOptions online_opts =
+      online_options(sim::CommModelKind::kParallelLinks,
+                     online::MasterMode::kPrivatePort);
+  online_opts.trace = &online_recorder;
+  const online::Server online_server(plat, online_opts);
+  const online::FairShareScheduler fair(2);
+  (void)online_server.run(jobs, fair);
+  const auto online_arrivals =
+      online_recorder.of_kind(obs::EventKind::kArrival);
+  ASSERT_EQ(online_arrivals.size(), jobs.size());
+  for (const obs::TraceEvent& event : online_arrivals) {
+    EXPECT_EQ(event.start, event.end);  // instant, at the arrival time
+    EXPECT_NE(event.job, obs::kNoIndex);
+    EXPECT_GE(event.value, 0.0);  // queue depth
+  }
+
+  obs::TraceRecorder qos_recorder;
+  qos::ServerOptions qos_opts =
+      qos_options(sim::CommModelKind::kParallelLinks, 1);
+  qos_opts.trace = &qos_recorder;
+  const qos::Server qos_server(plat, qos_opts);
+  qos::SrptPolicy srpt;
+  (void)qos_server.run(jobs, srpt);
+  EXPECT_EQ(qos_recorder.of_kind(obs::EventKind::kArrival).size(),
+            jobs.size());
 }
 
 }  // namespace

@@ -1,0 +1,265 @@
+// Tests for obs::TimeSeries (fixed-width windowed aggregation on the
+// simulated clock) and obs::BurnRateMonitor (multi-window SLO burn-rate
+// alerting): window addressing and clamping, registry folding, JSON
+// shape, rising-edge alert semantics, determinism, and the kAlert /
+// registry side channels of finalize().
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace.hpp"
+#include "obs/validate.hpp"
+#include "util/assert.hpp"
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+
+namespace nldl {
+namespace {
+
+// --- TimeSeries --------------------------------------------------------------
+
+TEST(TimeSeries, WindowAddressingAndClamping) {
+  obs::TimeSeries series(10.0, 35.0);  // ceil(35/10) = 4 windows
+  EXPECT_EQ(series.window(), 10.0);
+  EXPECT_EQ(series.windows(), 4u);
+  EXPECT_EQ(series.index_of(0.0), 0u);
+  EXPECT_EQ(series.index_of(9.999), 0u);
+  EXPECT_EQ(series.index_of(10.0), 1u);
+  EXPECT_EQ(series.index_of(35.0), 3u);    // clamped into the last window
+  EXPECT_EQ(series.index_of(1000.0), 3u);  // far past the horizon too
+
+  series.observe("lat", 1.0, 5.0);
+  series.observe("lat", 2.0, 3.0);
+  series.observe("lat", 12.0, 7.0);
+  series.observe("lat", 99.0, 11.0);  // clamps into window 3
+  const auto& row = series.at("lat");
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_EQ(row[0].count, 2u);
+  EXPECT_EQ(row[0].sum, 8.0);
+  EXPECT_EQ(row[0].min, 3.0);
+  EXPECT_EQ(row[0].max, 5.0);
+  EXPECT_EQ(row[0].last, 3.0);
+  EXPECT_EQ(row[1].count, 1u);
+  EXPECT_EQ(row[2].count, 0u);
+  EXPECT_EQ(row[3].count, 1u);
+  EXPECT_EQ(row[3].last, 11.0);
+
+  EXPECT_THROW(series.observe("lat", -1.0, 0.0), util::PreconditionError);
+  EXPECT_THROW((void)series.at("missing"), util::PreconditionError);
+  EXPECT_THROW(obs::TimeSeries(0.0, 10.0), util::PreconditionError);
+  EXPECT_THROW(obs::TimeSeries(1.0, -1.0), util::PreconditionError);
+  // Zero horizon still yields one window.
+  EXPECT_EQ(obs::TimeSeries(1.0, 0.0).windows(), 1u);
+}
+
+TEST(TimeSeries, ChannelsKeepFirstTouchOrder) {
+  obs::TimeSeries series(1.0, 3.0);
+  series.observe("b", 0.0, 1.0);
+  series.observe("a", 0.0, 1.0);
+  series.observe("b", 1.0, 2.0);
+  EXPECT_EQ(series.channels(), (std::vector<std::string>{"b", "a"}));
+}
+
+TEST(TimeSeries, FoldImportsRegistrySamples) {
+  obs::MetricsRegistry registry;
+  registry.counter("jobs") += 7;
+  registry.gauge("rho") = 1.5;
+  registry.quantile("lat.p95", 0.95).push(4.0);
+
+  obs::TimeSeries series(10.0, 30.0);
+  series.fold(registry, 25.0, "reg.");
+  EXPECT_EQ(series.channels(),
+            (std::vector<std::string>{"reg.jobs", "reg.rho", "reg.lat.p95"}));
+  EXPECT_EQ(series.at("reg.jobs")[2].last, 7.0);
+  EXPECT_EQ(series.at("reg.rho")[2].last, 1.5);
+  EXPECT_EQ(series.at("reg.lat.p95")[2].count, 1u);
+}
+
+TEST(TimeSeries, WriteJsonListsNonEmptyWindows) {
+  obs::TimeSeries series(10.0, 30.0);
+  series.observe("lat", 1.0, 5.0);
+  series.observe("lat", 25.0, 7.0);
+  std::ostringstream out;
+  {
+    util::JsonWriter json(out);
+    series.write_json(json);
+    EXPECT_TRUE(json.complete());
+  }
+  const util::JsonValue root = util::parse_json(out.str());
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.find("window")->number, 10.0);
+  EXPECT_EQ(root.find("windows")->number, 3.0);
+  const util::JsonValue* channels = root.find("channels");
+  ASSERT_NE(channels, nullptr);
+  const util::JsonValue* lat = channels->find("lat");
+  ASSERT_NE(lat, nullptr);
+  // Two non-empty windows → two [index,count,sum,min,max,last] rows.
+  ASSERT_EQ(lat->array.size(), 2u);
+  EXPECT_EQ(lat->array[0].array[0].number, 0.0);
+  EXPECT_EQ(lat->array[1].array[0].number, 2.0);
+  EXPECT_EQ(lat->array[1].array[5].number, 7.0);
+}
+
+// --- BurnRateMonitor ---------------------------------------------------------
+
+obs::SloPolicy tight_policy() {
+  obs::SloPolicy policy;
+  policy.objective = 0.9;  // budget = 0.1
+  policy.window = 10.0;
+  policy.rules = {{10.0, 20.0, 2.0}};
+  return policy;
+}
+
+TEST(BurnRate, PolicyValidation) {
+  // Non-multiple windows are rejected.
+  obs::SloPolicy bad = tight_policy();
+  bad.rules = {{15.0, 20.0, 2.0}};
+  EXPECT_THROW(obs::BurnRateMonitor(bad, 100.0), util::PreconditionError);
+  // Fast window above the slow window is rejected.
+  bad.rules = {{20.0, 10.0, 2.0}};
+  EXPECT_THROW(obs::BurnRateMonitor(bad, 100.0), util::PreconditionError);
+  // Objective outside (0, 1) is rejected.
+  obs::SloPolicy off = tight_policy();
+  off.objective = 1.0;
+  EXPECT_THROW(obs::BurnRateMonitor(off, 100.0), util::PreconditionError);
+
+  const obs::SloPolicy paging = obs::SloPolicy::paging(0.99, 5.0);
+  EXPECT_EQ(paging.window, 5.0);
+  ASSERT_EQ(paging.rules.size(), 2u);
+  EXPECT_EQ(paging.rules[0].fast, 5.0);
+  EXPECT_EQ(paging.rules[0].slow, 60.0);
+  EXPECT_EQ(paging.rules[0].threshold, 14.4);
+  EXPECT_EQ(paging.rules[1].fast, 30.0);
+  EXPECT_EQ(paging.rules[1].slow, 360.0);
+  // The standard pair always constructs, whatever the base.
+  obs::BurnRateMonitor monitor(paging, 360.0);
+  monitor.finalize();
+  EXPECT_TRUE(monitor.alerts().empty());
+}
+
+TEST(BurnRate, RisingEdgeFiresOncePerBreachRun) {
+  // budget 0.1, threshold 2 → fires when both trailing windows miss at
+  // a rate >= 0.2. Windows 0-1 healthy, 2-4 bad, 5 healthy again.
+  obs::BurnRateMonitor monitor(tight_policy(), 60.0);
+  for (std::size_t w = 0; w < 6; ++w) {
+    const bool bad = w >= 2 && w <= 4;
+    const double t = 10.0 * static_cast<double>(w) + 5.0;
+    for (int i = 0; i < 10; ++i) {
+      monitor.observe(t, bad && i < 5);  // 50% misses in bad windows
+    }
+  }
+  monitor.finalize();
+  EXPECT_EQ(monitor.observations(), 60u);
+  EXPECT_EQ(monitor.misses(), 15u);
+  // One rising edge only: window 2 trips both windows (fast burn 5,
+  // trailing-20s burn 2.5) and the breach holds through windows 3-4
+  // without re-firing.
+  ASSERT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].rule, 0u);
+  EXPECT_EQ(monitor.alerts()[0].time, 30.0);  // window 2's end
+  EXPECT_GE(monitor.alerts()[0].fast_burn, 2.0);
+  EXPECT_GE(monitor.alerts()[0].slow_burn, 2.0);
+  EXPECT_DOUBLE_EQ(monitor.peak_burn(), 5.0);  // 0.5 miss rate / 0.1 budget
+
+  // Finalize is idempotent and observe-after-finalize is rejected.
+  monitor.finalize();
+  EXPECT_EQ(monitor.alerts().size(), 1u);
+  EXPECT_THROW(monitor.observe(1.0, false), util::PreconditionError);
+
+  const std::string report = monitor.render();
+  EXPECT_NE(report.find("slo burn-rate"), std::string::npos);
+  EXPECT_NE(report.find("1 alert"), std::string::npos);
+}
+
+TEST(BurnRate, ShortBlipDiesInTheSlowWindow) {
+  // One bad fast window surrounded by health: the fast burn spikes but
+  // the 20 s confirmation window stays under threshold → no alert.
+  obs::BurnRateMonitor monitor(tight_policy(), 60.0);
+  for (std::size_t w = 0; w < 6; ++w) {
+    const bool bad = w == 3;
+    const double t = 10.0 * static_cast<double>(w) + 5.0;
+    for (int i = 0; i < 10; ++i) {
+      monitor.observe(t, bad && i < 3);  // 30% misses, one window only
+    }
+  }
+  monitor.finalize();
+  EXPECT_TRUE(monitor.alerts().empty());
+  EXPECT_DOUBLE_EQ(monitor.peak_burn(), 3.0);  // the blip still registers
+}
+
+TEST(BurnRate, ObservationOrderDoesNotMatter) {
+  const auto feed = [](obs::BurnRateMonitor& monitor, bool reversed) {
+    std::vector<std::pair<double, bool>> events;
+    for (int i = 0; i < 40; ++i) {
+      events.emplace_back(1.5 * i, i % 3 == 0);
+    }
+    if (reversed) {
+      std::vector<std::pair<double, bool>> flipped(events.rbegin(),
+                                                   events.rend());
+      events = flipped;
+    }
+    for (const auto& [t, miss] : events) monitor.observe(t, miss);
+    monitor.finalize();
+  };
+  obs::BurnRateMonitor forward(tight_policy(), 60.0);
+  obs::BurnRateMonitor backward(tight_policy(), 60.0);
+  feed(forward, false);
+  feed(backward, true);
+  ASSERT_EQ(forward.alerts().size(), backward.alerts().size());
+  for (std::size_t i = 0; i < forward.alerts().size(); ++i) {
+    EXPECT_EQ(forward.alerts()[i].time, backward.alerts()[i].time);
+    EXPECT_EQ(forward.alerts()[i].fast_burn, backward.alerts()[i].fast_burn);
+  }
+  EXPECT_EQ(forward.peak_burn(), backward.peak_burn());
+}
+
+TEST(BurnRate, FinalizeEmitsAlertsAndAccountsRegistry) {
+  obs::BurnRateMonitor monitor(tight_policy(), 30.0);
+  for (int i = 0; i < 30; ++i) {
+    monitor.observe(static_cast<double>(i), i % 2 == 0);  // 50% misses
+  }
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry registry;
+  monitor.finalize(&recorder, &registry);
+  ASSERT_FALSE(monitor.alerts().empty());
+
+  const auto alerts = recorder.of_kind(obs::EventKind::kAlert);
+  ASSERT_EQ(alerts.size(), monitor.alerts().size());
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    EXPECT_EQ(alerts[i].start, monitor.alerts()[i].time);
+    EXPECT_EQ(alerts[i].end, monitor.alerts()[i].time);
+    EXPECT_EQ(alerts[i].value, monitor.alerts()[i].fast_burn);
+    EXPECT_EQ(alerts[i].size, monitor.alerts()[i].slow_burn);
+  }
+  EXPECT_EQ(registry.counter_value("slo.observations"), 30u);
+  EXPECT_EQ(registry.counter_value("slo.misses"), 15u);
+  EXPECT_EQ(registry.counter_value("slo.alerts"), monitor.alerts().size());
+  EXPECT_EQ(registry.gauge_value("slo.peak_burn"), monitor.peak_burn());
+
+  // The emitted instants export into a validating Chrome trace.
+  std::ostringstream out;
+  obs::ChromeTraceOptions options;
+  obs::write_chrome_trace(out, recorder.events(), options);
+  const obs::ValidationResult result =
+      obs::validate_chrome_trace_text(out.str());
+  EXPECT_TRUE(result) << result.error;
+  EXPECT_NE(out.str().find("\"alert\""), std::string::npos);
+}
+
+TEST(BurnRate, EmptyRunIsSilent) {
+  obs::BurnRateMonitor monitor(tight_policy(), 10.0);
+  monitor.finalize();
+  EXPECT_TRUE(monitor.alerts().empty());
+  EXPECT_EQ(monitor.peak_burn(), 0.0);
+  EXPECT_EQ(monitor.observations(), 0u);
+  EXPECT_NE(monitor.render().find("0 jobs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nldl
