@@ -127,10 +127,10 @@ int main(int argc, char** argv) {
          const std::vector<AffinityRow>& b) {
         if (a.size() != b.size()) return false;
         for (std::size_t i = 0; i < a.size(); ++i) {
-          if (a[i].blind_bytes != b[i].blind_bytes ||
-              a[i].aware_bytes != b[i].aware_bytes ||
-              a[i].blind_imbalance != b[i].blind_imbalance ||
-              a[i].aware_imbalance != b[i].aware_imbalance) {
+          if (a[i].blind_bytes != b[i].blind_bytes ||  // nldl-lint: allow(double-eq): bitwise reproducibility self-check
+              a[i].aware_bytes != b[i].aware_bytes ||  // nldl-lint: allow(double-eq): bitwise reproducibility self-check
+              a[i].blind_imbalance != b[i].blind_imbalance ||  // nldl-lint: allow(double-eq): bitwise reproducibility self-check
+              a[i].aware_imbalance != b[i].aware_imbalance) {  // nldl-lint: allow(double-eq): bitwise reproducibility self-check
             return false;
           }
         }

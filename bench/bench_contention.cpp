@@ -175,7 +175,7 @@ double cell_slowdown(const ContentionResults& results, std::size_t alpha,
                      online::SchedulerKind scheduler,
                      online::MasterMode master) {
   for (const PointResult& point : results.points) {
-    if (point.alpha == alpha &&
+    if (point.alpha == alpha &&  // nldl-lint: allow(double-eq): exact grid-point lookup; values copied verbatim
         kSchedulers[point.scheduler] == scheduler &&
         kMasterModes[point.master] == master) {
       return point.metrics.mean_slowdown;
@@ -274,7 +274,7 @@ int main(int argc, char** argv) {
         server.run(jobs, *scheduler, &registry), plat.size());
 
     for (const PointResult& point : results.points) {
-      if (point.alpha == alpha_index &&
+      if (point.alpha == alpha_index &&  // nldl-lint: allow(double-eq): exact grid-point lookup; values copied verbatim
           point.scheduler == scheduler_index &&
           point.master == master_index) {
         trace_identical = bench::identical_doubles(

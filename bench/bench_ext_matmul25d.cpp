@@ -73,8 +73,8 @@ int main(int argc, char** argv) {
       [](const std::vector<Row25D>& a, const std::vector<Row25D>& b) {
         if (a.size() != b.size()) return false;
         for (std::size_t i = 0; i < a.size(); ++i) {
-          if (a[i].valid != b[i].valid || a[i].words != b[i].words ||
-              a[i].bound != b[i].bound || a[i].memory != b[i].memory) {
+          if (a[i].valid != b[i].valid || a[i].words != b[i].words ||  // nldl-lint: allow(double-eq): bitwise reproducibility self-check
+              a[i].bound != b[i].bound || a[i].memory != b[i].memory) {  // nldl-lint: allow(double-eq): bitwise reproducibility self-check
             return false;
           }
         }

@@ -101,8 +101,8 @@ int main(int argc, char** argv) {
       [](const std::vector<ReturnRow>& a, const std::vector<ReturnRow>& b) {
         if (a.size() != b.size()) return false;
         for (std::size_t i = 0; i < a.size(); ++i) {
-          if (a[i].ideal != b[i].ideal || a[i].fifo != b[i].fifo ||
-              a[i].lifo != b[i].lifo || a[i].solo != b[i].solo) {
+          if (a[i].ideal != b[i].ideal || a[i].fifo != b[i].fifo ||  // nldl-lint: allow(double-eq): bitwise reproducibility self-check
+              a[i].lifo != b[i].lifo || a[i].solo != b[i].solo) {  // nldl-lint: allow(double-eq): bitwise reproducibility self-check
             return false;
           }
         }

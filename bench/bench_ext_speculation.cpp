@@ -90,11 +90,11 @@ int main(int argc, char** argv) {
       [](const std::vector<SpecRow>& a, const std::vector<SpecRow>& b) {
         if (a.size() != b.size()) return false;
         for (std::size_t i = 0; i < a.size(); ++i) {
-          if (a[i].plain_makespan != b[i].plain_makespan ||
-              a[i].spec_makespan != b[i].spec_makespan ||
-              a[i].backups != b[i].backups ||
-              a[i].backups_won != b[i].backups_won ||
-              a[i].extra_bytes != b[i].extra_bytes) {
+          if (a[i].plain_makespan != b[i].plain_makespan ||  // nldl-lint: allow(double-eq): bitwise reproducibility self-check
+              a[i].spec_makespan != b[i].spec_makespan ||  // nldl-lint: allow(double-eq): bitwise reproducibility self-check
+              a[i].backups != b[i].backups ||  // nldl-lint: allow(double-eq): bitwise reproducibility self-check
+              a[i].backups_won != b[i].backups_won ||  // nldl-lint: allow(double-eq): bitwise reproducibility self-check
+              a[i].extra_bytes != b[i].extra_bytes) {  // nldl-lint: allow(double-eq): bitwise reproducibility self-check
             return false;
           }
         }

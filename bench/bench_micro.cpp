@@ -251,7 +251,7 @@ int main(int argc, char** argv) {
         // honest measurements and never bit-stable.
         if (a.size() != b.size()) return false;
         for (std::size_t i = 0; i < a.size(); ++i) {
-          if (a[i].checksum != b[i].checksum) return false;
+          if (a[i].checksum != b[i].checksum) return false;  // nldl-lint: allow(double-eq): bitwise reproducibility self-check
         }
         return true;
       });

@@ -19,7 +19,6 @@
 #include "bench/harness.hpp"
 #include "core/experiments.hpp"
 #include "core/no_free_lunch.hpp"
-#include "dlt/analysis.hpp"
 #include "dlt/nonlinear_dlt.hpp"
 #include "platform/speed_distributions.hpp"
 #include "util/cli.hpp"

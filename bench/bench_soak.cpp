@@ -329,7 +329,7 @@ int main(int argc, char** argv) {
     const CellResult& reference = results.cells[full];
     const CellResult& incremental = results.cells[full + 1];
     const bool match = reference.jobs == incremental.jobs &&
-                       reference.digest == incremental.digest;
+                       reference.digest == incremental.digest;  // nldl-lint: allow(double-eq): bitwise replay digest compare
     if (!match) replay_identical = false;
     const double speedup =
         incremental.wall_seconds > 0.0
@@ -360,7 +360,7 @@ int main(int argc, char** argv) {
         &cell_records);
     const CellResult& untraced = results.cells[traced_cell];
     trace_identical = traced.jobs == untraced.jobs &&
-                      traced.digest == untraced.digest &&
+                      traced.digest == untraced.digest &&  // nldl-lint: allow(double-eq): bitwise replay digest compare
                       traced.engine_events == untraced.engine_events;
     std::printf("\ntraced %s: %zu jobs, %zu events | vs untraced: %s\n",
                 specs[traced_cell].name, traced.jobs,

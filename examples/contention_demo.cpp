@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
       const auto metrics =
           online::summarize(server.run(jobs, fair), plat.size());
       table.row()
-          .cell(alpha == 1.0 ? "linear (a=1)" : "quadratic (a=2)")
+          .cell(alpha == 1.0 ? "linear (a=1)" : "quadratic (a=2)")  // nldl-lint: allow(double-eq): alpha is an exact configuration constant
           .cell(online::to_string(master))
           .cell(metrics.jobs)
           .cell(metrics.mean_wait, 1)

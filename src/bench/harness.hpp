@@ -38,7 +38,6 @@
 
 #include "bench/profile.hpp"
 #include "obs/metrics.hpp"
-#include "util/assert.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "partition/lower_bound.hpp"
+#include "partition/peri_sum.hpp"
 #include "util/assert.hpp"
 
 namespace nldl::core {

@@ -17,7 +17,6 @@
 #include <vector>
 
 #include "partition/block_homogeneous.hpp"
-#include "partition/peri_sum.hpp"
 
 namespace nldl::core {
 

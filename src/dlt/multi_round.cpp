@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "dlt/linear_dlt.hpp"
 #include "util/assert.hpp"
 
 namespace nldl::dlt {
@@ -63,7 +64,7 @@ MultiRoundPlan best_multi_round(const platform::Platform& platform,
   for (std::size_t rounds = 2; rounds <= max_rounds; ++rounds) {
     for (const double ratio : {1.0, 1.5, 2.0, 3.0}) {
       MultiRoundPlan candidate =
-          ratio == 1.0
+          ratio == 1.0  // nldl-lint: allow(double-eq): ratio is an exact literal from the candidate list
               ? uniform_multi_round(platform, total_load, rounds)
               : geometric_multi_round(platform, total_load, rounds, ratio);
       if (candidate.simulated_makespan < best.simulated_makespan) {

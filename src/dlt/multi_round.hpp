@@ -14,9 +14,8 @@
 #include <cstddef>
 #include <vector>
 
-#include "dlt/linear_dlt.hpp"
 #include "platform/platform.hpp"
-#include "sim/simulator.hpp"  // engine types + deprecated simulate() shim
+#include "sim/engine.hpp"
 
 namespace nldl::dlt {
 

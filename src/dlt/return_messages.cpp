@@ -5,7 +5,6 @@
 #include <numeric>
 
 #include "util/assert.hpp"
-#include "util/roots.hpp"
 
 namespace nldl::dlt {
 

@@ -38,7 +38,7 @@ ValidationResult validate_chrome_trace(const util::JsonValue& document) {
   const auto track_depth = [&depth](double pid,
                                     double tid) -> std::size_t& {
     for (auto& [key, open] : depth) {
-      if (key.first == pid && key.second == tid) return open;
+      if (key.first == pid && key.second == tid) return open;  // nldl-lint: allow(double-eq): pid/tid are integral JSON ids parsed as double
     }
     depth.push_back({{pid, tid}, 0});
     return depth.back().second;
@@ -152,7 +152,7 @@ std::vector<TraceEvent> events_from_chrome_trace(
     if (phase == 'M' || phase == 's' || phase == 't' || phase == 'f') {
       continue;
     }
-    if (number_or(entry.find("pid"), 0.0) == kPathPid) continue;
+    if (number_or(entry.find("pid"), 0.0) == kPathPid) continue;  // nldl-lint: allow(double-eq): pid is an integral JSON id parsed as double
 
     const util::JsonValue* name = entry.find("name");
     NLDL_REQUIRE(name != nullptr && name->is_string(),
@@ -186,7 +186,7 @@ std::vector<TraceEvent> events_from_chrome_trace(
       const double tid = number_or(entry.find("tid"), 0.0);
       bool matched = false;
       for (std::size_t i = open_jobs.size(); i-- > 0;) {
-        if (open_jobs[i].first == tid) {
+        if (open_jobs[i].first == tid) {  // nldl-lint: allow(double-eq): tid is an integral JSON id parsed as double
           TraceEvent job = open_jobs[i].second;
           job.end = event.start;
           out.push_back(job);

@@ -43,7 +43,7 @@ double JobMix::mean_load() const {
   const double hi = load_hi;
   const double tail = std::pow(lo / hi, a);  // P(X > hi)
   const double body =
-      a == 1.0 ? lo * std::log(hi / lo)
+      a == 1.0 ? lo * std::log(hi / lo)  // nldl-lint: allow(double-eq): exact exponent switch between closed forms at a == 1
                : (a / (a - 1.0)) * std::pow(lo, a) *
                      (std::pow(lo, 1.0 - a) - std::pow(hi, 1.0 - a));
   return body + hi * tail;

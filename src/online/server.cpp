@@ -220,7 +220,7 @@ void Server::run_private(
     if (next_arrival < jobs.size()) {
       next_event = std::min(next_event, jobs[next_arrival].arrival);
     }
-    if (next_event == kNever) break;  // no work left anywhere
+    if (next_event == kNever) break;  // no work left anywhere  // nldl-lint: allow(double-eq): kNever sentinel compare
     now = next_event;
   }
 
@@ -329,7 +329,7 @@ void Server::run_shared(
     if (next_arrival < jobs.size()) {
       next_event = std::min(next_event, jobs[next_arrival].arrival);
     }
-    if (next_event == kNever) break;
+    if (next_event == kNever) break;  // nldl-lint: allow(double-eq): kNever sentinel compare
     now = next_event;
   }
 

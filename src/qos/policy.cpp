@@ -26,7 +26,7 @@ std::size_t argmin(const std::vector<Candidate>& ready, Key key) {
     const double a = key(ready[k]);
     const double b = key(ready[best]);
     if (a < b ||
-        (a == b && (ready[k].job->arrival < ready[best].job->arrival ||
+        (a == b && (ready[k].job->arrival < ready[best].job->arrival ||  // nldl-lint: allow(double-eq): deterministic tie-break on equal keys
                     (ready[k].job->arrival == ready[best].job->arrival &&
                      ready[k].job->id < ready[best].job->id)))) {
       best = k;

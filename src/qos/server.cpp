@@ -402,7 +402,7 @@ void Server::run_concurrent(const std::vector<online::Job>& jobs,
         candidate.started = plans[id]->started();
         // A job that can resume seamlessly at this very boundary is the
         // "active" one for non-preemptive policies.
-        candidate.active = plans[id]->started() && last_end[id] == now;
+        candidate.active = plans[id]->started() && last_end[id] == now;  // nldl-lint: allow(double-eq): exact event-boundary time copied verbatim
         candidates.push_back(candidate);
       }
       const std::size_t k = policy.pick(candidates, now);
@@ -452,7 +452,7 @@ void Server::run_concurrent(const std::vector<online::Job>& jobs,
     if (next_arrival < jobs.size()) {
       next_event = std::min(next_event, jobs[next_arrival].arrival);
     }
-    if (next_event == kNever) break;
+    if (next_event == kNever) break;  // nldl-lint: allow(double-eq): kNever sentinel compare
     now = next_event;
   }
 

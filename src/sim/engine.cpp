@@ -19,7 +19,7 @@ constexpr std::size_t kNoChunk = std::numeric_limits<std::size_t>::max();
 /// formula (the retired simulator's arithmetic); shared-rate transfers
 /// divide by the fluid rate.
 double time_left(double remaining, double rate, double link_rate, double c) {
-  if (rate == link_rate) return remaining * c;
+  if (rate == link_rate) return remaining * c;  // nldl-lint: allow(double-eq): rates copied verbatim; equality picks the shared-link form
   return remaining / rate;
 }
 
@@ -215,7 +215,7 @@ void EngineRun::assign_rates() {
     NLDL_ASSERT(rates_[j] >= 0.0, "comm model assigned a negative rate");
     const double rate = std::min(rates_[j], views_[j].link_rate);
     if (rate > 0.0) any_positive = true;
-    if (rate != transfer.rate) {
+    if (rate != transfer.rate) {  // nldl-lint: allow(double-eq): rate-change detection on values copied verbatim
       transfer.remaining =
           std::max(0.0, transfer.remaining -
                             transfer.rate * (now_ - transfer.anchor_time));
@@ -305,7 +305,7 @@ void EngineRun::advance_to(double barrier, ChunkCompletionRef hook) {
       // Nothing in flight. Jump to the next release (a quiet gap between
       // releases) — unless it lies beyond the barrier, or the schedule
       // has drained.
-      if (next_release == kInf || next_release > barrier) break;
+      if (next_release == kInf || next_release > barrier) break;  // nldl-lint: allow(double-eq): kInf sentinel compare
       now_ = std::max(now_, next_release);
       ++events_;
       pop_due_releases();
@@ -352,7 +352,7 @@ void EngineRun::advance_to(double barrier, ChunkCompletionRef hook) {
       const double finish =
           transfer.anchor_time + time_left(transfer.remaining, transfer.rate,
                                            proc.bandwidth(), proc.c);
-      const bool shared_rate = transfer.rate != proc.bandwidth();
+      const bool shared_rate = transfer.rate != proc.bandwidth();  // nldl-lint: allow(double-eq): rates copied verbatim; equality picks the shared-link form
       const double left =
           transfer.remaining - transfer.rate * (now_ - transfer.anchor_time);
       if (finish <= now_ ||

@@ -37,8 +37,8 @@ std::string AsciiChart::render() const {
       y_max = std::max(y_max, y);
     }
   }
-  if (x_max == x_min) x_max = x_min + 1.0;
-  if (y_max == y_min) y_max = y_min + 1.0;
+  if (x_max == x_min) x_max = x_min + 1.0;  // nldl-lint: allow(double-eq): degenerate-range guard on exact min/max copies
+  if (y_max == y_min) y_max = y_min + 1.0;  // nldl-lint: allow(double-eq): degenerate-range guard on exact min/max copies
   // A little headroom above so the top points are visible; the bottom
   // stays at the data minimum (ratio plots should not show fake
   // negatives).

@@ -1,8 +1,8 @@
 // Tiny command-line argument parser for examples and benches.
 //
 // Supports --key=value and --flag forms; anything else is a positional
-// argument. Unknown keys are tolerated (reported via unknown()) so wrappers
-// can pass through google-benchmark flags.
+// argument. Unknown keys are tolerated by default (benches pass flags
+// through); strict CLIs can validate against values().
 #pragma once
 
 #include <map>
@@ -28,6 +28,12 @@ class Args {
 
   [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
     return positional_;
+  }
+
+  /// Every parsed --key, for CLIs that reject flags they don't know.
+  [[nodiscard]] const std::map<std::string, std::string>& values()
+      const noexcept {
+    return values_;
   }
 
   [[nodiscard]] const std::string& program() const noexcept {

@@ -28,7 +28,6 @@
 #include <utility>
 #include <vector>
 
-#include "util/assert.hpp"
 #include "util/rng.hpp"
 #include "util/threadpool.hpp"
 

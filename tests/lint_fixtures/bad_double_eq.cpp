@@ -1,0 +1,13 @@
+// Fixture: double-eq must fire on exact float comparisons outside
+// tests/ — identifiers declared floating in this file, and nonzero
+// float literals on either side.
+double pick(double a, double b) {
+  if (a == b) return a;
+  if (a == 1.0) return b;
+  if (0.5 != b) return a + b;
+  return 0.0;
+}
+
+bool converged(float err) {
+  return err == 1e-9f;
+}

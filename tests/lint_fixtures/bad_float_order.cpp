@@ -1,0 +1,26 @@
+// Fixture: float-order must fire on compound float updates whose order
+// follows hash iteration or thread scheduling, across physical lines.
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+double hash_ordered_sum(
+    const std::unordered_map<std::string, double>& weights) {
+  double total = 0.0;
+  for (const auto& [name, w] :
+       weights) {
+    total +=
+        w * 2.0;
+  }
+  return total;
+}
+
+template <typename Pool>
+double racing_sum(Pool& pool, const std::vector<double>& values) {
+  double acc = 0.0;
+  parallel_for(pool, 0, values.size(), 64, [&](std::size_t i) {
+    acc += values[i];
+  });
+  return acc;
+}

@@ -1,0 +1,19 @@
+// Fixture: exact-zero sentinel guards and integer equality are exempt
+// from double-eq.
+double safe_div(double num, double den) {
+  if (den == 0.0) return 0.0;
+  return num / den;
+}
+
+bool not_yet_started(double t) { return t == 0.0 || t != 0.; }
+
+bool same_count(int lhs, int rhs) { return lhs == rhs; }
+
+bool not_a_string_compare(double value, const char* text) {
+  return text == "auto" && value > 0.0 && text != nullptr;
+}
+
+double checked(double v) {
+  NLDL_ASSERT(v == 1.5, "assertion extents state exact invariants");
+  return v;
+}

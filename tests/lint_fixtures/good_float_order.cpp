@@ -1,0 +1,24 @@
+// Fixture: fixed-order accumulation is not a float-order finding —
+// ordered containers, index loops, and integer reductions stay silent.
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+double ordered_sum(const std::map<std::string, double>& weights) {
+  double total = 0.0;
+  for (const auto& [name, w] : weights) total += w;
+  return total;
+}
+
+double indexed_sum(const std::vector<double>& values) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) acc += values[i];
+  return acc;
+}
+
+long long tally(const std::vector<int>& hits) {
+  long long count = 0;
+  for (const int h : hits) count += h;
+  return count;
+}

@@ -1,0 +1,9 @@
+// Project fixture: include cycle, half A.
+#pragma once
+
+#include "sim/cycle_b.hpp"
+
+namespace demo {
+inline constexpr int cycle_a_marker = 3;
+inline int cycle_a_fn() { return cycle_b_fn() + 1; }
+}  // namespace demo

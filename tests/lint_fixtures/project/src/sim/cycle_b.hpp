@@ -1,0 +1,9 @@
+// Project fixture: include cycle, half B — this include closes the
+// cycle when the DFS enters through cycle_a.hpp.
+#pragma once
+
+#include "sim/cycle_a.hpp"
+
+namespace demo {
+inline int cycle_b_fn() { return cycle_a_marker; }
+}  // namespace demo

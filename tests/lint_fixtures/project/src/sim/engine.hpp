@@ -1,0 +1,8 @@
+// Project fixture: legal downward include (sim, rank 2 -> util, rank 0).
+#pragma once
+
+#include "util/base.hpp"
+
+namespace demo {
+inline int engine_step() { return util_base_fn(); }
+}  // namespace demo

@@ -1,0 +1,8 @@
+// Project fixture: a stale include (iwyu-lite) next to a justified one.
+#include "sim/engine.hpp"
+#include "util/base.hpp"
+#include "util/unused.hpp"  // nldl-lint: allow(iwyu-lite): reserved for the next fixture stage
+
+namespace demo {
+int stale_run() { return engine_step(); }
+}  // namespace demo

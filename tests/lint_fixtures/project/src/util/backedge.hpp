@@ -1,0 +1,8 @@
+// Project fixture: a util header reaching UP into sim — layer-violation.
+#pragma once
+
+#include "sim/engine.hpp"
+
+namespace demo {
+inline int backedge_call() { return engine_step(); }
+}  // namespace demo

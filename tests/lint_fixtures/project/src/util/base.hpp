@@ -1,0 +1,6 @@
+// Project fixture: the bottom layer; exports util_base_fn.
+#pragma once
+
+namespace demo {
+inline int util_base_fn() { return 1; }
+}  // namespace demo

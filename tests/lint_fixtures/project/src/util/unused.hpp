@@ -1,0 +1,7 @@
+// Project fixture: exports unused_helper, which no fixture file uses —
+// including it is only legal behind a justified iwyu-lite suppression.
+#pragma once
+
+namespace demo {
+inline int unused_helper() { return 7; }
+}  // namespace demo

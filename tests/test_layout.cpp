@@ -5,7 +5,6 @@
 
 #include <numeric>
 
-#include "partition/lower_bound.hpp"
 #include "platform/speed_distributions.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"

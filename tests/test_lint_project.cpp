@@ -1,0 +1,291 @@
+// Tests for the nldl-lint v2 engine internals: the token-stream lexer,
+// the layer-DAG configuration and validator, include resolution and
+// graph export, and the iwyu-lite export harvest. The fixture-level
+// behavior (pinned finding lines) lives in test_nldl_lint.cpp; this
+// suite exercises the building blocks directly.
+#include "project.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "layers.hpp"
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace nldl::lint {
+namespace {
+
+std::unique_ptr<FileScan> make_scan(std::string path, std::string source) {
+  auto scan = std::make_unique<FileScan>();
+  scan->path = std::move(path);
+  scan->source = std::move(source);
+  scan_file(*scan);
+  return scan;
+}
+
+std::vector<Finding> settle(FileSet& files) {
+  std::vector<Finding> all;
+  for (const auto& file : files) {
+    finish_file(*file);
+    all.insert(all.end(), file->findings.begin(), file->findings.end());
+  }
+  return all;
+}
+
+// --- lexer ------------------------------------------------------------------
+
+TEST(LintLexer, TokenKindsSpansAndLines) {
+  const TokenStream stream = lex("int x = 1.5; // note\n\"str\" y2\n");
+  ASSERT_EQ(stream.tokens.size(), 7u);
+  EXPECT_EQ(stream.tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(stream.tokens[0].text, "int");
+  EXPECT_EQ(stream.tokens[0].line, 1u);
+  EXPECT_EQ(stream.tokens[2].kind, TokenKind::kPunct);
+  EXPECT_EQ(stream.tokens[2].text, "=");
+  EXPECT_EQ(stream.tokens[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(stream.tokens[3].text, "1.5");
+  EXPECT_EQ(stream.tokens[5].kind, TokenKind::kString);
+  EXPECT_EQ(stream.tokens[5].line, 2u);
+  EXPECT_EQ(stream.tokens[6].text, "y2");
+  ASSERT_EQ(stream.line_count, 3u);
+  EXPECT_NE(stream.comment_by_line[0].find("// note"), std::string::npos);
+  EXPECT_TRUE(stream.comment_by_line[1].empty());
+}
+
+TEST(LintLexer, ShiftsStayUnmergedSoTemplateAnglesBalance) {
+  const TokenStream stream = lex("std::map<int, std::vector<int>> m;\n");
+  const auto count = [&](std::string_view text) {
+    return std::count_if(stream.tokens.begin(), stream.tokens.end(),
+                         [&](const Token& t) {
+                           return t.kind == TokenKind::kPunct &&
+                                  t.text == text;
+                         });
+  };
+  // The closing >> of the nested template is two '>' tokens, so bare
+  // angle counting balances: two '<', two '>'.
+  EXPECT_EQ(count("<"), 2);
+  EXPECT_EQ(count(">"), 2);
+}
+
+TEST(LintLexer, BlockCommentDistributesTextPerLine) {
+  const TokenStream stream = lex("a /* one\ntwo */ b\n");
+  ASSERT_EQ(stream.tokens.size(), 2u);
+  EXPECT_EQ(stream.tokens[0].text, "a");
+  EXPECT_EQ(stream.tokens[0].line, 1u);
+  EXPECT_EQ(stream.tokens[1].text, "b");
+  EXPECT_EQ(stream.tokens[1].line, 2u);
+  EXPECT_NE(stream.comment_by_line[0].find("one"), std::string::npos);
+  EXPECT_NE(stream.comment_by_line[1].find("two"), std::string::npos);
+}
+
+TEST(LintLexer, RawStringIsOneOpaqueToken) {
+  const TokenStream stream = lex("auto r = R\"x(a \" )\" b)x\"; int z;\n");
+  const auto strings = std::count_if(
+      stream.tokens.begin(), stream.tokens.end(),
+      [](const Token& t) { return t.kind == TokenKind::kString; });
+  EXPECT_EQ(strings, 1);
+  EXPECT_EQ(stream.tokens.back().text, ";");
+}
+
+TEST(LintLexer, MaximalMunchPunctuators) {
+  const TokenStream stream = lex("x+=1; y->z; a==b;\n");
+  std::vector<std::string_view> puncts;
+  for (const Token& t : stream.tokens) {
+    if (t.kind == TokenKind::kPunct) puncts.push_back(t.text);
+  }
+  EXPECT_EQ(puncts, (std::vector<std::string_view>{"+=", ";", "->", ";",
+                                                   "==", ";"}));
+}
+
+// --- layer configuration ----------------------------------------------------
+
+TEST(LintLayers, DefaultConfigIsValidAndOrdersTheStack) {
+  const LayerConfig& config = default_layer_config();
+  EXPECT_EQ(validate_layer_config(config), "");
+  EXPECT_EQ(layer_rank(config, "util"), 0);
+  EXPECT_LT(layer_rank(config, "util"), layer_rank(config, "platform"));
+  EXPECT_LT(layer_rank(config, "obs"), layer_rank(config, "sim"));
+  EXPECT_LT(layer_rank(config, "platform"), layer_rank(config, "sim"));
+  EXPECT_LT(layer_rank(config, "partition"), layer_rank(config, "linalg"));
+  EXPECT_LT(layer_rank(config, "sim"), layer_rank(config, "dlt"));
+  EXPECT_LT(layer_rank(config, "dlt"), layer_rank(config, "sort"));
+  EXPECT_LT(layer_rank(config, "dlt"), layer_rank(config, "online"));
+  EXPECT_LT(layer_rank(config, "online"), layer_rank(config, "qos"));
+  EXPECT_LT(layer_rank(config, "sort"), layer_rank(config, "core"));
+  EXPECT_LT(layer_rank(config, "qos"), layer_rank(config, "bench"));
+  EXPECT_LT(layer_rank(config, "bench"), kDriverRank);
+  EXPECT_EQ(layer_rank(config, "no-such-layer"), -1);
+}
+
+TEST(LintLayers, ValidatorRejectsEachMalformation) {
+  EXPECT_NE(validate_layer_config({{}, {}}), "");
+  EXPECT_NE(validate_layer_config({{{"", 0}}, {}}), "");
+  EXPECT_NE(validate_layer_config({{{"src/util", 0}}, {}}), "");
+  EXPECT_NE(validate_layer_config({{{"util", -1}}, {}}), "");
+  EXPECT_NE(validate_layer_config({{{"util", kDriverRank}}, {}}), "");
+  EXPECT_NE(validate_layer_config({{{"util", 0}, {"util", 1}}, {}}), "");
+  EXPECT_NE(
+      validate_layer_config({{{"util", 0}}, {{"util", "util"}}}), "");
+  EXPECT_NE(
+      validate_layer_config({{{"util", 0}}, {{"util", "mystery"}}}), "");
+  EXPECT_EQ(validate_layer_config({{{"util", 0}, {"sim", 2}},
+                                   {{"util", "sim"}}}),
+            "");
+}
+
+TEST(LintLayers, ClassifyPathMapsLayersAndDrivers) {
+  const LayerConfig& config = default_layer_config();
+  DirRank dr = classify_path(config, "src/util/rng.hpp");
+  EXPECT_EQ(dr.dir, "src/util");
+  EXPECT_EQ(dr.rank, 0);
+  dr = classify_path(config, "src/qos/admission.cpp");
+  EXPECT_EQ(dr.dir, "src/qos");
+  EXPECT_EQ(dr.rank, 5);
+  dr = classify_path(config, "tests/test_sim.cpp");
+  EXPECT_EQ(dr.dir, "tests");
+  EXPECT_EQ(dr.rank, kDriverRank);
+  dr = classify_path(config, "tools/nldl_lint/lint.cpp");
+  EXPECT_EQ(dr.dir, "tools");
+  EXPECT_EQ(dr.rank, kDriverRank);
+  // src/ directories missing from the table surface as rank -1, which
+  // analyze_project escalates to a configuration error.
+  EXPECT_EQ(classify_path(config, "src/mystery/x.hpp").rank, -1);
+  EXPECT_EQ(classify_path(config, "src/orphan.hpp").rank, -1);
+}
+
+TEST(LintLayers, ExceptionLegalizesExactlyItsEdge) {
+  LayerConfig config = default_layer_config();
+  config.exceptions.push_back({"util", "sim"});
+  FileSet files;
+  files.push_back(make_scan("src/sim/eng.hpp",
+                            "#pragma once\ninline int eng_fn() { return 1; }\n"));
+  files.push_back(make_scan(
+      "src/util/up.hpp",
+      "#pragma once\n#include \"sim/eng.hpp\"\n"
+      "inline int up_fn() { return eng_fn(); }\n"));
+  EXPECT_EQ(analyze_project(files, config, nullptr), "");
+  EXPECT_TRUE(settle(files).empty());
+}
+
+// --- include resolution and graph export ------------------------------------
+
+TEST(LintGraph, ResolvesProjectIncludesAndExportsBothFormats) {
+  FileSet files;
+  files.push_back(make_scan(
+      "src/util/a.hpp", "#pragma once\ninline int a_fn() { return 1; }\n"));
+  files.push_back(make_scan("src/sim/b.cpp",
+                            "#include \"util/a.hpp\"\n#include <vector>\n"
+                            "int b_run() { return a_fn(); }\n"));
+  ProjectGraph graph;
+  ASSERT_EQ(analyze_project(files, default_layer_config(), &graph), "");
+  EXPECT_TRUE(settle(files).empty());
+
+  ASSERT_EQ(graph.nodes.size(), 2u);
+  // Angle includes are external: exactly one resolved edge.
+  ASSERT_EQ(graph.edges.size(), 1u);
+  EXPECT_EQ(graph.nodes[graph.edges[0].from].path, "src/sim/b.cpp");
+  EXPECT_EQ(graph.nodes[graph.edges[0].to].path, "src/util/a.hpp");
+  EXPECT_EQ(graph.edges[0].line, 1u);
+
+  const std::string dot = graph_to_dot(graph);
+  EXPECT_NE(dot.find("src_sim -> src_util [label=\"1\"]"), std::string::npos);
+  EXPECT_NE(dot.find("src/util (rank 0)"), std::string::npos);
+
+  const std::string json = graph_to_json(graph, default_layer_config());
+  EXPECT_NE(json.find("\"from\": \"src/sim/b.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"to\": \"src/util/a.hpp\""), std::string::npos);
+  EXPECT_NE(json.find("{\"dir\": \"util\", \"rank\": 0}"), std::string::npos);
+}
+
+TEST(LintGraph, IncluderRelativeResolutionWinsOverSrc) {
+  FileSet files;
+  files.push_back(make_scan(
+      "bench/fig_common.hpp",
+      "#pragma once\ninline int fig_jobs() { return 8; }\n"));
+  files.push_back(make_scan("bench/fig_a.cpp",
+                            "#include \"fig_common.hpp\"\n"
+                            "int main() { return fig_jobs(); }\n"));
+  ProjectGraph graph;
+  ASSERT_EQ(analyze_project(files, default_layer_config(), &graph), "");
+  EXPECT_TRUE(settle(files).empty());
+  ASSERT_EQ(graph.edges.size(), 1u);
+  EXPECT_EQ(graph.nodes[graph.edges[0].to].path, "bench/fig_common.hpp");
+}
+
+// --- iwyu-lite export harvest ------------------------------------------------
+
+TEST(LintHarvest, ExportsDeclarationsNotBodiesOrParams) {
+  const auto header = make_scan(
+      "src/util/widget.hpp",
+      "#pragma once\n"
+      "#define MAX_N 4\n"
+      "namespace demo {\n"
+      "class Widget {\n"
+      " public:\n"
+      "  int size() const;\n"
+      "};\n"
+      "enum class Mode { kFast, kSafe };\n"
+      "using Alias = int;\n"
+      "inline int helper(int param) { int local = param; return local; }\n"
+      "constexpr int kMax = 3;\n"
+      "}  // namespace demo\n");
+  const std::vector<std::string> exports = harvest_exports(*header);
+  const auto has = [&](std::string_view name) {
+    return std::find(exports.begin(), exports.end(), name) != exports.end();
+  };
+  EXPECT_TRUE(has("MAX_N"));
+  EXPECT_TRUE(has("Widget"));
+  EXPECT_TRUE(has("size"));
+  EXPECT_TRUE(has("Mode"));
+  EXPECT_TRUE(has("kFast"));
+  EXPECT_TRUE(has("kSafe"));
+  EXPECT_TRUE(has("Alias"));
+  EXPECT_TRUE(has("helper"));
+  EXPECT_TRUE(has("kMax"));
+  // Namespace names, parameters, and function-body locals are not exports.
+  EXPECT_FALSE(has("demo"));
+  EXPECT_FALSE(has("param"));
+  EXPECT_FALSE(has("local"));
+}
+
+TEST(LintHarvest, PragmaExportPropagatesThroughUmbrellas) {
+  FileSet files;
+  files.push_back(make_scan(
+      "src/util/impl.hpp",
+      "#pragma once\ninline int impl_fn() { return 1; }\n"));
+  files.push_back(make_scan(
+      "src/util/umbrella.hpp",
+      "#pragma once\n#include \"util/impl.hpp\"  // IWYU pragma: export\n"));
+  files.push_back(make_scan("src/sim/user_ok.cpp",
+                            "#include \"util/umbrella.hpp\"\n"
+                            "int go() { return impl_fn(); }\n"));
+  files.push_back(make_scan("src/sim/user_stale.cpp",
+                            "#include \"util/umbrella.hpp\"\n"
+                            "int stop() { return 0; }\n"));
+  ASSERT_EQ(analyze_project(files, default_layer_config(), nullptr), "");
+  const std::vector<Finding> findings = settle(files);
+  // user_ok reaches impl_fn THROUGH the umbrella: no finding. user_stale
+  // uses nothing the umbrella re-exports: one iwyu-lite finding.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/sim/user_stale.cpp");
+  EXPECT_EQ(findings[0].rule, "iwyu-lite");
+  EXPECT_EQ(findings[0].line, 1u);
+}
+
+TEST(LintHarvest, SelfHeaderPairIsNeverStale) {
+  FileSet files;
+  files.push_back(make_scan(
+      "src/util/thing.hpp", "#pragma once\nint thing_fn();\n"));
+  files.push_back(make_scan("src/util/thing.cpp",
+                            "#include \"util/thing.hpp\"\n"
+                            "int unrelated() { return 2; }\n"));
+  ASSERT_EQ(analyze_project(files, default_layer_config(), nullptr), "");
+  EXPECT_TRUE(settle(files).empty());
+}
+
+}  // namespace
+}  // namespace nldl::lint

@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include "dlt/linear_dlt.hpp"
 #include "platform/speed_distributions.hpp"
+#include "sim/simulator.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 

@@ -9,12 +9,16 @@
 
 #include <algorithm>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "layers.hpp"
+#include "project.hpp"
 
 namespace nldl::lint {
 namespace {
@@ -45,7 +49,7 @@ std::vector<std::size_t> lines_of(const std::vector<Finding>& findings,
 
 TEST(LintRules, TableIsCompleteAndUnique) {
   const std::vector<Rule>& table = rules();
-  ASSERT_EQ(table.size(), 5u);
+  ASSERT_EQ(table.size(), 10u);
   std::set<std::string_view> ids;
   for (const Rule& rule : table) {
     EXPECT_FALSE(rule.id.empty());
@@ -59,6 +63,11 @@ TEST(LintRules, TableIsCompleteAndUnique) {
   EXPECT_TRUE(ids.count("nondet-source") == 1);
   EXPECT_TRUE(ids.count("locale") == 1);
   EXPECT_TRUE(ids.count("parallel-accum") == 1);
+  EXPECT_TRUE(ids.count("float-order") == 1);
+  EXPECT_TRUE(ids.count("double-eq") == 1);
+  EXPECT_TRUE(ids.count("layer-violation") == 1);
+  EXPECT_TRUE(ids.count("include-cycle") == 1);
+  EXPECT_TRUE(ids.count("iwyu-lite") == 1);
   EXPECT_FALSE(is_rule("no-such-rule"));
   EXPECT_FALSE(is_rule(""));
   // "suppression" is a reserved reporting category, not an allowable rule.
@@ -114,7 +123,11 @@ TEST(LintFixtures, UnorderedContainerFiresAndOrderedPasses) {
   const auto findings = scan_fixture("bad_unordered.cpp");
   EXPECT_EQ(lines_of(findings, "unordered-container"),
             (std::vector<std::size_t>{2, 3, 6, 11}));
-  EXPECT_EQ(findings.size(), 4u);
+  // The range-for over cache.totals accumulates a double in hash order —
+  // the flow-sensitive rule fires alongside the container ban.
+  EXPECT_EQ(lines_of(findings, "float-order"),
+            (std::vector<std::size_t>{13}));
+  EXPECT_EQ(findings.size(), 5u);
   EXPECT_TRUE(scan_fixture("good_ordered.cpp").empty());
 }
 
@@ -157,8 +170,44 @@ TEST(LintFixtures, ParallelAccumFiresAndOrderedReductionPasses) {
   const auto findings = scan_fixture("bad_parallel_accum.cpp");
   EXPECT_EQ(lines_of(findings, "parallel-accum"),
             (std::vector<std::size_t>{10, 13, 18, 26}));
-  EXPECT_EQ(findings.size(), 4u);
+  // The racing compound update targets a floating identifier, so the
+  // flow-sensitive rule fires on the same line (a justified site needs
+  // allow(parallel-accum, float-order)).
+  EXPECT_EQ(lines_of(findings, "float-order"),
+            (std::vector<std::size_t>{26}));
+  EXPECT_EQ(findings.size(), 5u);
   EXPECT_TRUE(scan_fixture("good_ordered_reduction.cpp").empty());
+}
+
+TEST(LintFixtures, FloatOrderFiresAcrossLinesAndFixedOrderPasses) {
+  const auto findings = scan_fixture("bad_float_order.cpp");
+  // Line 13: += in a range-for (spanning lines 11-12) over an unordered
+  // map. Line 23: += on a floating identifier in a parallel_for extent,
+  // where parallel-accum fires too.
+  EXPECT_EQ(lines_of(findings, "float-order"),
+            (std::vector<std::size_t>{13, 23}));
+  EXPECT_EQ(lines_of(findings, "parallel-accum"),
+            (std::vector<std::size_t>{23}));
+  EXPECT_EQ(lines_of(findings, "unordered-container"),
+            (std::vector<std::size_t>{5, 9}));
+  EXPECT_EQ(findings.size(), 5u);
+  EXPECT_TRUE(scan_fixture("good_float_order.cpp").empty());
+}
+
+TEST(LintFixtures, DoubleEqFiresAndSentinelsPass) {
+  const auto findings = scan_fixture("bad_double_eq.cpp");
+  EXPECT_EQ(lines_of(findings, "double-eq"),
+            (std::vector<std::size_t>{5, 6, 7, 12}));
+  EXPECT_EQ(findings.size(), 4u);
+  EXPECT_TRUE(scan_fixture("good_double_eq.cpp").empty());
+}
+
+TEST(LintFixtures, DoubleEqIsExemptUnderTests) {
+  // tests/ pins exact float values deliberately (bitwise-reproducibility
+  // assertions), so the rule is scoped out there by path.
+  const std::string src = "bool close(double a, double b) { return a == b; }\n";
+  EXPECT_FALSE(scan_source("src/sim/close.cpp", src).empty());
+  EXPECT_TRUE(scan_source("tests/test_close.cpp", src).empty());
 }
 
 // --- suppressions -----------------------------------------------------------
@@ -198,6 +247,77 @@ TEST(LintSuppressions, JustificationIsMandatory) {
   ASSERT_EQ(findings.size(), 2u);  // malformed + surviving finding
   EXPECT_EQ(findings[0].rule, "suppression");
   EXPECT_EQ(findings[1].rule, "unordered-container");
+}
+
+// --- project rules over the fixture mini-tree -------------------------------
+//
+// tests/lint_fixtures/project/ is a two-layer toy repo: util/ at the
+// bottom, sim/ above it, exercising one layer back-edge, one include
+// cycle, one stale include, and one justified iwyu-lite suppression.
+
+std::vector<Finding> scan_project_fixture() {
+  const std::vector<std::string> rel = {
+      "src/sim/cycle_a.hpp",   "src/sim/cycle_b.hpp", "src/sim/engine.hpp",
+      "src/sim/stale.cpp",     "src/util/backedge.hpp",
+      "src/util/base.hpp",     "src/util/unused.hpp",
+  };
+  FileSet files;
+  for (const std::string& path : rel) {
+    auto scan = std::make_unique<FileScan>();
+    scan->path = path;
+    scan->source = read_fixture("project/" + path);
+    scan_file(*scan);
+    files.push_back(std::move(scan));
+  }
+  const std::string config_error =
+      analyze_project(files, default_layer_config(), nullptr);
+  EXPECT_TRUE(config_error.empty()) << config_error;
+  std::vector<Finding> all;
+  for (const auto& file : files) {
+    finish_file(*file);
+    all.insert(all.end(), file->findings.begin(), file->findings.end());
+  }
+  return all;
+}
+
+TEST(LintProject, BackEdgeCycleAndStaleIncludeArePinned) {
+  const auto findings = scan_project_fixture();
+  ASSERT_EQ(findings.size(), 3u);
+  // The cycle is reported once, at the #include that closes it.
+  EXPECT_EQ(findings[0].file, "src/sim/cycle_b.hpp");
+  EXPECT_EQ(findings[0].rule, "include-cycle");
+  EXPECT_EQ(findings[0].line, 5u);
+  // util/base.hpp exports nothing stale.cpp uses; the neighboring
+  // suppressed include (line 4) stays silent and counts as used.
+  EXPECT_EQ(findings[1].file, "src/sim/stale.cpp");
+  EXPECT_EQ(findings[1].rule, "iwyu-lite");
+  EXPECT_EQ(findings[1].line, 3u);
+  // util (rank 0) including sim (rank 2) contradicts the DAG.
+  EXPECT_EQ(findings[2].file, "src/util/backedge.hpp");
+  EXPECT_EQ(findings[2].rule, "layer-violation");
+  EXPECT_EQ(findings[2].line, 4u);
+}
+
+TEST(LintProject, MalformedLayerConfigIsAHardError) {
+  FileSet no_files;
+  LayerConfig self_edge = default_layer_config();
+  self_edge.exceptions.push_back({"util", "util"});
+  EXPECT_FALSE(analyze_project(no_files, self_edge, nullptr).empty());
+
+  LayerConfig unknown_dir = default_layer_config();
+  unknown_dir.exceptions.push_back({"no-such-dir", "util"});
+  EXPECT_FALSE(analyze_project(no_files, unknown_dir, nullptr).empty());
+
+  // A src/ directory missing from the table is a configuration error,
+  // never a silent pass.
+  FileSet files;
+  auto scan = std::make_unique<FileScan>();
+  scan->path = "src/mystery/widget.hpp";
+  scan->source = "#pragma once\n";
+  scan_file(*scan);
+  files.push_back(std::move(scan));
+  EXPECT_FALSE(
+      analyze_project(files, default_layer_config(), nullptr).empty());
 }
 
 // --- reporting --------------------------------------------------------------

@@ -7,7 +7,6 @@
 #include <numeric>
 
 #include "partition/block_homogeneous.hpp"
-#include "partition/lower_bound.hpp"
 #include "partition/peri_sum.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"

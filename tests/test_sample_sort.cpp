@@ -7,7 +7,6 @@
 #include <cmath>
 #include <numeric>
 
-#include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace nldl::sort {

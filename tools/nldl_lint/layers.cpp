@@ -1,0 +1,113 @@
+#include "layers.hpp"
+
+namespace nldl::lint {
+
+// The declared layer DAG, derived from the repo's actual include graph
+// (every edge below is realized today; no legal edge is missing):
+//
+//   rank 0   util                         leaf utilities, includes nothing
+//   rank 1   platform, obs, partition     depend only on util (obs is the
+//                                         tracing substrate the engine and
+//                                         servers EMIT into, so it sits
+//                                         BELOW sim — not beside qos)
+//   rank 2   sim, linalg                  sim -> platform+obs, linalg ->
+//                                         partition
+//   rank 3   dlt, mapreduce               dlt replays through sim;
+//                                         mapreduce builds on linalg
+//   rank 4   sort, online                 both schedule via dlt + sim
+//   rank 5   qos, core                    qos wraps online; core owns the
+//                                         paper's experiments over
+//                                         everything below
+//   rank 6   bench                        src/bench harness: reporting
+//                                         shell, never included by the
+//                                         library proper
+//
+// Driver trees (top-level bench/, tests/, examples/, tools/) are rank
+// kDriverRank and may include any layer; no src/ layer may include them.
+//
+// A file in directory A may include a header in directory B iff A == B
+// or rank(A) > rank(B) — equal ranks do NOT grant cross-directory
+// includes, so sibling layers cannot silently grow into each other. To
+// legalize a genuinely new edge, either move the directory's rank here
+// (reviewed, with the README diagram updated) or add an explicit
+// LayerEdge exception; both changes are loud in review, which is the
+// point.
+const LayerConfig& default_layer_config() {
+  static const LayerConfig kConfig = {
+      {
+          {"util", 0},
+          {"platform", 1},
+          {"obs", 1},
+          {"partition", 1},
+          {"sim", 2},
+          {"linalg", 2},
+          {"dlt", 3},
+          {"mapreduce", 3},
+          {"sort", 4},
+          {"online", 4},
+          {"qos", 5},
+          {"core", 5},
+          {"bench", 6},
+      },
+      // No exceptions: every legal edge today is explained by the ranks.
+      {},
+  };
+  return kConfig;
+}
+
+std::string validate_layer_config(const LayerConfig& config) {
+  if (config.layers.empty()) {
+    return "layer config error: empty layer table (layers.cpp must declare "
+           "every src/ directory)";
+  }
+  for (std::size_t i = 0; i < config.layers.size(); ++i) {
+    const LayerSpec& spec = config.layers[i];
+    if (spec.dir.empty()) {
+      return "layer config error: empty directory name in layer table";
+    }
+    if (spec.dir.find('/') != std::string::npos) {
+      return "layer config error: layer '" + spec.dir +
+             "' must be a bare src/ subdirectory name, not a path";
+    }
+    if (spec.rank < 0) {
+      return "layer config error: layer '" + spec.dir +
+             "' has negative rank";
+    }
+    if (spec.rank >= kDriverRank) {
+      return "layer config error: layer '" + spec.dir +
+             "' uses a rank reserved for driver trees (>= " +
+             std::to_string(kDriverRank) + ")";
+    }
+    for (std::size_t j = i + 1; j < config.layers.size(); ++j) {
+      if (config.layers[j].dir == spec.dir) {
+        return "layer config error: directory '" + spec.dir +
+               "' declared twice in the layer table";
+      }
+    }
+  }
+  for (const LayerEdge& edge : config.exceptions) {
+    if (edge.from == edge.to) {
+      return "layer config error: self-edge exception '" + edge.from +
+             " -> " + edge.to + "' (same-directory includes are always "
+             "legal; a self-edge here is a typo)";
+    }
+    if (layer_rank(config, edge.from) < 0) {
+      return "layer config error: exception names unknown directory '" +
+             edge.from + "'";
+    }
+    if (layer_rank(config, edge.to) < 0) {
+      return "layer config error: exception names unknown directory '" +
+             edge.to + "'";
+    }
+  }
+  return std::string();
+}
+
+int layer_rank(const LayerConfig& config, std::string_view dir) {
+  for (const LayerSpec& spec : config.layers) {
+    if (spec.dir == dir) return spec.rank;
+  }
+  return -1;
+}
+
+}  // namespace nldl::lint

@@ -1,0 +1,59 @@
+// nldl-lint layer DAG — the repo's declared architecture, machine-checked.
+//
+// Every directory under src/ is assigned a rank; an #include from a file
+// in directory A to a header in directory B is legal iff A == B or
+// rank(A) > rank(B). Driver trees (bench/, tests/, examples/, tools/)
+// sit above every library layer and may include anything; nothing under
+// src/ may include them back. The table lives in layers.cpp and was
+// derived from the repo's ACTUAL include graph (run
+// `nldl_lint --graph=graph.dot` to regenerate the ground truth); any new
+// edge that contradicts it is a `layer-violation` finding, and a
+// malformed table (unknown or duplicate directory, self-edge exception)
+// is a hard configuration error — exit 2, never a silent pass.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nldl::lint {
+
+/// One src/ subdirectory and its rank in the layer DAG (0 = bottom).
+struct LayerSpec {
+  std::string dir;
+  int rank = 0;
+};
+
+/// An explicitly granted extra edge (from may include to even though the
+/// ranks forbid it). Empty today; exists so a future, deliberate
+/// exception is declared here — with review — instead of by weakening
+/// the ranks.
+struct LayerEdge {
+  std::string from;
+  std::string to;
+};
+
+struct LayerConfig {
+  std::vector<LayerSpec> layers;
+  std::vector<LayerEdge> exceptions;
+};
+
+/// Rank assigned to the driver trees (bench/, tests/, examples/,
+/// tools/): above every library layer.
+inline constexpr int kDriverRank = 1000;
+
+/// The repo's declared layer DAG (see layers.cpp for the table and the
+/// derivation notes).
+[[nodiscard]] const LayerConfig& default_layer_config();
+
+/// Internal-consistency check: empty table, empty/duplicate directory
+/// names, negative ranks, driver-reserved ranks, and exceptions naming
+/// unknown directories or self-edges are all configuration errors.
+/// Returns an empty string when the config is well-formed, else a
+/// human-readable description of the first problem.
+[[nodiscard]] std::string validate_layer_config(const LayerConfig& config);
+
+/// Rank of `dir` in `config`, or -1 if the directory is not declared.
+[[nodiscard]] int layer_rank(const LayerConfig& config, std::string_view dir);
+
+}  // namespace nldl::lint

@@ -4,7 +4,11 @@
 // (bench::Harness serial-vs-parallel self-checks, incremental-vs-full
 // replay digests). Those checks catch a regression only after it ships a
 // nondeterministic code path; this lint rejects the coding patterns that
-// create such paths in the first place:
+// create such paths in the first place. v2 runs every rule on a real
+// token stream (see lexer.hpp) — matches cross physical lines — and adds
+// project-aware, multi-file analyses over the include graph.
+//
+// Single-file rules:
 //
 //   unordered-container  std::unordered_{map,set} anywhere in checked
 //                        code. Iteration order is unspecified, differs
@@ -33,28 +37,60 @@
 //   parallel-accum       floating-point accumulation whose order depends
 //                        on thread scheduling: std::atomic<float/double/
 //                        long double>, std::execution::par policies,
-//                        #pragma omp, and compound float-style updates
-//                        (`+=`/`-=`) inside an inline lambda passed to
-//                        util::parallel_for. Parallel reductions must go
-//                        through util::Sweep's strictly ordered fold.
+//                        #pragma omp, and compound updates (`+=`/`-=`)
+//                        inside the argument extent of a util::parallel_for
+//                        call. Parallel reductions must go through
+//                        util::Sweep's strictly ordered fold.
+//   float-order          flow-sensitive: a compound `+=`/`-=` whose target
+//                        identifier is floating-declared in this file,
+//                        inside (a) a range-for whose range expression is
+//                        an unordered container, or (b) a parallel_for
+//                        extent. Float addition does not commute in
+//                        rounding, so accumulation order must never follow
+//                        hash-iteration or thread-scheduling order. Case
+//                        (b) fires ALONGSIDE parallel-accum — a justified
+//                        site needs allow(parallel-accum, float-order).
+//   double-eq            `==`/`!=` with a floating-point operand (a float
+//                        literal, or an identifier floating-declared in
+//                        this file) outside tests/. Exempt: exact-zero
+//                        sentinel guards (`x == 0.0` before dividing —
+//                        0.0 is exactly representable and the guard is
+//                        idiomatic); comparisons against string/char
+//                        literals or nullptr (not float comparisons even
+//                        when a same-named identifier is floating
+//                        elsewhere in the file); and NLDL_* assertion
+//                        macro arguments (an assertion states an exact
+//                        invariant loudly — the opposite of silent
+//                        float-equality control flow). Anything else —
+//                        tolerance checks in disguise, accumulated-value
+//                        comparisons — needs a justified suppression or
+//                        a restructure.
 //
-// Suppressions are per line and must carry a justification:
+// Project rules (see project.hpp): layer-violation, include-cycle,
+// iwyu-lite.
 //
-//   ... code ...  // nldl-lint: allow(nondet-source): harness wall timer
+// Suppressions are per line and must carry a justification. The
+// directive is the linter's name followed by a colon, then
+// `allow(<rule>[, <rule>]): <justification>` — run --list-rules for the
+// exact spelling. (It is deliberately not spelled out in this comment:
+// tools/ is itself scanned, and the marker in a real comment would parse
+// as a directive.) A suppression that is malformed (unknown rule,
+// missing justification) or unused (no finding of that rule on its
+// line) is itself a finding — stale suppressions rot.
 //
-// Multiple rules: allow(rule-a, rule-b): why. A suppression that is
-// malformed (unknown rule, missing justification) or unused (no finding
-// of that rule on its line) is itself a finding — stale suppressions rot.
-//
-// The scanner strips comments and string/character literals before
-// matching, so prose mentioning std::rand never fires; suppression
-// comments are read from the raw line.
+// The scanner lexes string/character literals into opaque tokens and
+// routes comment text into a dedicated per-line channel, so prose
+// mentioning std::rand never fires; suppression directives only count in
+// real comments (a directive quoted in a string literal is inert).
 #pragma once
 
 #include <cstddef>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "lexer.hpp"
 
 namespace nldl::lint {
 
@@ -83,14 +119,62 @@ struct Finding {
   bool operator==(const Finding&) const = default;
 };
 
-/// Blank comments and string/character literals to spaces, preserving
-/// byte offsets and line structure, so patterns never match prose.
-/// Handles //, /* */, "..." with escapes, '...', and raw strings R"(...)".
-[[nodiscard]] std::string strip_comments_and_strings(std::string_view source);
+/// A quoted `#include "..."` directive (angle includes are external by
+/// definition and not part of the project graph).
+struct IncludeDirective {
+  std::string path;      ///< the literal include string, e.g. "util/rng.hpp"
+  std::size_t line = 0;  ///< 1-based line of the directive
+};
 
-/// Scan one translation unit. `path_label` is echoed into findings.
+/// One scanned translation unit: the owned source text, its token
+/// stream, the facts the project pass consumes (includes, identifier
+/// set), the per-line suppression table, and the findings accumulated so
+/// far. Single-file rules run in scan_file(); project rules append via
+/// report(); finish_file() settles unused-suppression findings — calling
+/// order matters and is enforced.
+struct FileScan {
+  std::string path;    ///< repo-relative label echoed into findings
+  std::string source;  ///< owned; `stream` and `idents` alias into it
+  TokenStream stream;
+  std::vector<IncludeDirective> includes;
+  /// Every identifier token in the file — the usage side of iwyu-lite.
+  std::set<std::string_view> idents;
+  std::vector<Finding> findings;
+
+  struct LineSuppression {
+    std::vector<std::string> rules;
+    bool used = false;
+  };
+  std::vector<LineSuppression> suppressions;  ///< [line-1]
+  bool finished = false;
+
+  FileScan() = default;
+  FileScan(const FileScan&) = delete;  // stream/idents alias `source`
+  FileScan& operator=(const FileScan&) = delete;
+};
+
+/// Lex `file.source` and run every single-file rule. `file.path` and
+/// `file.source` must be set; everything else is filled in. Does NOT
+/// report unused suppressions yet — project rules may still use them.
+void scan_file(FileScan& file);
+
+/// Suppression-aware finding sink: honors a same-line allow(rule) and
+/// dedupes per (rule, line) so one physical construct reports once.
+void report(FileScan& file, std::size_t line, std::string_view rule,
+            std::string message);
+
+/// Report unused suppressions and stable-sort findings by line. Call
+/// exactly once, after all rules (single-file and project) have run.
+void finish_file(FileScan& file);
+
+/// Scan one translation unit in isolation (single-file rules only).
+/// `path_label` is echoed into findings.
 [[nodiscard]] std::vector<Finding> scan_source(std::string_view path_label,
                                                std::string_view source);
+
+/// Blank comments and string/character literals to spaces, preserving
+/// byte offsets and line structure, so patterns never match prose.
+[[nodiscard]] std::string strip_comments_and_strings(std::string_view source);
 
 /// gcc-style one-line rendering: "file:line: error: [rule] message".
 [[nodiscard]] std::string to_string(const Finding& finding);

@@ -1,28 +1,59 @@
-// nldl_lint CLI — scan the repo's checked trees (src/ tests/ bench/
-// examples/) for determinism/correctness violations; see lint.hpp for the
-// rule catalogue and suppression syntax.
+// nldl_lint CLI — scan the repo's checked trees (src/ tools/ tests/
+// bench/ examples/) for determinism/correctness violations; see lint.hpp
+// for the rule catalogue and suppression syntax, and project.hpp for the
+// include-graph analyses (layer-violation, include-cycle, iwyu-lite).
 //
 // Usage:
-//   nldl_lint [--root=DIR] [paths...]   scan (default: the four trees)
-//   nldl_lint --list-rules              print the rule catalogue
+//   nldl_lint [--root=DIR]            scan the five trees + project rules
+//   nldl_lint [--root=DIR] --graph=F  also write the include graph to F
+//                                     (DOT by default, JSON if F ends in
+//                                     .json)
+//   nldl_lint [paths...]              scan explicit files/dirs only
+//                                     (single-file rules; no graph)
+//   nldl_lint --list-rules            print the rule catalogue
+//   nldl_lint --help                  this text
 //
-// Exit codes: 0 clean, 1 findings reported, 2 usage/IO error. The
+// Exit codes: 0 clean, 1 findings reported, 2 usage/IO/configuration
+// error (unreadable file, malformed layer table in layers.cpp). The
 // report-only contract is deliberate: there is no --fix, so CI's gate and
 // a developer's terminal always see the same findings.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint.hpp"
+#include "project.hpp"
 #include "util/cli.hpp"
 
 namespace {
 
 namespace fs = std::filesystem;
+
+constexpr const char* kUsage =
+    "usage: nldl_lint [--root=DIR] [--graph=FILE] [paths...]\n"
+    "\n"
+    "  (no paths)    scan src/ tools/ tests/ bench/ examples/ under the\n"
+    "                root with every rule, including the project-wide\n"
+    "                include-graph rules (layer-violation, include-cycle,\n"
+    "                iwyu-lite)\n"
+    "  paths...      scan just those files/directories with the\n"
+    "                single-file rules (no include-graph analysis)\n"
+    "  --root=DIR    repo root (default: .); findings are reported\n"
+    "                root-relative\n"
+    "  --graph=FILE  write the resolved include graph and layer\n"
+    "                assignment to FILE: Graphviz DOT, or JSON when FILE\n"
+    "                ends in .json (tree scan only)\n"
+    "  --list-rules  print the rule catalogue with rationales\n"
+    "  --help        this text\n"
+    "\n"
+    "exit codes: 0 no findings; 1 findings reported; 2 usage, IO, or\n"
+    "layer-configuration error (layers.cpp must declare every src/\n"
+    "directory; malformed entries never pass silently)\n";
 
 bool is_source_file(const fs::path& path) {
   const std::string ext = path.extension().string();
@@ -50,11 +81,23 @@ void collect(const fs::path& root, std::vector<fs::path>& files) {
   }
 }
 
+/// Root-relative label with forward slashes — the form layers.cpp and
+/// the bench-layer heuristic reason about.
+std::string label_for(const fs::path& file, const fs::path& root) {
+  const fs::path rel = file.lexically_relative(root);
+  if (rel.empty() || *rel.begin() == "..") return file.generic_string();
+  return rel.generic_string();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const nldl::util::Args args(argc, argv);
 
+  if (args.has("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
   if (args.has("list-rules")) {
     for (const nldl::lint::Rule& rule : nldl::lint::rules()) {
       std::printf("%-20s %s\n", std::string(rule.id).c_str(),
@@ -67,13 +110,29 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  for (const auto& [key, value] : args.values()) {
+    if (key != "root" && key != "graph") {
+      std::fprintf(stderr, "nldl_lint: unknown option --%s\n\n%s",
+                   key.c_str(), kUsage);
+      return 2;
+    }
+  }
+
   const fs::path root = args.get_string("root", ".");
+  const std::string graph_file = args.get_string("graph", "");
+  const bool tree_scan = args.positional().empty();
+
+  if (!graph_file.empty() && !tree_scan) {
+    std::fprintf(stderr,
+                 "nldl_lint: --graph requires a tree scan (drop the "
+                 "explicit paths)\n");
+    return 2;
+  }
+
   std::vector<fs::path> files;
-  if (!args.positional().empty()) {
-    for (const std::string& path : args.positional()) collect(path, files);
-  } else {
+  if (tree_scan) {
     bool any_tree = false;
-    for (const char* tree : {"src", "tests", "bench", "examples"}) {
+    for (const char* tree : {"src", "tools", "tests", "bench", "examples"}) {
       const fs::path dir = root / tree;
       if (fs::is_directory(dir)) {
         any_tree = true;
@@ -82,15 +141,18 @@ int main(int argc, char** argv) {
     }
     if (!any_tree) {
       std::fprintf(stderr,
-                   "nldl_lint: no src/tests/bench/examples under '%s' "
-                   "(pass --root=<repo> or explicit paths)\n",
+                   "nldl_lint: no src/tools/tests/bench/examples under "
+                   "'%s' (pass --root=<repo> or explicit paths)\n",
                    root.string().c_str());
       return 2;
     }
+  } else {
+    for (const std::string& path : args.positional()) collect(path, files);
   }
   std::sort(files.begin(), files.end());
 
-  std::size_t total_findings = 0;
+  nldl::lint::FileSet scans;
+  scans.reserve(files.size());
   for (const fs::path& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -100,15 +162,47 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    const std::vector<nldl::lint::Finding> findings =
-        nldl::lint::scan_source(file.string(), buffer.str());
-    for (const nldl::lint::Finding& finding : findings) {
+    auto scan = std::make_unique<nldl::lint::FileScan>();
+    scan->path = tree_scan ? label_for(file, root) : file.generic_string();
+    scan->source = buffer.str();
+    nldl::lint::scan_file(*scan);
+    scans.push_back(std::move(scan));
+  }
+
+  if (tree_scan) {
+    nldl::lint::ProjectGraph graph;
+    const std::string config_error = nldl::lint::analyze_project(
+        scans, nldl::lint::default_layer_config(), &graph);
+    if (!config_error.empty()) {
+      std::fprintf(stderr, "nldl_lint: %s\n", config_error.c_str());
+      return 2;
+    }
+    if (!graph_file.empty()) {
+      const bool json = graph_file.size() >= 5 &&
+                        graph_file.compare(graph_file.size() - 5, 5,
+                                           ".json") == 0;
+      std::ofstream out(graph_file, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "nldl_lint: cannot write %s\n",
+                     graph_file.c_str());
+        return 2;
+      }
+      out << (json ? nldl::lint::graph_to_json(
+                         graph, nldl::lint::default_layer_config())
+                   : nldl::lint::graph_to_dot(graph));
+    }
+  }
+
+  std::size_t total_findings = 0;
+  for (const auto& scan : scans) {
+    nldl::lint::finish_file(*scan);
+    for (const nldl::lint::Finding& finding : scan->findings) {
       std::printf("%s\n", nldl::lint::to_string(finding).c_str());
     }
-    total_findings += findings.size();
+    total_findings += scan->findings.size();
   }
 
   std::printf("nldl_lint: %zu file(s) scanned, %zu finding(s)\n",
-              files.size(), total_findings);
+              scans.size(), total_findings);
   return total_findings == 0 ? 0 : 1;
 }

@@ -1,0 +1,86 @@
+// nldl-lint project pass — multi-file analyses over the quoted-include
+// graph: layer-violation (edge contradicts the declared layer DAG in
+// layers.cpp), include-cycle (the graph must be a DAG), and iwyu-lite
+// (an include none of whose exported names appear in the including
+// file is stale).
+//
+// Include resolution is project-relative: a quoted include is tried
+// against (1) the including file's own directory, (2) src/, and
+// (3) tools/nldl_lint/. Unresolved includes are external (system or
+// third-party) and are not part of the project graph.
+//
+// iwyu-lite's export set for a header is every name the header declares
+// at transparent scope (namespace/class bodies, enumerators, #define
+// names, using-aliases); headers re-exported with `// IWYU pragma:
+// export` on the include line contribute their exports transitively —
+// that is how the core/nldl.hpp umbrella stays legal. An include whose
+// line carries an IWYU pragma, or a same-stem self-pair (foo.cpp ->
+// foo.hpp), is never flagged.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "layers.hpp"
+#include "lint.hpp"
+
+namespace nldl::lint {
+
+/// The resolved project include graph (file-level).
+struct ProjectGraph {
+  struct Node {
+    std::string path;  ///< repo-relative, e.g. "src/util/rng.hpp"
+    std::string dir;   ///< layer id: "src/util", or driver tree "tests"
+    int rank = 0;      ///< layer rank; kDriverRank for driver trees
+  };
+  struct Edge {
+    std::size_t from = 0;  ///< index into nodes (the including file)
+    std::size_t to = 0;    ///< index into nodes (the included header)
+    std::size_t line = 0;  ///< 1-based line of the #include directive
+  };
+  std::vector<Node> nodes;
+  std::vector<Edge> edges;
+};
+
+/// The scanned file set. FileScan is pinned (its token views alias its
+/// owned source), hence the unique_ptr indirection.
+using FileSet = std::vector<std::unique_ptr<FileScan>>;
+
+/// Layer id ("src/util", "tests", ...) and rank for a repo-relative
+/// path. Driver trees map to their first path component at kDriverRank.
+/// A src/ subdirectory missing from `config` yields rank -1 — the
+/// caller must treat that as a configuration error, not a silent pass.
+struct DirRank {
+  std::string dir;
+  int rank = -1;
+};
+[[nodiscard]] DirRank classify_path(const LayerConfig& config,
+                                    std::string_view path);
+
+/// Run every project rule over `files` (each already scan_file()ed),
+/// appending findings to the owning FileScan via report() so per-line
+/// suppressions apply. Fills `graph_out` when non-null. Returns an empty
+/// string on success or a configuration-error message (malformed layer
+/// table, undeclared src/ directory) — the CLI maps that to exit 2.
+[[nodiscard]] std::string analyze_project(FileSet& files,
+                                          const LayerConfig& config,
+                                          ProjectGraph* graph_out);
+
+/// Directory-condensed DOT rendering of the include graph: one node per
+/// layer/driver directory clustered by rank, edges annotated with the
+/// number of underlying file-level includes.
+[[nodiscard]] std::string graph_to_dot(const ProjectGraph& graph);
+
+/// File-level JSON rendering: nodes with layer assignment, edges with
+/// source lines, plus the declared layer table.
+[[nodiscard]] std::string graph_to_json(const ProjectGraph& graph,
+                                        const LayerConfig& config);
+
+/// The set of names a header exports (see file comment). Exposed for
+/// tests; `analyze_project` applies it with transitive pragma-export
+/// propagation on top.
+[[nodiscard]] std::vector<std::string> harvest_exports(const FileScan& header);
+
+}  // namespace nldl::lint

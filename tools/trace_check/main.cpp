@@ -22,6 +22,7 @@
 //       artifacts; the "measured" sidecars (wall times, RSS, profiles)
 //       are ignored by design. Exit 0 iff the payloads are identical.
 #include <algorithm>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -249,7 +250,10 @@ int main(int argc, char** argv) {
       if (args[i] == "--top" && i + 1 < args.size()) {
         top_k = static_cast<std::size_t>(std::stoul(args[++i]));
       } else if (args[i] == "--slo" && i + 1 < args.size()) {
-        slo_objective = std::stod(args[++i]);
+        const std::string& text = args[++i];
+        const char* last = text.data() + text.size();
+        auto [ptr, ec] = std::from_chars(text.data(), last, slo_objective);
+        if (ec != std::errc{} || ptr != last) return usage();
       } else if (path.empty() && args[i].rfind("--", 0) != 0) {
         path = args[i];
       } else {
